@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the corresponding rows/series (run with ``-s`` to see them
+inline; they are also echoed into the captured output).  The
+``REPRO_BENCH_FAST=1`` environment variable switches to reduced grids
+for quick smoke runs.
+"""
+
+import os
+
+import pytest
+
+
+def fast_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def replications() -> int:
+    return 1 if fast_mode() else 2

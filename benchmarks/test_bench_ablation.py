@@ -1,0 +1,66 @@
+"""Benchmarks A1/A2: the DESIGN.md ablation studies.
+
+* A1 selection: the full IPM chain vs waterfill-only vs
+  proportional-only selection, against the Oracle bound;
+* A2 rebalance: the Sec. VI "degraded cloud resource" scenario with
+  rebalancing on/off at two step granularities;
+* A3 probing: HDSS uniform vs per-device probing vs PLB-HeC's
+  speed-scaled probes (where the phase-1 idleness gap comes from).
+"""
+
+from benchmarks.conftest import fast_mode
+from repro.experiments.ablations import (
+    render_ablation,
+    run_probe_ablation,
+    run_rebalance_ablation,
+    run_selection_ablation,
+)
+
+
+def test_bench_ablation_selection(benchmark):
+    n = 16384 if fast_mode() else 65536
+    rows = benchmark.pedantic(
+        run_selection_ablation, kwargs={"n": n}, rounds=1, iterations=1
+    )
+    print()
+    print(render_ablation(rows, title=f"A1 selection method (MM {n}, 4 machines)"))
+    oracle = [r for r in rows if r.variant == "oracle"][0]
+    for r in rows:
+        assert r.makespan >= oracle.makespan * 0.999
+
+
+def test_bench_ablation_rebalance(benchmark):
+    n = 16384 if fast_mode() else 65536
+    rows = benchmark.pedantic(
+        run_rebalance_ablation,
+        kwargs={"n": n, "slow_factor": 4.0, "at_fraction_of_run": 0.3},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        render_ablation(
+            rows, title=f"A2 rebalancing under 4x mid-run slowdown (MM {n})"
+        )
+    )
+    undisturbed = rows[0]
+    perturbed = rows[1:]
+    # the perturbation costs something in every configuration
+    assert all(r.makespan >= undisturbed.makespan * 0.95 for r in perturbed)
+    # fine-step rebalancing recovers at least part of the damage
+    fine_on = [r for r in perturbed if "on, fine" in r.variant][0]
+    coarse_off = [r for r in perturbed if r.variant == "perturbed, rebalancing off"][0]
+    assert fine_on.makespan <= coarse_off.makespan * 1.02
+
+
+def test_bench_ablation_probing(benchmark):
+    n = 16384 if fast_mode() else 65536
+    rows = benchmark.pedantic(
+        run_probe_ablation, kwargs={"n": n}, rounds=1, iterations=1
+    )
+    print()
+    print(render_ablation(rows, title=f"A3 probing strategy (MM {n}, 4 machines)"))
+    uniform = [r for r in rows if "uniform" in r.variant][0]
+    plb = [r for r in rows if "plb-hec" in r.variant][0]
+    assert plb.makespan < uniform.makespan
+    assert plb.mean_idle < uniform.mean_idle

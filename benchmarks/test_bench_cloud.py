@@ -1,0 +1,54 @@
+"""Benchmark (generalisation): the paper's ranking on random cloud fleets.
+
+The paper's Sec. VI positions PLB-HeC for public clouds; this benchmark
+checks the headline ranking is not an artefact of the Table I cluster by
+rerunning MM on several randomised heterogeneous VM fleets.
+"""
+
+from benchmarks.conftest import fast_mode
+from repro import Greedy, HDSS, PLBHeC, Runtime
+from repro.apps import MatMul
+from repro.cluster import cloud_cluster
+from repro.util.tables import format_table
+
+
+def test_bench_cloud_generalisation(benchmark):
+    n = 16384 if fast_mode() else 32768
+    seeds = range(2) if fast_mode() else range(5)
+
+    def sweep():
+        rows = []
+        for seed in seeds:
+            cluster = cloud_cluster(6, seed=seed)
+            app = MatMul(n=n)
+            times = {}
+            for policy in (Greedy(), HDSS(), PLBHeC()):
+                rt = Runtime(cluster, app.codelet(), seed=1)
+                res = rt.run(
+                    policy, app.total_units, app.default_initial_block_size()
+                )
+                times[policy.name] = res.makespan
+            rows.append(
+                [
+                    seed,
+                    len(cluster.devices()),
+                    times["greedy"],
+                    times["hdss"],
+                    times["plb-hec"],
+                    times["greedy"] / times["plb-hec"],
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["fleet_seed", "units", "greedy_s", "hdss_s", "plb_hec_s", "speedup"],
+            rows,
+            title=f"Random cloud fleets (MM {n}, 6 VMs each)",
+        )
+    )
+    # PLB-HeC must beat greedy on every fleet
+    for row in rows:
+        assert row[-1] > 1.0, f"fleet {row[0]} lost to greedy"

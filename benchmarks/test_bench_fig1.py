@@ -1,0 +1,24 @@
+"""Benchmark F1: Fig. 1 — measured times and fitted performance models.
+
+Prints, per (application, device), the measured/fitted execution-time
+series and the selected basis with its R² — the data behind Fig. 1.
+"""
+
+from benchmarks.conftest import fast_mode
+from repro.experiments.fig1_models import render_fig1, run_fig1
+
+
+def test_bench_fig1(benchmark):
+    sizes = (
+        {"matmul": 4096, "blackscholes": 20_000}
+        if fast_mode()
+        else {"matmul": 16384, "blackscholes": 100_000}
+    )
+    curves = benchmark.pedantic(
+        run_fig1, kwargs={"sizes": sizes, "points": 12}, rounds=1, iterations=1
+    )
+    print()
+    print(render_fig1(curves))
+    # every fit must at least clear the paper's acceptance bar in-range
+    for c in curves:
+        assert c.model.r2 > 0.7 or c.model.exec_fit.rel_rmse < 0.05

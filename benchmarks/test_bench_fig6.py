@@ -1,0 +1,39 @@
+"""Benchmark F6: Fig. 6 — block-size distribution among processing units.
+
+Prints, for each (application, input size), every estimating algorithm's
+per-device share of one dispatch step — Fig. 6's bars.  Shape
+assertions: distributions normalise, GPUs receive the dominant share,
+and machine B's units receive the least.
+"""
+
+from benchmarks.conftest import fast_mode
+from repro.experiments.fig6_distribution import (
+    DEFAULT_CASES,
+    gpu_share,
+    render_fig6,
+    run_fig6,
+)
+
+
+def test_bench_fig6_distribution(benchmark, replications):
+    cases = (
+        (("matmul", (16384, 65536)),)
+        if fast_mode()
+        else DEFAULT_CASES
+    )
+    results = benchmark.pedantic(
+        run_fig6,
+        kwargs={"cases": cases, "replications": replications},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_fig6(results))
+    for case in results:
+        for policy, dist in case.distributions.items():
+            total = sum(dist.values())
+            assert abs(total - 1.0) < 1e-6, (case.app_name, policy, total)
+            assert gpu_share(dist) > 0.5
+            weakest = min(v for d, v in dist.items() if "gpu" in d)
+            strongest = max(v for d, v in dist.items() if "gpu" in d)
+            assert strongest > weakest

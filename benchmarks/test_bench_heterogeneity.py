@@ -1,0 +1,30 @@
+"""Benchmark H1: speedup as a function of cluster heterogeneity.
+
+Quantifies the paper's central qualitative claim ("PLB-HeC obtained the
+highest performance gains with more heterogeneous clusters"): machine
+speeds are spread geometrically at constant aggregate capacity and the
+speedup over Greedy is measured per spread.
+"""
+
+from benchmarks.conftest import fast_mode
+from repro.experiments.heterogeneity import (
+    render_heterogeneity,
+    run_heterogeneity,
+)
+
+
+def test_bench_heterogeneity(benchmark):
+    spreads = (1.0, 4.0, 16.0) if fast_mode() else (1.0, 2.0, 4.0, 8.0, 16.0)
+    n = 8192 if fast_mode() else 16384
+    points = benchmark.pedantic(
+        run_heterogeneity, kwargs={"spreads": spreads, "n": n},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_heterogeneity(points))
+    # PLB-HeC beats both baselines at every spread
+    for p in points:
+        assert p.plb_speedup > 1.0
+        assert p.plb_s <= p.hdss_s * 1.01
+    # and its advantage grows toward the heterogeneous end
+    assert points[-1].plb_speedup > points[1].plb_speedup

@@ -1,0 +1,25 @@
+"""Benchmark S2: sensitivity to the initial block size.
+
+The paper tunes ``initialBlockSize`` empirically per application; this
+study quantifies how much that knob matters to each algorithm.  The
+adaptive algorithms must tolerate a badly chosen value far better than
+fixed-granularity self-scheduling does.
+"""
+
+from benchmarks.conftest import fast_mode
+from repro.experiments.sensitivity import render_sensitivity, run_sensitivity
+
+
+def test_bench_s0_sensitivity(benchmark):
+    n = 8192 if fast_mode() else 16384
+    factors = (0.5, 1.0, 2.0) if fast_mode() else (0.25, 0.5, 1.0, 2.0, 4.0)
+    sizes, rows = benchmark.pedantic(
+        run_sensitivity, kwargs={"n": n, "s0_factors": factors},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_sensitivity(sizes, rows))
+    sensitivity = {row.policy: row.sensitivity for row in rows}
+    # the adaptive algorithms tolerate a bad s0 far better than greedy
+    assert sensitivity["plb-hec"] < sensitivity["greedy"] / 2
+    assert sensitivity["hdss"] < sensitivity["greedy"] / 2

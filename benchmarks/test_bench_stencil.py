@@ -1,0 +1,43 @@
+"""Benchmark (extension app): memory-bound stencil ensemble.
+
+The paper claims its basis family "should contemplate the vast majority
+of applications"; this benchmark checks the whole pipeline on a kernel
+regime none of the paper's applications exercises — a memory-bandwidth-
+bound Jacobi ensemble — and verifies the ranking carries over.
+"""
+
+from benchmarks.conftest import fast_mode
+from repro import Greedy, HDSS, PLBHeC, Runtime, paper_cluster
+from repro.apps import Stencil2D
+from repro.util.tables import format_table
+
+
+def test_bench_stencil(benchmark):
+    tiles = 8192 if fast_mode() else 32768
+    app = Stencil2D(tiles, sweeps=2000)
+    cluster = paper_cluster(4)
+
+    def sweep():
+        rows = []
+        base = None
+        for policy in (Greedy(), HDSS(), PLBHeC()):
+            rt = Runtime(cluster, app.codelet(), seed=2)
+            res = rt.run(
+                policy, app.total_units, app.default_initial_block_size()
+            )
+            if base is None:
+                base = res.makespan
+            rows.append([policy.name, res.makespan, base / res.makespan])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["policy", "time_s", "speedup"],
+            rows,
+            title=f"Memory-bound stencil ensemble ({tiles} tiles, 4 machines)",
+        )
+    )
+    speedup = {r[0]: r[2] for r in rows}
+    assert speedup["plb-hec"] > 1.0

@@ -1,0 +1,10 @@
+"""Benchmark T1: render Table I (machine configurations)."""
+
+from repro.experiments.table1 import render_table1, table1_rows
+
+
+def test_bench_table1(benchmark):
+    rows = benchmark(table1_rows)
+    print()
+    print(render_table1())
+    assert {r[0] for r in rows} == {"A", "B", "C", "D"}

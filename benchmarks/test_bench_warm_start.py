@@ -1,0 +1,54 @@
+"""Benchmark (extension): warm-started PLB-HeC on multi-phase workloads.
+
+Data-parallel applications execute many phases over the same kernels
+(Sec. III: "the threads merge the processed results and the application
+proceeds to its next phase").  With ``warm_start=True`` the fitted
+profiles carry over, so phases after the first skip the probing rounds
+entirely — removing the ~10 % initial-phase cost the paper measures.
+"""
+
+from benchmarks.conftest import fast_mode
+from repro import PLBHeC, Runtime, paper_cluster
+from repro.apps import MatMul
+from repro.util.tables import format_table
+
+
+def test_bench_warm_start(benchmark):
+    n = 8192 if fast_mode() else 16384
+    phases = 4
+    cluster = paper_cluster(4)
+    app = MatMul(n=n)
+
+    def run_phases(warm: bool) -> list[float]:
+        policy = PLBHeC(warm_start=True) if warm else None
+        spans = []
+        for phase in range(phases):
+            p = policy if warm else PLBHeC()
+            rt = Runtime(cluster, app.codelet(), seed=20 + phase)
+            res = rt.run(p, app.total_units, app.default_initial_block_size())
+            spans.append(res.makespan)
+        return spans
+
+    def sweep():
+        return run_phases(warm=False), run_phases(warm=True)
+
+    cold, warm = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [i, c, w, 1.0 - w / c] for i, (c, w) in enumerate(zip(cold, warm))
+    ]
+    print()
+    print(
+        format_table(
+            ["phase", "cold_s", "warm_s", "saving"],
+            rows,
+            title=f"Warm-started multi-phase PLB-HeC (MM {n}, {phases} phases)",
+        )
+    )
+    print(
+        f"  totals: cold {sum(cold):.2f} s, warm {sum(warm):.2f} s "
+        f"({1 - sum(warm)/sum(cold):.0%} saved)"
+    )
+    # phases after the first must be faster warm than cold
+    for c, w in zip(cold[1:], warm[1:]):
+        assert w < c
+    assert sum(warm) < sum(cold)

@@ -1,0 +1,33 @@
+"""Benchmark (extension): weak scaling with capacity-matched work.
+
+Fixes the work per unit of cluster capacity and grows the machine count,
+reporting parallel efficiency for Greedy and PLB-HeC alongside a
+GSS baseline column from the classic self-scheduling literature.
+"""
+
+from benchmarks.conftest import fast_mode
+from repro.experiments.weak_scaling import (
+    render_weak_scaling,
+    run_weak_scaling,
+)
+
+
+def test_bench_weak_scaling(benchmark):
+    counts = (1, 4) if fast_mode() else (1, 2, 3, 4)
+    base = 8192 if fast_mode() else 16384
+    points = benchmark.pedantic(
+        run_weak_scaling,
+        kwargs={"machine_counts": counts, "base_order": base},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_weak_scaling(points))
+    # PLB-HeC's scaled makespan never degrades worse than Greedy's
+    base_g, base_p = points[0].greedy_s, points[0].plb_s
+    for p in points[1:]:
+        plb_eff = base_p / p.plb_s
+        greedy_eff = base_g / p.greedy_s
+        assert plb_eff > greedy_eff * 0.8
+    # and at full scale it is the faster policy outright
+    assert points[-1].plb_s < points[-1].greedy_s

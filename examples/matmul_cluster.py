@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Matrix multiplication across cluster configurations.
+
+Part 1 reproduces the paper's headline experiment in miniature: PLB-HeC's
+speedup over Greedy grows with cluster heterogeneity (1 to 4 machines).
+Part 2 runs a small multiplication *for real* on host threads with
+emulated device speeds, verifies the numerical result block-by-block
+against a single-shot reference, and shows that the distribution the
+balancer found matches the emulated speed ratios.
+
+Run:
+    python examples/matmul_cluster.py
+"""
+
+from repro import Greedy, PLBHeC, Runtime, paper_cluster
+from repro.apps import MatMul
+from repro.util.tables import format_table
+
+
+def machine_sweep() -> None:
+    app = MatMul(n=32768)
+    rows = []
+    for machines in (1, 2, 3, 4):
+        cluster = paper_cluster(machines)
+        times = {}
+        for policy in (Greedy(), PLBHeC()):
+            runtime = Runtime(cluster, app.codelet(), seed=11)
+            result = runtime.run(
+                policy, app.total_units, app.default_initial_block_size()
+            )
+            times[policy.name] = result.makespan
+        rows.append(
+            [
+                machines,
+                times["greedy"],
+                times["plb-hec"],
+                times["greedy"] / times["plb-hec"],
+            ]
+        )
+    print(
+        format_table(
+            ["machines", "greedy_s", "plb_hec_s", "speedup"],
+            rows,
+            title="Part 1: speedup grows with cluster heterogeneity (MM 32768, sim)",
+        )
+    )
+
+
+def real_run() -> None:
+    app = MatMul(n=512, materialize_limit=4096)
+    cluster = paper_cluster(2)
+    # emulate heterogeneity on host threads: machine B is 3x slower
+    speed_factors = {"B.cpu": 3.0, "B.gpu0": 2.0}
+    runtime = Runtime(
+        cluster, app.codelet(), backend="real", speed_factors=speed_factors
+    )
+    result = runtime.run(PLBHeC(num_steps=3), app.total_units, 16)
+    shares = result.trace.distribution()
+    ok = app.verify(result.results)
+    print()
+    print("Part 2: real thread-backend run (MM 512, emulated heterogeneity)")
+    print(f"  wall time: {result.makespan:.3f} s over {len(result.results)} blocks")
+    print("  work shares:", {d: round(v, 3) for d, v in shares.items()})
+    print(f"  block-assembled result matches reference: {ok}")
+    if not ok:
+        raise SystemExit("verification FAILED")
+
+
+def main() -> None:
+    machine_sweep()
+    real_run()
+
+
+if __name__ == "__main__":
+    main()

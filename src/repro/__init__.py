@@ -1,0 +1,55 @@
+"""PLB-HeC reproduction: profile-based load balancing for heterogeneous
+CPU-GPU clusters.
+
+A from-scratch Python implementation of Sant'Ana, Cordeiro & de
+Camargo's PLB-HeC algorithm (IEEE CLUSTER 2015) together with every
+substrate its evaluation needs: a StarPU-like runtime, a discrete-event
+heterogeneous-cluster simulator parameterised by the paper's Table I
+machines, an interior-point line-search filter solver, the Greedy /
+Acosta / HDSS baselines, and the three evaluation applications.
+
+Quick start::
+
+    from repro import Runtime, paper_cluster, PLBHeC, Greedy
+    from repro.apps import MatMul
+
+    app = MatMul(n=16384)
+    rt = Runtime(paper_cluster(4), app.codelet(), seed=7)
+    for policy in (PLBHeC(), Greedy()):
+        result = rt.run(policy, app.total_units,
+                        app.default_initial_block_size())
+        print(policy.name, f"{result.makespan:.2f}s")
+"""
+
+from repro.balancers import (
+    HDSS,
+    Acosta,
+    Greedy,
+    GuidedSelfScheduling,
+    Oracle,
+    StaticProfile,
+)
+from repro.cluster import Cluster, paper_cluster, paper_machines
+from repro.core import PLBHeC
+from repro.errors import ReproError
+from repro.runtime import Runtime, RunResult, SchedulingPolicy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "Cluster",
+    "paper_cluster",
+    "paper_machines",
+    "Runtime",
+    "RunResult",
+    "SchedulingPolicy",
+    "PLBHeC",
+    "Greedy",
+    "Acosta",
+    "HDSS",
+    "GuidedSelfScheduling",
+    "Oracle",
+    "StaticProfile",
+]

@@ -1,0 +1,23 @@
+"""The paper's three evaluation applications (Sec. IV.A).
+
+* :class:`MatMul` — dense matrix multiplication; matrix A broadcast,
+  matrix B divided in rows, one *line* per unit (O(n^3));
+* :class:`GRNInference` — gene regulatory network inference by
+  exhaustive feature-subset search, one target *gene* per unit;
+* :class:`BlackScholes` — Monte-Carlo option pricing (the paper's
+  stochastic-differential-equation "random walk" formulation), one
+  *option* per unit (O(n)).
+
+Every application carries both a real NumPy implementation (runnable on
+the thread backend, verifiable against a reference) and a
+:class:`~repro.cluster.perfmodel.KernelCharacteristics` describing how
+the kernel loads CPUs and GPUs in simulation.
+"""
+
+from repro.apps.base import Application
+from repro.apps.blackscholes import BlackScholes
+from repro.apps.grn import GRNInference
+from repro.apps.matmul import MatMul
+from repro.apps.stencil import Stencil2D
+
+__all__ = ["Application", "MatMul", "BlackScholes", "GRNInference", "Stencil2D"]

@@ -1,0 +1,80 @@
+"""Application abstraction: a divisible domain with kernels and a cost model.
+
+Concrete applications provide
+
+* ``total_units`` — the domain size in application units (rows, genes,
+  options), the quantity every load balancer divides;
+* ``kernel_characteristics()`` — the simulation cost model;
+* ``cpu_kernel(start, count)`` — a real, verifiable NumPy implementation
+  (``gpu_kernel`` defaults to the same code: this library has no CUDA);
+* ``verify(results)`` — check assembled real results against a
+  reference computation;
+* ``default_initial_block_size()`` — the per-application probe size the
+  paper chose "empirically, so that the initial phase of the algorithm
+  would take about 10% of the application execution time".
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.cluster.perfmodel import KernelCharacteristics
+from repro.runtime.codelet import Codelet
+
+__all__ = ["Application"]
+
+
+class Application(abc.ABC):
+    """Base class of the evaluation applications."""
+
+    #: short name used in experiment tables ("matmul", "grn", "blackscholes")
+    name: str = "app"
+
+    @property
+    @abc.abstractmethod
+    def total_units(self) -> int:
+        """Domain size in application units."""
+
+    @abc.abstractmethod
+    def kernel_characteristics(self) -> KernelCharacteristics:
+        """Simulation cost model of the codelet."""
+
+    @abc.abstractmethod
+    def cpu_kernel(self, start: int, count: int) -> object:
+        """Process units ``[start, start+count)`` for real; returns the block result."""
+
+    def gpu_kernel(self, start: int, count: int) -> object:
+        """GPU implementation; defaults to the CPU code (no CUDA here)."""
+        return self.cpu_kernel(start, count)
+
+    @abc.abstractmethod
+    def verify(self, results: list[tuple[int, int, object]]) -> bool:
+        """Validate assembled real-backend results against a reference.
+
+        ``results`` is the :class:`~repro.runtime.runtime.RunResult`
+        ``results`` list: ``(start_unit, units, value)`` per block.
+        """
+
+    def default_initial_block_size(self) -> int:
+        """Probe size heuristic: ~1/128 of the domain, at least one unit."""
+        return max(self.total_units // 128, 1)
+
+    def codelet(self) -> Codelet:
+        """Bundle this application as a runtime codelet."""
+        return Codelet(
+            name=self.name,
+            kernel=self.kernel_characteristics(),
+            cpu_func=self.cpu_kernel,
+            gpu_func=self.gpu_kernel,
+        )
+
+    @staticmethod
+    def coverage_ok(results: list[tuple[int, int, object]], total: int) -> bool:
+        """True when the blocks tile [0, total) exactly once."""
+        spans = sorted((start, start + count) for start, count, _ in results)
+        cursor = 0
+        for lo, hi in spans:
+            if lo != cursor:
+                return False
+            cursor = hi
+        return cursor == total

@@ -1,0 +1,130 @@
+"""Matrix multiplication (paper Sec. IV.A).
+
+"The matrix multiplication application distributes a copy of the matrix
+A to all processing units and divides matrix B among the processing
+units according to the load-balancing scheme."  One unit = one line of
+the result; block sizes are rounded "to the closest valid block size:
+one line".
+
+The real kernel computes ``C[start:start+count] = A[start:start+count] @ B``
+in float32.  The simulation cost model charges ``2 n^2`` FLOPs and one
+``n``-float row transfer per line, with the CUBLAS-style behaviours the
+paper's Fig. 1 shows: GPUs need a few hundred lines in flight before
+reaching sustained rate, CPUs slow once the working set overflows the
+last-level cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.cluster.perfmodel import KernelCharacteristics
+from repro.errors import WorkloadError
+from repro.util.validation import check_positive_int
+
+__all__ = ["MatMul"]
+
+
+class MatMul(Application):
+    """C = A @ B with B's rows as the divisible domain.
+
+    Parameters
+    ----------
+    n:
+        Matrix order (the paper sweeps 4096..65536).
+    seed:
+        Seed for the synthetic input matrices (real backend only).
+    materialize_limit:
+        Refuse to materialise real input matrices above this order —
+        large paper-scale orders are simulation-only (a 65536^2 float32
+        matrix alone is 17 GB).
+    """
+
+    name = "matmul"
+
+    def __init__(
+        self, n: int, *, seed: int = 0, materialize_limit: int = 4096
+    ) -> None:
+        check_positive_int("n", n)
+        self.n = int(n)
+        self.seed = int(seed)
+        self.materialize_limit = int(materialize_limit)
+        self._a: np.ndarray | None = None
+        self._b: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def total_units(self) -> int:
+        """One unit per line of the result."""
+        return self.n
+
+    def kernel_characteristics(self) -> KernelCharacteristics:
+        n = float(self.n)
+        return KernelCharacteristics(
+            name=self.name,
+            flops_per_unit=2.0 * n * n,
+            bytes_in_per_unit=4.0 * n,  # one float32 row of B
+            bytes_out_per_unit=4.0 * n,  # one float32 row of C
+            cpu_efficiency=1.0,
+            gpu_efficiency=1.0,
+            gpu_half_units=128.0,  # GEMM tile saturation (reference GPU)
+            cpu_half_units=8.0,
+            cpu_cache_gamma=0.3,  # blocked GEMM is cache-friendly; mild knee
+        )
+
+    def default_initial_block_size(self) -> int:
+        """~n/2048 lines.
+
+        The paper sizes the initial block "empirically, so that the
+        initial phase of the algorithm would take about 10% of the
+        application execution time"; for the Table I cluster that lands
+        near one line per 2048 of matrix order (the slowest CPU must be
+        able to finish the unscaled first-round probe without stalling
+        the whole round), floored at 32 lines — probes below a GEMM tile
+        measure launch overhead, not compute.
+        """
+        return max(self.n // 2048, 32)
+
+    # ------------------------------------------------------------------
+    # real kernels
+    # ------------------------------------------------------------------
+    def _ensure_data(self) -> None:
+        if self._a is not None:
+            return
+        if self.n > self.materialize_limit:
+            raise WorkloadError(
+                f"matmul order {self.n} exceeds the real-backend limit "
+                f"({self.materialize_limit}); paper-scale orders are "
+                "simulation-only"
+            )
+        rng = np.random.default_rng(self.seed)
+        a = rng.standard_normal((self.n, self.n), dtype=np.float32)
+        b = rng.standard_normal((self.n, self.n), dtype=np.float32)
+        # _a is the initialisation guard checked by concurrent real-backend
+        # workers, so it must be assigned last
+        self._b = b
+        self._a = a
+
+    def cpu_kernel(self, start: int, count: int) -> np.ndarray:
+        """Multiply ``count`` rows of A against B."""
+        self._ensure_data()
+        assert self._a is not None and self._b is not None
+        if not (0 <= start and start + count <= self.n):
+            raise WorkloadError(f"block [{start}, {start + count}) out of range")
+        return self._a[start : start + count] @ self._b
+
+    def verify(self, results: list[tuple[int, int, object]]) -> bool:
+        """Assemble the blocks and compare against a one-shot reference."""
+        if not self.coverage_ok(results, self.n):
+            return False
+        self._ensure_data()
+        assert self._a is not None and self._b is not None
+        c = np.empty((self.n, self.n), dtype=np.float32)
+        for start, count, value in results:
+            block = np.asarray(value)
+            if block.shape != (count, self.n):
+                return False
+            c[start : start + count] = block
+        reference = self._a @ self._b
+        return bool(np.allclose(c, reference, rtol=1e-4, atol=1e-3))

@@ -1,0 +1,140 @@
+"""2-D Jacobi stencil ensemble (extension application).
+
+The paper's basis family is motivated by covering "the vast majority of
+applications"; this fourth application exercises a regime none of the
+paper's three do: a *memory-bandwidth-bound* kernel.  The workload is an
+ensemble of independent tiles (e.g. a parameter sweep of small heat
+diffusion problems), each relaxed with ``sweeps`` Jacobi iterations of
+the 4-neighbour stencil under fixed boundaries.  One unit = one tile,
+so the domain decomposes exactly like the paper's applications.
+
+The real kernel is vectorised NumPy over whole tile batches;
+:meth:`verify` recomputes sample tiles with an independent
+``np.roll``-based implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.cluster.perfmodel import KernelCharacteristics
+from repro.errors import WorkloadError
+from repro.util.validation import check_positive_int
+
+__all__ = ["Stencil2D"]
+
+#: FLOPs per grid point per sweep (4 adds + 1 multiply).
+_FLOPS_PER_POINT = 5.0
+
+
+class Stencil2D(Application):
+    """Ensemble of independent Jacobi-relaxed tiles.
+
+    Parameters
+    ----------
+    num_tiles:
+        Domain size (tiles to relax).
+    tile:
+        Tile edge length (grid is ``tile x tile``).
+    sweeps:
+        Jacobi iterations per tile.
+    seed:
+        Seed for the synthetic initial conditions.
+    """
+
+    name = "stencil"
+
+    def __init__(
+        self, num_tiles: int, *, tile: int = 64, sweeps: int = 100, seed: int = 0
+    ) -> None:
+        check_positive_int("num_tiles", num_tiles)
+        check_positive_int("tile", tile, minimum=4)
+        check_positive_int("sweeps", sweeps)
+        self.num_tiles = int(num_tiles)
+        self.tile = int(tile)
+        self.sweeps = int(sweeps)
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_units(self) -> int:
+        """One unit per tile."""
+        return self.num_tiles
+
+    def kernel_characteristics(self) -> KernelCharacteristics:
+        points = float(self.tile * self.tile)
+        return KernelCharacteristics(
+            name=self.name,
+            flops_per_unit=_FLOPS_PER_POINT * points * self.sweeps,
+            bytes_in_per_unit=4.0 * points,
+            bytes_out_per_unit=4.0 * points,
+            # bandwidth-bound: the achieved FLOP rate is a small fraction
+            # of peak on both device classes, smaller on GPUs whose
+            # compute/bandwidth ratio is higher
+            cpu_efficiency=0.30,
+            gpu_efficiency=0.15,
+            gpu_half_units=48.0,  # a tile is already 4096 parallel points
+            cpu_half_units=4.0,
+            cpu_cache_gamma=0.4,  # tiles beyond LLC thrash
+        )
+
+    def default_initial_block_size(self) -> int:
+        """~1/256 of the ensemble."""
+        return max(self.num_tiles // 256, 1)
+
+    # ------------------------------------------------------------------
+    # real kernels
+    # ------------------------------------------------------------------
+    def _initial_tiles(self, start: int, count: int) -> np.ndarray:
+        """Deterministic per-tile initial conditions, (count, tile, tile)."""
+        out = np.empty((count, self.tile, self.tile), dtype=np.float64)
+        for i in range(count):
+            rng = np.random.default_rng((self.seed, start + i))
+            out[i] = rng.uniform(0.0, 100.0, (self.tile, self.tile))
+        return out
+
+    def cpu_kernel(self, start: int, count: int) -> np.ndarray:
+        """Relax tiles ``[start, start+count)``; returns the final grids."""
+        if not (0 <= start and start + count <= self.num_tiles):
+            raise WorkloadError(f"block [{start}, {start + count}) out of range")
+        grids = self._initial_tiles(start, count)
+        for _ in range(self.sweeps):
+            interior = 0.25 * (
+                grids[:, :-2, 1:-1]
+                + grids[:, 2:, 1:-1]
+                + grids[:, 1:-1, :-2]
+                + grids[:, 1:-1, 2:]
+            )
+            grids[:, 1:-1, 1:-1] = interior
+        return grids
+
+    def _reference_tile(self, index: int) -> np.ndarray:
+        """Independent roll-based relaxation of one tile."""
+        grid = self._initial_tiles(index, 1)[0]
+        for _ in range(self.sweeps):
+            up = np.roll(grid, 1, axis=0)
+            down = np.roll(grid, -1, axis=0)
+            left = np.roll(grid, 1, axis=1)
+            right = np.roll(grid, -1, axis=1)
+            new_interior = 0.25 * (up + down + left + right)
+            inner = grid.copy()
+            inner[1:-1, 1:-1] = new_interior[1:-1, 1:-1]
+            grid = inner
+        return grid
+
+    def verify(self, results: list[tuple[int, int, object]]) -> bool:
+        """Recompute sample tiles with the independent implementation."""
+        if not self.coverage_ok(results, self.num_tiles):
+            return False
+        assembled = np.empty((self.num_tiles, self.tile, self.tile))
+        for start, count, value in results:
+            arr = np.asarray(value, dtype=float)
+            if arr.shape != (count, self.tile, self.tile):
+                return False
+            assembled[start : start + count] = arr
+        check = np.linspace(0, self.num_tiles - 1, min(self.num_tiles, 5)).astype(int)
+        for t in check:
+            if not np.allclose(assembled[t], self._reference_tile(int(t)), atol=1e-9):
+                return False
+        return True

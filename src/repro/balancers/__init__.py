@@ -1,0 +1,33 @@
+"""Baseline load-balancing policies the paper compares against.
+
+* :class:`Greedy` — StarPU's default: fixed-size pieces to any idle
+  unit, no priorities (paper Sec. IV);
+* :class:`Acosta` — relative-power iterative rebalancing with
+  per-iteration synchronisation [Acosta et al., ISPA 2012];
+* :class:`HDSS` — Heterogeneous Dynamic Self-Scheduling: adaptive phase
+  with logarithmic-fit weights, then a completion phase with decreasing
+  block sizes [Belviranli et al., TACO 2013];
+* :class:`StaticProfile` — offline profile-based static split
+  [de Camargo, WAMCA 2012] (the static baseline the paper's related
+  work discusses);
+* :class:`GuidedSelfScheduling` — classic heterogeneity-blind GSS
+  [Polychronopoulos & Kuck 1987], isolating tapering from weighting;
+* :class:`Oracle` — a deliberately cheating upper bound that reads the
+  simulator's ground truth; used in ablations only.
+"""
+
+from repro.balancers.acosta import Acosta
+from repro.balancers.greedy import Greedy
+from repro.balancers.gss import GuidedSelfScheduling
+from repro.balancers.hdss import HDSS
+from repro.balancers.oracle import Oracle
+from repro.balancers.static_profile import StaticProfile
+
+__all__ = [
+    "Greedy",
+    "Acosta",
+    "HDSS",
+    "GuidedSelfScheduling",
+    "Oracle",
+    "StaticProfile",
+]

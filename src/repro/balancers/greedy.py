@@ -1,0 +1,56 @@
+"""The StarPU greedy baseline.
+
+"The greedy consisted in dividing the input set in pieces and assigning
+each piece of input to any idle processing unit, without any priority
+assignment" (paper Sec. IV): the input is cut into a fixed number of
+equal pieces up front, and idle units self-schedule from that pool.
+
+Its weakness on heterogeneous clusters is structural, and exactly what
+the paper's evaluation shows: piece size ignores device speed, so a
+slow CPU that grabs a piece near the end of the run straggles the whole
+makespan — harmless with one (nearly homogeneous) machine, ruinous with
+four heterogeneous ones.  For small inputs the pieces are small, all
+algorithms run the devices below saturation, and greedy's zero decision
+overhead makes it the best of the lot — the paper's observed crossover.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.scheduler_api import SchedulingContext, SchedulingPolicy
+
+__all__ = ["Greedy"]
+
+
+class Greedy(SchedulingPolicy):
+    """Fixed-division self-scheduling: idle workers take the next piece.
+
+    Parameters
+    ----------
+    num_pieces:
+        How many equal pieces the input is divided into (default 64,
+        a typical StarPU eager-scheduler task count).
+    piece_size:
+        Explicit piece size in units; overrides ``num_pieces``.
+    """
+
+    name = "greedy"
+
+    def __init__(
+        self, *, num_pieces: int = 64, piece_size: int | None = None
+    ) -> None:
+        if num_pieces <= 0:
+            raise ValueError(f"num_pieces must be positive, got {num_pieces}")
+        if piece_size is not None and piece_size <= 0:
+            raise ValueError(f"piece_size must be positive, got {piece_size}")
+        self.num_pieces = num_pieces
+        self._piece_size = piece_size
+
+    def setup(self, ctx: SchedulingContext) -> None:
+        super().setup(ctx)
+        if self._piece_size is not None:
+            self.piece_size = self._piece_size
+        else:
+            self.piece_size = max(ctx.total_units // self.num_pieces, 1)
+
+    def next_block(self, worker_id: str, now: float) -> int:
+        return self.piece_size

@@ -1,0 +1,62 @@
+"""Guided self-scheduling (Polychronopoulos & Kuck, 1987).
+
+A classic from the self-scheduling literature the paper's related work
+builds on: each idle processor takes ``remaining / P`` iterations, so
+chunks start large (low dispatch overhead) and shrink geometrically
+toward the tail (good load balance).  GSS is *heterogeneity-blind* —
+every processor gets the same fair-share formula regardless of speed —
+which is precisely the gap the weighted approaches (HDSS) and the
+model-based approach (PLB-HeC) close; having it in the baseline set
+isolates how much of their gain comes from weighting at all versus from
+tapering alone.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.runtime.scheduler_api import SchedulingContext, SchedulingPolicy
+
+__all__ = ["GuidedSelfScheduling"]
+
+
+class GuidedSelfScheduling(SchedulingPolicy):
+    """Chunks of ``remaining / (P * k)`` per request.
+
+    Parameters
+    ----------
+    divisor:
+        The ``k`` factor; 1 is classic GSS, larger values taper faster.
+    min_chunk:
+        Chunk floor (defaults to the run's initial block size, the
+        shared granularity knob of the evaluation).
+    """
+
+    name = "gss"
+
+    def __init__(self, *, divisor: float = 1.0, min_chunk: int | None = None) -> None:
+        if divisor <= 0.0:
+            raise ConfigurationError(f"divisor must be > 0, got {divisor}")
+        if min_chunk is not None and min_chunk < 1:
+            raise ConfigurationError(f"min_chunk must be >= 1, got {min_chunk}")
+        self.divisor = divisor
+        self._min_chunk = min_chunk
+
+    def setup(self, ctx: SchedulingContext) -> None:
+        super().setup(ctx)
+        self._remaining = ctx.total_units
+        self._num_workers = len(ctx.device_ids)
+        self.min_chunk = self._min_chunk or max(ctx.initial_block_size // 2, 1)
+
+    def next_block(self, worker_id: str, now: float) -> int:
+        chunk = int(self._remaining / (self._num_workers * self.divisor))
+        return max(chunk, self.min_chunk)
+
+    def on_block_dispatched(self, worker_id: str, granted: int, now: float) -> None:
+        self._remaining = max(self._remaining - granted, 0)
+
+    def on_task_finished(self, record, remaining: int, now: float) -> None:
+        self._remaining = remaining
+
+    def on_device_failed(self, device_id: str, now: float) -> None:
+        """Shrink the fair-share divisor to the surviving workers."""
+        self._num_workers = max(self._num_workers - 1, 1)

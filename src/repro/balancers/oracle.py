@@ -1,0 +1,72 @@
+"""An omniscient upper-bound policy (ablation tool, not a paper baseline).
+
+Reads the simulator's hidden ground truth to compute the ideal
+equal-finish-time partition, then dispatches each device its exact share
+in a single block.  No online algorithm can beat it (up to measurement
+noise and integer rounding), so experiment reports use it to show how
+much of the attainable headroom each real policy captures.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.perfmodel import GroundTruth
+from repro.errors import ConfigurationError
+from repro.runtime.scheduler_api import SchedulingContext, SchedulingPolicy
+
+__all__ = ["Oracle"]
+
+
+class Oracle(SchedulingPolicy):
+    """Dispatches the ground-truth ideal partition in one step.
+
+    Parameters
+    ----------
+    ground_truth:
+        The simulator's :class:`~repro.cluster.perfmodel.GroundTruth`.
+        Handing this to a policy is deliberate cheating — it exists only
+        to calibrate the other policies' results.
+    """
+
+    name = "oracle"
+
+    def __init__(self, ground_truth: GroundTruth) -> None:
+        if not isinstance(ground_truth, GroundTruth):
+            raise ConfigurationError(
+                f"ground_truth must be a GroundTruth, got {ground_truth!r}"
+            )
+        self.ground_truth = ground_truth
+
+    def setup(self, ctx: SchedulingContext) -> None:
+        super().setup(ctx)
+        ideal = self.ground_truth.ideal_partition(ctx.total_units)
+        # Hamilton (largest remainder) rounding to integers summing to N
+        floors = {d: int(v) for d, v in ideal.items()}
+        leftover = ctx.total_units - sum(floors.values())
+        by_frac = sorted(
+            ideal, key=lambda d: ideal[d] - floors[d], reverse=True
+        )
+        for d in by_frac[:leftover]:
+            floors[d] += 1
+        self._assignment = floors
+        self._dispatched: set[str] = set()
+        self._mop_up = False
+
+    def next_block(self, worker_id: str, now: float) -> int:
+        if self._mop_up:
+            return max(self.ctx.initial_block_size, 1)
+        if worker_id in self._dispatched:
+            return 0
+        units = self._assignment.get(worker_id, 0)
+        if units <= 0:
+            return 0
+        self._dispatched.add(worker_id)
+        return units
+
+    def on_device_failed(self, device_id: str, now: float) -> None:
+        """Degrade to self-scheduled mop-up of the lost device's range.
+
+        The oracle's one-shot split is invalidated by a failure; the
+        surviving devices drain the returned work in small pieces (the
+        oracle keeps no online model to re-split optimally mid-run).
+        """
+        self._mop_up = True

@@ -1,0 +1,80 @@
+"""Static profile-based distribution [de Camargo, WAMCA 2012].
+
+The static baseline the paper's related work analyses: device profiles
+come from *previous executions*; the distribution that equalises the
+predicted execution times is computed once, before the run, and never
+adjusted.  Its documented drawbacks — an initially unbalanced
+distribution cannot be corrected, and profiles must exist beforehand —
+are exactly what they are here: the policy requires pre-fitted
+:class:`~repro.modeling.perf_profile.DeviceModel` objects and performs
+no adaptation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+from repro.modeling.perf_profile import DeviceModel
+from repro.runtime.scheduler_api import SchedulingContext, SchedulingPolicy
+from repro.solver.partition import solve_block_partition
+
+__all__ = ["StaticProfile"]
+
+
+class StaticProfile(SchedulingPolicy):
+    """One offline equal-time split, dispatched in ``num_steps`` waves.
+
+    Parameters
+    ----------
+    profiles:
+        Pre-fitted device models from a previous execution, keyed by
+        device id; every device in the run must be covered.
+    num_steps:
+        The fixed split is dealt out in this many identical waves (the
+        original system pipelines fixed-size stages).
+    """
+
+    name = "static"
+
+    def __init__(
+        self, profiles: Mapping[str, DeviceModel], *, num_steps: int = 1
+    ) -> None:
+        if not profiles:
+            raise ConfigurationError("profiles must be non-empty")
+        if num_steps < 1:
+            raise ConfigurationError("num_steps must be >= 1")
+        self.profiles = dict(profiles)
+        self.num_steps = num_steps
+
+    def setup(self, ctx: SchedulingContext) -> None:
+        super().setup(ctx)
+        missing = [d for d in ctx.device_ids if d not in self.profiles]
+        if missing:
+            raise ConfigurationError(
+                f"no offline profile for device(s) {missing}; static "
+                "distribution requires previous-execution profiles"
+            )
+        models = {d: self.profiles[d] for d in ctx.device_ids}
+        result = solve_block_partition(models, float(ctx.total_units))
+        self.partition = result
+        per_step = {
+            d: u / self.num_steps for d, u in result.units_by_device.items()
+        }
+        self._per_step = per_step
+        self._steps_given = {d: 0 for d in ctx.device_ids}
+
+    def next_block(self, worker_id: str, now: float) -> int:
+        if self._steps_given[worker_id] >= self.num_steps:
+            return 0
+        self._steps_given[worker_id] += 1
+        units = self._per_step.get(worker_id, 0.0)
+        # accumulate fractional residue into the final wave
+        if self._steps_given[worker_id] == self.num_steps:
+            total = self.partition.units_by_device.get(worker_id, 0.0)
+            given = units * (self.num_steps - 1)
+            units = total - given
+        return max(int(round(units)), 0)
+
+    def step_index(self, worker_id: str) -> int:
+        return self._steps_given.get(worker_id, 0)

@@ -1,0 +1,283 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Run one workload under one policy and print the result summary.
+``compare``
+    Run all four paper policies on one workload and print the
+    comparison table.
+``table1`` / ``fig1`` / ``fig4`` / ``fig5`` / ``fig6`` / ``fig7``
+    Regenerate the corresponding paper artefact.
+``overhead``
+    Time the block-size solver (the Sec. V.a statistic).
+``ablations``
+    Run the three DESIGN.md ablation studies.
+
+Examples
+--------
+::
+
+    python -m repro run --app matmul --size 16384 --policy plb-hec
+    python -m repro compare --app blackscholes --size 500000 --machines 4
+    python -m repro fig4 --app matmul --fast
+    python -m repro fig7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.ablations import (
+    render_ablation,
+    run_probe_ablation,
+    run_rebalance_ablation,
+    run_selection_ablation,
+)
+from repro.experiments.fig1_models import render_fig1, run_fig1
+from repro.experiments.fig4_exectime import (
+    GRN_SIZES,
+    MM_SIZES,
+    render_sweep,
+    run_fig4,
+)
+from repro.experiments.fig5_blackscholes import BS_SIZES, run_fig5
+from repro.experiments.fig6_distribution import render_fig6, run_fig6
+from repro.experiments.fig7_idleness import render_fig7, run_fig7
+from repro.experiments.runner import (
+    PAPER_POLICIES,
+    make_application,
+    make_policy,
+    run_policies,
+)
+from repro.experiments.solver_overhead import run_solver_overhead
+from repro.experiments.table1 import render_table1
+from repro.cluster import GroundTruth, paper_cluster
+from repro.runtime import Runtime
+from repro.util.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PLB-HeC reproduction: run workloads and regenerate "
+        "the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--app",
+            choices=["matmul", "grn", "blackscholes"],
+            default="matmul",
+        )
+        p.add_argument("--size", type=int, default=16384)
+        p.add_argument("--machines", type=int, default=4, choices=[1, 2, 3, 4])
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--noise", type=float, default=0.005)
+
+    p_run = sub.add_parser("run", help="run one workload under one policy")
+    add_workload_args(p_run)
+    p_run.add_argument(
+        "--policy",
+        default="plb-hec",
+        choices=[*PAPER_POLICIES, "hdss-async", "oracle"],
+    )
+    p_run.add_argument(
+        "--gantt", action="store_true", help="render an ASCII Gantt chart"
+    )
+
+    p_cmp = sub.add_parser("compare", help="compare the four paper policies")
+    add_workload_args(p_cmp)
+    p_cmp.add_argument("--replications", type=int, default=3)
+
+    sub.add_parser("table1", help="render Table I")
+
+    p_fig1 = sub.add_parser("fig1", help="Fig. 1 measured vs fitted curves")
+    p_fig1.add_argument("--points", type=int, default=12)
+
+    for fig, sizes in (("fig4", None), ("fig5", BS_SIZES)):
+        p_fig = sub.add_parser(fig, help=f"{fig} execution time / speedup")
+        if fig == "fig4":
+            p_fig.add_argument(
+                "--app", choices=["matmul", "grn"], default="matmul"
+            )
+        p_fig.add_argument("--replications", type=int, default=3)
+        p_fig.add_argument(
+            "--fast", action="store_true", help="reduced size/machine grid"
+        )
+
+    for fig in ("fig6", "fig7"):
+        p_fig = sub.add_parser(fig, help=f"{fig} distribution / idleness")
+        p_fig.add_argument("--replications", type=int, default=3)
+
+    p_oh = sub.add_parser("overhead", help="Sec. V.a solver overhead")
+    p_oh.add_argument("--repetitions", type=int, default=20)
+
+    sub.add_parser("ablations", help="DESIGN.md A1-A3 ablation studies")
+    sub.add_parser("heterogeneity", help="H1 speedup-vs-heterogeneity sweep")
+    sub.add_parser("sensitivity", help="S2 initial-block-size sensitivity")
+
+    p_report = sub.add_parser(
+        "report", help="full reproduction report with shape checks"
+    )
+    p_report.add_argument("--replications", type=int, default=3)
+    p_report.add_argument("--fast", action="store_true")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    app = make_application(args.app, args.size)
+    cluster = paper_cluster(args.machines)
+    ground_truth = GroundTruth(cluster, app.kernel_characteristics())
+    policy = make_policy(args.policy, ground_truth=ground_truth)
+    runtime = Runtime(
+        cluster, app.codelet(), seed=args.seed, noise_sigma=args.noise
+    )
+    result = runtime.run(
+        policy, app.total_units, app.default_initial_block_size()
+    )
+    idle = result.idle_fractions
+    print(
+        format_table(
+            ["app", "size", "machines", "policy", "time_s", "mean_idle",
+             "rebalances", "overhead_ms"],
+            [[
+                args.app, args.size, args.machines, policy.name,
+                result.makespan, sum(idle.values()) / len(idle),
+                result.num_rebalances, result.solver_overhead_s * 1e3,
+            ]],
+        )
+    )
+    if args.gantt:
+        from repro.util.gantt import render_gantt
+
+        print()
+        print(render_gantt(result.trace))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    point = run_policies(
+        args.app,
+        args.size,
+        args.machines,
+        replications=args.replications,
+        seed=args.seed,
+        noise_sigma=args.noise,
+    )
+    rows = []
+    for name, outcome in point.outcomes.items():
+        rows.append(
+            [
+                name,
+                outcome.mean_makespan,
+                outcome.std_makespan,
+                point.speedup_vs("greedy", name),
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "time_s", "std_s", "speedup_vs_greedy"],
+            rows,
+            title=f"{args.app} size={args.size} machines={args.machines}",
+        )
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "table1":
+        print(render_table1())
+        return 0
+    if args.command == "fig1":
+        print(render_fig1(run_fig1(points=args.points)))
+        return 0
+    if args.command == "fig4":
+        sizes = (MM_SIZES if args.app == "matmul" else GRN_SIZES)
+        machines = [4] if args.fast else [1, 2, 3, 4]
+        if args.fast:
+            sizes = (sizes[0], sizes[-1])
+        print(
+            render_sweep(
+                run_fig4(
+                    args.app,
+                    sizes=sizes,
+                    machine_counts=machines,
+                    replications=args.replications,
+                )
+            )
+        )
+        return 0
+    if args.command == "fig5":
+        sizes = (BS_SIZES[0], BS_SIZES[-1]) if args.fast else BS_SIZES
+        machines = [4] if args.fast else [1, 2, 3, 4]
+        print(
+            render_sweep(
+                run_fig5(
+                    sizes=sizes,
+                    machine_counts=machines,
+                    replications=args.replications,
+                )
+            )
+        )
+        return 0
+    if args.command == "fig6":
+        print(render_fig6(run_fig6(replications=args.replications)))
+        return 0
+    if args.command == "fig7":
+        print(render_fig7(run_fig7(replications=args.replications)))
+        return 0
+    if args.command == "overhead":
+        stats = run_solver_overhead(repetitions=args.repetitions)
+        print(
+            f"solver overhead: {stats.mean_ms:.1f} +- {stats.std_ms:.1f} ms "
+            f"({stats.samples} solves, method={stats.method}, "
+            f"iterations={stats.iterations}); paper: 170 +- 32.3 ms"
+        )
+        return 0
+    if args.command == "heterogeneity":
+        from repro.experiments.heterogeneity import (
+            render_heterogeneity,
+            run_heterogeneity,
+        )
+
+        print(render_heterogeneity(run_heterogeneity()))
+        return 0
+    if args.command == "sensitivity":
+        from repro.experiments.sensitivity import (
+            render_sensitivity,
+            run_sensitivity,
+        )
+
+        sizes, rows = run_sensitivity()
+        print(render_sensitivity(sizes, rows))
+        return 0
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        print(generate_report(replications=args.replications, fast=args.fast))
+        return 0
+    if args.command == "ablations":
+        print(render_ablation(run_selection_ablation(), title="A1 selection"))
+        print()
+        print(render_ablation(run_rebalance_ablation(), title="A2 rebalancing"))
+        print()
+        print(render_ablation(run_probe_ablation(), title="A3 probing"))
+        return 0
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

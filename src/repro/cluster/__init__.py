@@ -1,0 +1,61 @@
+"""Heterogeneous CPU-GPU cluster substrate.
+
+This package models the hardware side of the paper's testbed:
+
+* :mod:`repro.cluster.device` — CPU/GPU device specifications and the
+  :class:`Device` processing-unit abstraction (the paper's "processing
+  unit": one device per GPU, one device aggregating all CPU cores of a
+  machine);
+* :mod:`repro.cluster.machine` — a machine bundling one CPU and its GPUs;
+* :mod:`repro.cluster.network` — network + PCIe transfer-time model (the
+  ground truth behind the paper's ``G_p[x] = a1*x + a2``);
+* :mod:`repro.cluster.topology` — the :class:`Cluster` (machines, master
+  node, transfer model);
+* :mod:`repro.cluster.presets` — the four Table I machines and the paper's
+  four scenarios (A, AB, ABC, ABCD);
+* :mod:`repro.cluster.perfmodel` — hidden ground-truth execution-time
+  functions.  Scheduling policies never see these; they only observe the
+  (noisy) times the simulator reports.
+"""
+
+from repro.cluster.device import CPUSpec, Device, DeviceKind, GPUArch, GPUSpec
+from repro.cluster.machine import Machine
+from repro.cluster.network import NetworkSpec, PCIeSpec, TransferModel
+from repro.cluster.perfmodel import (
+    DevicePerformance,
+    GroundTruth,
+    KernelCharacteristics,
+)
+from repro.cluster.presets import (
+    cloud_cluster,
+    machine_a,
+    machine_b,
+    machine_c,
+    machine_d,
+    paper_cluster,
+    paper_machines,
+)
+from repro.cluster.topology import Cluster
+
+__all__ = [
+    "CPUSpec",
+    "GPUSpec",
+    "GPUArch",
+    "Device",
+    "DeviceKind",
+    "Machine",
+    "NetworkSpec",
+    "PCIeSpec",
+    "TransferModel",
+    "Cluster",
+    "KernelCharacteristics",
+    "DevicePerformance",
+    "GroundTruth",
+    "machine_a",
+    "machine_b",
+    "machine_c",
+    "machine_d",
+    "paper_machines",
+    "paper_cluster",
+    "cloud_cluster",
+]

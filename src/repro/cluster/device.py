@@ -1,0 +1,222 @@
+"""Device specifications and the processing-unit abstraction.
+
+Following the paper, a *processing unit* is either one GPU or the set of
+all CPU cores of one machine ("we created one thread per virtual core"),
+so a machine with one CPU and one GPU contributes two processing units.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.util.validation import check_in_range, check_positive, check_positive_int
+
+__all__ = ["DeviceKind", "GPUArch", "CPUSpec", "GPUSpec", "Device"]
+
+
+class DeviceKind(enum.Enum):
+    """Processing-unit type."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+class GPUArch(enum.Enum):
+    """NVIDIA microarchitectures named in the paper (Sec. I).
+
+    The attached float is the architecture's sustained-efficiency factor:
+    the fraction of theoretical peak a well-tuned compute kernel reaches.
+    Older architectures sustain a smaller fraction (no cache on Tesla,
+    smaller register files), which is exactly the kind of heterogeneity
+    the load balancers must discover.
+    """
+
+    TESLA = "tesla"
+    FERMI = "fermi"
+    KEPLER = "kepler"
+    MAXWELL = "maxwell"
+
+    @property
+    def sustained_efficiency(self) -> float:
+        return {
+            GPUArch.TESLA: 0.35,
+            GPUArch.FERMI: 0.50,
+            GPUArch.KEPLER: 0.60,
+            GPUArch.MAXWELL: 0.65,
+        }[self]
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A multicore CPU.
+
+    Attributes
+    ----------
+    model:
+        Marketing name, e.g. ``"Intel Xeon E5-2690V2"``.
+    cores:
+        Physical core count.
+    clock_ghz:
+        Base clock in GHz.
+    cache_mb / ram_gb:
+        Last-level cache and host RAM (informational; RAM bounds are
+        checked by applications when staging data).
+    threads_per_core:
+        2 for hyper-threaded parts (the paper pins one thread per
+        *virtual* core).
+    flops_per_cycle:
+        Per-core single-precision FLOPs per cycle (8 for AVX without FMA,
+        matching the 2012-2013 parts in Table I).
+    efficiency:
+        Sustained fraction of peak for tuned kernels.
+    """
+
+    model: str
+    cores: int
+    clock_ghz: float
+    cache_mb: float = 8.0
+    ram_gb: float = 16.0
+    threads_per_core: int = 2
+    flops_per_cycle: float = 8.0
+    efficiency: float = 0.75
+
+    def __post_init__(self) -> None:
+        check_positive_int("cores", self.cores)
+        check_positive("clock_ghz", self.clock_ghz)
+        check_positive("cache_mb", self.cache_mb)
+        check_positive("ram_gb", self.ram_gb)
+        check_positive_int("threads_per_core", self.threads_per_core)
+        check_positive("flops_per_cycle", self.flops_per_cycle)
+        check_in_range("efficiency", self.efficiency, 0.0, 1.0, inclusive=False)
+
+    @property
+    def threads(self) -> int:
+        """Virtual cores (execution threads the runtime will create)."""
+        return self.cores * self.threads_per_core
+
+    @property
+    def peak_gflops(self) -> float:
+        """Theoretical single-precision peak in GFLOP/s."""
+        return self.cores * self.clock_ghz * self.flops_per_cycle
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A single GPU processor.
+
+    Dual-GPU boards (GTX 295, GTX 680 in Table I as listed by the paper)
+    are modelled as one :class:`GPUSpec` per on-board processor.
+
+    Attributes
+    ----------
+    cores:
+        CUDA core count of this processor.
+    sms:
+        Streaming-multiprocessor count (sets the parallel capacity that
+        a block must fill before the device reaches peak efficiency).
+    mem_bandwidth_gbs:
+        Device-memory bandwidth in GB/s.
+    mem_gb:
+        Device memory capacity.
+    arch:
+        Microarchitecture (sets sustained efficiency).
+    flops_per_cycle:
+        Per-core FLOPs per cycle (2 = FMA).
+    """
+
+    model: str
+    cores: int
+    sms: int
+    clock_ghz: float
+    mem_bandwidth_gbs: float
+    mem_gb: float
+    arch: GPUArch
+    flops_per_cycle: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive_int("cores", self.cores)
+        check_positive_int("sms", self.sms)
+        check_positive("clock_ghz", self.clock_ghz)
+        check_positive("mem_bandwidth_gbs", self.mem_bandwidth_gbs)
+        check_positive("mem_gb", self.mem_gb)
+        check_positive("flops_per_cycle", self.flops_per_cycle)
+        if not isinstance(self.arch, GPUArch):
+            raise ConfigurationError(f"arch must be a GPUArch, got {self.arch!r}")
+
+    @property
+    def peak_gflops(self) -> float:
+        """Theoretical single-precision peak in GFLOP/s."""
+        return self.cores * self.clock_ghz * self.flops_per_cycle
+
+    @property
+    def max_resident_threads(self) -> int:
+        """Threads the device can keep in flight (2048 per SM, Kepler-era)."""
+        return self.sms * 2048
+
+
+@dataclass(frozen=True)
+class Device:
+    """One processing unit bound to a machine.
+
+    Attributes
+    ----------
+    device_id:
+        Stable identifier ``"<machine>.<cpu|gpuN>"`` used throughout
+        traces, figures and reports.
+    kind:
+        CPU or GPU.
+    machine_name:
+        Hosting machine (determines network distance to the master).
+    spec:
+        The :class:`CPUSpec` or :class:`GPUSpec`.
+    """
+
+    device_id: str
+    kind: DeviceKind
+    machine_name: str
+    spec: CPUSpec | GPUSpec = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.device_id:
+            raise ConfigurationError("device_id must be non-empty")
+        if self.kind is DeviceKind.CPU and not isinstance(self.spec, CPUSpec):
+            raise ConfigurationError(f"CPU device requires CPUSpec, got {self.spec!r}")
+        if self.kind is DeviceKind.GPU and not isinstance(self.spec, GPUSpec):
+            raise ConfigurationError(f"GPU device requires GPUSpec, got {self.spec!r}")
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind is DeviceKind.GPU
+
+    @property
+    def peak_gflops(self) -> float:
+        """Theoretical peak of the whole processing unit."""
+        return self.spec.peak_gflops
+
+    @property
+    def sustained_efficiency(self) -> float:
+        """Architecture/implementation efficiency factor (ground truth)."""
+        if self.is_gpu:
+            assert isinstance(self.spec, GPUSpec)
+            return self.spec.arch.sustained_efficiency
+        assert isinstance(self.spec, CPUSpec)
+        return self.spec.efficiency
+
+    @property
+    def parallel_capacity(self) -> int:
+        """Work items the unit can execute concurrently at full occupancy."""
+        if self.is_gpu:
+            assert isinstance(self.spec, GPUSpec)
+            return self.spec.max_resident_threads
+        assert isinstance(self.spec, CPUSpec)
+        return self.spec.threads
+
+    @property
+    def model(self) -> str:
+        """Hardware model name."""
+        return self.spec.model
+
+    def __str__(self) -> str:
+        return self.device_id

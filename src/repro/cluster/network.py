@@ -1,0 +1,121 @@
+"""Transfer-time ground truth: cluster network and PCIe.
+
+The paper models measured transfer time with ``G_p[x] = a1*x + a2`` where
+``a1`` captures network + PCIe bandwidth and ``a2`` the latencies.  The
+simulator's ground truth is exactly that affine structure, composed from
+the path a block actually travels:
+
+* master -> remote machine: network latency + size / network bandwidth
+  (skipped for devices on the master machine);
+* host -> GPU: PCIe latency + size / PCIe bandwidth (skipped for CPU
+  units);
+* host -> CPU: a small memcpy cost at host-memory bandwidth.
+
+So a fitted linear model *can* represent it perfectly — what the
+load-balancing algorithms must still discover online are the
+coefficients, which differ per device and per application byte volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.device import Device
+from repro.util.validation import check_positive
+
+__all__ = ["NetworkSpec", "PCIeSpec", "TransferModel"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Cluster interconnect (defaults: 10 GbE).
+
+    Attributes
+    ----------
+    bandwidth_gbs:
+        Effective point-to-point bandwidth, GB/s.
+    latency_s:
+        One-way message latency, seconds.
+    """
+
+    bandwidth_gbs: float = 1.25
+    latency_s: float = 50e-6
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth_gbs", self.bandwidth_gbs)
+        check_positive("latency_s", self.latency_s)
+
+
+@dataclass(frozen=True)
+class PCIeSpec:
+    """Host-to-device bus (defaults: PCIe 2.0 x16 effective)."""
+
+    bandwidth_gbs: float = 6.0
+    latency_s: float = 20e-6
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth_gbs", self.bandwidth_gbs)
+        check_positive("latency_s", self.latency_s)
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Computes ground-truth staging time for a block of bytes.
+
+    Parameters
+    ----------
+    network / pcie:
+        Link characteristics.
+    master_machine:
+        Name of the machine the scheduler (and the input data) lives on.
+    host_memcpy_gbs:
+        Host-memory copy bandwidth used for CPU units, GB/s.
+    """
+
+    network: NetworkSpec
+    pcie: PCIeSpec
+    master_machine: str
+    host_memcpy_gbs: float = 20.0
+
+    def __post_init__(self) -> None:
+        check_positive("host_memcpy_gbs", self.host_memcpy_gbs)
+
+    def transfer_time(self, device: Device, nbytes: float) -> float:
+        """Seconds to stage ``nbytes`` of input onto ``device``.
+
+        Zero bytes still pay latency on each traversed link (a task
+        dispatch is at least one message).
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        t = 0.0
+        if device.machine_name != self.master_machine:
+            t += self.network.latency_s + nbytes / (self.network.bandwidth_gbs * 1e9)
+        if device.is_gpu:
+            t += self.pcie.latency_s + nbytes / (self.pcie.bandwidth_gbs * 1e9)
+        else:
+            t += nbytes / (self.host_memcpy_gbs * 1e9)
+        return t
+
+    def bandwidth_to(self, device: Device) -> float:
+        """Effective end-to-end bandwidth to a device, bytes/second.
+
+        The serial composition of the traversed links: 1 / sum(1/bw).
+        """
+        inv = 0.0
+        if device.machine_name != self.master_machine:
+            inv += 1.0 / (self.network.bandwidth_gbs * 1e9)
+        if device.is_gpu:
+            inv += 1.0 / (self.pcie.bandwidth_gbs * 1e9)
+        else:
+            inv += 1.0 / (self.host_memcpy_gbs * 1e9)
+        return 1.0 / inv
+
+    def latency_to(self, device: Device) -> float:
+        """Fixed per-dispatch latency to a device, seconds."""
+        t = 0.0
+        if device.machine_name != self.master_machine:
+            t += self.network.latency_s
+        if device.is_gpu:
+            t += self.pcie.latency_s
+        return t

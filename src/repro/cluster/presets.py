@@ -1,0 +1,267 @@
+"""The paper's testbed: Table I machine configurations.
+
+Machine B's CPU is listed as "Intel i7 a20" in the paper; we read that as
+the i7-920 (4 cores @ 2.67 GHz, 8 MB cache), the only i7 matching the
+listed figures.  Dual-GPU boards (GTX 295 and, per the paper's Table I,
+GTX 680) are modelled as one :class:`~repro.cluster.device.GPUSpec` per
+on-board processor; the paper's experiments with "one GPU per machine"
+are reproduced by passing ``max_gpus_per_machine=1`` (the default here).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.device import CPUSpec, GPUArch, GPUSpec
+from repro.cluster.machine import Machine
+from repro.cluster.network import NetworkSpec, PCIeSpec
+from repro.cluster.topology import Cluster
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "machine_a",
+    "machine_b",
+    "machine_c",
+    "machine_d",
+    "paper_machines",
+    "paper_cluster",
+    "cloud_cluster",
+]
+
+
+def machine_a() -> Machine:
+    """Machine A: Xeon E5-2690V2 (10c @ 3.0 GHz) + Tesla K20c."""
+    return Machine(
+        name="A",
+        cpu=CPUSpec(
+            model="Intel Xeon E5-2690V2",
+            cores=10,
+            clock_ghz=3.0,
+            cache_mb=25.0,
+            ram_gb=256.0,
+        ),
+        gpus=(
+            GPUSpec(
+                model="Tesla K20c",
+                cores=2496,
+                sms=13,
+                clock_ghz=0.706,
+                mem_bandwidth_gbs=205.0,
+                mem_gb=6.0,
+                arch=GPUArch.KEPLER,
+            ),
+        ),
+    )
+
+
+def machine_b() -> Machine:
+    """Machine B: i7-920 (4c @ 2.67 GHz) + GTX 295 (two Tesla-arch GPUs)."""
+    gpu = GPUSpec(
+        model="GTX 295",
+        cores=240,
+        sms=30,
+        clock_ghz=1.242,
+        mem_bandwidth_gbs=111.9,  # per processor: board total 223.8 GB/s
+        mem_gb=0.896,
+        arch=GPUArch.TESLA,
+        flops_per_cycle=2.0,
+    )
+    return Machine(
+        name="B",
+        cpu=CPUSpec(
+            model="Intel i7-920",
+            cores=4,
+            clock_ghz=2.67,
+            cache_mb=8.0,
+            ram_gb=8.0,
+            flops_per_cycle=4.0,  # SSE-era part
+        ),
+        gpus=(gpu, gpu),
+    )
+
+
+def machine_c() -> Machine:
+    """Machine C: i7-4930K (6c @ 3.4 GHz) + GTX 680 (listed dual processor)."""
+    gpu = GPUSpec(
+        model="GTX 680",
+        cores=1536,
+        sms=8,
+        clock_ghz=1.058,
+        mem_bandwidth_gbs=96.1,  # per processor: board total 192.2 GB/s
+        mem_gb=2.0,
+        arch=GPUArch.KEPLER,
+    )
+    return Machine(
+        name="C",
+        cpu=CPUSpec(
+            model="Intel i7-4930K",
+            cores=6,
+            clock_ghz=3.4,
+            cache_mb=12.0,
+            ram_gb=32.0,
+        ),
+        gpus=(gpu, gpu),
+    )
+
+
+def machine_d() -> Machine:
+    """Machine D: i7-3930K (6c @ 3.2 GHz) + GTX Titan."""
+    return Machine(
+        name="D",
+        cpu=CPUSpec(
+            model="Intel i7-3930K",
+            cores=6,
+            clock_ghz=3.2,
+            cache_mb=12.0,
+            ram_gb=32.0,
+        ),
+        gpus=(
+            GPUSpec(
+                model="GTX Titan",
+                cores=2688,
+                sms=14,
+                clock_ghz=0.876,
+                mem_bandwidth_gbs=223.8,
+                mem_gb=6.0,
+                arch=GPUArch.KEPLER,
+            ),
+        ),
+    )
+
+
+def paper_machines() -> list[Machine]:
+    """All four Table I machines, in paper order A, B, C, D."""
+    return [machine_a(), machine_b(), machine_c(), machine_d()]
+
+
+def paper_cluster(
+    num_machines: int = 4,
+    *,
+    max_gpus_per_machine: int | None = 1,
+    use_cpus: bool = True,
+    network: NetworkSpec | None = None,
+    pcie: PCIeSpec | None = None,
+) -> Cluster:
+    """One of the paper's four scenarios: machines A / AB / ABC / ABCD.
+
+    Parameters
+    ----------
+    num_machines:
+        1-4; machine A is always the master node.
+    max_gpus_per_machine:
+        Defaults to one GPU per machine, the configuration the paper uses
+        in the block-distribution and idleness experiments; pass ``None``
+        to expose both processors of the dual boards.
+    """
+    if not 1 <= num_machines <= 4:
+        raise ConfigurationError(
+            f"the paper's scenarios use 1..4 machines, got {num_machines}"
+        )
+    return Cluster(
+        machines=tuple(paper_machines()[:num_machines]),
+        network=network if network is not None else NetworkSpec(),
+        pcie=pcie if pcie is not None else PCIeSpec(),
+        use_cpus=use_cpus,
+        max_gpus_per_machine=max_gpus_per_machine,
+    )
+
+
+#: VM instance catalogue for :func:`cloud_cluster` — (CPU template,
+#: optional GPU template), loosely modelled on 2015-era cloud offerings.
+_VM_CATALOG: tuple[tuple[CPUSpec, GPUSpec | None], ...] = (
+    (
+        CPUSpec(model="vm-compute-8", cores=8, clock_ghz=2.6, cache_mb=20.0,
+                ram_gb=32.0),
+        None,
+    ),
+    (
+        CPUSpec(model="vm-standard-4", cores=4, clock_ghz=2.4, cache_mb=10.0,
+                ram_gb=16.0),
+        None,
+    ),
+    (
+        CPUSpec(model="vm-gpu-host-8", cores=8, clock_ghz=2.5, cache_mb=20.0,
+                ram_gb=60.0),
+        GPUSpec(model="vm-K520", cores=1536, sms=8, clock_ghz=0.8,
+                mem_bandwidth_gbs=160.0, mem_gb=4.0, arch=GPUArch.KEPLER),
+    ),
+    (
+        CPUSpec(model="vm-gpu-host-16", cores=16, clock_ghz=2.6, cache_mb=25.0,
+                ram_gb=122.0),
+        GPUSpec(model="vm-K80", cores=2496, sms=13, clock_ghz=0.56,
+                mem_bandwidth_gbs=240.0, mem_gb=12.0, arch=GPUArch.KEPLER),
+    ),
+    (
+        CPUSpec(model="vm-gpu-host-4", cores=4, clock_ghz=2.4, cache_mb=10.0,
+                ram_gb=30.0),
+        GPUSpec(model="vm-M2050", cores=448, sms=14, clock_ghz=1.15,
+                mem_bandwidth_gbs=148.0, mem_gb=3.0, arch=GPUArch.FERMI),
+    ),
+)
+
+
+def cloud_cluster(
+    num_vms: int = 6,
+    *,
+    seed: int = 0,
+    network: NetworkSpec | None = None,
+) -> Cluster:
+    """A randomised heterogeneous VM fleet (the paper's Sec. VI outlook).
+
+    Instance types are drawn from a small 2015-era catalogue (CPU-only
+    and GPU instances) with per-VM clock jitter of ±10 % — the
+    noisy-neighbour variation of shared infrastructure.  At least one
+    GPU instance is always included so the cluster exhibits the
+    CPU/GPU heterogeneity the balancers target.
+
+    Parameters
+    ----------
+    num_vms:
+        Fleet size (>= 2).
+    seed:
+        Fleet layout seed; the same seed always builds the same fleet.
+    network:
+        Interconnect override (cloud networks are slower than cluster
+        fabrics; default 0.6 GB/s with 200 us latency).
+    """
+    import numpy as np
+
+    if num_vms < 2:
+        raise ConfigurationError(f"a cloud fleet needs >= 2 VMs, got {num_vms}")
+    rng = np.random.default_rng(seed)
+    machines = []
+    has_gpu = False
+    for i in range(num_vms):
+        cpu_template, gpu_template = _VM_CATALOG[
+            int(rng.integers(len(_VM_CATALOG)))
+        ]
+        if i == num_vms - 1 and not has_gpu and gpu_template is None:
+            cpu_template, gpu_template = _VM_CATALOG[3]
+        jitter = float(rng.uniform(0.9, 1.1))
+        cpu = CPUSpec(
+            model=cpu_template.model,
+            cores=cpu_template.cores,
+            clock_ghz=round(cpu_template.clock_ghz * jitter, 3),
+            cache_mb=cpu_template.cache_mb,
+            ram_gb=cpu_template.ram_gb,
+        )
+        gpus: tuple[GPUSpec, ...] = ()
+        if gpu_template is not None:
+            has_gpu = True
+            gpus = (
+                GPUSpec(
+                    model=gpu_template.model,
+                    cores=gpu_template.cores,
+                    sms=gpu_template.sms,
+                    clock_ghz=round(gpu_template.clock_ghz * jitter, 3),
+                    mem_bandwidth_gbs=gpu_template.mem_bandwidth_gbs,
+                    mem_gb=gpu_template.mem_gb,
+                    arch=gpu_template.arch,
+                ),
+            )
+        machines.append(Machine(name=f"vm{i}", cpu=cpu, gpus=gpus))
+    return Cluster(
+        machines=tuple(machines),
+        network=network
+        if network is not None
+        else NetworkSpec(bandwidth_gbs=0.6, latency_s=200e-6),
+        pcie=PCIeSpec(),
+    )

@@ -1,0 +1,18 @@
+"""PLB-HeC: the paper's contribution (Sec. III).
+
+* :mod:`repro.core.plb_hec` — the scheduling policy orchestrating the
+  three phases: performance modeling (Algorithm 1), block-size
+  selection (the interior-point solve), and execution with
+  threshold-triggered rebalancing (Algorithm 2);
+* :mod:`repro.core.probe_plan` — the probe-size schedule of the
+  modeling phase (multipliers 1, 2, 4, 8 scaled by observed speed
+  ratios);
+* :mod:`repro.core.rebalance` — the finish-time skew monitor that arms
+  the rebalance flag.
+"""
+
+from repro.core.plb_hec import PLBHeC
+from repro.core.probe_plan import ProbePlan
+from repro.core.rebalance import SkewMonitor
+
+__all__ = ["PLBHeC", "ProbePlan", "SkewMonitor"]

@@ -1,0 +1,509 @@
+"""The PLB-HeC scheduling policy (paper Sec. III, Algorithms 1 and 2).
+
+Three phases:
+
+1. **Performance modeling** (Algorithm 1).  Synchronised probe rounds
+   with exponentially growing, speed-ratio-scaled block sizes
+   (:class:`~repro.core.probe_plan.ProbePlan`).  After the fourth round
+   the per-device curves ``F_p`` / ``G_p`` are least-squares fitted; if
+   any device's R² is below the 0.7 threshold, further rounds are probed
+   until the fit is acceptable or 20 % of the application data has been
+   consumed.
+2. **Block-size selection** (Sec. III.C).  The fitted models form the
+   equal-finish-time system (eq. 5), solved by the interior-point
+   line-search filter method; each device g is assigned a block size
+   ``x_g`` — its share of one execution-step quantum.
+3. **Execution and rebalancing** (Sec. III.D, Algorithm 2).  Devices
+   asynchronously pull blocks of their assigned size.  A
+   :class:`~repro.core.rebalance.SkewMonitor` watches per-step finish
+   times; when the spread exceeds the threshold (10 % of a block time),
+   the policy synchronises, re-fits the models with the accumulated
+   execution measurements, re-solves and resumes with new sizes.
+
+Master "thinking time" — the wall-clock cost of the fits and the
+interior-point solve *measured on the host* — is charged into the run
+through :meth:`SchedulingContext.charge_overhead`, so the makespans the
+experiments report include scheduler overhead exactly as the paper's
+measurements did (they report ~170 ms per solve on four machines).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ConfigurationError, FitError
+from repro.modeling.perf_profile import DeviceModel, PerfProfile
+from repro.runtime.scheduler_api import SchedulingContext, SchedulingPolicy
+from repro.sim.trace import TaskRecord
+from repro.solver.ipm import IPMOptions
+from repro.solver.partition import PartitionResult, solve_block_partition
+from repro.core.probe_plan import ProbePlan
+from repro.core.rebalance import SkewMonitor
+from repro.util.logging import get_logger
+
+__all__ = ["PLBHeC"]
+
+_log = get_logger("core.plb_hec")
+
+
+class PLBHeC(SchedulingPolicy):
+    """Profile-based load balancing with interior-point block selection.
+
+    Parameters
+    ----------
+    r2_threshold:
+        Fit-quality acceptance bound of Algorithm 1 (paper: 0.7).
+    min_profile_fraction:
+        Optional early-out: once this fraction of the data has been
+        consumed, profiling is considered deep enough regardless of the
+        probe-depth rule below.  ``None`` (default) disables it.
+    max_profile_fraction:
+        Modeling phase hard stop: proceed to selection once this
+        fraction of the data has been consumed (paper: 20 %).
+    rebalance_threshold:
+        Relative finish-time skew that arms the rebalance flag
+        (paper: 10 % of a block's execution time).
+    num_steps:
+        Execution-phase step count: the selection quantum is
+        ``remaining / num_steps``, so each device processes its ``x_g``
+        roughly ``num_steps`` times (enables mid-run rebalancing).
+    min_probe_rounds:
+        Probe rounds before the first fit attempt (paper: 4).
+    overhead_scale:
+        Multiplier on the measured fit/solve wall time charged to the
+        run (1.0 = charge it as measured; 0.0 = free scheduler, for
+        ablations).
+    fixed_overhead_s:
+        When set, charge this constant per fit/solve call instead of the
+        measured wall time.  Measured charging reflects reality but
+        makes virtual time depend on host speed; fixed charging gives
+        bit-reproducible simulations (used by the determinism tests and
+        available for experiments that need it).
+    warm_start:
+        Retain the fitted device profiles across runs of the *same*
+        policy object.  Data-parallel applications typically execute
+        many phases over the same kernels ("after finishing, the threads
+        merge the processed results and the application proceeds to its
+        next phase" — Sec. III); with warm start, phases after the first
+        skip the probing rounds entirely and go straight to the
+        block-size selection, eliminating the initial-phase cost the
+        paper measures at ~10 % of a run.  The device set must match
+        between runs.
+    ipm_options:
+        Interior-point tuning passed through to the partition solver.
+    recency_decay:
+        Observation weighting for ordinary fits (< 1 favours fresh
+        measurements; see
+        :meth:`~repro.modeling.perf_profile.PerfProfile.fit`).
+    rebalance_recency_decay:
+        Much stronger recency weighting used by the *rebalance* refit:
+        a rebalance fires precisely because device behaviour changed,
+        so measurements from before the change must be discounted
+        steeply or the refit reproduces the stale model.
+    """
+
+    name = "plb-hec"
+
+    def __init__(
+        self,
+        *,
+        r2_threshold: float = 0.7,
+        min_profile_fraction: float | None = None,
+        max_profile_fraction: float = 0.2,
+        rebalance_threshold: float = 0.1,
+        num_steps: int = 5,
+        min_probe_rounds: int = 4,
+        overhead_scale: float = 1.0,
+        ipm_options: IPMOptions | None = None,
+        recency_decay: float = 0.97,
+        rebalance_recency_decay: float = 0.6,
+        max_probe_rounds: int = 12,
+        rel_rmse_accept: float = 0.05,
+        probe_depth_factor: float = 0.4,
+        fixed_overhead_s: float | None = None,
+        warm_start: bool = False,
+    ) -> None:
+        if not 0.0 < r2_threshold <= 1.0:
+            raise ConfigurationError(f"r2_threshold in (0,1], got {r2_threshold}")
+        if not 0.0 < max_profile_fraction <= 1.0:
+            raise ConfigurationError(
+                f"max_profile_fraction in (0,1], got {max_profile_fraction}"
+            )
+        if min_profile_fraction is not None and not (
+            0.0 <= min_profile_fraction <= max_profile_fraction
+        ):
+            raise ConfigurationError(
+                "min_profile_fraction must lie in [0, max_profile_fraction]"
+            )
+        self.min_profile_fraction = min_profile_fraction
+        if rebalance_threshold <= 0.0:
+            raise ConfigurationError("rebalance_threshold must be > 0")
+        if num_steps < 1:
+            raise ConfigurationError("num_steps must be >= 1")
+        if min_probe_rounds < 2:
+            raise ConfigurationError("min_probe_rounds must be >= 2")
+        if overhead_scale < 0.0:
+            raise ConfigurationError("overhead_scale must be >= 0")
+        self.r2_threshold = r2_threshold
+        self.max_profile_fraction = max_profile_fraction
+        self.rebalance_threshold = rebalance_threshold
+        self.num_steps = num_steps
+        self.min_probe_rounds = min_probe_rounds
+        if max_probe_rounds < min_probe_rounds:
+            raise ConfigurationError(
+                "max_probe_rounds must be >= min_probe_rounds"
+            )
+        if rel_rmse_accept <= 0.0:
+            raise ConfigurationError("rel_rmse_accept must be > 0")
+        self.overhead_scale = overhead_scale
+        self.ipm_options = ipm_options
+        if not 0.0 < recency_decay <= 1.0:
+            raise ConfigurationError("recency_decay must be in (0, 1]")
+        self.recency_decay = recency_decay
+        if not 0.0 < rebalance_recency_decay <= 1.0:
+            raise ConfigurationError("rebalance_recency_decay must be in (0, 1]")
+        self.rebalance_recency_decay = rebalance_recency_decay
+        if probe_depth_factor < 0.0:
+            raise ConfigurationError("probe_depth_factor must be >= 0")
+        self.max_probe_rounds = max_probe_rounds
+        self.rel_rmse_accept = rel_rmse_accept
+        self.probe_depth_factor = probe_depth_factor
+        if fixed_overhead_s is not None and fixed_overhead_s < 0.0:
+            raise ConfigurationError("fixed_overhead_s must be >= 0")
+        self.fixed_overhead_s = fixed_overhead_s
+        self.warm_start = warm_start
+        self._retained_profiles: dict[str, PerfProfile] | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def setup(self, ctx: SchedulingContext) -> None:
+        super().setup(ctx)
+        ids = ctx.device_ids
+        self._ids = ids
+        self._phase = "modeling"
+        self._profiles = {d: PerfProfile(d) for d in ids}
+        self._plan = ProbePlan(ids, ctx.initial_block_size)
+        self._round = 1
+        self._round_sizes = self._plan.sizes(1, None)
+        self._round_requested: set[str] = set()
+        self._round_dispatched: set[str] = set()
+        self._round_times: dict[str, float] = {}
+        self._round_rates: dict[str, float] = {}
+        self._consumed = 0
+        self._in_flight = 0
+        self._outstanding: dict[str, int] = {d: 0 for d in ids}
+
+        self._models: dict[str, DeviceModel] = {}
+        self._partition: PartitionResult | None = None
+        self._block_sizes: dict[str, int] = {}
+        self._pull_count: dict[str, int] = {d: 0 for d in ids}
+        self._monitor = SkewMonitor(self.rebalance_threshold)
+        self._rebalance_flag = False
+        self._syncing = False
+        self.selection_history: list[PartitionResult] = []
+        self.rebalance_count = 0
+
+        # Warm start: a later phase over the same devices reuses the
+        # previous phase's profiles and skips the probing rounds.
+        if (
+            self.warm_start
+            and self._retained_profiles is not None
+            and set(self._retained_profiles) == set(ids)
+        ):
+            self._profiles = self._retained_profiles
+            fits_ok, models = self._try_fit()
+            if len(models) == len(ids):
+                self._models = models
+                self._enter_execution(ctx.total_units)
+        self._retained_profiles = self._profiles
+
+    # ------------------------------------------------------------------
+    # policy protocol
+    # ------------------------------------------------------------------
+    def next_block(self, worker_id: str, now: float) -> int:
+        if self._phase == "modeling":
+            if worker_id in self._round_requested:
+                return 0  # one probe per device per round (barrier)
+            self._round_requested.add(worker_id)
+            return self._round_sizes.get(worker_id, 0)
+        size = self._block_sizes.get(worker_id, 0)
+        if size <= 0:
+            return 0
+        # Tail insurance: once less than one quantum remains, shrink all
+        # blocks proportionally so the final wave keeps the solved
+        # distribution instead of letting whoever polls first grab a
+        # full-size (possibly very slow) block.
+        remaining = self.ctx.total_units - self._consumed
+        if 0 < remaining < self._quantum:
+            size = max(int(round(size * remaining / self._quantum)), 1)
+        return size
+
+    def on_block_dispatched(self, worker_id: str, granted: int, now: float) -> None:
+        self._in_flight += 1
+        self._outstanding[worker_id] = self._outstanding.get(worker_id, 0) + 1
+        self._consumed += granted
+        if self._phase == "modeling":
+            self._round_dispatched.add(worker_id)
+        else:
+            self._pull_count[worker_id] += 1
+
+    def on_task_finished(self, record: TaskRecord, remaining: int, now: float) -> None:
+        self._in_flight -= 1
+        d = record.worker_id
+        self._outstanding[d] = max(self._outstanding.get(d, 1) - 1, 0)
+        self._profiles[d].add(
+            record.units,
+            record.exec_time,
+            record.transfer_time,
+            round_index=record.step,
+        )
+        if self._phase == "modeling":
+            self._finish_probe(record, remaining)
+            return
+        # ---------------- execution phase (Algorithm 2) ----------------
+        if self._rebalance_flag:
+            # Rebalance without draining: parking every worker until the
+            # slowest in-flight block completes would idle the cluster
+            # for up to one (possibly degraded) block time — the very
+            # idleness the paper's "detecting unit also receives a new
+            # task" provision exists to avoid.  The refit uses all
+            # completed measurements; new sizes apply from the next pull.
+            if remaining > 0:
+                self._rebalance(remaining)
+            self._rebalance_flag = False
+            return
+        # Only monitor full-size steps: the tail step's blocks are
+        # clamped by the domain and their durations differ by design.
+        in_tail = remaining < self._quantum
+        if remaining > 0 and not self._rebalance_flag and not in_tail:
+            step = record.step
+            self._monitor.expect(step, self._active_devices())
+            tripped = self._monitor.record(step, d, record.end_time, record.total_time)
+            if tripped:
+                _log.debug("skew threshold tripped at step %d (t=%.4f)", step, now)
+                self._rebalance_flag = True
+
+    def on_device_failed(self, device_id: str, now: float) -> None:
+        """Sec. VI fault tolerance: redistribute over the survivors.
+
+        The failed device is dropped from the probe plan / models /
+        assignments, and — when the execution phase is already running —
+        the block sizes are re-solved over the remaining devices.
+        """
+        self._ids = tuple(d for d in self._ids if d != device_id)
+        self._profiles.pop(device_id, None)
+        self._models.pop(device_id, None)
+        self._block_sizes.pop(device_id, None)
+        # the device's cancelled in-flight block produces no completion;
+        # release it from the barrier accounting
+        self._in_flight -= self._outstanding.pop(device_id, 0)
+        if self._phase == "modeling":
+            # forget the device's round state so the barrier can close
+            self._round_sizes.pop(device_id, None)
+            self._round_dispatched.discard(device_id)
+            self._round_times.pop(device_id, None)
+            self._round_rates.pop(device_id, None)
+            self._plan = ProbePlan(self._ids, self.ctx.initial_block_size)
+            if (
+                self._round_times
+                and set(self._ids) <= set(self._round_times)
+                and not self._in_flight
+            ):
+                # the failure closed the current round; a fake completion
+                # is not available, so advance the round directly
+                self._round += 1
+                self._round_sizes = self._plan.sizes(self._round, self._round_rates)
+                self._round_requested = set()
+                self._round_dispatched = set()
+                self._round_times = {}
+        else:
+            remaining = self.ctx.total_units - self._consumed
+            if remaining > 0 and self._models:
+                self._rebalance(remaining)
+        self._monitor.reset()
+
+    def phase_label(self, worker_id: str) -> str:
+        return "probe" if self._phase == "modeling" else "exec"
+
+    def step_index(self, worker_id: str) -> int:
+        if self._phase == "modeling":
+            return self._round
+        # on_block_dispatched has already counted the pull being labelled
+        return self._pull_count[worker_id]
+
+    # ------------------------------------------------------------------
+    # modeling phase (Algorithm 1)
+    # ------------------------------------------------------------------
+    def _finish_probe(self, record: TaskRecord, remaining: int) -> None:
+        self._round_times[record.worker_id] = record.total_time
+        if record.total_time > 0:
+            self._round_rates[record.worker_id] = (
+                record.units / record.total_time
+            )
+        # Barrier: every live device must have completed its probe.  The
+        # check is against the device list, not against dispatched-so-far
+        # — on the real (thread) backend workers poll asynchronously, and
+        # a dispatched-so-far barrier can close a round before slower
+        # workers were ever dispatched.
+        if not set(self._ids) <= set(self._round_times) or self._in_flight:
+            return  # barrier: the round is still running
+        if remaining == 0:
+            return  # tiny input: the whole domain fit inside profiling
+        if self._round >= self.min_probe_rounds:
+            fits_ok, models = self._try_fit()
+            consumed_frac = self._consumed / self.ctx.total_units
+            if (
+                (fits_ok and self._deep_enough(remaining, consumed_frac))
+                or consumed_frac >= self.max_profile_fraction
+                or self._round >= self.max_probe_rounds
+            ):
+                self._models = models
+                self._enter_execution(remaining)
+                return
+        self._round += 1
+        self._round_sizes = self._plan.sizes(self._round, self._round_rates)
+        self._round_requested = set()
+        self._round_dispatched = set()
+        self._round_times = {}
+
+    def _deep_enough(self, remaining: int, consumed_frac: float) -> bool:
+        """Has profiling explored block sizes near the execution scale?
+
+        Fitted curves extrapolate poorly; the selection phase will
+        assign each device roughly ``step_time * rate`` units, so
+        probing continues until the just-finished round's blocks took a
+        meaningful fraction of the *expected execution-step duration*
+        (estimated from the measured rates).  A consumed-data floor
+        provides a second sufficient condition.
+        """
+        if (
+            self.min_profile_fraction is not None
+            and consumed_frac >= self.min_profile_fraction
+        ):
+            return True
+        total_rate = sum(self._round_rates.values())
+        if total_rate <= 0.0 or not self._round_times:
+            return False
+        expected_step = (remaining / self.num_steps) / total_rate
+        round_time = max(self._round_times.values())
+        return round_time >= self.probe_depth_factor * expected_step
+
+    def _try_fit(self) -> tuple[bool, dict[str, DeviceModel]]:
+        """Fit every profile; charge the measured wall time as overhead."""
+        t0 = time.perf_counter()
+        models: dict[str, DeviceModel] = {}
+        all_ok = True
+        for d in self._ids:
+            try:
+                model = self._profiles[d].fit(recency_decay=self.recency_decay)
+            except FitError:
+                all_ok = False
+                continue
+            models[d] = model
+            # The paper's acceptance is R2 >= 0.7; R2 is meaningless for
+            # devices whose probe times are intercept-dominated (nearly
+            # constant — the mean predictor is unbeatable there), so a
+            # small relative RMS residual is accepted as well.
+            acceptable = (
+                model.r2 >= self.r2_threshold
+                or model.exec_fit.rel_rmse <= self.rel_rmse_accept
+            )
+            if not acceptable:
+                all_ok = False
+        self._charge(time.perf_counter() - t0)
+        if len(models) < len(self._ids):
+            all_ok = False
+        return all_ok, models
+
+    # ------------------------------------------------------------------
+    # selection phase (Sec. III.C)
+    # ------------------------------------------------------------------
+    def _enter_execution(self, remaining: int) -> None:
+        _log.info(
+            "modeling done after %d rounds (%d units consumed); "
+            "entering execution with %d units remaining",
+            self._round,
+            self._consumed,
+            remaining,
+        )
+        self._phase = "execution"
+        # The step quantum is fixed at entry: every execution step
+        # distributes this much, so rebalances do not shrink the steps
+        # geometrically and the tail is the only partial step.
+        self._quantum = max(remaining / self.num_steps, 1.0)
+        self._solve(remaining)
+
+    def _solve(self, remaining: int) -> None:
+        quantum = min(self._quantum, float(remaining))
+        t0 = time.perf_counter()
+        result = solve_block_partition(
+            self._models, quantum, ipm_options=self.ipm_options
+        )
+        self._charge(time.perf_counter() - t0)
+        _log.info(
+            "partition solved (%s, %d iterations, %.1f ms): T=%.4fs",
+            result.method,
+            result.iterations,
+            result.solve_time_s * 1e3,
+            result.predicted_time,
+        )
+        self._partition = result
+        self.selection_history.append(result)
+        sizes = {}
+        for d, units in result.units_by_device.items():
+            sizes[d] = int(round(units))
+        if all(v <= 0 for v in sizes.values()):
+            # pathological quantum: give the best-rate device one unit
+            best = max(result.units_by_device, key=result.units_by_device.get)
+            sizes[best] = 1
+        self._block_sizes = sizes
+        self._monitor.reset()
+
+    def _active_devices(self) -> int:
+        return sum(1 for v in self._block_sizes.values() if v > 0)
+
+    # ------------------------------------------------------------------
+    # rebalancing (Sec. III.D)
+    # ------------------------------------------------------------------
+    def _rebalance(self, remaining: int) -> None:
+        """Re-fit with accumulated execution times and re-solve."""
+        self.rebalance_count += 1
+        self.ctx.note_rebalance()
+        t0 = time.perf_counter()
+        models: dict[str, DeviceModel] = {}
+        for d in self._ids:
+            try:
+                models[d] = self._profiles[d].fit(
+                    recency_decay=self.rebalance_recency_decay
+                )
+            except FitError:
+                if d in self._models:
+                    models[d] = self._models[d]
+        self._charge(time.perf_counter() - t0)
+        if models:
+            self._models = models
+        self._solve(remaining)
+
+    # ------------------------------------------------------------------
+    def _charge(self, seconds: float) -> None:
+        if self.fixed_overhead_s is not None:
+            seconds = self.fixed_overhead_s
+        if self.overhead_scale > 0.0 and seconds > 0.0:
+            self.ctx.charge_overhead(seconds * self.overhead_scale, "plb-hec")
+
+    # ------------------------------------------------------------------
+    # introspection for experiments
+    # ------------------------------------------------------------------
+    @property
+    def first_partition(self) -> PartitionResult | None:
+        """The block distribution at the end of the modeling phase.
+
+        This is the quantity Fig. 6 plots for PLB-HeC.
+        """
+        return self.selection_history[0] if self.selection_history else None
+
+    @property
+    def models(self) -> dict[str, DeviceModel]:
+        """The current fitted device models (empty during modeling)."""
+        return dict(self._models)

@@ -1,0 +1,111 @@
+"""Probe-size schedule of the performance-modeling phase (Sec. III.B).
+
+The first probe block has the user-chosen ``initialBlockSize`` on every
+device.  From the second round on, the multiplier doubles each round
+(2, 4, 8, then 16, 32, ... if the R² loop demands more points) and each
+device's size is scaled by its observed speed ratio ``t_f / t_k`` —
+the fastest device's last finish time over this device's — so that all
+probes of a round finish together.  This is the mechanism the paper
+credits for PLB-HeC's low modeling-phase idleness: "a performance
+preview of the processing units is already obtained using a small
+block size".
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import SchedulingError
+
+__all__ = ["ProbePlan"]
+
+
+class ProbePlan:
+    """Computes per-device probe sizes round by round.
+
+    Parameters
+    ----------
+    device_ids:
+        Processing units being profiled.
+    initial_block_size:
+        The round-1 size for every device.
+    max_multiplier:
+        Cap on the round multiplier (growth stops doubling there; keeps
+        late R²-loop rounds from swallowing the whole domain).
+    """
+
+    def __init__(
+        self,
+        device_ids: Sequence[str],
+        initial_block_size: int,
+        *,
+        max_multiplier: int = 4096,
+    ) -> None:
+        if initial_block_size < 1:
+            raise SchedulingError("initial_block_size must be >= 1")
+        if max_multiplier < 1:
+            raise SchedulingError("max_multiplier must be >= 1")
+        self.device_ids = tuple(device_ids)
+        if not self.device_ids:
+            raise SchedulingError("probe plan needs at least one device")
+        self.initial_block_size = int(initial_block_size)
+        self.max_multiplier = int(max_multiplier)
+
+    def multiplier(self, round_index: int) -> int:
+        """The round's base multiplier.
+
+        Rounds 1-4 follow the paper exactly (1, 2, 4, 8); if the R² /
+        probe-depth loop demands more rounds, growth accelerates to 4x
+        per round (32, 128, 512, ...) so the extra rounds reach
+        execution-scale block sizes with few additional barriers.
+        """
+        if round_index < 1:
+            raise SchedulingError(f"rounds are 1-based, got {round_index}")
+        if round_index <= 4:
+            mult = 2 ** (round_index - 1)
+        else:
+            mult = 8 * 4 ** (round_index - 4)
+        return min(mult, self.max_multiplier)
+
+    def sizes(
+        self,
+        round_index: int,
+        measured_rates: Mapping[str, float] | None,
+    ) -> dict[str, int]:
+        """Probe sizes for ``round_index``.
+
+        Parameters
+        ----------
+        measured_rates:
+            Each device's most recent measured rate (units per second);
+            required for rounds >= 2.  The fastest device receives the
+            full ``multiplier * initialBlockSize`` and the others are
+            scaled down by their rate relative to it, so all probes of a
+            round finish together.
+
+            This is the stable formulation of the paper's
+            ``t_f / t_k`` scaling: expressing the ratio through rates
+            rather than through the previous round's (already equalised)
+            finish times keeps the scaling anchored — otherwise a
+            balanced round reports equal times, the ratios collapse to
+            one, and the next round hands the slowest CPU the same block
+            as the fastest GPU.
+        """
+        mult = self.multiplier(round_index)
+        base = mult * self.initial_block_size
+        if round_index == 1:
+            return {d: self.initial_block_size for d in self.device_ids}
+        if not measured_rates:
+            raise SchedulingError(
+                f"round {round_index} needs the previous round's rates"
+            )
+        positive = [r for r in measured_rates.values() if r > 0.0]
+        if not positive:
+            return {d: base for d in self.device_ids}
+        r_fastest = max(positive)
+        sizes = {}
+        for d in self.device_ids:
+            rate = measured_rates.get(d, r_fastest)
+            ratio = rate / r_fastest if rate > 0 else 1.0
+            sizes[d] = max(int(round(base * ratio)), 1)
+        return sizes

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  Subsystems raise the most specific
+subclass available; the message always names the offending value.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "SchedulingError",
+    "ModelingError",
+    "FitError",
+    "SolverError",
+    "InfeasibleError",
+    "ConvergenceError",
+    "DataError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter, device spec or experiment configuration."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class SchedulingError(ReproError, RuntimeError):
+    """A scheduling policy violated the runtime protocol.
+
+    Examples: assigning work after the domain is exhausted, returning a
+    negative block size, or touching a worker it does not own.
+    """
+
+
+class ModelingError(ReproError, RuntimeError):
+    """Performance-profile construction failed."""
+
+
+class FitError(ModelingError):
+    """A least-squares fit could not be computed (e.g. too few points)."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """The interior-point solver failed."""
+
+
+class InfeasibleError(SolverError):
+    """The block-partition problem has no feasible point."""
+
+
+class ConvergenceError(SolverError):
+    """The solver exhausted its iteration budget before converging."""
+
+
+class DataError(ReproError, ValueError):
+    """Application data is malformed (wrong shape, dtype or range)."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """An application workload was parameterised inconsistently."""

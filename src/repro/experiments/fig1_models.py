@@ -1,0 +1,142 @@
+"""Fig. 1 — execution times and fitted performance models.
+
+The paper plots measured processing times for a GPU and a CPU against
+block size, for the Black-Scholes and matrix-multiplication kernels,
+with the fitted model curves overlaid — the visual argument that one
+basis family covers qualitatively different device behaviours.
+
+This experiment reproduces the data behind the figure: it samples the
+simulated devices at a grid of block sizes (with measurement noise),
+fits the paper's model family through :mod:`repro.modeling`, and
+reports measured vs fitted times plus the selected basis and R² per
+device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster import GroundTruth, paper_cluster
+from repro.experiments.runner import make_application
+from repro.modeling import DeviceModel, PerfProfile
+from repro.sim.random import RandomStreams
+from repro.util.tables import format_series, format_table
+
+__all__ = ["Fig1Curve", "run_fig1", "render_fig1"]
+
+
+@dataclass(frozen=True)
+class Fig1Curve:
+    """Measured and fitted execution-time curve of one device."""
+
+    app_name: str
+    device_id: str
+    block_sizes: np.ndarray
+    measured_s: np.ndarray
+    fitted_s: np.ndarray
+    model: DeviceModel
+
+    @property
+    def max_relative_error(self) -> float:
+        """Largest |fitted - measured| / measured over the grid."""
+        rel = np.abs(self.fitted_s - self.measured_s) / np.maximum(
+            self.measured_s, 1e-300
+        )
+        return float(rel.max())
+
+
+def run_fig1(
+    *,
+    apps: tuple[str, ...] = ("blackscholes", "matmul"),
+    sizes: dict[str, int] | None = None,
+    devices: tuple[str, ...] = ("A.cpu", "A.gpu0"),
+    points: int = 12,
+    noise_sigma: float = 0.005,
+    seed: int = 0,
+) -> list[Fig1Curve]:
+    """Sample, fit and evaluate the Fig. 1 curves.
+
+    Parameters
+    ----------
+    apps:
+        Which applications to profile (the paper shows Black-Scholes
+        and matrix multiplication).
+    sizes:
+        Application problem sizes (defaults: a mid-size paper setting).
+    devices:
+        Devices to profile (the paper shows machine A's CPU and GPU).
+    points:
+        Number of geometrically spaced block sizes to measure.
+    """
+    sizes = sizes or {"matmul": 16384, "blackscholes": 100_000}
+    cluster = paper_cluster(4)
+    streams = RandomStreams(seed)
+    curves: list[Fig1Curve] = []
+    for app_name in apps:
+        app = make_application(app_name, sizes[app_name])
+        ground_truth = GroundTruth(cluster, app.kernel_characteristics())
+        s0 = app.default_initial_block_size()
+        grid = np.unique(
+            np.round(
+                np.geomspace(max(s0 // 2, 1), app.total_units // 8, points)
+            ).astype(int)
+        )
+        for device_id in devices:
+            profile = PerfProfile(device_id)
+            measured = []
+            for u in grid:
+                t_exec = ground_truth.exec_time(device_id, int(u))
+                t_exec *= streams.lognormal_factor(
+                    f"{app_name}/{device_id}/{u}", noise_sigma
+                )
+                t_xfer = ground_truth.transfer_time(device_id, int(u))
+                profile.add(int(u), t_exec, t_xfer)
+                measured.append(t_exec + t_xfer)
+            model = profile.fit()
+            fitted = np.asarray(model.E(grid.astype(float)))
+            curves.append(
+                Fig1Curve(
+                    app_name=app_name,
+                    device_id=device_id,
+                    block_sizes=grid,
+                    measured_s=np.asarray(measured),
+                    fitted_s=fitted,
+                    model=model,
+                )
+            )
+    return curves
+
+
+def render_fig1(curves: list[Fig1Curve]) -> str:
+    """ASCII rendering: one series panel per curve plus a summary table."""
+    blocks = []
+    summary_rows = []
+    for c in curves:
+        blocks.append(
+            format_series(
+                "block",
+                list(c.block_sizes),
+                {"measured_s": list(c.measured_s), "fitted_s": list(c.fitted_s)},
+                title=f"Fig.1 {c.app_name} on {c.device_id}",
+                precision=4,
+            )
+        )
+        summary_rows.append(
+            [
+                c.app_name,
+                c.device_id,
+                " + ".join(c.model.exec_fit.names),
+                c.model.r2,
+                c.max_relative_error,
+            ]
+        )
+    blocks.append(
+        format_table(
+            ["app", "device", "selected basis", "R2", "max rel err"],
+            summary_rows,
+            title="Fig.1 fitted models",
+        )
+    )
+    return "\n\n".join(blocks)

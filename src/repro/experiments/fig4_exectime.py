@@ -1,0 +1,78 @@
+"""Fig. 4 — execution time and speedup for MatMul and GRN.
+
+The paper sweeps input sizes (matrices 4096..65536, genes 60k..140k)
+and machine counts (1..4), reporting execution times of the four
+algorithms and speedups relative to Greedy.  ``run_fig4`` reproduces
+the grid; sizes are parameterisable so tests and quick benchmarks can
+run reduced versions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import PAPER_POLICIES, SweepPoint, run_policies
+from repro.util.tables import format_table
+
+__all__ = [
+    "MM_SIZES",
+    "GRN_SIZES",
+    "run_fig4",
+    "render_sweep",
+]
+
+#: The paper's matrix orders (Fig. 4 top).
+MM_SIZES: tuple[int, ...] = (4096, 8192, 16384, 32768, 65536)
+#: The paper's gene counts (Fig. 4 bottom).
+GRN_SIZES: tuple[int, ...] = (60_000, 80_000, 100_000, 120_000, 140_000)
+
+
+def run_fig4(
+    app_name: str,
+    *,
+    sizes: Sequence[int] | None = None,
+    machine_counts: Sequence[int] = (1, 2, 3, 4),
+    policies: Sequence[str] = PAPER_POLICIES,
+    replications: int = 3,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """Run the Fig. 4 grid for ``"matmul"`` or ``"grn"``."""
+    if sizes is None:
+        sizes = MM_SIZES if app_name == "matmul" else GRN_SIZES
+    points = []
+    for machines in machine_counts:
+        for size in sizes:
+            points.append(
+                run_policies(
+                    app_name,
+                    size,
+                    machines,
+                    policies=policies,
+                    replications=replications,
+                    seed=seed,
+                )
+            )
+    return points
+
+
+def render_sweep(points: list[SweepPoint], *, baseline: str = "greedy") -> str:
+    """ASCII table: one row per (machines, size, policy)."""
+    rows = []
+    for pt in points:
+        for name, outcome in pt.outcomes.items():
+            rows.append(
+                [
+                    pt.app_name,
+                    pt.num_machines,
+                    pt.size,
+                    name,
+                    outcome.mean_makespan,
+                    outcome.std_makespan,
+                    pt.speedup_vs(baseline, name),
+                ]
+            )
+    return format_table(
+        ["app", "machines", "size", "policy", "time_s", "std_s", "speedup"],
+        rows,
+        title=f"Execution time and speedup vs {baseline}",
+    )

@@ -1,0 +1,42 @@
+"""Fig. 5 — execution time and speedup for Black-Scholes.
+
+Same structure as Fig. 4, over the paper's option counts
+(10,000..500,000) and machine counts (1..4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.fig4_exectime import render_sweep
+from repro.experiments.runner import PAPER_POLICIES, SweepPoint, run_policies
+
+__all__ = ["BS_SIZES", "run_fig5", "render_sweep"]
+
+#: The paper's option counts.
+BS_SIZES: tuple[int, ...] = (10_000, 50_000, 100_000, 250_000, 500_000)
+
+
+def run_fig5(
+    *,
+    sizes: Sequence[int] = BS_SIZES,
+    machine_counts: Sequence[int] = (1, 2, 3, 4),
+    policies: Sequence[str] = PAPER_POLICIES,
+    replications: int = 3,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """Run the Fig. 5 grid."""
+    points = []
+    for machines in machine_counts:
+        for size in sizes:
+            points.append(
+                run_policies(
+                    "blackscholes",
+                    size,
+                    machines,
+                    policies=policies,
+                    replications=replications,
+                    seed=seed,
+                )
+            )
+    return points

@@ -1,0 +1,189 @@
+"""One-shot reproduction report: run everything, check every claim.
+
+:func:`generate_report` reruns the full experiment grid and emits a
+markdown report with the measured tables *and* a programmatic checklist
+of the paper's qualitative claims (the "shape checks").  The CLI exposes
+it as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.fig4_exectime import run_fig4
+from repro.experiments.fig5_blackscholes import run_fig5
+from repro.experiments.fig6_distribution import gpu_share, run_fig6
+from repro.experiments.fig7_idleness import run_fig7
+from repro.experiments.runner import SweepPoint
+from repro.experiments.solver_overhead import run_solver_overhead
+from repro.experiments.table1 import render_table1
+from repro.util.tables import format_table
+
+__all__ = ["ShapeCheck", "generate_report"]
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One of the paper's qualitative claims, evaluated on measured data."""
+
+    claim: str
+    passed: bool
+    detail: str
+
+
+def _find(points: Sequence[SweepPoint], size: int, machines: int) -> SweepPoint:
+    for p in points:
+        if p.size == size and p.num_machines == machines:
+            return p
+    raise KeyError((size, machines))
+
+
+def _speedup_rows(points: Sequence[SweepPoint]) -> list[list]:
+    rows = []
+    for p in points:
+        for name, outcome in p.outcomes.items():
+            rows.append(
+                [
+                    p.num_machines,
+                    p.size,
+                    name,
+                    outcome.mean_makespan,
+                    p.speedup_vs("greedy", name),
+                ]
+            )
+    return rows
+
+
+def generate_report(*, replications: int = 3, fast: bool = False) -> str:
+    """Run the reproduction grid and return the markdown report."""
+    mm_sizes = (4096, 65536) if fast else (4096, 16384, 65536)
+    machines = (4,) if fast else (1, 2, 4)
+    bs_sizes = (10_000, 500_000)
+    grn_sizes = (60_000, 140_000)
+
+    mm = run_fig4(
+        "matmul", sizes=mm_sizes, machine_counts=machines,
+        replications=replications,
+    )
+    grn = run_fig4(
+        "grn", sizes=grn_sizes, machine_counts=(4,), replications=replications
+    )
+    bs = run_fig5(
+        sizes=bs_sizes, machine_counts=(4,), replications=replications
+    )
+    fig6 = run_fig6(
+        cases=(("matmul", (mm_sizes[-1],)),), replications=replications
+    )
+    # idleness comparisons are only meaningful above the tiny-input
+    # regime (where every algorithm is overhead-dominated)
+    fig7_sizes = mm_sizes[-1:] if fast else mm_sizes[-2:]
+    fig7 = run_fig7(
+        cases=(("matmul", fig7_sizes),), replications=replications
+    )
+    overhead = run_solver_overhead(repetitions=10)
+
+    checks: list[ShapeCheck] = []
+
+    def check(claim: str, passed: bool, detail: str) -> None:
+        checks.append(ShapeCheck(claim=claim, passed=bool(passed), detail=detail))
+
+    big = _find(mm, mm_sizes[-1], 4)
+    small = _find(mm, mm_sizes[0], 4)
+    s_plb = big.speedup_vs("greedy", "plb-hec")
+    s_hdss = big.speedup_vs("greedy", "hdss")
+    s_acosta = big.speedup_vs("greedy", "acosta")
+    check(
+        "MM largest/4 machines: PLB-HeC > HDSS > Acosta (paper 2.2/1.2/1.04)",
+        s_plb > s_hdss > s_acosta,
+        f"measured {s_plb:.2f}/{s_hdss:.2f}/{s_acosta:.2f}",
+    )
+    check(
+        "MM smallest input: Greedy wins (paper Fig. 4)",
+        small.speedup_vs("greedy", "plb-hec") < 1.0,
+        f"PLB-HeC speedup {small.speedup_vs('greedy', 'plb-hec'):.2f}",
+    )
+    if len(machines) > 1:
+        s_few = _find(mm, mm_sizes[-1], machines[0]).speedup_vs(
+            "greedy", "plb-hec"
+        )
+        check(
+            "MM speedup grows with machine count (paper Sec. V.a)",
+            s_plb > s_few,
+            f"{machines[0]} machines {s_few:.2f} -> 4 machines {s_plb:.2f}",
+        )
+    grn_big = _find(grn, grn_sizes[-1], 4)
+    check(
+        "GRN largest: PLB-HeC wins (paper Fig. 4)",
+        grn_big.speedup_vs("greedy", "plb-hec") > 1.0,
+        f"speedup {grn_big.speedup_vs('greedy', 'plb-hec'):.2f}",
+    )
+    bs_big = _find(bs, bs_sizes[-1], 4)
+    bs_small = _find(bs, bs_sizes[0], 4)
+    check(
+        "Black-Scholes crossover: Greedy wins small, PLB-HeC wins large "
+        "(paper Fig. 5)",
+        bs_small.speedup_vs("greedy", "plb-hec") < 1.0
+        and bs_big.speedup_vs("greedy", "plb-hec") > 1.0,
+        f"10k {bs_small.speedup_vs('greedy', 'plb-hec'):.2f}, "
+        f"500k {bs_big.speedup_vs('greedy', 'plb-hec'):.2f}",
+    )
+    for case in fig6:
+        for policy, dist in case.distributions.items():
+            check(
+                f"Fig.6 {policy}: GPUs receive the dominant share",
+                gpu_share(dist) > 0.5,
+                f"GPU total {gpu_share(dist):.2f}",
+            )
+    for case in fig7:
+        check(
+            f"Fig.7 MM {case.size}: PLB-HeC idles less than HDSS",
+            case.mean_idle("plb-hec") < case.mean_idle("hdss"),
+            f"PLB {case.mean_idle('plb-hec'):.2f} vs "
+            f"HDSS {case.mean_idle('hdss'):.2f}",
+        )
+    check(
+        "Solve overhead milliseconds-scale (paper 170 ms)",
+        overhead.mean_ms < 1000.0,
+        f"{overhead.mean_ms:.1f} +- {overhead.std_ms:.1f} ms "
+        f"({overhead.method})",
+    )
+
+    # ------------------------------------------------------------------
+    # assemble markdown
+    # ------------------------------------------------------------------
+    parts = ["# PLB-HeC reproduction report", ""]
+    passed = sum(1 for c in checks if c.passed)
+    parts.append(f"**Shape checks: {passed}/{len(checks)} passed.**")
+    parts.append("")
+    parts.append("| status | claim | measured |")
+    parts.append("|---|---|---|")
+    for c in checks:
+        icon = "PASS" if c.passed else "FAIL"
+        parts.append(f"| {icon} | {c.claim} | {c.detail} |")
+    parts.append("")
+    parts.append("## Table I\n")
+    parts.append("```\n" + render_table1() + "\n```")
+    parts.append("## Execution times (MM)\n")
+    parts.append(
+        "```\n"
+        + format_table(
+            ["machines", "size", "policy", "time_s", "speedup"],
+            _speedup_rows(mm),
+        )
+        + "\n```"
+    )
+    parts.append("## Execution times (GRN, Black-Scholes; 4 machines)\n")
+    parts.append(
+        "```\n"
+        + format_table(
+            ["machines", "size", "policy", "time_s", "speedup"],
+            _speedup_rows(list(grn) + list(bs)),
+        )
+        + "\n```"
+    )
+    parts.append(
+        f"\nSolver overhead: {overhead.mean_ms:.1f} ± {overhead.std_ms:.1f} ms "
+        f"per solve ({overhead.samples} solves, method={overhead.method}).\n"
+    )
+    return "\n".join(parts)

@@ -1,0 +1,188 @@
+"""Shared experiment machinery.
+
+Experiments describe *what* to run (application, sizes, machine counts,
+policies, replications); this module runs the grid with deterministic
+per-replication seeds and aggregates makespans, idleness, distributions
+and scheduler overheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.apps import Application, BlackScholes, GRNInference, MatMul, Stencil2D
+from repro.balancers import HDSS, Acosta, Greedy, Oracle
+from repro.cluster import GroundTruth, paper_cluster
+from repro.cluster.topology import Cluster
+from repro.core import PLBHeC
+from repro.errors import ConfigurationError
+from repro.runtime import Runtime, RunResult, SchedulingPolicy
+from repro.util.stats import mean_std
+
+__all__ = [
+    "PolicyOutcome",
+    "SweepPoint",
+    "make_application",
+    "make_policy",
+    "run_policies",
+    "PAPER_POLICIES",
+]
+
+#: Policy names in the paper's presentation order.
+PAPER_POLICIES: tuple[str, ...] = ("greedy", "acosta", "hdss", "plb-hec")
+
+#: GRN simulation-scale parameters (paper-scale pools are sim-only).
+GRN_SIM_KWARGS = {"candidate_pool": 4096, "samples": 24}
+
+
+def make_application(name: str, size: int) -> Application:
+    """Instantiate one of the paper's applications at a given size."""
+    if name == "matmul":
+        return MatMul(n=size)
+    if name == "grn":
+        return GRNInference(num_genes=size, **GRN_SIM_KWARGS)
+    if name == "blackscholes":
+        return BlackScholes(num_options=size)
+    if name == "stencil":
+        return Stencil2D(num_tiles=size, sweeps=2000)
+    raise ConfigurationError(f"unknown application {name!r}")
+
+
+def make_policy(
+    name: str, *, ground_truth: GroundTruth | None = None
+) -> SchedulingPolicy:
+    """Instantiate a policy by its report name."""
+    if name == "greedy":
+        return Greedy()
+    if name == "acosta":
+        return Acosta()
+    if name == "hdss":
+        return HDSS()
+    if name == "hdss-async":
+        return HDSS(per_device_growth=True)
+    if name == "plb-hec":
+        return PLBHeC()
+    if name == "plb-hec-free":
+        return PLBHeC(overhead_scale=0.0)
+    if name == "oracle":
+        if ground_truth is None:
+            raise ConfigurationError("the oracle policy needs the ground truth")
+        return Oracle(ground_truth)
+    raise ConfigurationError(f"unknown policy {name!r}")
+
+
+@dataclass
+class PolicyOutcome:
+    """Aggregated results of one policy at one sweep point."""
+
+    policy: str
+    makespans: list[float] = field(default_factory=list)
+    idle_fractions: list[dict[str, float]] = field(default_factory=list)
+    distributions: list[dict[str, float]] = field(default_factory=list)
+    overheads: list[float] = field(default_factory=list)
+    rebalances: list[int] = field(default_factory=list)
+
+    @property
+    def mean_makespan(self) -> float:
+        return mean_std(self.makespans)[0]
+
+    @property
+    def std_makespan(self) -> float:
+        return mean_std(self.makespans)[1]
+
+    def mean_idle(self) -> dict[str, float]:
+        """Per-device idle fraction averaged over replications."""
+        if not self.idle_fractions:
+            return {}
+        keys = self.idle_fractions[0].keys()
+        return {
+            k: sum(d[k] for d in self.idle_fractions) / len(self.idle_fractions)
+            for k in keys
+        }
+
+    def mean_distribution(self) -> dict[str, float]:
+        """Per-device work share averaged over replications."""
+        if not self.distributions:
+            return {}
+        keys = self.distributions[0].keys()
+        return {
+            k: sum(d[k] for d in self.distributions) / len(self.distributions)
+            for k in keys
+        }
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (application, size, machines) grid point with all policies."""
+
+    app_name: str
+    size: int
+    num_machines: int
+    outcomes: Mapping[str, PolicyOutcome]
+
+    def speedup_vs(self, baseline: str, policy: str) -> float:
+        """Mean-makespan ratio baseline/policy (the paper's speedup)."""
+        base = self.outcomes[baseline].mean_makespan
+        mine = self.outcomes[policy].mean_makespan
+        return base / mine if mine > 0 else float("nan")
+
+
+def _extract_distribution(policy: SchedulingPolicy, result: RunResult) -> dict[str, float]:
+    """The Fig. 6 quantity for each algorithm.
+
+    PLB-HeC: the block distribution at the end of the modeling phase;
+    HDSS: normalised phase-1 weights; others: their realised share of
+    the execution-phase data.
+    """
+    if isinstance(policy, PLBHeC) and policy.first_partition is not None:
+        return policy.first_partition.fractions
+    if isinstance(policy, HDSS) and policy.weights:
+        total = sum(policy.weights.values())
+        return {d: w / total for d, w in policy.weights.items()}
+    return result.trace.distribution(phase="exec")
+
+
+def run_policies(
+    app_name: str,
+    size: int,
+    num_machines: int,
+    *,
+    policies: Sequence[str] = PAPER_POLICIES,
+    replications: int = 3,
+    seed: int = 0,
+    noise_sigma: float = 0.005,
+    cluster_factory: Callable[[int], Cluster] = paper_cluster,
+) -> SweepPoint:
+    """Run every policy at one grid point and aggregate replications."""
+    if replications < 1:
+        raise ConfigurationError("replications must be >= 1")
+    cluster = cluster_factory(num_machines)
+    outcomes: dict[str, PolicyOutcome] = {}
+    for policy_name in policies:
+        outcome = PolicyOutcome(policy=policy_name)
+        for rep in range(replications):
+            app = make_application(app_name, size)
+            ground_truth = GroundTruth(cluster, app.kernel_characteristics())
+            policy = make_policy(policy_name, ground_truth=ground_truth)
+            runtime = Runtime(
+                cluster,
+                app.codelet(),
+                seed=seed * 1000 + rep,
+                noise_sigma=noise_sigma,
+            )
+            result = runtime.run(
+                policy, app.total_units, app.default_initial_block_size()
+            )
+            outcome.makespans.append(result.makespan)
+            outcome.idle_fractions.append(result.idle_fractions)
+            outcome.distributions.append(_extract_distribution(policy, result))
+            outcome.overheads.append(result.solver_overhead_s)
+            outcome.rebalances.append(result.num_rebalances)
+        outcomes[policy_name] = outcome
+    return SweepPoint(
+        app_name=app_name,
+        size=size,
+        num_machines=num_machines,
+        outcomes=outcomes,
+    )

@@ -1,0 +1,94 @@
+"""Initial-block-size sensitivity study (DESIGN.md S2, beyond the paper).
+
+The paper sets ``initialBlockSize`` "empirically, so that the initial
+phase of the algorithm would take about 10% of the application
+execution time" — a tuning burden this study quantifies: every policy
+is run across a geometric sweep of initial block sizes and the spread
+between its best and worst makespan is its *sensitivity*.  The paper's
+implicit claim — that the adaptive algorithms tolerate a poorly chosen
+s0 better than Greedy tolerates a poorly chosen piece size — is
+checkable here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.apps import MatMul
+from repro.balancers import HDSS, Greedy
+from repro.cluster import paper_cluster
+from repro.core import PLBHeC
+from repro.runtime import Runtime
+from repro.util.tables import format_table
+
+__all__ = ["SensitivityRow", "run_sensitivity", "render_sensitivity"]
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Makespans of one policy across the s0 sweep."""
+
+    policy: str
+    makespans: tuple[float, ...]
+
+    @property
+    def best(self) -> float:
+        return min(self.makespans)
+
+    @property
+    def worst(self) -> float:
+        return max(self.makespans)
+
+    @property
+    def sensitivity(self) -> float:
+        """worst / best — 1.0 means the knob does not matter."""
+        return self.worst / self.best
+
+
+def run_sensitivity(
+    *,
+    n: int = 16384,
+    s0_factors: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    num_machines: int = 4,
+    seed: int = 6,
+) -> tuple[tuple[int, ...], list[SensitivityRow]]:
+    """Sweep the initial block size around the application default.
+
+    Greedy's piece size is swept proportionally (its knob is the piece
+    count, scanned over the matching range).
+    """
+    app = MatMul(n=n)
+    cluster = paper_cluster(num_machines)
+    s0_default = app.default_initial_block_size()
+    sizes = tuple(max(int(round(s0_default * f)), 1) for f in s0_factors)
+
+    rows = []
+    for name, factory in (
+        ("greedy", lambda s0: Greedy(piece_size=max(s0 * 16, 1))),
+        ("hdss", lambda s0: HDSS()),
+        ("plb-hec", lambda s0: PLBHeC()),
+    ):
+        spans = []
+        for s0 in sizes:
+            runtime = Runtime(cluster, app.codelet(), seed=seed)
+            result = runtime.run(factory(s0), app.total_units, s0)
+            spans.append(result.makespan)
+        rows.append(SensitivityRow(policy=name, makespans=tuple(spans)))
+    return sizes, rows
+
+
+def render_sensitivity(
+    sizes: Sequence[int], rows: Sequence[SensitivityRow]
+) -> str:
+    """ASCII table of the sweep plus per-policy sensitivity factors."""
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [row.policy, *row.makespans, row.sensitivity]
+        )
+    return format_table(
+        ["policy", *[f"s0={s}" for s in sizes], "worst/best"],
+        table_rows,
+        title="S2: initial-block-size sensitivity (makespans, MM, 4 machines)",
+    )

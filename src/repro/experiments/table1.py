@@ -1,0 +1,52 @@
+"""Table I — machine configurations.
+
+Renders the testbed exactly as the paper tabulates it, from the presets
+in :mod:`repro.cluster.presets` (which is what every experiment runs
+on), so the table doubles as a check that the encoded specs match the
+paper.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import paper_machines
+from repro.util.tables import format_table
+
+__all__ = ["table1_rows", "render_table1"]
+
+
+def table1_rows() -> list[list[str]]:
+    """One CPU row and one GPU row per machine, as in Table I."""
+    rows: list[list[str]] = []
+    for machine in paper_machines():
+        cpu = machine.cpu
+        rows.append(
+            [
+                machine.name,
+                "CPU",
+                cpu.model,
+                f"{cpu.cores} cores @ {cpu.clock_ghz} GHz",
+                f"{cpu.cache_mb:g} MB cache",
+                f"{cpu.ram_gb:g} GB RAM",
+            ]
+        )
+        for gpu in machine.gpus:
+            rows.append(
+                [
+                    machine.name,
+                    "GPU",
+                    gpu.model,
+                    f"{gpu.cores} cores / {gpu.sms} SMs",
+                    f"{gpu.mem_bandwidth_gbs:g} GB/s",
+                    f"{gpu.mem_gb:g} GB",
+                ]
+            )
+    return rows
+
+
+def render_table1() -> str:
+    """ASCII Table I."""
+    return format_table(
+        ["Machine", "Kind", "Model", "Compute", "Memory BW/Cache", "Memory"],
+        table1_rows(),
+        title="Table I: machine configurations",
+    )

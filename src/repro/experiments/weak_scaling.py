@@ -1,0 +1,96 @@
+"""Weak-scaling study (beyond the paper's strong-scaling grid).
+
+The paper's Fig. 4 fixes the problem and grows the cluster (strong
+scaling).  This study fixes the *work per unit of cluster capacity* and
+grows the cluster, measuring parallel efficiency — the makespan at k
+machines over the 1-machine makespan (ideal weak scaling keeps it at
+1.0; scheduler overheads and load imbalance push it up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.apps import MatMul
+from repro.balancers import Greedy
+from repro.cluster import paper_cluster
+from repro.core import PLBHeC
+from repro.runtime import Runtime
+from repro.util.tables import format_table
+
+__all__ = ["WeakScalingPoint", "run_weak_scaling", "render_weak_scaling"]
+
+
+@dataclass(frozen=True)
+class WeakScalingPoint:
+    """Makespans at one machine count under capacity-matched work."""
+
+    machines: int
+    capacity_gflops: float
+    matrix_order: int
+    greedy_s: float
+    plb_s: float
+
+
+def run_weak_scaling(
+    *,
+    machine_counts: Sequence[int] = (1, 2, 3, 4),
+    base_order: int = 16384,
+    seed: int = 12,
+) -> list[WeakScalingPoint]:
+    """Grow the cluster and the problem together.
+
+    MM work scales as n³; each scenario's matrix order is chosen so
+    total FLOPs grow proportionally to the scenario's aggregate
+    sustained capacity: ``n_k = n_1 * (C_k / C_1)^(1/3)``.
+    """
+    base_capacity = paper_cluster(1).total_peak_gflops
+    points = []
+    for machines in machine_counts:
+        cluster = paper_cluster(machines)
+        ratio = cluster.total_peak_gflops / base_capacity
+        order = int(round(base_order * ratio ** (1.0 / 3.0) / 64) * 64)
+        app = MatMul(n=order)
+        times = {}
+        for policy in (Greedy(), PLBHeC()):
+            runtime = Runtime(cluster, app.codelet(), seed=seed)
+            result = runtime.run(
+                policy, app.total_units, app.default_initial_block_size()
+            )
+            times[policy.name] = result.makespan
+        points.append(
+            WeakScalingPoint(
+                machines=machines,
+                capacity_gflops=cluster.total_peak_gflops,
+                matrix_order=order,
+                greedy_s=times["greedy"],
+                plb_s=times["plb-hec"],
+            )
+        )
+    return points
+
+
+def render_weak_scaling(points: list[WeakScalingPoint]) -> str:
+    """ASCII table with normalised weak-scaling efficiencies."""
+    base_plb = points[0].plb_s
+    base_greedy = points[0].greedy_s
+    rows = [
+        [
+            p.machines,
+            p.matrix_order,
+            p.capacity_gflops,
+            p.greedy_s,
+            base_greedy / p.greedy_s,
+            p.plb_s,
+            base_plb / p.plb_s,
+        ]
+        for p in points
+    ]
+    return format_table(
+        ["machines", "order", "capacity_GF", "greedy_s", "greedy_eff",
+         "plb_hec_s", "plb_eff"],
+        rows,
+        title="Weak scaling: work grows with aggregate capacity "
+        "(efficiency 1.0 = ideal)",
+    )

@@ -1,0 +1,35 @@
+"""Online performance-profile modeling (paper Sec. III.B).
+
+Devices are profiled at runtime: observed ``(block size, time)`` pairs
+are accumulated per processing unit, then least-squares fitted against
+the paper's basis-function family to produce the execution-time model
+``F_p[x]`` and the linear transfer model ``G_p[x]``.  The combined
+``E_p[x] = F_p[x] + G_p[x]`` curves are what the block-size selection
+solver (:mod:`repro.solver`) equalises.
+"""
+
+from repro.modeling.basis import (
+    BasisFunction,
+    CANDIDATE_MODELS,
+    PAPER_BASIS,
+    basis_by_name,
+)
+from repro.modeling.least_squares import FitResult, fit_basis_model
+from repro.modeling.model_select import select_model
+from repro.modeling.perf_profile import DeviceModel, PerfProfile, ProfilePoint
+from repro.modeling.transfer import LinearTransferFit, fit_transfer_model
+
+__all__ = [
+    "BasisFunction",
+    "PAPER_BASIS",
+    "CANDIDATE_MODELS",
+    "basis_by_name",
+    "FitResult",
+    "fit_basis_model",
+    "select_model",
+    "PerfProfile",
+    "ProfilePoint",
+    "DeviceModel",
+    "LinearTransferFit",
+    "fit_transfer_model",
+]

@@ -1,0 +1,182 @@
+"""The paper's basis-function family for execution-time models.
+
+Equation (1): ``F_p[x] = a1*f1(x) + ... + an*fn(x)`` with ``f_i`` drawn
+from ``{ln x, x, x^2, x^3, e^x, sqrt(x), x*e^x, x*ln x}`` ("this set
+should contemplate the vast majority of applications, but other
+functions can be included if necessary").
+
+All basis functions here are evaluated on a *scaled* coordinate
+``u = x / x_scale`` with ``x_scale`` the largest profiled block size:
+``e^x`` on raw block sizes (tens of thousands of units) overflows
+float64 immediately, and scaling also keeps the least-squares system
+well conditioned.  Scaling is handled by the fitting layer; basis
+functions only ever see ``u`` in roughly ``(0, 1]``.
+
+A constant basis function is also provided: the paper's eq. (1) has no
+intercept (the intercept lives in ``G_p``), but dispatch/launch
+overheads make an intercept essential when fitting ``F_p`` alone, so
+the default candidate models include it (documented deviation, see
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BasisFunction",
+    "PAPER_BASIS",
+    "ALL_BASIS",
+    "CANDIDATE_MODELS",
+    "basis_by_name",
+]
+
+#: Floor applied before logarithms so ``u == 0`` stays finite.
+_LOG_FLOOR = 1e-12
+
+
+@dataclass(frozen=True)
+class BasisFunction:
+    """One term of the model family, with analytic derivatives.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier, e.g. ``"x"``, ``"ln x"``.
+    f / df / d2f:
+        Vectorised value, first and second derivative with respect to
+        the scaled coordinate ``u``.
+    needs_positive:
+        True for terms undefined at 0 (logarithms); the fitting layer
+        floors inputs accordingly.
+    """
+
+    name: str
+    f: Callable[[np.ndarray], np.ndarray]
+    df: Callable[[np.ndarray], np.ndarray]
+    d2f: Callable[[np.ndarray], np.ndarray]
+    needs_positive: bool = False
+
+    def __call__(self, u: np.ndarray) -> np.ndarray:
+        return self.f(np.asarray(u, dtype=float))
+
+
+def _safe(u: np.ndarray) -> np.ndarray:
+    return np.maximum(np.asarray(u, dtype=float), _LOG_FLOOR)
+
+
+CONSTANT = BasisFunction(
+    name="1",
+    f=lambda u: np.ones_like(np.asarray(u, dtype=float)),
+    df=lambda u: np.zeros_like(np.asarray(u, dtype=float)),
+    d2f=lambda u: np.zeros_like(np.asarray(u, dtype=float)),
+)
+
+LINEAR = BasisFunction(
+    name="x",
+    f=lambda u: np.asarray(u, dtype=float),
+    df=lambda u: np.ones_like(np.asarray(u, dtype=float)),
+    d2f=lambda u: np.zeros_like(np.asarray(u, dtype=float)),
+)
+
+SQUARE = BasisFunction(
+    name="x^2",
+    f=lambda u: np.asarray(u, dtype=float) ** 2,
+    df=lambda u: 2.0 * np.asarray(u, dtype=float),
+    d2f=lambda u: np.full_like(np.asarray(u, dtype=float), 2.0),
+)
+
+CUBE = BasisFunction(
+    name="x^3",
+    f=lambda u: np.asarray(u, dtype=float) ** 3,
+    df=lambda u: 3.0 * np.asarray(u, dtype=float) ** 2,
+    d2f=lambda u: 6.0 * np.asarray(u, dtype=float),
+)
+
+SQRT = BasisFunction(
+    name="sqrt x",
+    f=lambda u: np.sqrt(_safe(u)),
+    df=lambda u: 0.5 / np.sqrt(_safe(u)),
+    d2f=lambda u: -0.25 * _safe(u) ** -1.5,
+)
+
+LOG = BasisFunction(
+    name="ln x",
+    f=lambda u: np.log(_safe(u)),
+    df=lambda u: 1.0 / _safe(u),
+    d2f=lambda u: -1.0 / _safe(u) ** 2,
+    needs_positive=True,
+)
+
+EXP = BasisFunction(
+    name="e^x",
+    f=lambda u: np.exp(np.asarray(u, dtype=float)),
+    df=lambda u: np.exp(np.asarray(u, dtype=float)),
+    d2f=lambda u: np.exp(np.asarray(u, dtype=float)),
+)
+
+X_EXP = BasisFunction(
+    name="x e^x",
+    f=lambda u: np.asarray(u, dtype=float) * np.exp(np.asarray(u, dtype=float)),
+    df=lambda u: (1.0 + np.asarray(u, dtype=float)) * np.exp(np.asarray(u, dtype=float)),
+    d2f=lambda u: (2.0 + np.asarray(u, dtype=float)) * np.exp(np.asarray(u, dtype=float)),
+)
+
+X_LOG = BasisFunction(
+    name="x ln x",
+    f=lambda u: np.asarray(u, dtype=float) * np.log(_safe(u)),
+    df=lambda u: np.log(_safe(u)) + 1.0,
+    d2f=lambda u: 1.0 / _safe(u),
+    needs_positive=True,
+)
+
+#: The paper's eq. (1) family.
+PAPER_BASIS: tuple[BasisFunction, ...] = (
+    LOG,
+    LINEAR,
+    SQUARE,
+    CUBE,
+    EXP,
+    SQRT,
+    X_EXP,
+    X_LOG,
+)
+
+#: Paper family plus the intercept.
+ALL_BASIS: tuple[BasisFunction, ...] = (CONSTANT, *PAPER_BASIS)
+
+#: Candidate models for selection: each is a subset of the family.  The
+#: fitting layer picks the best-scoring candidate that the number of
+#: observed points can support (see :mod:`repro.modeling.model_select`).
+CANDIDATE_MODELS: tuple[tuple[BasisFunction, ...], ...] = (
+    (CONSTANT, LINEAR),
+    (CONSTANT, LINEAR, SQUARE),
+    (CONSTANT, LINEAR, SQUARE, CUBE),
+    (CONSTANT, LINEAR, SQRT),
+    (CONSTANT, LINEAR, LOG),
+    (CONSTANT, LINEAR, X_LOG),
+    (CONSTANT, LINEAR, EXP),
+    (CONSTANT, LINEAR, X_EXP),
+    (CONSTANT, LOG),
+    (CONSTANT, SQRT),
+    (CONSTANT, LINEAR, SQUARE, SQRT, X_LOG),
+    ALL_BASIS,
+)
+
+_BY_NAME = {b.name: b for b in ALL_BASIS}
+
+
+def basis_by_name(name: str) -> BasisFunction:
+    """Look one basis function up by its stable name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown basis function {name!r}; known: {sorted(_BY_NAME)}"
+        )

@@ -1,0 +1,79 @@
+"""Codelets: tasks with one implementation per architecture.
+
+Mirrors StarPU's abstraction: "an abstraction for a task that can be
+performed on one core of a multicore CPU or subjected to an
+accelerator.  Each codelet may have multiple implementations, one for
+each architecture."
+
+Kernel callables take ``(start_unit, num_units)`` and return the
+block's result (application-defined).  The simulation backend never
+calls them — it uses the codelet's
+:class:`~repro.cluster.perfmodel.KernelCharacteristics` instead; the
+real (thread) backend executes them and measures wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.cluster.device import DeviceKind
+from repro.cluster.perfmodel import KernelCharacteristics
+from repro.errors import ConfigurationError
+
+__all__ = ["Codelet"]
+
+KernelFn = Callable[[int, int], Any]
+
+
+@dataclass(frozen=True)
+class Codelet:
+    """A schedulable task type.
+
+    Attributes
+    ----------
+    name:
+        Codelet name (shows up in traces).
+    kernel:
+        Device-load characterisation used by the simulation backend.
+    cpu_func / gpu_func:
+        Real implementations; ``gpu_func`` defaults to ``cpu_func``
+        (this library has no CUDA backend — the GPU implementation is
+        only distinguished in simulation).
+    """
+
+    name: str
+    kernel: KernelCharacteristics
+    cpu_func: KernelFn | None = None
+    gpu_func: KernelFn | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("codelet name must be non-empty")
+        if not isinstance(self.kernel, KernelCharacteristics):
+            raise ConfigurationError(
+                f"kernel must be KernelCharacteristics, got {self.kernel!r}"
+            )
+
+    def implementation(self, kind: DeviceKind) -> KernelFn:
+        """The real kernel for a device kind.
+
+        Raises
+        ------
+        ConfigurationError
+            If the codelet carries no real implementation at all.
+        """
+        fn = self.gpu_func if kind is DeviceKind.GPU else self.cpu_func
+        if fn is None:
+            fn = self.cpu_func or self.gpu_func
+        if fn is None:
+            raise ConfigurationError(
+                f"codelet {self.name!r} has no real implementation; "
+                "it can only run on the simulation backend"
+            )
+        return fn
+
+    @property
+    def simulation_only(self) -> bool:
+        """True when no real kernel implementation was provided."""
+        return self.cpu_func is None and self.gpu_func is None

@@ -1,0 +1,72 @@
+"""The divisible application data domain.
+
+Data-parallel applications decompose their input into integer *units*
+(matrix rows, genes, options).  :class:`BlockDomain` is the runtime's
+accounting of that domain: schedulers request blocks, the domain grants
+at most what remains.  It is thread-safe so the real (thread-pool)
+backend can share one instance across workers.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import DataError
+
+__all__ = ["BlockDomain"]
+
+
+class BlockDomain:
+    """A pool of ``total_units`` indivisible work units.
+
+    Grants are contiguous ranges handed out front-to-back, which is how
+    the paper's applications slice their inputs (a range of B-matrix
+    rows / genes / options per task).
+    """
+
+    def __init__(self, total_units: int) -> None:
+        if not isinstance(total_units, int) or isinstance(total_units, bool):
+            raise DataError(f"total_units must be an int, got {total_units!r}")
+        if total_units <= 0:
+            raise DataError(f"total_units must be positive, got {total_units}")
+        self.total_units = total_units
+        self._next = 0
+        self._lock = threading.Lock()
+
+    @property
+    def remaining(self) -> int:
+        """Units not yet granted."""
+        with self._lock:
+            return self.total_units - self._next
+
+    @property
+    def consumed(self) -> int:
+        """Units granted so far."""
+        with self._lock:
+            return self._next
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every unit has been granted."""
+        return self.remaining == 0
+
+    def take(self, requested: int) -> tuple[int, int]:
+        """Grant up to ``requested`` units.
+
+        Returns ``(start_unit, granted)``; ``granted`` may be less than
+        requested (tail of the domain) or zero (domain exhausted).
+        Requests are floored at zero — policies returning negative sizes
+        are a protocol violation caught by the executor, but the domain
+        itself degrades safely.
+        """
+        req = max(int(requested), 0)
+        with self._lock:
+            granted = min(req, self.total_units - self._next)
+            start = self._next
+            self._next += granted
+        return start, granted
+
+    def reset(self) -> None:
+        """Return every unit to the pool (new run over the same data)."""
+        with self._lock:
+            self._next = 0

@@ -1,0 +1,314 @@
+"""Virtual-time execution backend.
+
+Drives a scheduling policy against the cluster's hidden ground truth:
+idle workers poll the policy for block sizes, completions are scheduled
+on the discrete-event engine with lognormal measurement noise, and every
+completion is reported back through the policy's
+``on_task_finished`` hook — the same dispatch/completion contract the
+paper's StarPU implementation uses, minus the silicon.
+
+Master "thinking time" (model fits, interior-point solves) charged via
+:meth:`SchedulingContext.charge_overhead` delays subsequent dispatches,
+so scheduler overhead degrades the makespan here exactly as it does on
+a real cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.perfmodel import GroundTruth, KernelCharacteristics
+from repro.cluster.topology import Cluster
+from repro.errors import SchedulingError, SimulationError
+from repro.runtime.data import BlockDomain
+from repro.runtime.scheduler_api import (
+    DeviceInfo,
+    SchedulingContext,
+    SchedulingPolicy,
+)
+from repro.runtime.task import Task
+from repro.sim.engine import Engine
+from repro.sim.random import RandomStreams
+from repro.sim.trace import ExecutionTrace, TaskRecord
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = ["Perturbation", "DeviceFailure", "SimulatedExecutor"]
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """A mid-run change of one device's speed.
+
+    Models the paper's Sec. VI scenarios (shared clouds, degraded
+    nodes): from ``start_time`` on, the device's execution times are
+    multiplied by ``factor`` (> 1 slows it down, < 1 speeds it up).
+    """
+
+    device_id: str
+    start_time: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        check_positive("factor", self.factor)
+        check_positive("start_time", self.start_time, strict=False)
+
+
+@dataclass(frozen=True)
+class DeviceFailure:
+    """A device becomes permanently unavailable mid-run.
+
+    The paper's Sec. VI fault-tolerance outlook: "machines may become
+    unavailable during execution ... a simple redistribution of the data
+    among the remaining devices would permit the application to
+    re-adapt."  At ``time`` the device stops; its in-flight block (if
+    any) is lost and its data range returns to the pool for the
+    surviving devices to reprocess.
+    """
+
+    device_id: str
+    time: float
+
+    def __post_init__(self) -> None:
+        check_positive("time", self.time, strict=False)
+
+
+class SimulatedExecutor:
+    """Runs one policy over one workload on a simulated cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The hardware topology.
+    kernel:
+        Device-load characterisation of the application's codelet.
+    noise_sigma:
+        Log-space standard deviation of the multiplicative measurement
+        noise on execution and transfer times (0 = deterministic).
+    seed:
+        Root seed for all noise streams.
+    perturbations:
+        Optional mid-run device slowdowns.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        kernel: KernelCharacteristics,
+        *,
+        noise_sigma: float = 0.005,
+        seed: int = 0,
+        perturbations: tuple[Perturbation, ...] = (),
+        failures: tuple[DeviceFailure, ...] = (),
+    ) -> None:
+        check_positive("noise_sigma", noise_sigma, strict=False)
+        self.cluster = cluster
+        self.kernel = kernel
+        self.noise_sigma = float(noise_sigma)
+        self.seed = int(seed)
+        self.ground_truth = GroundTruth(cluster, kernel)
+        self.perturbations = tuple(perturbations)
+        self.failures = tuple(failures)
+        device_ids = {d.device_id for d in cluster.devices()}
+        for p in self.perturbations:
+            if p.device_id not in device_ids:
+                raise SchedulingError(
+                    f"perturbation targets unknown device {p.device_id!r}"
+                )
+        for f in self.failures:
+            if f.device_id not in device_ids:
+                raise SchedulingError(
+                    f"failure targets unknown device {f.device_id!r}"
+                )
+        if len({f.device_id for f in self.failures}) == len(device_ids) and failures:
+            raise SchedulingError("cannot fail every device in the cluster")
+
+    def _slowdown(self, device_id: str, now: float) -> float:
+        factor = 1.0
+        for p in self.perturbations:
+            if p.device_id == device_id and now >= p.start_time:
+                factor *= p.factor
+        return factor
+
+    def run(
+        self,
+        policy: SchedulingPolicy,
+        total_units: int,
+        initial_block_size: int,
+    ) -> tuple[ExecutionTrace, float]:
+        """Execute the whole domain under ``policy``.
+
+        Returns ``(trace, makespan_seconds)``.
+
+        Raises
+        ------
+        SchedulingError
+            If the policy deadlocks (parks every worker while work
+            remains) or violates the protocol (negative block size).
+        """
+        check_positive_int("total_units", total_units)
+        check_positive_int("initial_block_size", initial_block_size)
+
+        devices = self.cluster.devices()
+        order = [d.device_id for d in devices]
+        engine = Engine()
+        domain = BlockDomain(int(total_units))
+        trace = ExecutionTrace(order)
+        streams = RandomStreams(self.seed)
+        ctx = SchedulingContext(
+            devices=tuple(DeviceInfo.from_device(d) for d in devices),
+            total_units=int(total_units),
+            initial_block_size=int(initial_block_size),
+        )
+        policy.setup(ctx)
+
+        busy: dict[str, tuple[Task, object]] = {}
+        stall_until = 0.0
+        task_counter = 0
+        failed: set[str] = set()
+        # data ranges lost to failed devices, awaiting reprocessing
+        pending_retry: list[tuple[int, int]] = []
+        failure_events: list = []
+
+        def work_remaining() -> int:
+            return domain.remaining + sum(u for _, u in pending_retry)
+
+        def grant(requested: int) -> tuple[int, int]:
+            """Serve lost ranges first, then fresh domain data."""
+            if pending_retry:
+                start, units = pending_retry[0]
+                take = min(requested, units)
+                if take == units:
+                    pending_retry.pop(0)
+                else:
+                    pending_retry[0] = (start + take, units - take)
+                return start, take
+            return domain.take(requested)
+
+        def charge_pending() -> None:
+            nonlocal stall_until
+            overhead = ctx.drain_overhead()
+            if overhead > 0.0:
+                stall_until = max(stall_until, engine.now) + overhead
+                trace.record_solver_overhead(overhead)
+            for _ in range(ctx.drain_rebalances()):
+                trace.record_rebalance(engine.now)
+
+        def noise(key: str) -> float:
+            return streams.lognormal_factor(key, self.noise_sigma)
+
+        def dispatch_idle() -> None:
+            nonlocal task_counter
+            for worker_id in order:
+                if worker_id in busy or worker_id in failed:
+                    continue
+                if work_remaining() == 0:
+                    break
+                requested = policy.next_block(worker_id, engine.now)
+                charge_pending()
+                if requested < 0:
+                    raise SchedulingError(
+                        f"policy {policy.name!r} returned negative block "
+                        f"size {requested} for {worker_id}"
+                    )
+                if requested == 0:
+                    continue  # parked until the next completion
+                start_unit, granted = grant(requested)
+                if granted == 0:
+                    continue
+                policy.on_block_dispatched(worker_id, granted, engine.now)
+                task_counter += 1
+                task = Task(
+                    task_id=task_counter,
+                    worker_id=worker_id,
+                    start_unit=start_unit,
+                    units=granted,
+                    phase=policy.phase_label(worker_id),
+                    step=policy.step_index(worker_id),
+                    dispatch_time=engine.now,
+                )
+                begin = max(engine.now, stall_until)
+                slow = self._slowdown(worker_id, begin)
+                transfer = self.ground_truth.transfer_time(worker_id, granted)
+                transfer *= noise(f"{worker_id}/transfer/{task.task_id}")
+                exec_s = self.ground_truth.exec_time(worker_id, granted) * slow
+                exec_s *= noise(f"{worker_id}/exec/{task.task_id}")
+                task.transfer_time = transfer
+                task.exec_time = exec_s
+                task.mark_running(begin)
+                event = engine.schedule_at(
+                    begin + transfer + exec_s,
+                    lambda t=task: complete(t),
+                    tag=f"complete:{worker_id}",
+                    payload=task.task_id,
+                )
+                busy[worker_id] = (task, event)
+
+        def complete(task: Task) -> None:
+            task.mark_done(engine.now)
+            del busy[task.worker_id]
+            record = TaskRecord(
+                worker_id=task.worker_id,
+                units=task.units,
+                dispatch_time=task.dispatch_time,
+                transfer_time=task.transfer_time,
+                exec_time=task.exec_time,
+                start_time=task.start_time,
+                end_time=task.end_time,
+                phase=task.phase,
+                step=task.step,
+            )
+            trace.add_record(record)
+            policy.on_task_finished(record, work_remaining(), engine.now)
+            charge_pending()
+            dispatch_idle()
+            if work_remaining() == 0 and not busy:
+                # the run is over: pending failure events must not extend
+                # the virtual clock past the last completion
+                for ev in failure_events:
+                    engine.cancel(ev)
+
+        def fail_device(failure: DeviceFailure) -> None:
+            if failure.device_id in failed:
+                return
+            failed.add(failure.device_id)
+            trace.record_failure(engine.now, failure.device_id)
+            entry = busy.pop(failure.device_id, None)
+            if entry is not None:
+                task, event = entry
+                engine.cancel(event)
+                # the in-flight block is lost; its range returns to the pool
+                pending_retry.append((task.start_unit, task.units))
+            if len(failed) == len(order):
+                raise SchedulingError("every device failed; cannot finish")
+            policy.on_device_failed(failure.device_id, engine.now)
+            charge_pending()
+            dispatch_idle()
+
+        for failure in self.failures:
+            failure_events.append(
+                engine.schedule_at(
+                    failure.time,
+                    lambda f=failure: fail_device(f),
+                    tag=f"fail:{failure.device_id}",
+                )
+            )
+
+        dispatch_idle()
+        if not engine.queue and work_remaining() > 0:
+            raise SchedulingError(
+                f"policy {policy.name!r} parked every worker at t=0 with "
+                f"{work_remaining()} units unprocessed"
+            )
+        engine.run()
+
+        if work_remaining() > 0:
+            raise SchedulingError(
+                f"policy {policy.name!r} deadlocked: {work_remaining()} of "
+                f"{domain.total_units} units unprocessed with all workers idle"
+            )
+        if busy:
+            raise SimulationError(
+                f"engine drained with busy workers: {sorted(busy)}"
+            )
+        trace.finalize(max((r.end_time for r in trace.records), default=engine.now))
+        return trace, trace.makespan

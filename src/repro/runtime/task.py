@@ -1,0 +1,70 @@
+"""Task objects: one block execution through its lifecycle."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+
+__all__ = ["TaskState", "Task"]
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+
+
+@dataclass
+class Task:
+    """One dispatched block.
+
+    Attributes
+    ----------
+    task_id:
+        Monotone id assigned by the executor.
+    worker_id:
+        Processing unit the block was dispatched to.
+    start_unit / units:
+        The granted contiguous range of the data domain.
+    phase / step:
+        Policy-assigned labels propagated into the trace.
+    """
+
+    task_id: int
+    worker_id: str
+    start_unit: int
+    units: int
+    phase: str = "exec"
+    step: int = 0
+    state: TaskState = TaskState.PENDING
+    dispatch_time: float = 0.0
+    start_time: float = 0.0
+    end_time: float = 0.0
+    transfer_time: float = 0.0
+    exec_time: float = 0.0
+    result: object = field(default=None, repr=False)
+
+    def mark_running(self, now: float) -> None:
+        """PENDING -> RUNNING."""
+        if self.state is not TaskState.PENDING:
+            raise SchedulingError(f"task {self.task_id} already {self.state.value}")
+        self.state = TaskState.RUNNING
+        self.start_time = now
+
+    def mark_done(self, now: float) -> None:
+        """RUNNING -> DONE."""
+        if self.state is not TaskState.RUNNING:
+            raise SchedulingError(
+                f"task {self.task_id} cannot finish from {self.state.value}"
+            )
+        self.state = TaskState.DONE
+        self.end_time = now
+
+    @property
+    def total_time(self) -> float:
+        """Transfer + execution seconds."""
+        return self.transfer_time + self.exec_time

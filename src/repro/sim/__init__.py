@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate.
+
+This package provides the virtual-time machinery the runtime's simulation
+backend is built on: a stable event queue (:mod:`repro.sim.events`), a
+monotonic virtual clock (:mod:`repro.sim.clock`), a generic engine
+(:mod:`repro.sim.engine`), reproducible per-entity random streams
+(:mod:`repro.sim.random`) and an execution-trace recorder
+(:mod:`repro.sim.trace`).
+
+Virtual time lets a 65536x65536 matrix-multiplication "cluster run"
+complete in milliseconds of wall time while preserving the ordering and
+overlap structure that the load-balancing algorithms react to.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.engine import Engine
+from repro.sim.events import Event, EventQueue
+from repro.sim.random import RandomStreams
+from repro.sim.trace import BusyInterval, ExecutionTrace, TaskRecord
+
+__all__ = [
+    "VirtualClock",
+    "Engine",
+    "Event",
+    "EventQueue",
+    "RandomStreams",
+    "BusyInterval",
+    "ExecutionTrace",
+    "TaskRecord",
+]

@@ -1,0 +1,53 @@
+"""Virtual clock for the discrete-event engine."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """A monotonically advancing virtual-time clock.
+
+    Time is measured in simulated seconds as a float.  The clock refuses to
+    move backwards: an attempt to do so signals a corrupted event ordering
+    and raises :class:`~repro.errors.SimulationError` immediately instead of
+    silently producing causality violations.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise SimulationError(f"clock cannot start at negative time {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock forward to absolute time ``t`` and return it."""
+        if t < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: now={self._now}, requested={t}"
+            )
+        self._now = float(t)
+        return self._now
+
+    def advance_by(self, dt: float) -> float:
+        """Move the clock forward by ``dt`` seconds and return the new time."""
+        if dt < 0.0:
+            raise SimulationError(f"cannot advance clock by negative delta {dt}")
+        return self.advance_to(self._now + dt)
+
+    def reset(self, start: float = 0.0) -> None:
+        """Rewind the clock (only valid between simulation runs)."""
+        if start < 0.0:
+            raise SimulationError(f"clock cannot reset to negative time {start}")
+        self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock(now={self._now:.6f})"

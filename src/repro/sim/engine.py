@@ -1,0 +1,121 @@
+"""Generic discrete-event engine.
+
+:class:`Engine` binds an :class:`~repro.sim.events.EventQueue` to a
+:class:`~repro.sim.clock.VirtualClock` and runs events in causal order.
+The runtime's simulation backend drives its task lifecycle through this
+engine; it is also usable standalone (see ``tests/sim``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventQueue
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Run callbacks at virtual times, advancing a shared clock.
+
+    Parameters
+    ----------
+    max_events:
+        Safety valve: a run that processes more events than this raises
+        :class:`~repro.errors.SimulationError` (an unbounded event cascade
+        almost always indicates a scheduling-policy bug, e.g. re-dispatching
+        zero-size blocks forever).
+    """
+
+    def __init__(self, *, max_events: int = 50_000_000) -> None:
+        if max_events <= 0:
+            raise SimulationError("max_events must be positive")
+        self.clock = VirtualClock()
+        self.queue = EventQueue()
+        self.max_events = int(max_events)
+        self._processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.clock.now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        *,
+        tag: str = "",
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``action`` at absolute time ``time`` (>= now)."""
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: now={self.clock.now}, t={time}"
+            )
+        return self.queue.push(time, action, tag=tag, payload=payload)
+
+    def schedule_after(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        *,
+        tag: str = "",
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``action`` ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self.clock.now + delay, action, tag=tag, payload=payload)
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel a pending event (see :meth:`EventQueue.cancel`)."""
+        return self.queue.cancel(event)
+
+    def step(self) -> Event:
+        """Execute the single earliest event and return it."""
+        ev = self.queue.pop()
+        self.clock.advance_to(ev.time)
+        self._processed += 1
+        if self._processed > self.max_events:
+            raise SimulationError(
+                f"event budget exceeded ({self.max_events}); "
+                "likely an infinite dispatch loop in a scheduling policy"
+            )
+        ev.action()
+        return ev
+
+    def run(self, *, until: float | None = None) -> float:
+        """Run events until the queue empties (or past ``until``).
+
+        Returns the final virtual time.  Re-entrant calls are rejected —
+        event actions must schedule, not recurse into ``run``.
+        """
+        if self._running:
+            raise SimulationError("Engine.run is not re-entrant")
+        self._running = True
+        try:
+            while self.queue:
+                if until is not None and self.queue.peek_time() > until:
+                    self.clock.advance_to(until)
+                    break
+                self.step()
+        finally:
+            self._running = False
+        return self.clock.now
+
+    def reset(self) -> None:
+        """Clear all pending events and rewind the clock to zero."""
+        if self._running:
+            raise SimulationError("cannot reset a running engine")
+        self.queue.clear()
+        self.clock.reset()
+        self._processed = 0

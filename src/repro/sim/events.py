@@ -1,0 +1,134 @@
+"""Event queue with deterministic tie-breaking.
+
+Events that fire at the same virtual time are delivered in insertion
+order (FIFO).  Determinism matters here: the load-balancing experiments
+are averaged over seeded replications, and any hidden ordering
+nondeterminism would make results irreproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled simulation event.
+
+    Attributes
+    ----------
+    time:
+        Absolute virtual time at which the event fires.
+    seq:
+        Monotone sequence number used for same-time FIFO ordering.
+    action:
+        Zero-argument callable executed when the event fires.
+    tag:
+        Free-form label for tracing/debugging.
+    payload:
+        Optional data carried for inspection by tests and traces.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    tag: str = field(default="", compare=False)
+    payload: Any = field(default=None, compare=False)
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` ordered by ``(time, seq)``.
+
+    Supports lazy cancellation: :meth:`cancel` marks an event dead and
+    :meth:`pop` skips dead entries, so cancelling is O(1).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._cancelled: set[int] = set()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], None],
+        *,
+        tag: str = "",
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``action`` at absolute virtual time ``time``.
+
+        Returns the created :class:`Event`, whose ``seq`` can be passed to
+        :meth:`cancel`.
+        """
+        if time < 0.0 or time != time:  # negative or NaN
+            raise SimulationError(f"event time must be non-negative, got {time!r}")
+        seq = next(self._counter)
+        ev = Event(time=float(time), seq=seq, action=action, tag=tag, payload=payload)
+        heapq.heappush(self._heap, (ev.time, ev.seq, ev))
+        self._live += 1
+        return ev
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel a previously pushed event.
+
+        Returns True if the event was live and is now cancelled; False if it
+        had already fired or been cancelled.
+        """
+        if event.seq in self._cancelled:
+            return False
+        # An event that already fired is no longer in the heap; detect that
+        # by scanning lazily at pop time.  We optimistically mark and adjust
+        # the live count only if the event is still pending.
+        for t, s, _ in self._heap:
+            if s == event.seq:
+                self._cancelled.add(event.seq)
+                self._live -= 1
+                return True
+        return False
+
+    def peek_time(self) -> float:
+        """Return the firing time of the earliest live event."""
+        self._skip_dead()
+        if not self._heap:
+            raise SimulationError("peek on empty event queue")
+        return self._heap[0][0]
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event."""
+        self._skip_dead()
+        if not self._heap:
+            raise SimulationError("pop on empty event queue")
+        _, _, ev = heapq.heappop(self._heap)
+        self._live -= 1
+        return ev
+
+    def _skip_dead(self) -> None:
+        while self._heap and self._heap[0][1] in self._cancelled:
+            _, seq, _ = heapq.heappop(self._heap)
+            self._cancelled.discard(seq)
+
+    def drain(self) -> Iterator[Event]:
+        """Yield all remaining live events in firing order (consuming them)."""
+        while self:
+            yield self.pop()
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._cancelled.clear()
+        self._live = 0

@@ -1,0 +1,97 @@
+"""Convergence diagnostics for interior-point solves.
+
+Renders an :class:`~repro.solver.ipm.IPMResult`'s recorded iteration
+history (``IPMOptions(record_history=True)``) as the classic
+iteration-log table optimisation practitioners read — μ, step length,
+constraint violation, KKT error per iteration — plus summary judgements
+(monotone feasibility progress, barrier decrease) used by tests and by
+anyone debugging a hard partition instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.solver.ipm import IPMResult
+from repro.util.tables import format_table
+
+__all__ = ["ConvergenceReport", "analyze_convergence", "render_history"]
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Summary judgements over one solve's iteration history."""
+
+    iterations: int
+    converged: bool
+    final_kkt_error: float
+    final_mu: float
+    feasibility_improved: bool
+    barrier_decreased: bool
+    mean_step_length: float
+    restorations_suspected: bool
+
+    def healthy(self) -> bool:
+        """A solve that converged with sane dynamics."""
+        return (
+            self.converged
+            and self.feasibility_improved
+            and self.mean_step_length > 0.01
+        )
+
+
+def analyze_convergence(result: IPMResult) -> ConvergenceReport:
+    """Derive a :class:`ConvergenceReport` from a recorded solve.
+
+    Raises
+    ------
+    ConfigurationError
+        If the solve was run without ``record_history=True``.
+    """
+    if not result.history:
+        raise ConfigurationError(
+            "no iteration history recorded; solve with "
+            "IPMOptions(record_history=True)"
+        )
+    thetas = [h["theta"] for h in result.history]
+    mus = [h["mu"] for h in result.history]
+    alphas = [h["alpha"] for h in result.history]
+    return ConvergenceReport(
+        iterations=result.iterations,
+        converged=result.converged,
+        final_kkt_error=result.kkt_error,
+        final_mu=result.mu_final,
+        feasibility_improved=thetas[-1] <= max(thetas[0], result.kkt_error * 10)
+        or thetas[-1] < 1e-6,
+        barrier_decreased=mus[-1] <= mus[0],
+        mean_step_length=sum(alphas) / len(alphas),
+        restorations_suspected=any(h.get("delta_w", 0.0) > 1e-2 for h in result.history),
+    )
+
+
+def render_history(result: IPMResult, *, max_rows: int = 50) -> str:
+    """ASCII iteration log of a recorded solve."""
+    if not result.history:
+        return "(no history recorded)"
+    rows = [
+        [
+            h["iter"],
+            h["mu"],
+            h["alpha"],
+            h["theta"],
+            h["kkt_error"],
+            "f" if h.get("f_type") else "θ",
+        ]
+        for h in result.history[:max_rows]
+    ]
+    table = format_table(
+        ["iter", "mu", "alpha", "theta", "kkt_err", "step"],
+        rows,
+        title=f"IPM iteration log (status={result.status}, "
+        f"{result.iterations} iterations)",
+        precision=6,
+    )
+    if len(result.history) > max_rows:
+        table += f"\n... ({len(result.history) - max_rows} more iterations)"
+    return table

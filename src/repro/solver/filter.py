@@ -1,0 +1,107 @@
+"""The line-search filter (Wächter & Biegler, as used by IPOPT).
+
+A filter replaces a merit function: a trial point is acceptable when it
+improves *either* feasibility θ(x) = ||c(x)||₁ *or* the barrier
+objective φ(x) by a sufficient margin relative to the current iterate,
+and is not dominated by any previously recorded (θ, φ) pair.  This is
+the globalisation strategy the paper's reference [25] describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FilterEntry", "Filter"]
+
+
+@dataclass(frozen=True)
+class FilterEntry:
+    """One recorded (constraint violation, barrier objective) pair."""
+
+    theta: float
+    phi: float
+
+    def dominates(self, theta: float, phi: float) -> bool:
+        """True when this entry forbids the trial pair (both no better)."""
+        return theta >= self.theta and phi >= self.phi
+
+
+class Filter:
+    """The Wächter-Biegler filter with sufficient-decrease margins.
+
+    Parameters
+    ----------
+    gamma_theta / gamma_phi:
+        Relative margins: a trial (θ, φ) is acceptable against a
+        reference pair (θ_r, φ_r) when ``θ <= (1 - γ_θ) θ_r`` or
+        ``φ <= φ_r - γ_φ θ_r``.
+    theta_max:
+        Absolute cap on constraint violation: trial points above it are
+        always rejected.
+    """
+
+    def __init__(
+        self,
+        *,
+        gamma_theta: float = 1e-5,
+        gamma_phi: float = 1e-5,
+        theta_max: float = 1e8,
+    ) -> None:
+        if not 0.0 < gamma_theta < 1.0 or not 0.0 < gamma_phi < 1.0:
+            raise ConfigurationError("filter margins must lie in (0, 1)")
+        if theta_max <= 0.0:
+            raise ConfigurationError("theta_max must be positive")
+        self.gamma_theta = gamma_theta
+        self.gamma_phi = gamma_phi
+        self.theta_max = theta_max
+        self._entries: list[FilterEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> tuple[FilterEntry, ...]:
+        """Current filter content (for inspection/tests)."""
+        return tuple(self._entries)
+
+    def _acceptable_to(self, theta: float, phi: float, ref: FilterEntry) -> bool:
+        return (
+            theta <= (1.0 - self.gamma_theta) * ref.theta
+            or phi <= ref.phi - self.gamma_phi * ref.theta
+        )
+
+    def acceptable(
+        self, theta: float, phi: float, *, current: FilterEntry | None = None
+    ) -> bool:
+        """Whether a trial pair passes the filter.
+
+        Checks the absolute θ cap, sufficient decrease against the
+        current iterate (if given), and non-domination by every filter
+        entry.
+        """
+        if theta > self.theta_max:
+            return False
+        if current is not None and not self._acceptable_to(theta, phi, current):
+            return False
+        return all(self._acceptable_to(theta, phi, e) for e in self._entries)
+
+    def add(self, theta: float, phi: float) -> None:
+        """Record a pair, pruning entries the new one dominates.
+
+        Following the reference method, the stored corner is shifted by
+        the margins so future points must strictly improve.
+        """
+        entry = FilterEntry(
+            theta=(1.0 - self.gamma_theta) * theta,
+            phi=phi - self.gamma_phi * theta,
+        )
+        self._entries = [
+            e for e in self._entries if not (e.theta >= entry.theta and e.phi >= entry.phi)
+        ]
+        self._entries.append(entry)
+
+    def reset(self) -> None:
+        """Empty the filter (done when the barrier parameter changes)."""
+        self._entries.clear()

@@ -1,0 +1,175 @@
+"""The paper's block-partition problem as an NLP (eq. 3-5).
+
+Given fitted device models ``E_g`` and a work quantum ``Q`` (units to
+distribute in one step), find block sizes ``x_g`` such that every
+processing unit finishes by a common time ``T`` and all work is
+assigned::
+
+    minimise    T
+    subject to  E_g(x_g * Q) + s_g - T = 0     g = 1..n
+                sum_g x_g - 1 = 0
+                0 <= x_g <= cap_g,  s_g >= 0,  T >= 0
+
+Variables are the paper's normalised fractions (eq. 3) plus one slack
+per device and the completion time: ``z = (x_1..x_n, s_1..s_n, T)``.
+At the optimum each device either finishes exactly at T (``s_g = 0``,
+the paper's eq. 4) or sits at a bound: ``x_g = cap_g`` (it may not be
+assigned more than its model can be trusted for — the cap is the
+extrapolation-trust limit derived from the profiled range) or
+``x_g = 0`` (its fixed dispatch cost exceeds T, so it is best left
+idle).  With all caps at 1 and every device active this reduces to the
+paper's pure equal-time system; the interior-point iteration *finds*
+the point while staying strictly inside the bounds, exactly the role
+IPOPT plays in the paper.
+
+Fractions (not raw unit counts) keep the KKT system well conditioned —
+units span 1..10^5 while T is O(seconds), and that scale mismatch
+defeats inertia tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.modeling.perf_profile import DeviceModel
+from repro.solver.nlp import NLPProblem
+
+__all__ = ["build_partition_nlp", "initial_partition_point"]
+
+
+def _upper_fracs(
+    n: int, q: float, upper_units: Sequence[float] | None
+) -> np.ndarray:
+    if upper_units is None:
+        return np.ones(n)
+    upper_arr = np.asarray(list(upper_units), dtype=float)
+    if upper_arr.shape != (n,) or np.any(upper_arr <= 0.0):
+        raise ConfigurationError(
+            f"upper_units must be {n} positive values, got {upper_units!r}"
+        )
+    if upper_arr.sum() < q:
+        raise ConfigurationError(
+            "upper_units sum below the quantum: the capped problem is infeasible"
+        )
+    return np.minimum(upper_arr / q, 1.0)
+
+
+def build_partition_nlp(
+    models: Sequence[DeviceModel],
+    total_units: float,
+    *,
+    upper_units: Sequence[float] | None = None,
+) -> NLPProblem:
+    """Construct the equal-finish-time NLP for the given device models.
+
+    Parameters
+    ----------
+    models:
+        One fitted :class:`~repro.modeling.perf_profile.DeviceModel` per
+        processing unit (at least one).
+    total_units:
+        The work quantum Q to distribute (positive).
+    upper_units:
+        Optional per-device assignment caps in units (extrapolation
+        trust limits); must sum to at least Q.  Defaults to Q each.
+    """
+    if not models:
+        raise ConfigurationError("need at least one device model")
+    q = float(total_units)
+    if q <= 0.0:
+        raise ConfigurationError(f"total_units must be positive, got {total_units}")
+    n = len(models)
+    caps = _upper_fracs(n, q, upper_units)
+    nv = 2 * n + 1  # x fractions, slacks, T
+
+    def objective(z: np.ndarray) -> float:
+        return float(z[nv - 1])
+
+    def gradient(z: np.ndarray) -> np.ndarray:
+        g = np.zeros(nv)
+        g[nv - 1] = 1.0
+        return g
+
+    def constraints(z: np.ndarray) -> np.ndarray:
+        x, s, t = z[:n], z[n : 2 * n], z[nv - 1]
+        c = np.empty(n + 1)
+        for g in range(n):
+            c[g] = float(models[g].E(x[g] * q)) + s[g] - t
+        c[n] = float(x.sum()) - 1.0
+        return c
+
+    def jacobian(z: np.ndarray) -> np.ndarray:
+        x = z[:n]
+        jac = np.zeros((n + 1, nv))
+        for g in range(n):
+            jac[g, g] = float(models[g].dE(x[g] * q)) * q
+            jac[g, n + g] = 1.0
+            jac[g, nv - 1] = -1.0
+        jac[n, :n] = 1.0
+        return jac
+
+    def hess_lagrangian(
+        z: np.ndarray, lam: np.ndarray, obj_factor: float
+    ) -> np.ndarray:
+        # objective is linear, slacks enter linearly, the sum constraint
+        # is affine; curvature comes only from the E_g terms.
+        x = z[:n]
+        h = np.zeros((nv, nv))
+        for g in range(n):
+            h[g, g] = lam[g] * float(models[g].d2E(x[g] * q)) * q * q
+        return h
+
+    lower = np.zeros(nv)
+    upper = np.concatenate([caps, np.full(n, np.inf), [np.inf]])
+    return NLPProblem(
+        n=nv,
+        m=n + 1,
+        objective=objective,
+        gradient=gradient,
+        constraints=constraints,
+        jacobian=jacobian,
+        hess_lagrangian=hess_lagrangian,
+        lower=lower,
+        upper=upper,
+        name=f"partition[{n} devices, Q={q:g}]",
+    )
+
+
+def initial_partition_point(
+    models: Sequence[DeviceModel],
+    total_units: float,
+    *,
+    upper_units: Sequence[float] | None = None,
+) -> np.ndarray:
+    """A strictly interior warm start: split proportionally to rates.
+
+    Returns the full variable vector ``(fractions, slacks, T)``: rates
+    are measured at the equal-share size ``Q/n``, fractions are clipped
+    under the caps and renormalised, T starts at the worst predicted
+    device time (so every slack can start positive).
+    """
+    n = len(models)
+    q = float(total_units)
+    caps = _upper_fracs(n, q, upper_units)
+    probe = max(q / n, 1e-9)
+    rates = np.array([max(m.rate(probe), 1e-12) for m in models])
+    frac0 = rates / rates.sum()
+    # respect the caps (approximately; clip_interior refines further)
+    frac0 = np.minimum(frac0, 0.9 * caps)
+    total = frac0.sum()
+    if total <= 0.0:
+        frac0 = caps / caps.sum()
+    else:
+        deficit = 1.0 - total
+        if deficit > 0.0:
+            room = np.maximum(0.95 * caps - frac0, 0.0)
+            if room.sum() > 0.0:
+                frac0 = frac0 + room * (min(deficit, room.sum()) / room.sum())
+        frac0 = frac0 / frac0.sum()
+    times = np.array([float(m.E(f * q)) for m, f in zip(models, frac0)])
+    t0 = float(times.max()) * 1.05 + 1e-9
+    slacks = np.maximum(t0 - times, 1e-9)
+    return np.concatenate([frac0, slacks, [t0]])

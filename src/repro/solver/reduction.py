@@ -1,0 +1,136 @@
+"""Waterfilling reduction of the equal-time partition problem.
+
+Because every ``E_g`` is (after the sanity filter in model selection)
+increasing, the system "all devices finish at T, work sums to Q" reduces
+to one scalar equation: ``S(T) = sum_g E_g^{-1}(T) = Q`` with ``S``
+non-decreasing in T.  Bisection on T is therefore a complete, derivative
+-free solver for the same problem the interior-point method solves.
+
+It is used two ways:
+
+* as a *cross-check*: tests assert IPM and waterfilling agree;
+* as a *fallback*: if the IPM reports failure on a pathological fit,
+  the partition layer silently switches to this path (and notes it in
+  the result's ``method`` field).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SolverError
+from repro.modeling.perf_profile import DeviceModel
+
+__all__ = ["waterfill_partition"]
+
+
+def waterfill_partition(
+    models: Sequence[DeviceModel],
+    total_units: float,
+    *,
+    caps: Sequence[float] | None = None,
+    iterations: int = 100,
+    rel_tol: float = 1e-10,
+) -> tuple[np.ndarray, float]:
+    """Equal-finish-time split of ``total_units`` by bisection on T.
+
+    Returns ``(units, T)`` with ``units.sum() == total_units`` (exactly,
+    by a final proportional correction) and ``E_g(units_g)``
+    approximately T for every device that received work and is not at
+    its cap.
+
+    Parameters
+    ----------
+    caps:
+        Optional per-device assignment ceilings (extrapolation-trust
+        limits); must sum to at least ``total_units``.
+
+    Raises
+    ------
+    SolverError
+        If the bracket cannot be established (models broken enough that
+        even assigning all work to every device is "too fast").
+    """
+    if not models:
+        raise ConfigurationError("need at least one device model")
+    q = float(total_units)
+    if q <= 0.0:
+        raise ConfigurationError(f"total_units must be positive, got {total_units}")
+    if caps is None:
+        cap_arr = np.full(len(models), q)
+    else:
+        cap_arr = np.asarray(list(caps), dtype=float)
+        if cap_arr.shape != (len(models),) or np.any(cap_arr <= 0.0):
+            raise ConfigurationError("caps must be positive, one per model")
+        if cap_arr.sum() < q:
+            raise ConfigurationError("caps sum below total_units: infeasible")
+        cap_arr = np.minimum(cap_arr, q)
+
+    # Precompute, per device, a monotone lookup table E(grid) so each
+    # bisection probe is one searchsorted instead of a scalar-evaluation
+    # bisection per device (this path is charged as scheduler overhead,
+    # so its wall cost directly worsens makespans).
+    grid_n = 513
+    tables: list[tuple[np.ndarray, np.ndarray]] = []
+    for m, c in zip(models, cap_arr):
+        xs = np.linspace(0.0, float(c), grid_n)
+        ys = np.asarray(m.E(xs[1:]), dtype=float)
+        ys = np.concatenate([[0.0], np.maximum.accumulate(ys)])
+        tables.append((xs, ys))
+
+    def assigned(t: float) -> np.ndarray:
+        out = np.empty(len(models))
+        for i, (xs, ys) in enumerate(tables):
+            # largest x with E(x) <= t (monotone table)
+            idx = int(np.searchsorted(ys, t, side="right")) - 1
+            if idx <= 0:
+                out[i] = 0.0
+            elif idx >= grid_n - 1:
+                out[i] = xs[-1]
+            else:
+                # linear interpolation inside the bracketing cell
+                y0, y1 = ys[idx], ys[idx + 1]
+                frac = (t - y0) / (y1 - y0) if y1 > y0 else 0.0
+                out[i] = xs[idx] + frac * (xs[idx + 1] - xs[idx])
+        return out
+
+    t_lo = 0.0
+    t_hi = max(float(ys[-1]) for _, ys in tables)
+    if assigned(t_hi).sum() < q:
+        # Even the slowest device's full-load time doesn't cover Q across
+        # the cluster — can happen with wildly superlinear fitted curves.
+        # Expand the bracket geometrically before giving up.
+        for _ in range(60):
+            t_hi *= 2.0
+            if assigned(t_hi).sum() >= q:
+                break
+        else:
+            raise SolverError("waterfilling could not bracket the completion time")
+
+    for _ in range(iterations):
+        t_mid = 0.5 * (t_lo + t_hi)
+        if assigned(t_mid).sum() >= q:
+            t_hi = t_mid
+        else:
+            t_lo = t_mid
+        if t_hi - t_lo <= rel_tol * max(t_hi, 1e-300):
+            break
+
+    units = assigned(t_hi)
+    total = units.sum()
+    if total <= 0.0:
+        raise SolverError("waterfilling assigned zero work everywhere")
+    if total >= q:
+        units = units * (q / total)  # scaling down never violates caps
+    else:
+        # distribute the (tiny, bisection-residual) deficit to devices
+        # with remaining cap headroom
+        deficit = q - total
+        room = cap_arr - units
+        if room.sum() <= 0.0:
+            raise SolverError("waterfilling could not place all work under caps")
+        units = units + room * min(deficit / room.sum(), 1.0)
+        units = units * (q / units.sum())
+    return units, t_hi

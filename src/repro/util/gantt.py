@@ -1,0 +1,89 @@
+"""ASCII Gantt rendering of execution traces (the paper's Fig. 3).
+
+Renders each processing unit as one row of a fixed-width timeline.
+Busy intervals are drawn per phase (``#`` execution, ``:`` probing),
+idle stretches as spaces, so modeling-phase barriers, rebalance drains
+and tail stragglers are visible at a glance::
+
+    A.cpu   |::##############  ####|
+    A.gpu0  |: ####################|
+    B.cpu   |:::::  ###############|
+
+Used by examples and diagnostics; the quantitative idleness numbers
+come from :meth:`~repro.sim.trace.ExecutionTrace.idle_fractions`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import ExecutionTrace
+
+__all__ = ["render_gantt", "PHASE_GLYPHS"]
+
+#: glyph used per phase label (anything else renders as ``#``)
+PHASE_GLYPHS = {"probe": ":", "exec": "#"}
+_DEFAULT_GLYPH = "#"
+_MARKER_REBALANCE = "R"
+_MARKER_FAILURE = "X"
+
+
+def render_gantt(
+    trace: ExecutionTrace,
+    *,
+    width: int = 80,
+    show_markers: bool = True,
+) -> str:
+    """Render the trace as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    trace:
+        A finalized execution trace.
+    width:
+        Timeline width in characters (>= 10).
+    show_markers:
+        Overlay ``R`` at rebalance instants and ``X`` at device-failure
+        instants (on the affected device's row).
+
+    Returns
+    -------
+    str
+        One row per worker plus a time-axis footer.
+    """
+    if width < 10:
+        raise ConfigurationError(f"width must be >= 10, got {width}")
+    makespan = trace.makespan
+    if makespan <= 0.0:
+        return "(empty trace)"
+
+    def col(t: float) -> int:
+        return min(int(t / makespan * width), width - 1)
+
+    label_width = max((len(w) for w in trace.worker_ids), default=0) + 1
+    lines = []
+    for worker in trace.worker_ids:
+        row = [" "] * width
+        for start, end, phase in trace.gantt()[worker]:
+            glyph = PHASE_GLYPHS.get(phase, _DEFAULT_GLYPH)
+            for c in range(col(start), col(end) + 1):
+                row[c] = glyph
+        if show_markers:
+            for t, device in trace.failures:
+                if device == worker:
+                    row[col(t)] = _MARKER_FAILURE
+        lines.append(f"{worker.ljust(label_width)}|{''.join(row)}|")
+    if show_markers and trace.rebalance_times:
+        marker_row = [" "] * width
+        for t in trace.rebalance_times:
+            marker_row[col(t)] = _MARKER_REBALANCE
+        lines.append(f"{''.ljust(label_width)}|{''.join(marker_row)}|")
+    axis = f"{''.ljust(label_width)}|0{' ' * (width - 2)}>" + f"| {makespan:.3g}s"
+    lines.append(axis)
+    legend = (
+        f"{''.ljust(label_width)} {PHASE_GLYPHS['probe']}=probe "
+        f"{PHASE_GLYPHS['exec']}=exec"
+    )
+    if show_markers:
+        legend += f" {_MARKER_REBALANCE}=rebalance {_MARKER_FAILURE}=failure"
+    lines.append(legend)
+    return "\n".join(lines)

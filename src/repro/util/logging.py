@@ -1,0 +1,34 @@
+"""Library logging setup.
+
+The library logs under the ``repro`` namespace and never configures the
+root logger; applications opt in by attaching handlers.  ``get_logger``
+adds a ``NullHandler`` to the package root once, following the standard
+library-logging convention.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+_ROOT_NAME = "repro"
+_initialized = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Either a dotted module name (``repro.sim.engine``) or a short
+        suffix (``sim.engine``); both map to the same logger.
+    """
+    global _initialized
+    if not _initialized:
+        logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+        _initialized = True
+    if not name.startswith(_ROOT_NAME):
+        name = f"{_ROOT_NAME}.{name}"
+    return logging.getLogger(name)

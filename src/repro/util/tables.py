@@ -1,0 +1,92 @@
+"""ASCII table / series rendering for experiment reports.
+
+The benchmark harness prints the same rows and series that the paper's
+tables and figures report; these helpers keep that output aligned and
+stable so it can be diffed across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        magnitude = abs(value)
+        if magnitude != 0.0 and (magnitude >= 1e6 or magnitude < 10 ** (-precision)):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row cell values; floats are rounded to ``precision`` significant
+        decimals, NaN renders as ``-``.
+    title:
+        Optional title line placed above the table.
+    precision:
+        Decimal places for float cells.
+    """
+    str_rows = [[_cell(v, precision) for v in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render one or more y-series against a shared x-axis as a table.
+
+    This is the textual equivalent of one panel of a line plot: the first
+    column is the x axis, each further column one named series.
+    """
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, expected {len(x_values)}"
+            )
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x, *[ys[i] for ys in series.values()]])
+    return format_table(headers, rows, title=title, precision=precision)

@@ -1,0 +1,119 @@
+"""Argument-validation helpers.
+
+These raise :class:`~repro.errors.ConfigurationError` with messages that
+name both the parameter and the offending value, so configuration mistakes
+surface at construction time rather than deep inside the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "check_finite",
+    "check_in_range",
+    "check_positive",
+    "check_positive_int",
+    "check_probability_vector",
+]
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that ``value`` is a positive (or non-negative) finite number.
+
+    Parameters
+    ----------
+    name:
+        Parameter name used in the error message.
+    value:
+        The number to check.
+    strict:
+        When true (default) require ``value > 0``; otherwise ``value >= 0``.
+
+    Returns
+    -------
+    float
+        ``value`` unchanged, for call-site chaining.
+    """
+    if not isinstance(value, (int, float, np.integer, np.floating)) or isinstance(
+        value, bool
+    ):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    v = float(value)
+    if not math.isfinite(v):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")
+    if strict and v <= 0.0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    if not strict and v < 0.0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return v
+
+
+def check_positive_int(name: str, value: int, *, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer >= ``minimum`` and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    v = int(value)
+    if v < minimum:
+        raise ConfigurationError(f"{name} must be >= {minimum}, got {value!r}")
+    return v
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate ``low <= value <= high`` (or strict inequalities)."""
+    check_finite(name, value)
+    v = float(value)
+    if inclusive:
+        if not (low <= v <= high):
+            raise ConfigurationError(
+                f"{name} must be in [{low}, {high}], got {value!r}"
+            )
+    else:
+        if not (low < v < high):
+            raise ConfigurationError(
+                f"{name} must be in ({low}, {high}), got {value!r}"
+            )
+    return v
+
+
+def check_finite(name: str, value: Any) -> Any:
+    """Validate that a scalar or array is entirely finite and return it."""
+    arr = np.asarray(value, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def check_probability_vector(
+    name: str, values: Sequence[float], *, atol: float = 1e-6
+) -> np.ndarray:
+    """Validate a vector of non-negative fractions summing to one.
+
+    Returns the vector as a float ndarray (re-normalised exactly to 1).
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError(f"{name} must be a non-empty 1-D vector")
+    if not np.all(np.isfinite(arr)):
+        raise ConfigurationError(f"{name} must be finite, got {values!r}")
+    if np.any(arr < -atol):
+        raise ConfigurationError(f"{name} must be non-negative, got {values!r}")
+    total = float(arr.sum())
+    if abs(total - 1.0) > atol:
+        raise ConfigurationError(
+            f"{name} must sum to 1 (got sum={total:.9f}): {values!r}"
+        )
+    arr = np.clip(arr, 0.0, None)
+    return arr / arr.sum()

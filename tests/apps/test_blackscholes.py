@@ -1,0 +1,93 @@
+"""Tests for repro.apps.blackscholes."""
+
+import numpy as np
+import pytest
+
+from repro.apps import BlackScholes
+from repro.errors import ConfigurationError, WorkloadError
+
+
+class TestConfig:
+    def test_total_units(self):
+        assert BlackScholes(1000).total_units == 1000
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            BlackScholes(0)
+        with pytest.raises(ConfigurationError):
+            BlackScholes(10, lattice_steps=1)
+
+    def test_kernel_work_quadratic_in_steps(self):
+        k1 = BlackScholes(10, lattice_steps=100).kernel_characteristics()
+        k2 = BlackScholes(10, lattice_steps=200).kernel_characteristics()
+        assert k2.flops_per_unit / k1.flops_per_unit == pytest.approx(4.0, rel=0.02)
+
+    def test_cores_scaling(self):
+        k = BlackScholes(10).kernel_characteristics()
+        assert k.gpu_half_scaling == "cores"
+
+
+class TestPricing:
+    def test_lattice_converges_to_closed_form(self):
+        app = BlackScholes(100, lattice_steps=512, seed=2)
+        lattice = app.cpu_kernel(0, 100)
+        exact = app.closed_form(0, 100)
+        assert np.max(np.abs(lattice - exact)) < 0.3
+
+    def test_convergence_improves_with_steps(self):
+        coarse = BlackScholes(50, lattice_steps=64, seed=2)
+        fine = BlackScholes(50, lattice_steps=512, seed=2)
+        err_coarse = np.abs(coarse.cpu_kernel(0, 50) - coarse.closed_form(0, 50))
+        err_fine = np.abs(fine.cpu_kernel(0, 50) - fine.closed_form(0, 50))
+        assert err_fine.mean() < err_coarse.mean()
+
+    def test_prices_nonnegative(self):
+        app = BlackScholes(200, lattice_steps=64)
+        assert np.all(app.cpu_kernel(0, 200) >= 0.0)
+
+    def test_call_price_below_spot(self):
+        app = BlackScholes(200, lattice_steps=64)
+        app._ensure_params()
+        prices = app.cpu_kernel(0, 200)
+        assert np.all(prices <= app._params["spot"] + 1e-9)
+
+    def test_deep_itm_close_to_intrinsic_bound(self):
+        app = BlackScholes(100, lattice_steps=128)
+        app._ensure_params()
+        prices = app.cpu_kernel(0, 100)
+        intrinsic = np.maximum(
+            app._params["spot"]
+            - app._params["strike"]
+            * np.exp(-app._params["rate"] * app._params["maturity"]),
+            0.0,
+        )
+        assert np.all(prices >= intrinsic - 1e-6)
+
+    def test_block_independent_of_split(self):
+        app = BlackScholes(60, lattice_steps=64)
+        whole = app.cpu_kernel(0, 60)
+        split = np.concatenate([app.cpu_kernel(0, 30), app.cpu_kernel(30, 30)])
+        assert np.allclose(whole, split)
+
+    def test_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            BlackScholes(10, lattice_steps=16).cpu_kernel(8, 5)
+
+
+class TestVerify:
+    def test_accepts_lattice_prices(self):
+        app = BlackScholes(80, lattice_steps=256)
+        results = [(0, 40, app.cpu_kernel(0, 40)), (40, 40, app.cpu_kernel(40, 40))]
+        assert app.verify(results)
+
+    def test_rejects_garbage(self):
+        app = BlackScholes(80, lattice_steps=256)
+        assert not app.verify([(0, 80, np.zeros(80))])
+
+    def test_rejects_incomplete(self):
+        app = BlackScholes(80, lattice_steps=256)
+        assert not app.verify([(0, 40, app.cpu_kernel(0, 40))])
+
+    def test_rejects_wrong_shape(self):
+        app = BlackScholes(80, lattice_steps=256)
+        assert not app.verify([(0, 80, np.zeros((80, 2)))])

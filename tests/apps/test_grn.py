@@ -1,0 +1,91 @@
+"""Tests for repro.apps.grn."""
+
+import numpy as np
+import pytest
+
+from repro.apps import GRNInference
+from repro.errors import ConfigurationError, WorkloadError
+
+
+class TestConfig:
+    def test_total_units(self):
+        assert GRNInference(100).total_units == 100
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            GRNInference(0)
+        with pytest.raises(ConfigurationError):
+            GRNInference(10, candidate_pool=1)
+        with pytest.raises(ConfigurationError):
+            GRNInference(10, samples=2)
+
+    def test_kernel_work_scales_with_pool(self):
+        k1 = GRNInference(10, candidate_pool=16).kernel_characteristics()
+        k2 = GRNInference(10, candidate_pool=32).kernel_characteristics()
+        # pairs grow quadratically with pool size
+        assert k2.flops_per_unit / k1.flops_per_unit == pytest.approx(
+            (32 * 31) / (16 * 15), rel=0.01
+        )
+
+    def test_real_limit_enforced(self):
+        app = GRNInference(100_000, candidate_pool=4096)
+        with pytest.raises(WorkloadError, match="simulation-only"):
+            app.cpu_kernel(0, 1)
+
+
+class TestKernel:
+    @pytest.fixture
+    def app(self):
+        return GRNInference(50, candidate_pool=10, samples=24, seed=4)
+
+    def test_output_shape(self, app):
+        out = app.cpu_kernel(0, 5)
+        assert out.shape == (5, 2)
+
+    def test_scores_nonnegative_and_bounded(self, app):
+        out = app.cpu_kernel(0, 20)
+        assert np.all(out[:, 1] >= 0)
+        assert np.all(out[:, 1] <= app.samples)
+
+    def test_pair_index_in_range(self, app):
+        out = app.cpu_kernel(0, 20)
+        n_pairs = 10 * 9 // 2
+        assert np.all(out[:, 0] >= 0)
+        assert np.all(out[:, 0] < n_pairs)
+
+    def test_matches_brute_force(self, app):
+        out = app.cpu_kernel(0, 8)
+        for i in range(8):
+            _, ref_score = app.brute_force_best(i)
+            assert out[i, 1] == ref_score
+
+    def test_block_split_invariant(self, app):
+        whole = app.cpu_kernel(0, 10)
+        split = np.vstack([app.cpu_kernel(0, 5), app.cpu_kernel(5, 5)])
+        assert np.array_equal(whole, split)
+
+    def test_out_of_range(self, app):
+        with pytest.raises(WorkloadError):
+            app.cpu_kernel(48, 5)
+
+    def test_deterministic(self):
+        a = GRNInference(20, candidate_pool=8, samples=16, seed=7).cpu_kernel(0, 20)
+        b = GRNInference(20, candidate_pool=8, samples=16, seed=7).cpu_kernel(0, 20)
+        assert np.array_equal(a, b)
+
+
+class TestVerify:
+    def test_accepts_correct(self):
+        app = GRNInference(30, candidate_pool=8, samples=16)
+        results = [(0, 15, app.cpu_kernel(0, 15)), (15, 15, app.cpu_kernel(15, 15))]
+        assert app.verify(results)
+
+    def test_rejects_wrong_scores(self):
+        app = GRNInference(30, candidate_pool=8, samples=16)
+        bad = app.cpu_kernel(0, 30).copy()
+        bad[:, 1] += 1
+        assert not app.verify([(0, 30, bad)])
+
+    def test_rejects_incomplete(self):
+        app = GRNInference(30, candidate_pool=8, samples=16)
+        assert not app.verify([(0, 15, app.cpu_kernel(0, 15))])

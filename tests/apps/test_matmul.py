@@ -1,0 +1,105 @@
+"""Tests for repro.apps.matmul."""
+
+import numpy as np
+import pytest
+
+from repro.apps import MatMul
+from repro.errors import ConfigurationError, WorkloadError
+
+
+class TestMatMulConfig:
+    def test_total_units_is_order(self):
+        assert MatMul(n=256).total_units == 256
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            MatMul(n=0)
+
+    def test_kernel_characteristics(self):
+        k = MatMul(n=1024).kernel_characteristics()
+        assert k.flops_per_unit == pytest.approx(2.0 * 1024**2)
+        assert k.bytes_in_per_unit == pytest.approx(4.0 * 1024)
+        assert k.gpu_half_scaling == "threads"
+
+    def test_initial_block_heuristic(self):
+        assert MatMul(n=65536).default_initial_block_size() == 32
+        assert MatMul(n=1024).default_initial_block_size() == 32  # floored
+
+    def test_codelet_has_real_impl(self):
+        c = MatMul(n=64).codelet()
+        assert not c.simulation_only
+        assert c.name == "matmul"
+
+
+class TestMatMulKernels:
+    def test_block_matches_full_product(self):
+        app = MatMul(n=64, seed=1)
+        block = app.cpu_kernel(8, 16)
+        app._ensure_data()
+        expected = (app._a @ app._b)[8:24]
+        assert np.allclose(block, expected, rtol=1e-4, atol=1e-3)
+
+    def test_gpu_kernel_same_as_cpu(self):
+        app = MatMul(n=32)
+        assert np.allclose(app.gpu_kernel(0, 4), app.cpu_kernel(0, 4))
+
+    def test_out_of_range_rejected(self):
+        app = MatMul(n=32)
+        with pytest.raises(WorkloadError):
+            app.cpu_kernel(30, 5)
+
+    def test_materialize_limit_enforced(self):
+        app = MatMul(n=8192, materialize_limit=4096)
+        with pytest.raises(WorkloadError, match="simulation-only"):
+            app.cpu_kernel(0, 1)
+
+    def test_deterministic_data(self):
+        a = MatMul(n=32, seed=3).cpu_kernel(0, 32)
+        b = MatMul(n=32, seed=3).cpu_kernel(0, 32)
+        assert np.array_equal(a, b)
+
+
+class TestMatMulVerify:
+    def test_accepts_correct_blocks(self):
+        app = MatMul(n=48)
+        results = [
+            (0, 16, app.cpu_kernel(0, 16)),
+            (16, 32, app.cpu_kernel(16, 32)),
+        ]
+        assert app.verify(results)
+
+    def test_rejects_gap(self):
+        app = MatMul(n=48)
+        results = [(0, 16, app.cpu_kernel(0, 16))]
+        assert not app.verify(results)
+
+    def test_rejects_overlap(self):
+        app = MatMul(n=48)
+        results = [
+            (0, 32, app.cpu_kernel(0, 32)),
+            (16, 32, app.cpu_kernel(16, 32)),
+        ]
+        assert not app.verify(results)
+
+    def test_rejects_wrong_values(self):
+        app = MatMul(n=48)
+        wrong = np.zeros((48, 48), dtype=np.float32)
+        assert not app.verify([(0, 48, wrong)])
+
+    def test_rejects_wrong_shape(self):
+        app = MatMul(n=48)
+        assert not app.verify([(0, 48, np.zeros((48, 3)))])
+
+
+class TestCoverageHelper:
+    def test_exact_tiling(self):
+        assert MatMul.coverage_ok([(0, 5, None), (5, 5, None)], 10)
+
+    def test_out_of_order_ok(self):
+        assert MatMul.coverage_ok([(5, 5, None), (0, 5, None)], 10)
+
+    def test_short_fails(self):
+        assert not MatMul.coverage_ok([(0, 5, None)], 10)
+
+    def test_overlap_fails(self):
+        assert not MatMul.coverage_ok([(0, 6, None), (5, 5, None)], 10)

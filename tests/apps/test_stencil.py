@@ -1,0 +1,112 @@
+"""Tests for repro.apps.stencil."""
+
+import numpy as np
+import pytest
+
+from repro.apps import Stencil2D
+from repro.errors import ConfigurationError, WorkloadError
+
+
+class TestConfig:
+    def test_total_units(self):
+        assert Stencil2D(100).total_units == 100
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            Stencil2D(0)
+        with pytest.raises(ConfigurationError):
+            Stencil2D(10, tile=2)
+        with pytest.raises(ConfigurationError):
+            Stencil2D(10, sweeps=0)
+
+    def test_memory_bound_characterisation(self):
+        k = Stencil2D(10, tile=64, sweeps=100).kernel_characteristics()
+        # a memory-bound kernel sustains a small fraction of peak
+        assert k.gpu_efficiency < 0.3
+        assert k.flops_per_unit == pytest.approx(5.0 * 64 * 64 * 100)
+
+
+class TestKernel:
+    @pytest.fixture
+    def app(self):
+        return Stencil2D(20, tile=16, sweeps=10, seed=3)
+
+    def test_output_shape(self, app):
+        out = app.cpu_kernel(0, 5)
+        assert out.shape == (5, 16, 16)
+
+    def test_boundaries_fixed(self, app):
+        initial = app._initial_tiles(0, 1)[0]
+        final = app.cpu_kernel(0, 1)[0]
+        assert np.array_equal(final[0, :], initial[0, :])
+        assert np.array_equal(final[-1, :], initial[-1, :])
+        assert np.array_equal(final[:, 0], initial[:, 0])
+        assert np.array_equal(final[:, -1], initial[:, -1])
+
+    def test_interior_smoothed(self, app):
+        initial = app._initial_tiles(0, 1)[0]
+        final = app.cpu_kernel(0, 1)[0]
+        # relaxation reduces interior variance
+        assert final[1:-1, 1:-1].var() < initial[1:-1, 1:-1].var()
+
+    def test_maximum_principle(self, app):
+        """Jacobi iterates stay within the initial value range."""
+        initial = app._initial_tiles(0, 3)
+        final = app.cpu_kernel(0, 3)
+        assert final.max() <= initial.max() + 1e-12
+        assert final.min() >= initial.min() - 1e-12
+
+    def test_matches_independent_implementation(self, app):
+        fast = app.cpu_kernel(4, 1)[0]
+        reference = app._reference_tile(4)
+        assert np.allclose(fast, reference, atol=1e-12)
+
+    def test_block_split_invariant(self, app):
+        whole = app.cpu_kernel(0, 10)
+        split = np.concatenate([app.cpu_kernel(0, 4), app.cpu_kernel(4, 6)])
+        assert np.array_equal(whole, split)
+
+    def test_deterministic_per_tile(self):
+        a = Stencil2D(10, tile=16, sweeps=5, seed=1).cpu_kernel(3, 1)
+        b = Stencil2D(10, tile=16, sweeps=5, seed=1).cpu_kernel(3, 1)
+        assert np.array_equal(a, b)
+
+    def test_out_of_range(self, app):
+        with pytest.raises(WorkloadError):
+            app.cpu_kernel(18, 5)
+
+
+class TestVerify:
+    def test_accepts_correct(self):
+        app = Stencil2D(12, tile=16, sweeps=5)
+        results = [(0, 6, app.cpu_kernel(0, 6)), (6, 6, app.cpu_kernel(6, 6))]
+        assert app.verify(results)
+
+    def test_rejects_wrong_values(self):
+        app = Stencil2D(12, tile=16, sweeps=5)
+        bad = app.cpu_kernel(0, 12) + 1.0
+        assert not app.verify([(0, 12, bad)])
+
+    def test_rejects_incomplete(self):
+        app = Stencil2D(12, tile=16, sweeps=5)
+        assert not app.verify([(0, 6, app.cpu_kernel(0, 6))])
+
+
+class TestEndToEnd:
+    def test_sim_run(self, small_cluster):
+        from repro import PLBHeC, Runtime
+
+        app = Stencil2D(4096, sweeps=2000)
+        res = Runtime(small_cluster, app.codelet(), seed=0).run(
+            PLBHeC(), app.total_units, app.default_initial_block_size()
+        )
+        assert res.trace.total_units() == 4096
+
+    def test_real_run_verified(self, small_cluster):
+        from repro import Greedy, Runtime
+
+        app = Stencil2D(200, tile=16, sweeps=10)
+        res = Runtime(small_cluster, app.codelet(), backend="real").run(
+            Greedy(num_pieces=16), app.total_units, 8
+        )
+        assert app.verify(res.results)

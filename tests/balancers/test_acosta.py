@@ -1,0 +1,82 @@
+"""Tests for repro.balancers.acosta."""
+
+import pytest
+
+from repro.apps import MatMul
+from repro.balancers import Acosta
+from repro.errors import ConfigurationError
+from repro.runtime import Runtime
+
+
+class TestAcostaConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Acosta(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            Acosta(smoothing=0.0)
+        with pytest.raises(ConfigurationError):
+            Acosta(smoothing=1.5)
+        with pytest.raises(ConfigurationError):
+            Acosta(ramp=0.5)
+        with pytest.raises(ConfigurationError):
+            Acosta(max_step_fraction=0.0)
+
+
+class TestAcostaBehaviour:
+    def test_completes_domain(self, small_cluster):
+        app = MatMul(n=2048)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        res = rt.run(Acosta(), app.total_units, 8)
+        assert res.trace.total_units() == 2048
+
+    def test_first_step_is_probe_sized(self, small_cluster):
+        app = MatMul(n=2048)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        res = rt.run(Acosta(), app.total_units, 8)
+        step1 = [r for r in res.trace.records if r.step == 1]
+        assert all(r.units == 8 for r in step1)
+        assert len(step1) == len(small_cluster.devices())
+
+    def test_steps_are_synchronised(self, small_cluster):
+        app = MatMul(n=2048)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        res = rt.run(Acosta(), app.total_units, 8)
+        # within a step, every start time is >= every previous step's end
+        by_step = {}
+        for r in res.trace.records:
+            by_step.setdefault(r.step, []).append(r)
+        steps = sorted(by_step)
+        for earlier, later in zip(steps, steps[1:]):
+            end_prev = max(r.end_time for r in by_step[earlier])
+            start_next = min(r.start_time for r in by_step[later])
+            assert start_next >= end_prev - 1e-9
+
+    def test_shares_converge_toward_speed(self, small_cluster):
+        app = MatMul(n=8192)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        policy = Acosta()
+        rt.run(policy, app.total_units, 8)
+        shares = policy._shares
+        assert shares["alpha.gpu0"] > shares["beta.cpu"]
+
+    def test_asymptotic_convergence_retains_equal_bias(self, small_cluster):
+        """After one update the share still carries the equal-split prior."""
+        app = MatMul(n=4096)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        policy = Acosta(smoothing=0.35)
+        rt.run(policy, app.total_units, 8)
+        n = len(small_cluster.devices())
+        # slowest device share stays above its true tiny fraction
+        assert policy._shares["beta.cpu"] > 0.005
+
+    def test_quanta_ramp_up(self, small_cluster):
+        app = MatMul(n=8192)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        res = rt.run(Acosta(ramp=2.0), app.total_units, 8)
+        by_step = {}
+        for r in res.trace.records:
+            by_step[r.step] = by_step.get(r.step, 0) + r.units
+        steps = sorted(by_step)
+        mids = steps[1:-1]  # ignore probe and clamped tail
+        for a, b in zip(mids, mids[1:]):
+            assert by_step[b] >= by_step[a] * 0.9

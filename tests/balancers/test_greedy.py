@@ -1,0 +1,53 @@
+"""Tests for repro.balancers.greedy."""
+
+import pytest
+
+from repro.apps import MatMul
+from repro.balancers import Greedy
+from repro.runtime import Runtime
+
+
+class TestGreedy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Greedy(num_pieces=0)
+        with pytest.raises(ValueError):
+            Greedy(piece_size=0)
+
+    def test_piece_size_from_division(self, small_cluster):
+        app = MatMul(n=640)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        policy = Greedy(num_pieces=64)
+        res = rt.run(policy, app.total_units, 8)
+        assert policy.piece_size == 10
+        sizes = {r.units for r in res.trace.records}
+        assert sizes == {10}
+
+    def test_explicit_piece_size_overrides(self, small_cluster):
+        app = MatMul(n=100)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        policy = Greedy(piece_size=25)
+        rt.run(policy, app.total_units, 8)
+        assert policy.piece_size == 25
+
+    def test_piece_at_least_one(self, small_cluster):
+        app = MatMul(n=16)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        policy = Greedy(num_pieces=64)
+        res = rt.run(policy, app.total_units, 4)
+        assert policy.piece_size == 1
+        assert res.trace.total_units() == 16
+
+    def test_self_scheduling_gives_faster_device_more(self, small_cluster):
+        app = MatMul(n=2048)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        res = rt.run(Greedy(num_pieces=64), app.total_units, 8)
+        units = res.trace.allocated_units()
+        # the big GPU outruns the small CPU under self-scheduling
+        assert units["alpha.gpu0"] > units["beta.cpu"]
+
+    def test_no_overhead_charged(self, small_cluster):
+        app = MatMul(n=512)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        res = rt.run(Greedy(), app.total_units, 8)
+        assert res.solver_overhead_s == 0.0

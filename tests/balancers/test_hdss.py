@@ -1,0 +1,110 @@
+"""Tests for repro.balancers.hdss."""
+
+import pytest
+
+from repro.apps import MatMul
+from repro.balancers import HDSS
+from repro.errors import ConfigurationError
+from repro.runtime import Runtime
+
+
+class TestHDSSConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HDSS(max_adaptive_rounds=1)
+        with pytest.raises(ConfigurationError):
+            HDSS(adaptive_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            HDSS(plateau_tol=0.0)
+        with pytest.raises(ConfigurationError):
+            HDSS(taper=0.0)
+        with pytest.raises(ConfigurationError):
+            HDSS(min_block=0)
+
+
+class TestHDSSBehaviour:
+    def test_completes_domain(self, small_cluster):
+        app = MatMul(n=4096)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        res = rt.run(HDSS(), app.total_units, 8)
+        assert res.trace.total_units() == 4096
+
+    def test_two_phases_present(self, small_cluster):
+        app = MatMul(n=4096)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        res = rt.run(HDSS(), app.total_units, 8)
+        phases = {r.phase for r in res.trace.records}
+        assert phases == {"probe", "exec"}
+
+    def test_uniform_probe_sizes_default(self, small_cluster):
+        """The paper's HDSS probes with device-independent doubling sizes."""
+        app = MatMul(n=4096)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        res = rt.run(HDSS(), app.total_units, 8)
+        probe = [r for r in res.trace.records if r.phase == "probe"]
+        by_round = {}
+        for r in probe:
+            by_round.setdefault(r.step, set()).add(r.units)
+        for round_idx, sizes in by_round.items():
+            assert len(sizes) == 1, f"round {round_idx} sizes differ: {sizes}"
+
+    def test_probe_sizes_double(self, small_cluster):
+        app = MatMul(n=4096)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        res = rt.run(HDSS(), app.total_units, 8)
+        probe = [r for r in res.trace.records if r.phase == "probe"]
+        sizes = sorted({r.units for r in probe})
+        for a, b in zip(sizes, sizes[1:]):
+            assert b == 2 * a
+
+    def test_weights_fitted_and_ordered(self, small_cluster):
+        app = MatMul(n=4096)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        policy = HDSS()
+        rt.run(policy, app.total_units, 8)
+        w = policy.weights
+        assert set(w) == {d.device_id for d in small_cluster.devices()}
+        assert all(v > 0 for v in w.values())
+        assert w["alpha.gpu0"] > w["beta.cpu"]
+
+    def test_adaptive_budget_respected(self, small_cluster):
+        app = MatMul(n=4096)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        res = rt.run(HDSS(adaptive_fraction=0.04), app.total_units, 8)
+        probe_units = sum(
+            r.units for r in res.trace.records if r.phase == "probe"
+        )
+        # one extra round can start before the budget check fires
+        assert probe_units <= 0.04 * 4096 + len(small_cluster.devices()) * 8 * 8
+
+    def test_completion_blocks_taper(self, small_cluster):
+        app = MatMul(n=8192)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        res = rt.run(HDSS(), app.total_units, 8)
+        gpu_exec = [
+            r.units
+            for r in res.trace.records_for("alpha.gpu0")
+            if r.phase == "exec"
+        ]
+        if len(gpu_exec) >= 3:
+            assert gpu_exec[0] >= gpu_exec[-1]
+
+    def test_per_device_variant_scales_probes(self, small_cluster):
+        app = MatMul(n=8192)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        res = rt.run(HDSS(per_device_growth=True), app.total_units, 8)
+        probe = [r for r in res.trace.records if r.phase == "probe"]
+        fast = max(r.units for r in probe if r.worker_id == "alpha.gpu0")
+        slow = max(r.units for r in probe if r.worker_id == "beta.cpu")
+        # the fast device grows further before its rate plateaus
+        assert fast >= slow
+
+    def test_per_device_variant_faster_than_uniform(self, small_cluster):
+        app = MatMul(n=8192)
+        uniform = Runtime(small_cluster, app.codelet(), seed=0).run(
+            HDSS(), app.total_units, 8
+        )
+        async_v = Runtime(small_cluster, app.codelet(), seed=0).run(
+            HDSS(per_device_growth=True), app.total_units, 8
+        )
+        assert async_v.makespan < uniform.makespan

@@ -1,0 +1,94 @@
+"""Tests for repro.balancers.oracle and repro.balancers.static_profile."""
+
+import pytest
+
+from repro.apps import MatMul
+from repro.balancers import Greedy, Oracle, StaticProfile
+from repro.cluster import GroundTruth
+from repro.errors import ConfigurationError
+from repro.runtime import Runtime
+from tests.conftest import make_fitted_models
+
+
+class TestOracle:
+    def test_requires_ground_truth(self):
+        with pytest.raises(ConfigurationError):
+            Oracle("nope")  # type: ignore[arg-type]
+
+    def test_near_ideal_makespan(self, small_cluster):
+        app = MatMul(n=4096)
+        gt = GroundTruth(small_cluster, app.kernel_characteristics())
+        rt = Runtime(small_cluster, app.codelet(), seed=0, noise_sigma=0.0)
+        res = rt.run(Oracle(gt), app.total_units, 8)
+        # every device runs one block; finish times nearly equal
+        idle = res.idle_fractions
+        assert max(idle.values()) < 0.05
+
+    def test_beats_greedy(self, small_cluster):
+        app = MatMul(n=4096)
+        gt = GroundTruth(small_cluster, app.kernel_characteristics())
+        oracle_run = Runtime(small_cluster, app.codelet(), seed=0).run(
+            Oracle(gt), app.total_units, 8
+        )
+        greedy_run = Runtime(small_cluster, app.codelet(), seed=0).run(
+            Greedy(), app.total_units, 8
+        )
+        assert oracle_run.makespan <= greedy_run.makespan * 1.001
+
+    def test_hamilton_rounding_exact(self, small_cluster):
+        app = MatMul(n=1023)  # awkward total to force fractional shares
+        gt = GroundTruth(small_cluster, app.kernel_characteristics())
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        res = rt.run(Oracle(gt), app.total_units, 8)
+        assert res.trace.total_units() == 1023
+
+    def test_one_block_per_device(self, small_cluster):
+        app = MatMul(n=2048)
+        gt = GroundTruth(small_cluster, app.kernel_characteristics())
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        res = rt.run(Oracle(gt), app.total_units, 8)
+        for d in res.trace.worker_ids:
+            assert len(res.trace.records_for(d)) <= 1
+
+
+class TestStaticProfile:
+    def test_requires_profiles(self):
+        with pytest.raises(ConfigurationError):
+            StaticProfile({})
+
+    def test_missing_device_rejected(self, small_cluster, mm_ground_truth):
+        models = make_fitted_models(mm_ground_truth)
+        del models["beta.cpu"]
+        app = MatMul(n=1024)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        with pytest.raises(ConfigurationError, match="beta.cpu"):
+            rt.run(StaticProfile(models), app.total_units, 8)
+
+    def test_distributes_by_offline_profiles(self, small_cluster, mm_ground_truth):
+        models = make_fitted_models(mm_ground_truth)
+        app = MatMul(n=4096)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        policy = StaticProfile(models)
+        res = rt.run(policy, app.total_units, 8)
+        assert res.trace.total_units() == 4096
+        units = res.trace.allocated_units()
+        assert units["alpha.gpu0"] > units["beta.cpu"]
+
+    def test_num_steps_waves(self, small_cluster, mm_ground_truth):
+        models = make_fitted_models(mm_ground_truth)
+        app = MatMul(n=4096)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        res = rt.run(StaticProfile(models, num_steps=4), app.total_units, 8)
+        per_device = {
+            d: len(res.trace.records_for(d)) for d in res.trace.worker_ids
+        }
+        assert all(count <= 4 for count in per_device.values())
+
+    def test_no_adaptation(self, small_cluster, mm_ground_truth):
+        """Static stays static: exactly one partition, zero rebalances."""
+        models = make_fitted_models(mm_ground_truth)
+        app = MatMul(n=2048)
+        rt = Runtime(small_cluster, app.codelet(), seed=0)
+        policy = StaticProfile(models)
+        res = rt.run(policy, app.total_units, 8)
+        assert res.num_rebalances == 0

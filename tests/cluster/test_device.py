@@ -1,0 +1,106 @@
+"""Tests for repro.cluster.device."""
+
+import pytest
+
+from repro.cluster.device import CPUSpec, Device, DeviceKind, GPUArch, GPUSpec
+from repro.errors import ConfigurationError
+
+
+def cpu(**kw):
+    defaults = dict(model="c", cores=4, clock_ghz=2.0)
+    defaults.update(kw)
+    return CPUSpec(**defaults)
+
+
+def gpu(**kw):
+    defaults = dict(
+        model="g", cores=512, sms=8, clock_ghz=1.0,
+        mem_bandwidth_gbs=100.0, mem_gb=2.0, arch=GPUArch.KEPLER,
+    )
+    defaults.update(kw)
+    return GPUSpec(**defaults)
+
+
+class TestCPUSpec:
+    def test_peak_gflops(self):
+        spec = cpu(cores=4, clock_ghz=2.0, flops_per_cycle=8.0)
+        assert spec.peak_gflops == pytest.approx(64.0)
+
+    def test_threads(self):
+        assert cpu(cores=4, threads_per_core=2).threads == 8
+
+    def test_invalid_cores(self):
+        with pytest.raises(ConfigurationError):
+            cpu(cores=0)
+
+    def test_invalid_clock(self):
+        with pytest.raises(ConfigurationError):
+            cpu(clock_ghz=-1.0)
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            cpu(efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            cpu(efficiency=1.0)
+
+
+class TestGPUSpec:
+    def test_peak_gflops(self):
+        spec = gpu(cores=512, clock_ghz=1.0, flops_per_cycle=2.0)
+        assert spec.peak_gflops == pytest.approx(1024.0)
+
+    def test_max_resident_threads(self):
+        assert gpu(sms=8).max_resident_threads == 8 * 2048
+
+    def test_arch_type_checked(self):
+        with pytest.raises(ConfigurationError):
+            gpu(arch="kepler")  # type: ignore[arg-type]
+
+    def test_invalid_sms(self):
+        with pytest.raises(ConfigurationError):
+            gpu(sms=0)
+
+
+class TestGPUArch:
+    def test_efficiency_ordering(self):
+        # newer architectures sustain a larger fraction of peak
+        effs = [
+            GPUArch.TESLA.sustained_efficiency,
+            GPUArch.FERMI.sustained_efficiency,
+            GPUArch.KEPLER.sustained_efficiency,
+            GPUArch.MAXWELL.sustained_efficiency,
+        ]
+        assert effs == sorted(effs)
+        assert all(0 < e < 1 for e in effs)
+
+
+class TestDevice:
+    def test_cpu_device(self):
+        d = Device("m.cpu", DeviceKind.CPU, "m", cpu())
+        assert not d.is_gpu
+        assert d.parallel_capacity == cpu().threads
+        assert d.sustained_efficiency == cpu().efficiency
+
+    def test_gpu_device(self):
+        d = Device("m.gpu0", DeviceKind.GPU, "m", gpu())
+        assert d.is_gpu
+        assert d.parallel_capacity == gpu().max_resident_threads
+        assert d.sustained_efficiency == GPUArch.KEPLER.sustained_efficiency
+
+    def test_kind_spec_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Device("m.cpu", DeviceKind.CPU, "m", gpu())
+        with pytest.raises(ConfigurationError):
+            Device("m.gpu0", DeviceKind.GPU, "m", cpu())
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Device("", DeviceKind.CPU, "m", cpu())
+
+    def test_str_is_id(self):
+        d = Device("m.cpu", DeviceKind.CPU, "m", cpu())
+        assert str(d) == "m.cpu"
+
+    def test_model_property(self):
+        d = Device("m.cpu", DeviceKind.CPU, "m", cpu(model="Xeon"))
+        assert d.model == "Xeon"

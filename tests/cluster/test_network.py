@@ -1,0 +1,101 @@
+"""Tests for repro.cluster.network."""
+
+import pytest
+
+from repro.cluster.device import CPUSpec, Device, DeviceKind, GPUArch, GPUSpec
+from repro.cluster.network import NetworkSpec, PCIeSpec, TransferModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    return TransferModel(
+        network=NetworkSpec(bandwidth_gbs=1.0, latency_s=1e-4),
+        pcie=PCIeSpec(bandwidth_gbs=10.0, latency_s=1e-5),
+        master_machine="A",
+        host_memcpy_gbs=100.0,
+    )
+
+
+def make_device(machine, kind):
+    if kind is DeviceKind.CPU:
+        return Device(
+            f"{machine}.cpu", kind, machine,
+            CPUSpec(model="c", cores=2, clock_ghz=2.0),
+        )
+    return Device(
+        f"{machine}.gpu0", kind, machine,
+        GPUSpec(
+            model="g", cores=64, sms=2, clock_ghz=1.0,
+            mem_bandwidth_gbs=10.0, mem_gb=1.0, arch=GPUArch.KEPLER,
+        ),
+    )
+
+
+class TestSpecs:
+    def test_network_validation(self):
+        with pytest.raises(ConfigurationError):
+            NetworkSpec(bandwidth_gbs=0.0)
+        with pytest.raises(ConfigurationError):
+            NetworkSpec(latency_s=-1.0)
+
+    def test_pcie_validation(self):
+        with pytest.raises(ConfigurationError):
+            PCIeSpec(bandwidth_gbs=-1.0)
+
+
+class TestTransferModel:
+    def test_local_cpu_pays_only_memcpy(self, model):
+        d = make_device("A", DeviceKind.CPU)
+        t = model.transfer_time(d, 1e9)
+        assert t == pytest.approx(1e9 / 100e9)
+
+    def test_local_gpu_pays_pcie(self, model):
+        d = make_device("A", DeviceKind.GPU)
+        t = model.transfer_time(d, 1e9)
+        assert t == pytest.approx(1e-5 + 1e9 / 10e9)
+
+    def test_remote_cpu_pays_network(self, model):
+        d = make_device("B", DeviceKind.CPU)
+        t = model.transfer_time(d, 1e9)
+        assert t == pytest.approx(1e-4 + 1e9 / 1e9 + 1e9 / 100e9)
+
+    def test_remote_gpu_pays_both(self, model):
+        d = make_device("B", DeviceKind.GPU)
+        t = model.transfer_time(d, 1e9)
+        expected = 1e-4 + 1e9 / 1e9 + 1e-5 + 1e9 / 10e9
+        assert t == pytest.approx(expected)
+
+    def test_zero_bytes_still_pays_latency(self, model):
+        d = make_device("B", DeviceKind.GPU)
+        assert model.transfer_time(d, 0.0) == pytest.approx(1e-4 + 1e-5)
+
+    def test_negative_bytes_rejected(self, model):
+        d = make_device("A", DeviceKind.CPU)
+        with pytest.raises(ValueError):
+            model.transfer_time(d, -1.0)
+
+    def test_transfer_time_is_affine_in_bytes(self, model):
+        # the paper's G[x] = a1*x + a2 must be able to represent it exactly
+        d = make_device("B", DeviceKind.GPU)
+        t0 = model.transfer_time(d, 0.0)
+        t1 = model.transfer_time(d, 1e6)
+        t2 = model.transfer_time(d, 2e6)
+        assert (t2 - t1) == pytest.approx(t1 - t0)
+
+    def test_bandwidth_to_serial_composition(self, model):
+        d = make_device("B", DeviceKind.GPU)
+        bw = model.bandwidth_to(d)
+        expected = 1.0 / (1 / 1e9 + 1 / 10e9)
+        assert bw == pytest.approx(expected)
+
+    def test_latency_to(self, model):
+        assert model.latency_to(make_device("A", DeviceKind.CPU)) == 0.0
+        assert model.latency_to(make_device("B", DeviceKind.GPU)) == pytest.approx(
+            1e-4 + 1e-5
+        )
+
+    def test_remote_slower_than_local(self, model):
+        local = model.transfer_time(make_device("A", DeviceKind.GPU), 1e6)
+        remote = model.transfer_time(make_device("B", DeviceKind.GPU), 1e6)
+        assert remote > local

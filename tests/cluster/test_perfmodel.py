@@ -1,0 +1,183 @@
+"""Tests for repro.cluster.perfmodel (the ground-truth time model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    GroundTruth,
+    KernelCharacteristics,
+    paper_cluster,
+)
+from repro.cluster.perfmodel import (
+    REF_CPU_THREADS,
+    REF_GPU_CAPACITY,
+    DevicePerformance,
+)
+from repro.errors import ConfigurationError
+
+
+def kernel(**kw):
+    defaults = dict(
+        name="k",
+        flops_per_unit=1e7,
+        bytes_in_per_unit=1e3,
+        gpu_half_units=100.0,
+        cpu_half_units=8.0,
+    )
+    defaults.update(kw)
+    return KernelCharacteristics(**defaults)
+
+
+class TestKernelCharacteristics:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            kernel(flops_per_unit=0.0)
+        with pytest.raises(ConfigurationError):
+            kernel(name="")
+        with pytest.raises(ConfigurationError):
+            kernel(gpu_min_occupancy=0.0)
+        with pytest.raises(ConfigurationError):
+            kernel(gpu_min_occupancy=1.0)
+        with pytest.raises(ConfigurationError):
+            kernel(gpu_half_scaling="warps")
+
+    def test_bytes_per_unit(self):
+        k = kernel(bytes_in_per_unit=10.0, bytes_out_per_unit=4.0)
+        assert k.bytes_per_unit == 14.0
+
+
+class TestDevicePerformance:
+    @pytest.fixture
+    def cluster(self):
+        return paper_cluster(2)
+
+    def test_zero_units_zero_time(self, cluster):
+        perf = DevicePerformance(cluster.device("A.gpu0"), kernel())
+        assert perf.exec_time(0) == 0.0
+
+    def test_negative_units_rejected(self, cluster):
+        perf = DevicePerformance(cluster.device("A.cpu"), kernel())
+        with pytest.raises(ValueError):
+            perf.exec_time(-1)
+
+    def test_monotone_increasing(self, cluster):
+        for did in ("A.cpu", "A.gpu0", "B.gpu0"):
+            perf = DevicePerformance(cluster.device(did), kernel())
+            times = [perf.exec_time(u) for u in [1, 2, 5, 10, 100, 1000, 10000]]
+            assert times == sorted(times)
+            assert all(t > 0 for t in times)
+
+    def test_affine_above_floor(self, cluster):
+        # T(u) = launch + c*(u + h) once occupancy exceeds the floor
+        perf = DevicePerformance(cluster.device("A.gpu0"), kernel())
+        h = perf.half_units
+        u1, u2, u3 = 10 * h, 20 * h, 30 * h
+        t1, t2, t3 = (perf.exec_time(u) for u in (u1, u2, u3))
+        assert (t3 - t2) == pytest.approx(t2 - t1, rel=1e-9)
+
+    def test_small_blocks_inefficient(self, cluster):
+        perf = DevicePerformance(cluster.device("A.gpu0"), kernel())
+        h = perf.half_units
+        assert perf.efficiency(h) == pytest.approx(0.5)
+        assert perf.efficiency(h / 100) <= kernel().gpu_min_occupancy + 1e-12
+        assert perf.efficiency(100 * h) > 0.98
+
+    def test_efficiency_floor_applies(self, cluster):
+        k = kernel(gpu_min_occupancy=0.25)
+        perf = DevicePerformance(cluster.device("A.gpu0"), k)
+        assert perf.efficiency(1e-3) == pytest.approx(0.25)
+
+    def test_cpu_floor_is_one_core(self, cluster):
+        perf = DevicePerformance(cluster.device("A.cpu"), kernel())
+        assert perf.occupancy_floor == pytest.approx(
+            1.0 / cluster.device("A.cpu").parallel_capacity
+        )
+
+    def test_half_units_scale_with_capacity_threads(self, cluster):
+        k = kernel(gpu_half_scaling="threads")
+        a = DevicePerformance(cluster.device("A.gpu0"), k)
+        expected = k.gpu_half_units * (
+            cluster.device("A.gpu0").parallel_capacity / REF_GPU_CAPACITY
+        )
+        assert a.half_units == pytest.approx(expected)
+
+    def test_half_units_scale_with_cores(self, cluster):
+        k = kernel(gpu_half_scaling="cores")
+        b = DevicePerformance(cluster.device("B.gpu0"), k)
+        assert b.half_units == pytest.approx(k.gpu_half_units * 240 / 2496)
+
+    def test_cpu_half_scales_with_threads(self, cluster):
+        perf = DevicePerformance(cluster.device("B.cpu"), kernel())
+        threads = cluster.device("B.cpu").parallel_capacity
+        assert perf.half_units == pytest.approx(
+            kernel().cpu_half_units * threads / REF_CPU_THREADS
+        )
+
+    def test_cache_penalty_only_on_cpu(self, cluster):
+        k = kernel(cpu_cache_gamma=0.5, bytes_in_per_unit=1e6)
+        gpu_perf = DevicePerformance(cluster.device("A.gpu0"), k)
+        cpu_perf = DevicePerformance(cluster.device("A.cpu"), k)
+        assert gpu_perf.cache_penalty(1e9) == 1.0
+        assert cpu_perf.cache_penalty(1e9) > 1.4
+
+    def test_cache_penalty_saturates_at_gamma(self, cluster):
+        k = kernel(cpu_cache_gamma=0.5, bytes_in_per_unit=1e6)
+        perf = DevicePerformance(cluster.device("A.cpu"), k)
+        assert perf.cache_penalty(1e12) <= 1.5
+
+    def test_rate_gflops_saturates(self, cluster):
+        perf = DevicePerformance(cluster.device("A.gpu0"), kernel())
+        small = perf.rate_gflops(perf.half_units / 10)
+        big = perf.rate_gflops(perf.half_units * 100)
+        assert big > small
+        assert big <= perf.sustained_gflops * 1.001
+
+    @given(st.floats(1.0, 1e5))
+    @settings(max_examples=30, deadline=None)
+    def test_exec_time_positive_property(self, units):
+        cluster = paper_cluster(1)
+        perf = DevicePerformance(cluster.device("A.gpu0"), kernel())
+        assert perf.exec_time(units) > 0.0
+
+
+class TestGroundTruth:
+    @pytest.fixture
+    def gt(self):
+        return GroundTruth(paper_cluster(2), kernel())
+
+    def test_unknown_device_rejected(self, gt):
+        with pytest.raises(ConfigurationError):
+            gt.performance("Z.cpu")
+
+    def test_total_time_is_sum(self, gt):
+        total = gt.total_time("A.gpu0", 100)
+        assert total == pytest.approx(
+            gt.exec_time("A.gpu0", 100) + gt.transfer_time("A.gpu0", 100)
+        )
+
+    def test_transfer_time_remote_larger(self, gt):
+        assert gt.transfer_time("B.gpu0", 1000) > gt.transfer_time("A.gpu0", 1000)
+
+    def test_ideal_partition_sums_to_total(self, gt):
+        part = gt.ideal_partition(10_000)
+        assert sum(part.values()) == pytest.approx(10_000, rel=1e-6)
+        assert all(v >= 0 for v in part.values())
+
+    def test_ideal_partition_equalises_times(self, gt):
+        part = gt.ideal_partition(50_000)
+        times = [
+            gt.total_time(d, u) for d, u in part.items() if u > 1.0
+        ]
+        spread = (max(times) - min(times)) / max(times)
+        assert spread < 0.01
+
+    def test_ideal_partition_favors_faster_devices(self, gt):
+        part = gt.ideal_partition(50_000)
+        assert part["A.gpu0"] > part["A.cpu"]
+        assert part["A.gpu0"] > part["B.gpu0"]
+
+    def test_ideal_partition_zero_total(self, gt):
+        part = gt.ideal_partition(0)
+        assert all(v == 0.0 for v in part.values())

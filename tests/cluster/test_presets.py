@@ -1,0 +1,134 @@
+"""Tests for repro.cluster.presets (the Table I encodings)."""
+
+import pytest
+
+from repro.cluster.device import GPUArch
+from repro.cluster.presets import (
+    machine_a,
+    machine_b,
+    machine_c,
+    machine_d,
+    paper_cluster,
+    paper_machines,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTable1Specs:
+    def test_machine_a(self):
+        m = machine_a()
+        assert m.cpu.cores == 10
+        assert m.cpu.clock_ghz == 3.0
+        assert m.cpu.cache_mb == 25.0
+        assert m.cpu.ram_gb == 256.0
+        assert len(m.gpus) == 1
+        assert m.gpus[0].cores == 2496
+        assert m.gpus[0].sms == 13
+        assert m.gpus[0].arch is GPUArch.KEPLER
+
+    def test_machine_b(self):
+        m = machine_b()
+        assert m.cpu.cores == 4
+        assert m.cpu.clock_ghz == 2.67
+        # dual-GPU board: two processors
+        assert len(m.gpus) == 2
+        assert m.gpus[0].cores == 240
+        assert m.gpus[0].arch is GPUArch.TESLA
+
+    def test_machine_c(self):
+        m = machine_c()
+        assert m.cpu.cores == 6
+        assert m.cpu.clock_ghz == 3.4
+        assert len(m.gpus) == 2
+        assert m.gpus[0].cores == 1536
+        assert m.gpus[0].sms == 8
+
+    def test_machine_d(self):
+        m = machine_d()
+        assert m.cpu.cores == 6
+        assert m.gpus[0].cores == 2688
+        assert m.gpus[0].sms == 14
+        assert m.gpus[0].mem_bandwidth_gbs == 223.8
+
+    def test_paper_machines_order(self):
+        assert [m.name for m in paper_machines()] == ["A", "B", "C", "D"]
+
+    def test_gpu_heterogeneity_present(self):
+        # the evaluation depends on a wide spread of GPU capabilities
+        peaks = [m.gpus[0].peak_gflops for m in paper_machines()]
+        assert max(peaks) / min(peaks) > 4.0
+
+
+class TestCloudCluster:
+    def test_deterministic_per_seed(self):
+        from repro.cluster.presets import cloud_cluster
+
+        a = cloud_cluster(6, seed=3)
+        b = cloud_cluster(6, seed=3)
+        assert [m.cpu.model for m in a.machines] == [
+            m.cpu.model for m in b.machines
+        ]
+        assert [m.cpu.clock_ghz for m in a.machines] == [
+            m.cpu.clock_ghz for m in b.machines
+        ]
+
+    def test_seeds_differ(self):
+        from repro.cluster.presets import cloud_cluster
+
+        fleets = {
+            tuple(m.cpu.clock_ghz for m in cloud_cluster(6, seed=s).machines)
+            for s in range(5)
+        }
+        assert len(fleets) > 1
+
+    def test_always_has_a_gpu(self):
+        from repro.cluster.presets import cloud_cluster
+
+        for seed in range(10):
+            c = cloud_cluster(3, seed=seed)
+            assert any(d.is_gpu for d in c.devices()), seed
+
+    def test_minimum_size(self):
+        from repro.cluster.presets import cloud_cluster
+
+        with pytest.raises(ConfigurationError):
+            cloud_cluster(1)
+
+    def test_clock_jitter_bounded(self):
+        from repro.cluster.presets import cloud_cluster
+
+        for seed in range(5):
+            for m in cloud_cluster(8, seed=seed).machines:
+                assert 2.0 < m.cpu.clock_ghz < 3.0
+
+    def test_slower_network_than_paper_cluster(self):
+        from repro.cluster.presets import cloud_cluster
+
+        cloud = cloud_cluster(4)
+        lab = paper_cluster(4)
+        assert cloud.network.bandwidth_gbs < lab.network.bandwidth_gbs
+
+
+class TestPaperCluster:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_scenarios(self, n):
+        c = paper_cluster(n)
+        assert len(c) == n
+        assert c.master == "A"
+        # default: one GPU per machine -> 2 units per machine
+        assert len(c.devices()) == 2 * n
+
+    def test_all_gpus_exposed(self):
+        c = paper_cluster(4, max_gpus_per_machine=None)
+        # A:1, B:2, C:2, D:1 GPUs plus 4 CPUs
+        assert len(c.devices()) == 4 + 6
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            paper_cluster(0)
+        with pytest.raises(ConfigurationError):
+            paper_cluster(5)
+
+    def test_no_cpus_option(self):
+        c = paper_cluster(2, use_cpus=False)
+        assert all(d.is_gpu for d in c.devices())

@@ -1,0 +1,103 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import MatMul
+from repro.cluster import (
+    CPUSpec,
+    GPUArch,
+    GPUSpec,
+    GroundTruth,
+    KernelCharacteristics,
+    paper_cluster,
+)
+from repro.cluster.machine import Machine
+from repro.cluster.topology import Cluster
+from repro.modeling import DeviceModel, PerfProfile
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    """Two small machines (one CPU + one GPU each) for fast tests."""
+    alpha = Machine(
+        name="alpha",
+        cpu=CPUSpec(model="test-cpu-8", cores=8, clock_ghz=3.0),
+        gpus=(
+            GPUSpec(
+                model="test-gpu-big",
+                cores=2048,
+                sms=16,
+                clock_ghz=1.0,
+                mem_bandwidth_gbs=200.0,
+                mem_gb=4.0,
+                arch=GPUArch.KEPLER,
+            ),
+        ),
+    )
+    beta = Machine(
+        name="beta",
+        cpu=CPUSpec(model="test-cpu-4", cores=4, clock_ghz=2.5),
+        gpus=(
+            GPUSpec(
+                model="test-gpu-small",
+                cores=512,
+                sms=8,
+                clock_ghz=1.2,
+                mem_bandwidth_gbs=100.0,
+                mem_gb=2.0,
+                arch=GPUArch.FERMI,
+            ),
+        ),
+    )
+    return Cluster(machines=(alpha, beta))
+
+
+@pytest.fixture
+def paper4() -> Cluster:
+    """The paper's four-machine scenario (one GPU per machine)."""
+    return paper_cluster(4)
+
+
+@pytest.fixture
+def mm_kernel() -> KernelCharacteristics:
+    """A matmul-like kernel characterisation (n=4096)."""
+    return MatMul(n=4096).kernel_characteristics()
+
+
+@pytest.fixture
+def mm_ground_truth(small_cluster, mm_kernel) -> GroundTruth:
+    """Ground truth for the small cluster under the matmul kernel."""
+    return GroundTruth(small_cluster, mm_kernel)
+
+
+def make_fitted_models(
+    ground_truth: GroundTruth,
+    sizes=(8, 16, 64, 256, 1024),
+    *,
+    noise_sigma: float = 0.0,
+    seed: int = 0,
+) -> dict[str, DeviceModel]:
+    """Fit per-device models from noisy ground-truth observations."""
+    rng = np.random.default_rng(seed)
+    models: dict[str, DeviceModel] = {}
+    for device in ground_truth.cluster.devices():
+        did = device.device_id
+        profile = PerfProfile(did)
+        for u in sizes:
+            factor = float(np.exp(rng.normal(0.0, noise_sigma))) if noise_sigma else 1.0
+            profile.add(
+                u,
+                ground_truth.exec_time(did, u) * factor,
+                ground_truth.transfer_time(did, u),
+            )
+        models[did] = profile.fit()
+    return models
+
+
+@pytest.fixture
+def fitted_models(mm_ground_truth) -> dict[str, DeviceModel]:
+    """Fitted models for the small cluster (noise-free)."""
+    return make_fitted_models(mm_ground_truth)

@@ -1,0 +1,74 @@
+"""Tests for repro.core.probe_plan."""
+
+import pytest
+
+from repro.core.probe_plan import ProbePlan
+from repro.errors import SchedulingError
+
+
+class TestProbePlan:
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            ProbePlan([], 8)
+        with pytest.raises(SchedulingError):
+            ProbePlan(["a"], 0)
+        with pytest.raises(SchedulingError):
+            ProbePlan(["a"], 8, max_multiplier=0)
+
+    def test_paper_multipliers_first_four_rounds(self):
+        plan = ProbePlan(["a"], 1)
+        assert [plan.multiplier(r) for r in (1, 2, 3, 4)] == [1, 2, 4, 8]
+
+    def test_accelerated_growth_after_round_four(self):
+        plan = ProbePlan(["a"], 1)
+        assert plan.multiplier(5) == 32
+        assert plan.multiplier(6) == 128
+
+    def test_multiplier_capped(self):
+        plan = ProbePlan(["a"], 1, max_multiplier=16)
+        assert plan.multiplier(5) == 16
+        assert plan.multiplier(9) == 16
+
+    def test_round_index_one_based(self):
+        with pytest.raises(SchedulingError):
+            ProbePlan(["a"], 1).multiplier(0)
+
+    def test_round_one_uniform(self):
+        plan = ProbePlan(["a", "b", "c"], 16)
+        assert plan.sizes(1, None) == {"a": 16, "b": 16, "c": 16}
+
+    def test_round_two_needs_rates(self):
+        plan = ProbePlan(["a"], 16)
+        with pytest.raises(SchedulingError):
+            plan.sizes(2, None)
+
+    def test_fastest_gets_full_multiplier(self):
+        plan = ProbePlan(["fast", "slow"], 10)
+        sizes = plan.sizes(2, {"fast": 100.0, "slow": 25.0})
+        assert sizes["fast"] == 20
+        assert sizes["slow"] == 5
+
+    def test_rate_scaling_is_stable_across_rounds(self):
+        """Equalised probe times must not collapse the scaling to uniform."""
+        plan = ProbePlan(["fast", "slow"], 10)
+        rates = {"fast": 100.0, "slow": 25.0}
+        s2 = plan.sizes(2, rates)
+        s3 = plan.sizes(3, rates)
+        assert s3["slow"] / s3["fast"] == pytest.approx(
+            s2["slow"] / s2["fast"], rel=0.1
+        )
+
+    def test_zero_rate_falls_back_to_unscaled(self):
+        plan = ProbePlan(["a", "b"], 10)
+        sizes = plan.sizes(2, {"a": 0.0, "b": 0.0})
+        assert sizes == {"a": 20, "b": 20}
+
+    def test_missing_device_uses_fastest_rate(self):
+        plan = ProbePlan(["a", "b"], 10)
+        sizes = plan.sizes(2, {"a": 50.0})
+        assert sizes["b"] == 20
+
+    def test_sizes_at_least_one(self):
+        plan = ProbePlan(["fast", "glacial"], 4)
+        sizes = plan.sizes(2, {"fast": 1000.0, "glacial": 0.001})
+        assert sizes["glacial"] == 1

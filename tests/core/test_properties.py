@@ -1,0 +1,108 @@
+"""Property-based tests for the PLB-HeC building blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.probe_plan import ProbePlan
+from repro.core.rebalance import SkewMonitor
+
+device_ids = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+rates = st.floats(1e-6, 1e6)
+
+
+class TestProbePlanProperties:
+    @given(device_ids, st.integers(1, 1000), st.integers(1, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_sizes_positive_integers(self, ids, s0, round_index):
+        plan = ProbePlan(ids, s0)
+        rate_map = {d: float(i + 1) for i, d in enumerate(ids)}
+        sizes = plan.sizes(round_index, rate_map if round_index > 1 else None)
+        assert set(sizes) == set(ids)
+        for v in sizes.values():
+            assert isinstance(v, int)
+            assert v >= 1
+
+    @given(device_ids, st.integers(1, 100), st.lists(rates, min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_faster_device_never_smaller_probe(self, ids, s0, rate_values):
+        plan = ProbePlan(ids, s0)
+        rate_map = {d: rate_values[i % len(rate_values)] for i, d in enumerate(ids)}
+        sizes = plan.sizes(3, rate_map)
+        by_rate = sorted(ids, key=lambda d: rate_map[d])
+        for slow, fast in zip(by_rate, by_rate[1:]):
+            assert sizes[slow] <= sizes[fast] + 1  # integer rounding slack
+
+    @given(device_ids, st.integers(1, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_multiplier_monotone_in_round(self, ids, s0):
+        plan = ProbePlan(ids, s0)
+        mults = [plan.multiplier(r) for r in range(1, 10)]
+        assert mults == sorted(mults)
+
+    @given(device_ids, st.integers(1, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_fastest_gets_exactly_base(self, ids, s0):
+        plan = ProbePlan(ids, s0)
+        rate_map = {d: float(i + 1) for i, d in enumerate(ids)}
+        sizes = plan.sizes(2, rate_map)
+        fastest = max(ids, key=lambda d: rate_map[d])
+        assert sizes[fastest] == 2 * s0
+
+
+class TestSkewMonitorProperties:
+    @given(
+        st.lists(st.floats(0.1, 10.0), min_size=2, max_size=8),
+        st.floats(0.01, 1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_trip_iff_spread_exceeds_threshold(self, durations, threshold):
+        monitor = SkewMonitor(threshold)
+        monitor.expect(1, len(durations))
+        tripped = False
+        for i, duration in enumerate(durations):
+            tripped = monitor.record(1, f"d{i}", end_time=1.0, duration=duration)
+        mean = sum(durations) / len(durations)
+        spread = max(durations) - min(durations)
+        assert tripped == (spread > threshold * mean)
+
+    @given(st.floats(0.1, 10.0), st.integers(2, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_identical_durations_never_trip(self, duration, n):
+        monitor = SkewMonitor(0.05)
+        monitor.expect(1, n)
+        tripped = False
+        for i in range(n):
+            tripped = monitor.record(1, f"d{i}", end_time=float(i), duration=duration)
+        assert not tripped
+
+
+class TestDomainProperties:
+    @given(
+        st.integers(1, 10_000),
+        st.lists(st.integers(1, 500), min_size=1, max_size=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_grants_tile_domain_exactly(self, total, requests):
+        from repro.runtime.data import BlockDomain
+
+        domain = BlockDomain(total)
+        grants = []
+        for req in requests:
+            start, got = domain.take(req)
+            if got:
+                grants.append((start, got))
+            if domain.exhausted:
+                break
+        # grants are contiguous, ordered, non-overlapping
+        cursor = 0
+        for start, got in grants:
+            assert start == cursor
+            cursor += got
+        assert cursor == total - domain.remaining

@@ -1,0 +1,85 @@
+"""Tests for repro.core.rebalance."""
+
+import pytest
+
+from repro.core.rebalance import SkewMonitor
+from repro.errors import ConfigurationError
+
+
+class TestSkewMonitor:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SkewMonitor(threshold=0.0)
+        m = SkewMonitor()
+        with pytest.raises(ConfigurationError):
+            m.expect(1, 0)
+
+    def test_no_trip_on_equal_durations(self):
+        m = SkewMonitor(0.1)
+        m.expect(1, 3)
+        assert not m.record(1, "a", end_time=10.0, duration=1.0)
+        assert not m.record(1, "b", end_time=11.0, duration=1.0)
+        assert not m.record(1, "c", end_time=12.0, duration=1.0)
+
+    def test_trips_on_duration_spread(self):
+        m = SkewMonitor(0.1)
+        m.expect(1, 2)
+        assert not m.record(1, "a", end_time=1.0, duration=1.0)
+        assert m.record(1, "b", end_time=2.0, duration=1.2)
+
+    def test_does_not_trip_on_end_time_drift(self):
+        """Accumulated asynchronous drift must not cause rebalances."""
+        m = SkewMonitor(0.1)
+        m.expect(3, 2)
+        assert not m.record(3, "a", end_time=10.0, duration=1.0)
+        # same duration, very different completion instant
+        assert not m.record(3, "b", end_time=50.0, duration=1.0)
+
+    def test_waits_for_all_expected(self):
+        m = SkewMonitor(0.1)
+        m.expect(1, 3)
+        assert not m.record(1, "a", 1.0, 1.0)
+        assert not m.record(1, "b", 1.0, 5.0)  # huge spread, but incomplete
+
+    def test_single_device_step_never_trips(self):
+        m = SkewMonitor(0.1)
+        m.expect(1, 1)
+        assert not m.record(1, "a", 1.0, 1.0)
+
+    def test_unexpected_step_never_trips(self):
+        m = SkewMonitor(0.1)
+        assert not m.record(9, "a", 1.0, 1.0)
+
+    def test_step_state_cleared_after_check(self):
+        m = SkewMonitor(0.1)
+        m.expect(1, 2)
+        m.record(1, "a", 1.0, 1.0)
+        m.record(1, "b", 1.0, 1.0)
+        # the same step can be re-armed fresh
+        m.expect(1, 2)
+        assert not m.record(1, "a", 2.0, 1.0)
+
+    def test_threshold_relative_to_mean_duration(self):
+        m = SkewMonitor(0.5)
+        m.expect(1, 2)
+        m.record(1, "a", 1.0, 1.0)
+        # spread 0.4 < 0.5 * mean(1.2)
+        assert not m.record(1, "b", 1.0, 1.4)
+        m.expect(2, 2)
+        m.record(2, "a", 1.0, 1.0)
+        # spread 1.0 > 0.5 * mean(1.5)
+        assert m.record(2, "b", 1.0, 2.0)
+
+    def test_reset(self):
+        m = SkewMonitor(0.1)
+        m.expect(1, 2)
+        m.record(1, "a", 1.0, 1.0)
+        m.reset()
+        # after reset the pending step is forgotten
+        assert not m.record(1, "b", 1.0, 99.0)
+
+    def test_zero_duration_step_ignored(self):
+        m = SkewMonitor(0.1)
+        m.expect(1, 2)
+        m.record(1, "a", 1.0, 0.0)
+        assert not m.record(1, "b", 1.0, 0.0)

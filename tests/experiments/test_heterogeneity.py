@@ -1,0 +1,58 @@
+"""Tests for repro.experiments.heterogeneity."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.heterogeneity import (
+    build_spread_cluster,
+    render_heterogeneity,
+    run_heterogeneity,
+)
+
+
+class TestBuildSpreadCluster:
+    def test_spread_one_is_homogeneous(self):
+        c = build_spread_cluster(1.0)
+        clocks = {m.gpus[0].clock_ghz for m in c.machines}
+        assert len(clocks) == 1
+
+    def test_spread_realised(self):
+        c = build_spread_cluster(16.0)
+        clocks = [m.gpus[0].clock_ghz for m in c.machines]
+        assert max(clocks) / min(clocks) == pytest.approx(16.0, rel=0.01)
+
+    def test_aggregate_capacity_constant(self):
+        totals = {
+            round(sum(m.gpus[0].clock_ghz for m in build_spread_cluster(s).machines), 3)
+            for s in (1.0, 4.0, 16.0)
+        }
+        assert len(totals) == 1
+
+    def test_cpu_and_gpu_scaled_together(self):
+        c = build_spread_cluster(9.0)
+        for m in c.machines:
+            ratio = m.cpu.clock_ghz / m.gpus[0].clock_ghz
+            assert ratio == pytest.approx(3.0 / 0.9, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_spread_cluster(0.5)
+        with pytest.raises(ConfigurationError):
+            build_spread_cluster(2.0, num_machines=1)
+
+
+class TestRunHeterogeneity:
+    def test_small_sweep(self):
+        points = run_heterogeneity(spreads=(1.0, 8.0), n=4096)
+        assert len(points) == 2
+        assert all(p.greedy_s > 0 for p in points)
+        assert points[0].spread == 1.0
+
+    def test_plb_beats_greedy_at_high_spread(self):
+        points = run_heterogeneity(spreads=(8.0,), n=8192)
+        assert points[0].plb_speedup > 1.0
+
+    def test_render(self):
+        points = run_heterogeneity(spreads=(1.0,), n=4096)
+        out = render_heterogeneity(points)
+        assert "plb_speedup" in out

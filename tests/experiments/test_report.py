@@ -1,0 +1,49 @@
+"""Tests for repro.experiments.report."""
+
+import pytest
+
+from repro.experiments.report import ShapeCheck, generate_report
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(replications=1, fast=True)
+
+    def test_contains_checklist(self, report):
+        assert "Shape checks:" in report
+        assert "| PASS |" in report or "| FAIL |" in report
+
+    def test_all_fast_checks_pass(self, report):
+        header = [
+            line for line in report.splitlines() if "Shape checks:" in line
+        ][0]
+        # "Shape checks: N/M passed."
+        ratio = header.split(":")[1].split("passed")[0].strip()
+        passed, total = map(int, ratio.split("/"))
+        assert passed == total
+
+    def test_contains_tables(self, report):
+        assert "Table I" in report
+        assert "speedup" in report
+        assert "Solver overhead" in report
+
+    def test_mentions_policies(self, report):
+        for policy in ("greedy", "acosta", "hdss", "plb-hec"):
+            assert policy in report
+
+
+class TestShapeCheck:
+    def test_fields(self):
+        c = ShapeCheck(claim="x", passed=True, detail="d")
+        assert c.passed
+        assert c.claim == "x"
+
+
+class TestCliReport:
+    def test_cli_report_fast(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--fast", "--replications", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "reproduction report" in out

@@ -1,0 +1,41 @@
+"""Tests for repro.experiments.sensitivity."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    SensitivityRow,
+    render_sensitivity,
+    run_sensitivity,
+)
+
+
+class TestSensitivityRow:
+    def test_derived_quantities(self):
+        row = SensitivityRow(policy="p", makespans=(2.0, 1.0, 4.0))
+        assert row.best == 1.0
+        assert row.worst == 4.0
+        assert row.sensitivity == 4.0
+
+    def test_flat_row(self):
+        row = SensitivityRow(policy="p", makespans=(3.0, 3.0))
+        assert row.sensitivity == 1.0
+
+
+class TestRunSensitivity:
+    def test_sweep_structure(self):
+        sizes, rows = run_sensitivity(n=4096, s0_factors=(0.5, 1.0))
+        assert len(sizes) == 2
+        assert {r.policy for r in rows} == {"greedy", "hdss", "plb-hec"}
+        for row in rows:
+            assert len(row.makespans) == 2
+            assert all(m > 0 for m in row.makespans)
+
+    def test_sizes_scale_with_factors(self):
+        sizes, _ = run_sensitivity(n=4096, s0_factors=(1.0, 2.0))
+        assert sizes[1] == 2 * sizes[0]
+
+    def test_render(self):
+        sizes, rows = run_sensitivity(n=4096, s0_factors=(1.0,))
+        out = render_sensitivity(sizes, rows)
+        assert "worst/best" in out
+        assert "plb-hec" in out

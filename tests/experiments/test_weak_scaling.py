@@ -1,0 +1,32 @@
+"""Tests for repro.experiments.weak_scaling."""
+
+import pytest
+
+from repro.experiments.weak_scaling import (
+    render_weak_scaling,
+    run_weak_scaling,
+)
+
+
+class TestWeakScaling:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_weak_scaling(machine_counts=(1, 2), base_order=4096)
+
+    def test_problem_grows_with_capacity(self, points):
+        assert points[1].capacity_gflops > points[0].capacity_gflops
+        assert points[1].matrix_order > points[0].matrix_order
+
+    def test_cubic_work_scaling(self, points):
+        work_ratio = (points[1].matrix_order / points[0].matrix_order) ** 3
+        capacity_ratio = points[1].capacity_gflops / points[0].capacity_gflops
+        assert work_ratio == pytest.approx(capacity_ratio, rel=0.10)
+
+    def test_positive_makespans(self, points):
+        for p in points:
+            assert p.greedy_s > 0 and p.plb_s > 0
+
+    def test_render(self, points):
+        out = render_weak_scaling(points)
+        assert "plb_eff" in out
+        assert "greedy_eff" in out

@@ -1,0 +1,107 @@
+"""Tests for repro.modeling.basis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.modeling.basis import (
+    ALL_BASIS,
+    CANDIDATE_MODELS,
+    CONSTANT,
+    CUBE,
+    EXP,
+    LINEAR,
+    LOG,
+    PAPER_BASIS,
+    SQRT,
+    SQUARE,
+    X_EXP,
+    X_LOG,
+    basis_by_name,
+)
+
+
+class TestBasisValues:
+    U = np.array([0.1, 0.5, 1.0, 2.0])
+
+    def test_constant(self):
+        assert np.allclose(CONSTANT(self.U), 1.0)
+
+    def test_linear(self):
+        assert np.allclose(LINEAR(self.U), self.U)
+
+    def test_square(self):
+        assert np.allclose(SQUARE(self.U), self.U**2)
+
+    def test_cube(self):
+        assert np.allclose(CUBE(self.U), self.U**3)
+
+    def test_sqrt(self):
+        assert np.allclose(SQRT(self.U), np.sqrt(self.U))
+
+    def test_log(self):
+        assert np.allclose(LOG(self.U), np.log(self.U))
+
+    def test_exp(self):
+        assert np.allclose(EXP(self.U), np.exp(self.U))
+
+    def test_x_exp(self):
+        assert np.allclose(X_EXP(self.U), self.U * np.exp(self.U))
+
+    def test_x_log(self):
+        assert np.allclose(X_LOG(self.U), self.U * np.log(self.U))
+
+    def test_log_at_zero_finite(self):
+        assert np.isfinite(LOG(np.array([0.0]))).all()
+
+    def test_x_log_at_zero_finite(self):
+        assert np.isfinite(X_LOG(np.array([0.0]))).all()
+
+
+class TestDerivatives:
+    """Analytic derivatives must match finite differences."""
+
+    U = np.array([0.2, 0.7, 1.3])
+    H = 1e-6
+
+    @pytest.mark.parametrize("basis", ALL_BASIS, ids=lambda b: b.name)
+    def test_first_derivative(self, basis):
+        numeric = (basis.f(self.U + self.H) - basis.f(self.U - self.H)) / (2 * self.H)
+        assert np.allclose(basis.df(self.U), numeric, rtol=1e-4, atol=1e-5)
+
+    @pytest.mark.parametrize("basis", ALL_BASIS, ids=lambda b: b.name)
+    def test_second_derivative(self, basis):
+        numeric = (
+            basis.f(self.U + self.H) - 2 * basis.f(self.U) + basis.f(self.U - self.H)
+        ) / self.H**2
+        assert np.allclose(basis.d2f(self.U), numeric, rtol=1e-3, atol=1e-2)
+
+
+class TestFamilies:
+    def test_paper_family_has_eight_members(self):
+        assert len(PAPER_BASIS) == 8
+        names = {b.name for b in PAPER_BASIS}
+        assert names == {
+            "ln x", "x", "x^2", "x^3", "e^x", "sqrt x", "x e^x", "x ln x",
+        }
+
+    def test_all_basis_adds_constant(self):
+        assert len(ALL_BASIS) == 9
+        assert CONSTANT in ALL_BASIS
+
+    def test_candidates_subsets_of_family(self):
+        for cand in CANDIDATE_MODELS:
+            assert set(cand) <= set(ALL_BASIS)
+
+    def test_candidates_unique_names_within(self):
+        for cand in CANDIDATE_MODELS:
+            names = [b.name for b in cand]
+            assert len(names) == len(set(names))
+
+    def test_lookup_by_name(self):
+        assert basis_by_name("x^2") is SQUARE
+        assert basis_by_name("ln x") is LOG
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ConfigurationError):
+            basis_by_name("x^9")

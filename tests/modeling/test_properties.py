@@ -1,0 +1,99 @@
+"""Property-based tests for the modeling layer (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.modeling import PerfProfile, fit_basis_model, select_model
+from repro.modeling.basis import CONSTANT, LINEAR
+from repro.modeling.transfer import fit_transfer_model
+
+# strategies -----------------------------------------------------------
+
+positive_slope = st.floats(1e-6, 1e2)
+intercept = st.floats(0.0, 10.0)
+sizes_strategy = st.lists(
+    st.integers(1, 100_000), min_size=3, max_size=12, unique=True
+)
+
+
+class TestLeastSquaresProperties:
+    @given(sizes_strategy, positive_slope, intercept)
+    @settings(max_examples=50, deadline=None)
+    def test_affine_data_fit_exactly(self, sizes, slope, b):
+        x = np.array(sorted(sizes), dtype=float)
+        y = b + slope * x
+        fit = fit_basis_model(x, y, (CONSTANT, LINEAR))
+        assert np.allclose(np.asarray(fit.predict(x)), y, rtol=1e-6, atol=1e-9)
+
+    @given(sizes_strategy, positive_slope, intercept)
+    @settings(max_examples=50, deadline=None)
+    def test_r2_in_unit_interval_for_own_fit(self, sizes, slope, b):
+        x = np.array(sorted(sizes), dtype=float)
+        y = b + slope * x
+        fit = fit_basis_model(x, y, (CONSTANT, LINEAR))
+        assert -1e-9 <= fit.r2 <= 1.0 + 1e-9
+
+    @given(
+        sizes_strategy,
+        positive_slope,
+        intercept,
+        st.floats(0.0, 0.05),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_selected_model_positive_on_noisy_affine(
+        self, sizes, slope, b, sigma, seed
+    ):
+        """Whatever select_model picks must stay positive over 4x range."""
+        rng = np.random.default_rng(seed)
+        x = np.array(sorted(sizes), dtype=float)
+        y = (b + 1e-3 + slope * x) * np.exp(rng.normal(0, sigma, x.size))
+        fit = select_model(x, y)
+        grid = np.linspace(x.max() * 1e-3, x.max() * 4, 64)
+        assert np.all(np.asarray(fit.predict(grid)) > 0.0)
+
+
+class TestTransferProperties:
+    @given(sizes_strategy, st.floats(1e-9, 1e-2), st.floats(0.0, 0.1))
+    @settings(max_examples=50, deadline=None)
+    def test_transfer_coefficients_nonnegative(self, sizes, slope, lat):
+        x = np.array(sorted(sizes), dtype=float)
+        fit = fit_transfer_model(x, lat + slope * x)
+        assert fit.slope >= 0.0
+        assert fit.intercept >= 0.0
+
+    @given(sizes_strategy, st.floats(1e-9, 1e-2), st.floats(1e-6, 0.1))
+    @settings(max_examples=50, deadline=None)
+    def test_transfer_prediction_monotone(self, sizes, slope, lat):
+        x = np.array(sorted(sizes), dtype=float)
+        fit = fit_transfer_model(x, lat + slope * x)
+        grid = np.linspace(1, x.max() * 2, 32)
+        vals = np.asarray(fit.predict(grid))
+        assert np.all(np.diff(vals) >= -1e-12)
+
+
+class TestDeviceModelProperties:
+    @given(
+        positive_slope,
+        st.floats(1e-3, 5.0),
+        st.floats(0.1, 0.9),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invert_is_partial_inverse(self, slope, b, frac, seed):
+        """For monotone models, E(invert(t)) ~ t within tolerance."""
+        rng = np.random.default_rng(seed)
+        prof = PerfProfile("d")
+        sizes = np.unique(rng.integers(1, 10_000, size=6))
+        if sizes.size < 3:
+            sizes = np.array([10, 100, 1000])
+        for u in sizes:
+            prof.add(int(u), b + slope * u, 1e-6 * u)
+        model = prof.fit()
+        x_hi = float(sizes.max()) * 2
+        target = float(model.E(x_hi)) * frac
+        x = model.invert(target, x_hi)
+        if 0.0 < x < x_hi:
+            assert float(model.E(x)) == pytest.approx(target, rel=0.05)

@@ -1,0 +1,68 @@
+"""Tests for repro.modeling.transfer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FitError
+from repro.modeling.transfer import fit_transfer_model
+
+
+class TestFitTransferModel:
+    def test_recovers_affine(self):
+        x = np.array([10.0, 100.0, 1000.0])
+        y = 2e-4 + 3e-6 * x
+        fit = fit_transfer_model(x, y)
+        assert fit.slope == pytest.approx(3e-6, rel=1e-9)
+        assert fit.intercept == pytest.approx(2e-4, rel=1e-9)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_predict_scalar_and_vector(self):
+        fit = fit_transfer_model([1.0, 2.0], [1.0, 2.0])
+        assert isinstance(fit.predict(3.0), float)
+        out = fit.predict(np.array([1.0, 2.0]))
+        assert isinstance(out, np.ndarray)
+
+    def test_derivative_is_slope(self):
+        fit = fit_transfer_model([1.0, 2.0, 3.0], [2.0, 4.0, 6.0])
+        assert fit.derivative(10.0) == pytest.approx(fit.slope)
+        vec = fit.derivative(np.array([1.0, 5.0]))
+        assert np.allclose(vec, fit.slope)
+
+    def test_single_point_through_origin(self):
+        fit = fit_transfer_model([100.0], [0.5])
+        assert fit.intercept == 0.0
+        assert fit.slope == pytest.approx(0.005)
+
+    def test_identical_x_through_origin(self):
+        fit = fit_transfer_model([10.0, 10.0], [0.1, 0.2])
+        assert fit.slope == pytest.approx(0.015)
+        assert fit.intercept == 0.0
+
+    def test_negative_slope_clamped(self):
+        # noisy decreasing data cannot produce negative bandwidth
+        fit = fit_transfer_model([1.0, 2.0, 3.0], [3.0, 2.0, 1.0])
+        assert fit.slope == 0.0
+
+    def test_negative_intercept_clamped(self):
+        fit = fit_transfer_model([10.0, 20.0], [0.5, 1.5])
+        assert fit.intercept >= 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(FitError):
+            fit_transfer_model([], [])
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(FitError):
+            fit_transfer_model([1.0], [1.0, 2.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(FitError):
+            fit_transfer_model([1.0, 2.0], [float("nan"), 1.0])
+
+    def test_nonpositive_x_rejected(self):
+        with pytest.raises(FitError):
+            fit_transfer_model([0.0, 1.0], [1.0, 2.0])
+
+    def test_describe(self):
+        fit = fit_transfer_model([1.0, 2.0], [1.0, 2.0])
+        assert "G[x]" in fit.describe()

@@ -1,0 +1,85 @@
+"""Tests for repro.runtime.data."""
+
+import threading
+
+import pytest
+
+from repro.errors import DataError
+from repro.runtime.data import BlockDomain
+
+
+class TestBlockDomain:
+    def test_initial_state(self):
+        d = BlockDomain(100)
+        assert d.total_units == 100
+        assert d.remaining == 100
+        assert d.consumed == 0
+        assert not d.exhausted
+
+    def test_take_contiguous(self):
+        d = BlockDomain(100)
+        assert d.take(30) == (0, 30)
+        assert d.take(30) == (30, 30)
+        assert d.remaining == 40
+
+    def test_take_clamps_to_remaining(self):
+        d = BlockDomain(10)
+        d.take(8)
+        assert d.take(5) == (8, 2)
+        assert d.exhausted
+
+    def test_take_when_exhausted(self):
+        d = BlockDomain(5)
+        d.take(5)
+        assert d.take(1) == (5, 0)
+
+    def test_take_negative_floored(self):
+        d = BlockDomain(10)
+        assert d.take(-3) == (0, 0)
+        assert d.remaining == 10
+
+    def test_take_zero(self):
+        d = BlockDomain(10)
+        assert d.take(0) == (0, 0)
+
+    def test_reset(self):
+        d = BlockDomain(10)
+        d.take(10)
+        d.reset()
+        assert d.remaining == 10
+
+    def test_invalid_total(self):
+        with pytest.raises(DataError):
+            BlockDomain(0)
+        with pytest.raises(DataError):
+            BlockDomain(-1)
+        with pytest.raises(DataError):
+            BlockDomain(1.5)  # type: ignore[arg-type]
+        with pytest.raises(DataError):
+            BlockDomain(True)  # type: ignore[arg-type]
+
+    def test_concurrent_takes_partition_domain(self):
+        d = BlockDomain(10_000)
+        grants = []
+        lock = threading.Lock()
+
+        def worker():
+            while True:
+                start, got = d.take(7)
+                if got == 0:
+                    return
+                with lock:
+                    grants.append((start, got))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # grants must exactly tile [0, 10000) with no overlap
+        grants.sort()
+        cursor = 0
+        for start, got in grants:
+            assert start == cursor
+            cursor += got
+        assert cursor == 10_000

@@ -1,0 +1,61 @@
+"""Dispatch-ordering and record-content invariants of the sim executor."""
+
+import pytest
+
+from repro.runtime.scheduler_api import SchedulingPolicy
+from repro.runtime.sim_executor import SimulatedExecutor
+
+
+class Recorder(SchedulingPolicy):
+    """Fixed blocks; records the poll order of workers."""
+
+    name = "recorder"
+
+    def __init__(self, size=16):
+        self.size = size
+        self.poll_order: list[str] = []
+
+    def next_block(self, worker_id, now):
+        if now == 0.0:
+            self.poll_order.append(worker_id)
+        return self.size
+
+
+class TestDispatchOrdering:
+    def test_initial_polling_is_cluster_order(self, small_cluster, mm_kernel):
+        ex = SimulatedExecutor(small_cluster, mm_kernel, seed=0)
+        policy = Recorder()
+        ex.run(policy, 256, 16)
+        expected = [d.device_id for d in small_cluster.devices()]
+        assert policy.poll_order[: len(expected)] == expected
+
+    def test_records_have_policy_labels(self, small_cluster, mm_kernel):
+        class Labeled(Recorder):
+            def phase_label(self, worker_id):
+                return "custom"
+
+            def step_index(self, worker_id):
+                return 7
+
+        ex = SimulatedExecutor(small_cluster, mm_kernel, seed=0)
+        trace, _ = ex.run(Labeled(), 128, 16)
+        assert all(r.phase == "custom" for r in trace.records)
+        assert all(r.step == 7 for r in trace.records)
+
+    def test_transfer_and_exec_separated(self, small_cluster, mm_kernel, mm_ground_truth):
+        ex = SimulatedExecutor(small_cluster, mm_kernel, noise_sigma=0.0, seed=0)
+        trace, _ = ex.run(Recorder(32), 64, 32)
+        for r in trace.records:
+            assert r.transfer_time == pytest.approx(
+                mm_ground_truth.transfer_time(r.worker_id, r.units), rel=1e-12
+            )
+            assert r.end_time - r.start_time == pytest.approx(
+                r.transfer_time + r.exec_time, rel=1e-9
+            )
+
+    def test_remote_device_pays_more_transfer(self, small_cluster, mm_kernel):
+        ex = SimulatedExecutor(small_cluster, mm_kernel, noise_sigma=0.0, seed=0)
+        trace, _ = ex.run(Recorder(32), 128, 32)
+        local = [r for r in trace.records if r.worker_id == "alpha.gpu0"][0]
+        remote = [r for r in trace.records if r.worker_id == "beta.gpu0"][0]
+        assert remote.transfer_time > local.transfer_time

@@ -1,0 +1,103 @@
+"""Tests for repro.runtime.real_executor (thread backend)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.perfmodel import KernelCharacteristics
+from repro.errors import SchedulingError
+from repro.runtime.codelet import Codelet
+from repro.runtime.real_executor import RealExecutor
+from repro.runtime.scheduler_api import SchedulingPolicy
+
+
+def kernel():
+    return KernelCharacteristics(name="k", flops_per_unit=1.0, bytes_in_per_unit=1.0)
+
+
+def summing_codelet():
+    """Kernel returning the range it processed (verifiable coverage)."""
+
+    def fn(start, count):
+        return list(range(start, start + count))
+
+    return Codelet(name="sum", kernel=kernel(), cpu_func=fn)
+
+
+class FixedBlocks(SchedulingPolicy):
+    name = "fixed"
+
+    def __init__(self, size=10):
+        self.size = size
+
+    def next_block(self, worker_id, now):
+        return self.size
+
+
+class ParkForever(SchedulingPolicy):
+    name = "park"
+
+    def next_block(self, worker_id, now):
+        return 0
+
+
+class TestRealExecutor:
+    def test_processes_whole_domain(self, small_cluster):
+        ex = RealExecutor(small_cluster, summing_codelet())
+        trace, makespan, results = ex.run(FixedBlocks(16), 128, 16)
+        assert trace.total_units() == 128
+        covered = sorted(v for _, _, block in results for v in block)
+        assert covered == list(range(128))
+        assert makespan > 0.0
+
+    def test_simulation_only_codelet_rejected(self, small_cluster):
+        c = Codelet(name="simonly", kernel=kernel())
+        with pytest.raises(SchedulingError, match="no real implementation"):
+            RealExecutor(small_cluster, c)
+
+    def test_speed_factor_validation(self, small_cluster):
+        with pytest.raises(SchedulingError, match="unknown device"):
+            RealExecutor(
+                small_cluster, summing_codelet(), speed_factors={"zzz": 2.0}
+            )
+        with pytest.raises(Exception):
+            RealExecutor(
+                small_cluster, summing_codelet(), speed_factors={"alpha.cpu": -1.0}
+            )
+
+    def test_speed_factor_slows_worker(self, small_cluster):
+        def busy(start, count):
+            return float(np.sum(np.arange(count, dtype=np.float64) ** 2))
+
+        c = Codelet(name="busy", kernel=kernel(), cpu_func=busy)
+        ex = RealExecutor(
+            small_cluster,
+            c,
+            speed_factors={d.device_id: 4.0 for d in small_cluster.devices()
+                           if d.device_id != "alpha.cpu"},
+        )
+        trace, _, _ = ex.run(FixedBlocks(50), 400, 50)
+        # the unthrottled worker should have processed the largest share
+        units = trace.allocated_units()
+        assert units["alpha.cpu"] == max(units.values())
+
+    def test_deadlock_detected(self, small_cluster):
+        ex = RealExecutor(small_cluster, summing_codelet())
+        with pytest.raises(SchedulingError, match="deadlock"):
+            ex.run(ParkForever(), 100, 10)
+
+    def test_worker_exception_propagates(self, small_cluster):
+        def exploding(start, count):
+            raise RuntimeError("kernel crashed")
+
+        c = Codelet(name="boom", kernel=kernel(), cpu_func=exploding)
+        ex = RealExecutor(small_cluster, c)
+        with pytest.raises(RuntimeError, match="kernel crashed"):
+            ex.run(FixedBlocks(10), 100, 10)
+
+    def test_results_in_completion_order_cover_domain(self, small_cluster):
+        ex = RealExecutor(small_cluster, summing_codelet())
+        _, _, results = ex.run(FixedBlocks(7), 70, 7)
+        starts = sorted(start for start, _, _ in results)
+        assert starts[0] == 0
+        total = sum(count for _, count, _ in results)
+        assert total == 70

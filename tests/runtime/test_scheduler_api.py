@@ -1,0 +1,101 @@
+"""Tests for repro.runtime.scheduler_api."""
+
+import pytest
+
+from repro.cluster.device import CPUSpec, Device, DeviceKind
+from repro.errors import SchedulingError
+from repro.runtime.scheduler_api import (
+    DeviceInfo,
+    SchedulingContext,
+    SchedulingPolicy,
+)
+
+
+def make_ctx(n_devices=2, total=100, initial=10):
+    infos = tuple(
+        DeviceInfo(
+            device_id=f"m{i}.cpu",
+            kind=DeviceKind.CPU,
+            machine_name=f"m{i}",
+            model="test",
+        )
+        for i in range(n_devices)
+    )
+    return SchedulingContext(
+        devices=infos, total_units=total, initial_block_size=initial
+    )
+
+
+class TestDeviceInfo:
+    def test_from_device(self):
+        d = Device(
+            "m.cpu", DeviceKind.CPU, "m", CPUSpec(model="x", cores=2, clock_ghz=1.0)
+        )
+        info = DeviceInfo.from_device(d)
+        assert info.device_id == "m.cpu"
+        assert info.kind is DeviceKind.CPU
+        assert info.model == "x"
+
+
+class TestSchedulingContext:
+    def test_device_ids(self):
+        ctx = make_ctx(3)
+        assert ctx.device_ids == ("m0.cpu", "m1.cpu", "m2.cpu")
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            make_ctx(total=0)
+        with pytest.raises(SchedulingError):
+            make_ctx(initial=0)
+        with pytest.raises(SchedulingError):
+            SchedulingContext(devices=(), total_units=1, initial_block_size=1)
+
+    def test_overhead_charges_accumulate_and_drain(self):
+        ctx = make_ctx()
+        ctx.charge_overhead(0.1, "fit")
+        ctx.charge_overhead(0.05, "solve")
+        assert ctx.drain_overhead() == pytest.approx(0.15)
+        assert ctx.drain_overhead() == 0.0
+
+    def test_zero_overhead_ignored(self):
+        ctx = make_ctx()
+        ctx.charge_overhead(0.0)
+        assert ctx.drain_overhead() == 0.0
+
+    def test_negative_overhead_rejected(self):
+        ctx = make_ctx()
+        with pytest.raises(SchedulingError):
+            ctx.charge_overhead(-1.0)
+
+    def test_rebalance_notes(self):
+        ctx = make_ctx()
+        ctx.note_rebalance()
+        ctx.note_rebalance()
+        assert ctx.drain_rebalances() == 2
+        assert ctx.drain_rebalances() == 0
+
+
+class TestSchedulingPolicyDefaults:
+    class Minimal(SchedulingPolicy):
+        name = "minimal"
+
+        def next_block(self, worker_id, now):
+            return self.ctx.initial_block_size
+
+    def test_setup_stores_ctx(self):
+        p = self.Minimal()
+        ctx = make_ctx()
+        p.setup(ctx)
+        assert p.ctx is ctx
+
+    def test_default_labels(self):
+        p = self.Minimal()
+        p.setup(make_ctx())
+        assert p.phase_label("m0.cpu") == "exec"
+        assert p.step_index("m0.cpu") == 0
+
+    def test_default_hooks_are_noops(self):
+        p = self.Minimal()
+        p.setup(make_ctx())
+        p.on_block_dispatched("m0.cpu", 5, 0.0)
+        p.on_task_finished(None, 10, 0.0)  # type: ignore[arg-type]

@@ -1,0 +1,73 @@
+"""Tests for repro.runtime.task and repro.runtime.codelet."""
+
+import pytest
+
+from repro.cluster.device import DeviceKind
+from repro.cluster.perfmodel import KernelCharacteristics
+from repro.errors import ConfigurationError, SchedulingError
+from repro.runtime.codelet import Codelet
+from repro.runtime.task import Task, TaskState
+
+
+def kernel():
+    return KernelCharacteristics(name="k", flops_per_unit=1.0, bytes_in_per_unit=1.0)
+
+
+class TestTask:
+    def test_lifecycle(self):
+        t = Task(task_id=1, worker_id="w", start_unit=0, units=10)
+        assert t.state is TaskState.PENDING
+        t.mark_running(1.0)
+        assert t.state is TaskState.RUNNING
+        assert t.start_time == 1.0
+        t.mark_done(2.0)
+        assert t.state is TaskState.DONE
+        assert t.end_time == 2.0
+
+    def test_cannot_run_twice(self):
+        t = Task(task_id=1, worker_id="w", start_unit=0, units=10)
+        t.mark_running(1.0)
+        with pytest.raises(SchedulingError):
+            t.mark_running(2.0)
+
+    def test_cannot_finish_pending(self):
+        t = Task(task_id=1, worker_id="w", start_unit=0, units=10)
+        with pytest.raises(SchedulingError):
+            t.mark_done(1.0)
+
+    def test_total_time(self):
+        t = Task(task_id=1, worker_id="w", start_unit=0, units=10)
+        t.transfer_time = 0.5
+        t.exec_time = 1.5
+        assert t.total_time == 2.0
+
+
+class TestCodelet:
+    def test_sim_only_codelet(self):
+        c = Codelet(name="c", kernel=kernel())
+        assert c.simulation_only
+        with pytest.raises(ConfigurationError, match="no real implementation"):
+            c.implementation(DeviceKind.CPU)
+
+    def test_cpu_fallback_for_gpu(self):
+        fn = lambda s, n: n
+        c = Codelet(name="c", kernel=kernel(), cpu_func=fn)
+        assert c.implementation(DeviceKind.GPU) is fn
+        assert not c.simulation_only
+
+    def test_gpu_func_preferred_on_gpu(self):
+        cpu, gpu = (lambda s, n: "cpu"), (lambda s, n: "gpu")
+        c = Codelet(name="c", kernel=kernel(), cpu_func=cpu, gpu_func=gpu)
+        assert c.implementation(DeviceKind.GPU) is gpu
+        assert c.implementation(DeviceKind.CPU) is cpu
+
+    def test_gpu_only_codelet_serves_cpu(self):
+        gpu = lambda s, n: "gpu"
+        c = Codelet(name="c", kernel=kernel(), gpu_func=gpu)
+        assert c.implementation(DeviceKind.CPU) is gpu
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Codelet(name="", kernel=kernel())
+        with pytest.raises(ConfigurationError):
+            Codelet(name="c", kernel="nope")  # type: ignore[arg-type]

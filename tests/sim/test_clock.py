@@ -1,0 +1,54 @@
+"""Tests for repro.sim.clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock(-1.0)
+
+    def test_advance_to(self):
+        c = VirtualClock()
+        assert c.advance_to(3.5) == 3.5
+        assert c.now == 3.5
+
+    def test_advance_to_same_time_ok(self):
+        c = VirtualClock(2.0)
+        c.advance_to(2.0)
+        assert c.now == 2.0
+
+    def test_advance_backwards_rejected(self):
+        c = VirtualClock(2.0)
+        with pytest.raises(SimulationError, match="backwards"):
+            c.advance_to(1.0)
+
+    def test_advance_by(self):
+        c = VirtualClock(1.0)
+        assert c.advance_by(0.5) == 1.5
+
+    def test_advance_by_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock().advance_by(-0.1)
+
+    def test_advance_by_zero_ok(self):
+        c = VirtualClock(1.0)
+        assert c.advance_by(0.0) == 1.0
+
+    def test_reset(self):
+        c = VirtualClock(10.0)
+        c.reset()
+        assert c.now == 0.0
+
+    def test_reset_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock().reset(-1.0)

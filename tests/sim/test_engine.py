@@ -1,0 +1,113 @@
+"""Tests for repro.sim.engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestEngine:
+    def test_schedule_and_run(self):
+        e = Engine()
+        seen = []
+        e.schedule_at(1.0, lambda: seen.append(e.now))
+        e.schedule_at(0.5, lambda: seen.append(e.now))
+        end = e.run()
+        assert seen == [0.5, 1.0]
+        assert end == 1.0
+
+    def test_schedule_after(self):
+        e = Engine()
+        seen = []
+        e.schedule_after(2.0, lambda: seen.append(e.now))
+        e.run()
+        assert seen == [2.0]
+
+    def test_schedule_in_past_rejected(self):
+        e = Engine()
+        e.schedule_at(1.0, lambda: None)
+        e.run()
+        with pytest.raises(SimulationError, match="past"):
+            e.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule_after(-1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        e = Engine()
+        seen = []
+
+        def first():
+            seen.append("first")
+            e.schedule_after(1.0, lambda: seen.append("second"))
+
+        e.schedule_at(1.0, first)
+        e.run()
+        assert seen == ["first", "second"]
+        assert e.now == 2.0
+
+    def test_run_until(self):
+        e = Engine()
+        seen = []
+        e.schedule_at(1.0, lambda: seen.append(1))
+        e.schedule_at(5.0, lambda: seen.append(5))
+        end = e.run(until=2.0)
+        assert seen == [1]
+        assert end == 2.0
+        assert len(e.queue) == 1
+
+    def test_step_returns_event(self):
+        e = Engine()
+        e.schedule_at(1.5, lambda: None, tag="t")
+        ev = e.step()
+        assert ev.time == 1.5
+        assert ev.tag == "t"
+        assert e.now == 1.5
+
+    def test_event_budget_guard(self):
+        e = Engine(max_events=10)
+
+        def loop():
+            e.schedule_after(1.0, loop)
+
+        e.schedule_at(0.0, loop)
+        with pytest.raises(SimulationError, match="budget"):
+            e.run()
+
+    def test_run_not_reentrant(self):
+        e = Engine()
+        errors = []
+
+        def recurse():
+            try:
+                e.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        e.schedule_at(1.0, recurse)
+        e.run()
+        assert len(errors) == 1
+
+    def test_reset(self):
+        e = Engine()
+        e.schedule_at(1.0, lambda: None)
+        e.run()
+        e.schedule_at(2.0, lambda: None)
+        e.reset()
+        assert e.now == 0.0
+        assert not e.queue
+        assert e.processed_events == 0
+
+    def test_cancel_via_engine(self):
+        e = Engine()
+        seen = []
+        ev = e.schedule_at(1.0, lambda: seen.append(1))
+        e.schedule_at(2.0, lambda: seen.append(2))
+        assert e.cancel(ev)
+        e.run()
+        assert seen == [2]
+
+    def test_max_events_validation(self):
+        with pytest.raises(SimulationError):
+            Engine(max_events=0)

@@ -1,0 +1,106 @@
+"""Tests for repro.sim.events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+def noop():
+    pass
+
+
+class TestEventQueue:
+    def test_empty_queue_falsy(self):
+        q = EventQueue()
+        assert not q
+        assert len(q) == 0
+
+    def test_push_and_pop_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.push(2.0, lambda: order.append("b"))
+        q.push(1.0, lambda: order.append("a"))
+        q.push(3.0, lambda: order.append("c"))
+        while q:
+            q.pop().action()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        q = EventQueue()
+        order = []
+        for name in "abc":
+            q.push(1.0, lambda n=name: order.append(n))
+        while q:
+            q.pop().action()
+        assert order == ["a", "b", "c"]
+
+    def test_peek_time(self):
+        q = EventQueue()
+        q.push(5.0, noop)
+        q.push(2.0, noop)
+        assert q.peek_time() == 2.0
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().peek_time()
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, noop)
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(float("nan"), noop)
+
+    def test_cancel_pending(self):
+        q = EventQueue()
+        ev = q.push(1.0, noop)
+        q.push(2.0, noop)
+        assert q.cancel(ev) is True
+        assert len(q) == 1
+        assert q.pop().time == 2.0
+
+    def test_cancel_twice_returns_false(self):
+        q = EventQueue()
+        ev = q.push(1.0, noop)
+        assert q.cancel(ev)
+        assert not q.cancel(ev)
+
+    def test_cancel_fired_event_returns_false(self):
+        q = EventQueue()
+        ev = q.push(1.0, noop)
+        q.pop()
+        assert not q.cancel(ev)
+
+    def test_cancelled_event_skipped_by_peek(self):
+        q = EventQueue()
+        ev = q.push(1.0, noop)
+        q.push(2.0, noop)
+        q.cancel(ev)
+        assert q.peek_time() == 2.0
+
+    def test_drain_yields_in_order(self):
+        q = EventQueue()
+        q.push(2.0, noop)
+        q.push(1.0, noop)
+        times = [ev.time for ev in q.drain()]
+        assert times == [1.0, 2.0]
+        assert not q
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, noop)
+        q.clear()
+        assert not q
+
+    def test_tag_and_payload_carried(self):
+        q = EventQueue()
+        q.push(1.0, noop, tag="hello", payload={"k": 1})
+        ev = q.pop()
+        assert ev.tag == "hello"
+        assert ev.payload == {"k": 1}

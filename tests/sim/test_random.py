@@ -1,0 +1,95 @@
+"""Tests for repro.sim.random."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.random import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(42).stream("dev/exec")
+        b = RandomStreams(42).stream("dev/exec")
+        assert a.random() == b.random()
+
+    def test_different_keys_independent(self):
+        rs = RandomStreams(42)
+        a = rs.stream("a").random(100)
+        b = rs.stream("b").random(100)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("k").random()
+        b = RandomStreams(2).stream("k").random()
+        assert a != b
+
+    def test_stream_cached(self):
+        rs = RandomStreams(0)
+        assert rs.stream("x") is rs.stream("x")
+
+    def test_creation_order_irrelevant(self):
+        rs1 = RandomStreams(7)
+        rs1.stream("first")
+        v1 = rs1.stream("second").random()
+        rs2 = RandomStreams(7)
+        v2 = rs2.stream("second").random()
+        assert v1 == v2
+
+    def test_invalid_seed(self):
+        with pytest.raises(ConfigurationError):
+            RandomStreams(1.5)  # type: ignore[arg-type]
+        with pytest.raises(ConfigurationError):
+            RandomStreams(True)  # type: ignore[arg-type]
+
+    def test_invalid_key(self):
+        rs = RandomStreams(0)
+        with pytest.raises(ConfigurationError):
+            rs.stream("")
+        with pytest.raises(ConfigurationError):
+            rs.stream(3)  # type: ignore[arg-type]
+
+
+class TestLognormalFactor:
+    def test_zero_sigma_is_exact_one(self):
+        rs = RandomStreams(0)
+        assert rs.lognormal_factor("k", 0.0) == 1.0
+
+    def test_zero_sigma_consumes_no_randomness(self):
+        rs = RandomStreams(0)
+        rs.lognormal_factor("k", 0.0)
+        after = rs.stream("k").random()
+        fresh = RandomStreams(0).stream("k").random()
+        assert after == fresh
+
+    def test_positive(self):
+        rs = RandomStreams(0)
+        for i in range(50):
+            assert rs.lognormal_factor(f"k{i}", 0.5) > 0.0
+
+    def test_unit_median(self):
+        rs = RandomStreams(3)
+        draws = [rs.lognormal_factor("same-key", 0.1) for _ in range(2000)]
+        assert np.median(draws) == pytest.approx(1.0, abs=0.02)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomStreams(0).lognormal_factor("k", -0.1)
+
+
+class TestFork:
+    def test_fork_deterministic(self):
+        a = RandomStreams(5).fork("rep1").stream("k").random()
+        b = RandomStreams(5).fork("rep1").stream("k").random()
+        assert a == b
+
+    def test_fork_differs_from_parent(self):
+        parent = RandomStreams(5)
+        child = parent.fork("rep1")
+        assert parent.stream("k").random() != child.stream("k").random()
+
+    def test_forks_differ_by_suffix(self):
+        parent = RandomStreams(5)
+        a = parent.fork("rep1").stream("k").random()
+        b = parent.fork("rep2").stream("k").random()
+        assert a != b

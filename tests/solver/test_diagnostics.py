@@ -1,0 +1,60 @@
+"""Tests for repro.solver.diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.solver.diagnostics import (
+    ConvergenceReport,
+    analyze_convergence,
+    render_history,
+)
+from repro.solver.ipm import IPMOptions, InteriorPointSolver
+from tests.solver.test_ipm import qp_simplex
+
+
+@pytest.fixture
+def recorded_solve():
+    options = IPMOptions(record_history=True)
+    return InteriorPointSolver(options).solve(
+        qp_simplex(3, [1.0, 2.0, 4.0]), np.full(3, 1 / 3)
+    )
+
+
+class TestAnalyzeConvergence:
+    def test_healthy_solve(self, recorded_solve):
+        report = analyze_convergence(recorded_solve)
+        assert isinstance(report, ConvergenceReport)
+        assert report.converged
+        assert report.healthy()
+        assert report.barrier_decreased
+        assert 0.0 < report.mean_step_length <= 1.0
+
+    def test_requires_history(self):
+        result = InteriorPointSolver().solve(
+            qp_simplex(2), np.full(2, 0.5)
+        )
+        with pytest.raises(ConfigurationError, match="record_history"):
+            analyze_convergence(result)
+
+    def test_iterations_match(self, recorded_solve):
+        report = analyze_convergence(recorded_solve)
+        assert report.iterations == recorded_solve.iterations
+
+
+class TestRenderHistory:
+    def test_table_structure(self, recorded_solve):
+        text = render_history(recorded_solve)
+        assert "iter" in text
+        assert "mu" in text
+        assert "kkt_err" in text
+        assert str(recorded_solve.iterations) in text
+
+    def test_no_history(self):
+        result = InteriorPointSolver().solve(qp_simplex(2), np.full(2, 0.5))
+        assert render_history(result) == "(no history recorded)"
+
+    def test_row_cap(self, recorded_solve):
+        text = render_history(recorded_solve, max_rows=1)
+        if len(recorded_solve.history) > 1:
+            assert "more iterations" in text

@@ -1,0 +1,78 @@
+"""Tests for repro.solver.filter."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.solver.filter import Filter, FilterEntry
+
+
+class TestFilterEntry:
+    def test_dominates(self):
+        e = FilterEntry(theta=1.0, phi=2.0)
+        assert e.dominates(1.5, 2.5)  # both worse
+        assert e.dominates(1.0, 2.0)  # equal counts as dominated
+        assert not e.dominates(0.5, 2.5)  # better feasibility
+        assert not e.dominates(1.5, 1.5)  # better objective
+
+
+class TestFilter:
+    def test_margin_validation(self):
+        with pytest.raises(ConfigurationError):
+            Filter(gamma_theta=0.0)
+        with pytest.raises(ConfigurationError):
+            Filter(gamma_phi=1.0)
+        with pytest.raises(ConfigurationError):
+            Filter(theta_max=0.0)
+
+    def test_empty_filter_accepts(self):
+        assert Filter().acceptable(1.0, 1.0)
+
+    def test_theta_max_cap(self):
+        f = Filter(theta_max=10.0)
+        assert not f.acceptable(11.0, 0.0)
+
+    def test_dominated_point_rejected(self):
+        f = Filter()
+        f.add(1.0, 5.0)
+        assert not f.acceptable(1.0, 5.0)
+        assert not f.acceptable(2.0, 6.0)
+
+    def test_improvement_in_either_accepted(self):
+        f = Filter()
+        f.add(1.0, 5.0)
+        assert f.acceptable(0.5, 100.0)  # much better feasibility
+        assert f.acceptable(1.0 - 1e-3, 4.0)  # better objective with margin
+
+    def test_sufficient_decrease_vs_current(self):
+        f = Filter(gamma_theta=0.1, gamma_phi=0.1)
+        current = FilterEntry(theta=1.0, phi=10.0)
+        # neither theta nor phi improves enough relative to current
+        assert not f.acceptable(0.95, 9.95, current=current)
+        # theta improves by > 10%
+        assert f.acceptable(0.85, 10.0, current=current)
+        # phi improves by > gamma_phi * theta
+        assert f.acceptable(1.0, 9.85, current=current)
+
+    def test_add_prunes_dominated_entries(self):
+        f = Filter()
+        f.add(2.0, 2.0)
+        f.add(1.0, 1.0)  # dominates the first (both smaller)
+        assert len(f) == 1
+
+    def test_add_keeps_incomparable_entries(self):
+        f = Filter()
+        f.add(2.0, 1.0)
+        f.add(1.0, 2.0)
+        assert len(f) == 2
+
+    def test_reset(self):
+        f = Filter()
+        f.add(1.0, 1.0)
+        f.reset()
+        assert len(f) == 0
+        assert f.acceptable(1.0, 1.0)
+
+    def test_entries_exposed(self):
+        f = Filter()
+        f.add(1.0, 2.0)
+        assert isinstance(f.entries[0], FilterEntry)

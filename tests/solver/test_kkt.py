@@ -1,0 +1,61 @@
+"""Tests for repro.solver.kkt."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.solver.kkt import KKTSolution, solve_kkt
+
+
+class TestSolveKKT:
+    def test_solves_well_posed_system(self):
+        # min 0.5 x'Hx s.t. sum(x) = 1, H = I: Newton from x=0
+        h = np.eye(2)
+        jac = np.ones((1, 2))
+        rhs_x = np.zeros(2)
+        rhs_c = np.array([1.0])
+        sol = solve_kkt(h, jac, rhs_x, rhs_c)
+        # dx solves the equality-constrained QP step: x = [0.5, 0.5]
+        assert np.allclose(sol.dx, [0.5, 0.5])
+        assert sol.delta_w == 0.0
+
+    def test_residual_satisfied(self):
+        rng = np.random.default_rng(1)
+        h = np.diag(rng.uniform(0.5, 2.0, 4))
+        jac = rng.normal(size=(2, 4))
+        rhs_x = rng.normal(size=4)
+        rhs_c = rng.normal(size=2)
+        sol = solve_kkt(h, jac, rhs_x, rhs_c)
+        # verify the linear system holds
+        assert np.allclose(h @ sol.dx + jac.T @ sol.dlam, rhs_x, atol=1e-8)
+        assert np.allclose(jac @ sol.dx, rhs_c, atol=1e-8)
+
+    def test_indefinite_hessian_regularised(self):
+        h = np.diag([-1.0, 1.0])  # wrong inertia without regularisation
+        jac = np.ones((1, 2))
+        sol = solve_kkt(h, jac, np.zeros(2), np.array([1.0]))
+        assert sol.delta_w > 0.0
+        assert np.all(np.isfinite(sol.dx))
+
+    def test_rank_deficient_jacobian_gets_dual_regularisation(self):
+        h = np.eye(2)
+        jac = np.array([[1.0, 1.0], [1.0, 1.0]])  # duplicated constraint
+        sol = solve_kkt(h, jac, np.zeros(2), np.array([1.0, 1.0]))
+        assert sol.delta_c > 0.0
+
+    def test_badly_scaled_system_still_solves(self):
+        # mimic barrier blowup near a bound: huge diagonal entry
+        h = np.diag([1e12, 1e-4])
+        jac = np.array([[1.0, 1.0]])
+        sol = solve_kkt(h, jac, np.array([1.0, 1.0]), np.array([0.5]))
+        assert np.all(np.isfinite(sol.dx))
+        resid_x = h @ sol.dx + jac.T @ sol.dlam - np.array([1.0, 1.0])
+        assert np.linalg.norm(resid_x) < 1e-4 * np.linalg.norm(h)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SolverError):
+            solve_kkt(np.eye(2), np.ones((1, 3)), np.zeros(2), np.zeros(1))
+
+    def test_returns_solution_type(self):
+        sol = solve_kkt(np.eye(1), np.ones((1, 1)), np.zeros(1), np.zeros(1))
+        assert isinstance(sol, KKTSolution)

@@ -1,0 +1,114 @@
+"""Tests for repro.solver.nlp."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.solver.nlp import NLPProblem
+
+
+def simple_problem(n=2, m=1, lower=None, upper=None):
+    return NLPProblem(
+        n=n,
+        m=m,
+        objective=lambda x: float(np.sum(x**2)),
+        gradient=lambda x: 2 * x,
+        constraints=lambda x: np.array([float(np.sum(x)) - 1.0] * m),
+        jacobian=lambda x: np.ones((m, n)),
+        hess_lagrangian=lambda x, lam, of: 2.0 * of * np.eye(n),
+        lower=lower,
+        upper=upper,
+    )
+
+
+class TestValidation:
+    def test_defaults_to_free_bounds(self):
+        p = simple_problem()
+        assert np.all(np.isneginf(p.lower))
+        assert np.all(np.isposinf(p.upper))
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            simple_problem(n=0)
+
+    def test_bound_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            simple_problem(lower=np.zeros(3))
+
+    def test_crossed_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simple_problem(lower=np.ones(2), upper=np.zeros(2))
+
+
+class TestCheckedEvaluation:
+    def test_objective(self):
+        p = simple_problem()
+        assert p.eval_objective(np.array([1.0, 2.0])) == 5.0
+
+    def test_nonfinite_objective_rejected(self):
+        p = simple_problem()
+        p.objective = lambda x: float("nan")
+        with pytest.raises(ConfigurationError, match="objective"):
+            p.eval_objective(np.zeros(2))
+
+    def test_gradient_shape_checked(self):
+        p = simple_problem()
+        p.gradient = lambda x: np.zeros(3)
+        with pytest.raises(ConfigurationError, match="gradient"):
+            p.eval_gradient(np.zeros(2))
+
+    def test_constraints_shape_checked(self):
+        p = simple_problem()
+        p.constraints = lambda x: np.zeros(2)
+        with pytest.raises(ConfigurationError, match="constraints"):
+            p.eval_constraints(np.zeros(2))
+
+    def test_jacobian_shape_checked(self):
+        p = simple_problem()
+        p.jacobian = lambda x: np.zeros((2, 2))
+        with pytest.raises(ConfigurationError, match="jacobian"):
+            p.eval_jacobian(np.zeros(2))
+
+    def test_hessian_symmetrised(self):
+        p = simple_problem()
+        p.hess_lagrangian = lambda x, lam, of: np.array([[1.0, 2.0], [0.0, 1.0]])
+        h = p.eval_hessian(np.zeros(2), np.zeros(1))
+        assert np.allclose(h, h.T)
+        assert h[0, 1] == pytest.approx(1.0)
+
+    def test_hessian_nonfinite_rejected(self):
+        p = simple_problem()
+        p.hess_lagrangian = lambda x, lam, of: np.full((2, 2), np.inf)
+        with pytest.raises(ConfigurationError):
+            p.eval_hessian(np.zeros(2), np.zeros(1))
+
+
+class TestClipInterior:
+    def test_clips_to_strict_interior(self):
+        p = simple_problem(lower=np.zeros(2), upper=np.ones(2))
+        x = p.clip_interior(np.array([0.0, 1.0]))
+        assert np.all(x > 0.0)
+        assert np.all(x < 1.0)
+
+    def test_interior_point_unchanged(self):
+        p = simple_problem(lower=np.zeros(2), upper=np.ones(2))
+        x = p.clip_interior(np.array([0.5, 0.5]))
+        assert np.allclose(x, 0.5)
+
+    def test_free_variables_untouched(self):
+        p = simple_problem()
+        x = p.clip_interior(np.array([-5.0, 100.0]))
+        assert np.allclose(x, [-5.0, 100.0])
+
+    def test_one_sided_bounds(self):
+        p = simple_problem(lower=np.zeros(2), upper=np.full(2, np.inf))
+        x = p.clip_interior(np.array([-1.0, 5.0]))
+        assert x[0] > 0.0
+        assert x[1] == 5.0
+
+    def test_masks(self):
+        p = simple_problem(
+            lower=np.array([0.0, -np.inf]), upper=np.array([np.inf, 1.0])
+        )
+        assert list(p.has_lower()) == [True, False]
+        assert list(p.has_upper()) == [False, True]

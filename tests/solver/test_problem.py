@@ -1,0 +1,114 @@
+"""Tests for repro.solver.problem (the partition NLP construction)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.modeling.perf_profile import PerfProfile
+from repro.solver.ipm import InteriorPointSolver
+from repro.solver.problem import build_partition_nlp, initial_partition_point
+
+
+def models(slopes=(0.001, 0.002, 0.004)):
+    out = []
+    for i, s in enumerate(slopes):
+        prof = PerfProfile(f"d{i}")
+        for u in (10, 100, 1000, 5000):
+            prof.add(u, 0.05 + s * u, 1e-6 * u)
+        out.append(prof.fit())
+    return out
+
+
+class TestBuildPartitionNLP:
+    def test_dimensions(self):
+        nlp = build_partition_nlp(models(), 1000.0)
+        n_dev = 3
+        assert nlp.n == 2 * n_dev + 1  # fractions, slacks, T
+        assert nlp.m == n_dev + 1
+
+    def test_constraints_at_equal_time_point(self):
+        ms = models((0.001, 0.001, 0.001))
+        q = 3000.0
+        fracs = np.full(3, 1 / 3)
+        t = float(ms[0].E(1000.0))
+        z = np.concatenate([fracs, np.zeros(3), [t]])
+        c = build_partition_nlp(ms, q).eval_constraints(z)
+        assert np.allclose(c, 0.0, atol=1e-6)
+
+    def test_jacobian_matches_finite_difference(self):
+        ms = models()
+        nlp = build_partition_nlp(ms, 1000.0)
+        z = initial_partition_point(ms, 1000.0)
+        jac = nlp.eval_jacobian(z)
+        h = 1e-7
+        for col in range(nlp.n):
+            zp, zm = z.copy(), z.copy()
+            zp[col] += h
+            zm[col] -= h
+            numeric = (nlp.eval_constraints(zp) - nlp.eval_constraints(zm)) / (2 * h)
+            assert np.allclose(jac[:, col], numeric, rtol=1e-3, atol=1e-4)
+
+    def test_objective_is_t(self):
+        nlp = build_partition_nlp(models(), 1000.0)
+        z = np.zeros(nlp.n)
+        z[-1] = 42.0
+        assert nlp.eval_objective(z) == 42.0
+        grad = nlp.eval_gradient(z)
+        assert grad[-1] == 1.0
+        assert np.allclose(grad[:-1], 0.0)
+
+    def test_bounds(self):
+        nlp = build_partition_nlp(models(), 1000.0)
+        assert np.allclose(nlp.lower, 0.0)
+        assert np.allclose(nlp.upper[:3], 1.0)
+        assert np.all(np.isposinf(nlp.upper[3:]))
+
+    def test_upper_units_become_fraction_caps(self):
+        nlp = build_partition_nlp(models(), 1000.0, upper_units=[500.0, 800.0, 1000.0])
+        assert nlp.upper[0] == pytest.approx(0.5)
+        assert nlp.upper[1] == pytest.approx(0.8)
+        assert nlp.upper[2] == pytest.approx(1.0)
+
+    def test_upper_units_below_quantum_rejected(self):
+        with pytest.raises(ConfigurationError, match="infeasible"):
+            build_partition_nlp(models(), 1000.0, upper_units=[100.0, 100.0, 100.0])
+
+    def test_empty_models_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_partition_nlp([], 100.0)
+
+    def test_solvable_by_ipm(self):
+        ms = models()
+        q = 2000.0
+        nlp = build_partition_nlp(ms, q)
+        z0 = initial_partition_point(ms, q)
+        result = InteriorPointSolver().solve(nlp, z0)
+        assert result.converged
+        fracs = result.x[:3]
+        assert fracs.sum() == pytest.approx(1.0, abs=1e-6)
+        times = [float(m.E(f * q)) for m, f in zip(ms, fracs)]
+        assert max(times) - min(times) < 0.01 * max(times)
+
+
+class TestInitialPartitionPoint:
+    def test_strictly_interior(self):
+        ms = models()
+        z0 = initial_partition_point(ms, 1000.0)
+        assert np.all(z0[:3] > 0.0)
+        assert np.all(z0[:3] < 1.0)
+        assert np.all(z0[3:6] > 0.0)  # slacks positive
+        assert z0[6] > 0.0  # T positive
+
+    def test_fractions_sum_to_one(self):
+        z0 = initial_partition_point(models(), 1000.0)
+        assert z0[:3].sum() == pytest.approx(1.0)
+
+    def test_faster_device_larger_fraction(self):
+        z0 = initial_partition_point(models((0.001, 0.01, 0.01)), 1000.0)
+        assert z0[0] > z0[1]
+
+    def test_respects_caps(self):
+        z0 = initial_partition_point(
+            models(), 1000.0, upper_units=[400.0, 800.0, 1000.0]
+        )
+        assert z0[0] <= 0.4 + 1e-9

@@ -1,0 +1,74 @@
+"""Property-based tests: IPM and waterfilling agree on random instances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.modeling.perf_profile import PerfProfile
+from repro.solver import solve_block_partition, waterfill_partition
+
+
+def affine_models(slopes, intercepts):
+    out = []
+    for i, (s, b) in enumerate(zip(slopes, intercepts)):
+        prof = PerfProfile(f"d{i}")
+        for u in (10, 50, 250, 1000, 4000):
+            prof.add(u, b + s * u, 1e-7 * u)
+        out.append(prof.fit())
+    return out
+
+
+slopes_st = st.lists(st.floats(1e-5, 1e-2), min_size=2, max_size=6)
+
+
+class TestPartitionProperties:
+    @given(slopes_st, st.floats(500.0, 20_000.0))
+    @settings(max_examples=25, deadline=None)
+    def test_conservation(self, slopes, quantum):
+        models = affine_models(slopes, [0.01] * len(slopes))
+        result = solve_block_partition(models, quantum)
+        assert result.units.sum() == pytest.approx(quantum, rel=1e-6)
+        assert np.all(result.units >= -1e-9)
+
+    @given(slopes_st, st.floats(1000.0, 20_000.0))
+    @settings(max_examples=25, deadline=None)
+    def test_ipm_agrees_with_waterfilling(self, slopes, quantum):
+        from repro.solver.partition import _trust_caps
+
+        models = affine_models(slopes, [0.01] * len(slopes))
+        chain = solve_block_partition(models, quantum)
+        caps = _trust_caps(models, quantum)
+        wf_units, _ = waterfill_partition(models, quantum, caps=caps)
+        # both compute the capped equal-time split; allow a few percent slack
+        assert np.allclose(chain.units, wf_units, rtol=0.05, atol=quantum * 0.01)
+
+    @given(slopes_st)
+    @settings(max_examples=25, deadline=None)
+    def test_faster_never_gets_less(self, slopes):
+        models = affine_models(slopes, [0.01] * len(slopes))
+        result = solve_block_partition(models, 8000.0)
+        order = np.argsort(slopes)  # ascending slope = descending speed
+        units = result.units[order]
+        # monotone non-increasing assignment with small numeric slack
+        for a, b in zip(units, units[1:]):
+            assert b <= a * 1.05 + 1.0
+
+    @given(
+        slopes_st,
+        st.floats(0.0, 0.02),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_noise_robustness(self, slopes, sigma, seed):
+        rng = np.random.default_rng(seed)
+        models = []
+        for i, s in enumerate(slopes):
+            prof = PerfProfile(f"d{i}")
+            for u in (10, 50, 250, 1000, 4000):
+                noise = float(np.exp(rng.normal(0, sigma)))
+                prof.add(u, (0.01 + s * u) * noise, 1e-7 * u)
+            models.append(prof.fit())
+        result = solve_block_partition(models, 8000.0)
+        assert result.units.sum() == pytest.approx(8000.0, rel=1e-6)
+        assert np.all(np.isfinite(result.units))

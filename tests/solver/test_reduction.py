@@ -1,0 +1,84 @@
+"""Tests for repro.solver.reduction (waterfilling)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SolverError
+from repro.modeling.perf_profile import PerfProfile
+from repro.solver.reduction import waterfill_partition
+
+
+def model(device_id, slope, intercept=0.1, sizes=(10, 100, 1000, 5000)):
+    prof = PerfProfile(device_id)
+    for u in sizes:
+        prof.add(u, intercept + slope * u, 1e-6 * u)
+    return prof.fit()
+
+
+class TestWaterfill:
+    def test_equal_devices_split_equally(self):
+        models = [model(f"d{i}", 0.01) for i in range(4)]
+        units, t = waterfill_partition(models, 8000.0)
+        assert units.sum() == pytest.approx(8000.0)
+        assert np.allclose(units, 2000.0, rtol=0.01)
+
+    def test_faster_device_gets_more(self):
+        fast = model("fast", 0.001)
+        slow = model("slow", 0.01)
+        units, _ = waterfill_partition([fast, slow], 5000.0)
+        assert units[0] > units[1] * 5
+
+    def test_times_equalised(self):
+        models = [model("a", 0.001), model("b", 0.004), model("c", 0.016)]
+        units, t = waterfill_partition(models, 6000.0)
+        times = [float(m.E(u)) for m, u in zip(models, units) if u > 1]
+        spread = (max(times) - min(times)) / max(times)
+        assert spread < 0.02
+
+    def test_expensive_intercept_device_dropped(self):
+        # device whose fixed cost exceeds the common finish time gets 0
+        cheap = [model(f"d{i}", 0.001, intercept=0.01) for i in range(3)]
+        pricey = model("x", 0.001, intercept=1e3)
+        units, t = waterfill_partition(cheap + [pricey], 3000.0)
+        assert units[3] == 0.0
+        assert units.sum() == pytest.approx(3000.0)
+
+    def test_caps_respected(self):
+        models = [model("a", 0.001), model("b", 0.001)]
+        units, _ = waterfill_partition(models, 1000.0, caps=[100.0, 1000.0])
+        assert units[0] <= 100.0 + 1e-6
+        assert units.sum() == pytest.approx(1000.0)
+
+    def test_caps_below_quantum_rejected(self):
+        models = [model("a", 0.001)]
+        with pytest.raises(ConfigurationError, match="infeasible"):
+            waterfill_partition(models, 1000.0, caps=[10.0])
+
+    def test_nonpositive_caps_rejected(self):
+        models = [model("a", 0.001), model("b", 0.001)]
+        with pytest.raises(ConfigurationError):
+            waterfill_partition(models, 10.0, caps=[0.0, 100.0])
+
+    def test_single_device_gets_everything(self):
+        units, t = waterfill_partition([model("a", 0.01)], 500.0)
+        assert units[0] == pytest.approx(500.0)
+
+    def test_empty_models_rejected(self):
+        with pytest.raises(ConfigurationError):
+            waterfill_partition([], 100.0)
+
+    def test_nonpositive_quantum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            waterfill_partition([model("a", 0.01)], 0.0)
+
+    def test_sum_always_exact(self):
+        rng = np.random.default_rng(5)
+        for trial in range(5):
+            models = [
+                model(f"d{i}", float(rng.uniform(1e-4, 1e-1)))
+                for i in range(rng.integers(2, 6))
+            ]
+            q = float(rng.uniform(100, 50_000))
+            units, _ = waterfill_partition(models, q)
+            assert units.sum() == pytest.approx(q, rel=1e-9)
+            assert np.all(units >= 0.0)

@@ -1,0 +1,73 @@
+"""Tests for the IPM feasibility-restoration phase."""
+
+import numpy as np
+import pytest
+
+from repro.solver.ipm import IPMOptions, InteriorPointSolver
+from repro.solver.nlp import NLPProblem
+
+
+def circle_problem():
+    """min x + y  s.t. x^2 + y^2 = 1, bounds [-2, 2].
+
+    Optimum at (-1/sqrt(2), -1/sqrt(2)); the curved constraint gives the
+    restoration machinery something real to do from bad starts.
+    """
+    return NLPProblem(
+        n=2,
+        m=1,
+        objective=lambda z: float(z[0] + z[1]),
+        gradient=lambda z: np.ones(2),
+        constraints=lambda z: np.array([float(z @ z) - 1.0]),
+        jacobian=lambda z: (2 * z).reshape(1, 2),
+        hess_lagrangian=lambda z, lam, of: 2.0 * lam[0] * np.eye(2),
+        lower=np.full(2, -2.0),
+        upper=np.full(2, 2.0),
+        name="circle",
+    )
+
+
+class TestRestoreHelper:
+    def test_reduces_violation(self):
+        problem = circle_problem()
+        solver = InteriorPointSolver()
+        x0 = np.array([1.9, 1.9])  # violation |7.22 - 1| = 6.22
+        theta0 = float(np.abs(problem.eval_constraints(x0)).sum())
+        x_new, ok = solver._restore(problem, x0, theta0)
+        theta_new = float(np.abs(problem.eval_constraints(x_new)).sum())
+        assert ok
+        assert theta_new < theta0 * 0.2
+
+    def test_stays_in_bounds(self):
+        problem = circle_problem()
+        solver = InteriorPointSolver()
+        x_new, _ = solver._restore(problem, np.array([1.99, 1.99]), 7.0)
+        assert np.all(x_new >= problem.lower)
+        assert np.all(x_new <= problem.upper)
+
+    def test_feasible_start_returns_quickly(self):
+        problem = circle_problem()
+        solver = InteriorPointSolver()
+        x0 = np.array([1.0, 0.0])
+        x_new, ok = solver._restore(problem, x0, 1e-12)
+        assert ok
+
+
+class TestNonconvexConstraintSolve:
+    @pytest.mark.parametrize("strategy", ["monotone", "adaptive", "probing"])
+    def test_circle_optimum(self, strategy):
+        problem = circle_problem()
+        result = InteriorPointSolver(
+            IPMOptions(barrier_strategy=strategy, max_iter=400)
+        ).solve(problem, np.array([0.5, -0.5]))
+        assert result.converged
+        expected = -1.0 / np.sqrt(2.0)
+        assert result.x == pytest.approx([expected, expected], abs=1e-5)
+
+    def test_from_far_corner(self):
+        problem = circle_problem()
+        result = InteriorPointSolver(IPMOptions(max_iter=500)).solve(
+            problem, np.array([1.8, 1.8])
+        )
+        assert result.converged
+        assert abs(float(result.x @ result.x) - 1.0) < 1e-7

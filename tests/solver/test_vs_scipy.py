@@ -1,0 +1,107 @@
+"""Cross-validation: our interior-point solver vs scipy.optimize.
+
+Random convex QPs with an equality constraint and box bounds — exactly
+the problem class the partition NLP lives in — solved by both our IPM
+and SciPy's SLSQP; the optima must coincide.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import minimize
+
+from repro.solver.ipm import IPMOptions, InteriorPointSolver
+from repro.solver.nlp import NLPProblem
+
+
+def random_qp(n, seed):
+    """min 0.5 x'Qx + c'x  s.t. sum x = 1, 0 <= x <= 1, Q PSD."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    q = a @ a.T + n * np.eye(n)  # well-conditioned PSD
+    c = rng.normal(size=n)
+
+    problem = NLPProblem(
+        n=n,
+        m=1,
+        objective=lambda x: float(0.5 * x @ q @ x + c @ x),
+        gradient=lambda x: q @ x + c,
+        constraints=lambda x: np.array([float(np.sum(x)) - 1.0]),
+        jacobian=lambda x: np.ones((1, n)),
+        hess_lagrangian=lambda x, lam, of: of * q,
+        lower=np.zeros(n),
+        upper=np.ones(n),
+        name=f"qp-{seed}",
+    )
+    return problem, q, c
+
+
+def scipy_solution(q, c):
+    n = q.shape[0]
+    res = minimize(
+        lambda x: 0.5 * x @ q @ x + c @ x,
+        np.full(n, 1 / n),
+        jac=lambda x: q @ x + c,
+        method="SLSQP",
+        bounds=[(0.0, 1.0)] * n,
+        constraints=[{"type": "eq", "fun": lambda x: np.sum(x) - 1.0}],
+        options={"maxiter": 500, "ftol": 1e-12},
+    )
+    assert res.success
+    return res.x
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("strategy", ["monotone", "adaptive", "probing"])
+    def test_random_qp_optima_match(self, seed, strategy):
+        n = 5
+        problem, q, c = random_qp(n, seed)
+        ours = InteriorPointSolver(
+            IPMOptions(barrier_strategy=strategy, max_iter=400)
+        ).solve(problem, np.full(n, 1 / n))
+        reference = scipy_solution(q, c)
+        assert ours.converged
+        assert np.allclose(ours.x, reference, atol=5e-5), (
+            f"seed={seed} ours={ours.x} scipy={reference}"
+        )
+
+    @pytest.mark.parametrize("n", [2, 3, 8, 12])
+    def test_dimension_sweep(self, n):
+        problem, q, c = random_qp(n, seed=100 + n)
+        ours = InteriorPointSolver().solve(problem, np.full(n, 1 / n))
+        reference = scipy_solution(q, c)
+        assert ours.converged
+        assert ours.objective == pytest.approx(
+            0.5 * reference @ q @ reference + c @ reference, abs=1e-7
+        )
+
+    def test_active_bounds_detected(self):
+        """A QP whose optimum pins variables at their bounds."""
+        n = 4
+        q = np.eye(n)
+        c = np.array([-10.0, 0.0, 0.0, 0.0])  # pushes x0 to its upper bound
+
+        problem = NLPProblem(
+            n=n,
+            m=1,
+            objective=lambda x: float(0.5 * x @ q @ x + c @ x),
+            gradient=lambda x: q @ x + c,
+            constraints=lambda x: np.array([float(np.sum(x)) - 1.0]),
+            jacobian=lambda x: np.ones((1, n)),
+            hess_lagrangian=lambda x, lam, of: of * q,
+            lower=np.zeros(n),
+            upper=np.full(n, 0.7),
+        )
+        ours = InteriorPointSolver().solve(problem, np.full(n, 1 / n))
+        reference = minimize(
+            lambda x: 0.5 * x @ q @ x + c @ x,
+            np.full(n, 1 / n),
+            method="SLSQP",
+            bounds=[(0.0, 0.7)] * n,
+            constraints=[{"type": "eq", "fun": lambda x: np.sum(x) - 1.0}],
+        ).x
+        assert ours.converged
+        assert ours.x[0] == pytest.approx(0.7, abs=1e-6)
+        assert np.allclose(ours.x, reference, atol=1e-5)

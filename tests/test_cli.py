@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.app == "matmul"
+        assert args.policy == "plb-hec"
+        assert args.machines == 4
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "magic"])
+
+    def test_invalid_machines_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--machines", "7"])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        assert main(["run", "--app", "matmul", "--size", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "plb-hec" in out
+        assert "time_s" in out
+
+    def test_run_oracle(self, capsys):
+        assert main(
+            ["run", "--app", "matmul", "--size", "4096", "--policy", "oracle"]
+        ) == 0
+        assert "oracle" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(
+            ["compare", "--app", "matmul", "--size", "4096",
+             "--machines", "2", "--replications", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speedup_vs_greedy" in out
+        for policy in ("greedy", "acosta", "hdss", "plb-hec"):
+            assert policy in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Tesla K20c" in capsys.readouterr().out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1", "--points", "6"]) == 0
+        assert "Fig.1" in capsys.readouterr().out
+
+    def test_fig4_fast(self, capsys):
+        assert main(["fig4", "--fast", "--replications", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_fig5_fast(self, capsys):
+        assert main(["fig5", "--fast", "--replications", "1"]) == 0
+        assert "blackscholes" in capsys.readouterr().out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6", "--replications", "1"]) == 0
+        assert "gpu_total" in capsys.readouterr().out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7", "--replications", "1"]) == 0
+        assert "rebalances" in capsys.readouterr().out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead", "--repetitions", "3"]) == 0
+        assert "solver overhead" in capsys.readouterr().out
+
+    def test_run_gantt(self, capsys):
+        assert main(
+            ["run", "--app", "matmul", "--size", "4096", "--gantt"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "=probe" in out and "=exec" in out

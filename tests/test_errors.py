@@ -1,0 +1,60 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    DataError,
+    FitError,
+    InfeasibleError,
+    ModelingError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    SolverError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            SimulationError,
+            SchedulingError,
+            ModelingError,
+            FitError,
+            SolverError,
+            InfeasibleError,
+            ConvergenceError,
+            DataError,
+            WorkloadError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_configuration_is_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_data_is_value_error(self):
+        assert issubclass(DataError, ValueError)
+
+    def test_runtime_flavoured_errors(self):
+        for exc in (SimulationError, SchedulingError, SolverError):
+            assert issubclass(exc, RuntimeError)
+
+    def test_fit_error_is_modeling_error(self):
+        assert issubclass(FitError, ModelingError)
+
+    def test_solver_specialisations(self):
+        assert issubclass(InfeasibleError, SolverError)
+        assert issubclass(ConvergenceError, SolverError)
+
+    def test_one_catch_all(self):
+        try:
+            raise FitError("nope")
+        except ReproError as exc:
+            assert "nope" in str(exc)

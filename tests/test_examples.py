@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs to completion and verifies.
+
+Examples are part of the public deliverable; these tests execute each
+script in a subprocess and check its exit code and key output markers.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+CASES = [
+    ("quickstart.py", ["plb-hec", "speedup"]),
+    ("matmul_cluster.py", ["matches reference: True", "speedup"]),
+    ("blackscholes_market.py", ["verified: True", "crossover"]),
+    ("grn_inference.py", ["brute force: True", "plb_hec_s"]),
+    ("cloud_rebalance.py", ["rebalancing on", "rebalancing off"]),
+    ("fault_tolerance.py", ["post-failure distribution", "failures"]),
+]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script,markers", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, markers):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for marker in markers:
+        assert marker in proc.stdout, (
+            f"{script} output missing {marker!r}:\n{proc.stdout[-2000:]}"
+        )

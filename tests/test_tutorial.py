@@ -1,0 +1,123 @@
+"""The tutorial's code must actually work (docs/TUTORIAL.md)."""
+
+import numpy as np
+import pytest
+
+from repro import PLBHeC, Runtime
+from repro.apps import Application
+from repro.cluster import KernelCharacteristics
+from repro.runtime import SchedulingPolicy
+
+
+class RayBatch(Application):
+    """The tutorial's custom application, verbatim in structure."""
+
+    name = "raybatch"
+
+    def __init__(self, num_rays: int, *, bounces: int = 8, seed: int = 0):
+        self.num_rays = num_rays
+        self.bounces = bounces
+        self.seed = seed
+
+    @property
+    def total_units(self) -> int:
+        return self.num_rays
+
+    def kernel_characteristics(self):
+        return KernelCharacteristics(
+            name=self.name,
+            flops_per_unit=50_000.0 * self.bounces,
+            bytes_in_per_unit=32.0,
+            bytes_out_per_unit=12.0,
+            gpu_efficiency=0.5,
+            gpu_half_units=20_000.0,
+            cpu_half_units=500.0,
+            gpu_half_scaling="cores",
+        )
+
+    def cpu_kernel(self, start, count):
+        rng = np.random.default_rng((self.seed, start))
+        return rng.random((count, 3))
+
+    def verify(self, results):
+        return self.coverage_ok(results, self.total_units)
+
+    def default_initial_block_size(self):
+        return max(self.num_rays // 256, 1)
+
+
+class ChunkedRoundRobin(SchedulingPolicy):
+    """The tutorial's custom policy, verbatim in structure."""
+
+    name = "chunked-rr"
+
+    def __init__(self, fraction: float = 0.05):
+        self.fraction = fraction
+
+    def setup(self, ctx):
+        super().setup(ctx)
+        self.remaining = ctx.total_units
+
+    def next_block(self, worker_id, now):
+        return max(int(self.remaining * self.fraction), 1)
+
+    def on_block_dispatched(self, worker_id, granted, now):
+        self.remaining -= granted
+
+    def on_task_finished(self, record, remaining, now):
+        self.remaining = remaining
+
+
+class TestTutorialApplication:
+    def test_runs_under_plb_hec(self, small_cluster):
+        app = RayBatch(100_000)
+        result = Runtime(small_cluster, app.codelet(), seed=1).run(
+            PLBHeC(), app.total_units, app.default_initial_block_size()
+        )
+        assert result.trace.total_units() == 100_000
+
+    def test_real_backend_and_verify(self, small_cluster):
+        app = RayBatch(2_000)
+        result = Runtime(small_cluster, app.codelet(), backend="real").run(
+            ChunkedRoundRobin(), app.total_units, 8
+        )
+        assert app.verify(result.results)
+
+
+class TestTutorialPolicy:
+    def test_completes_domain(self, small_cluster):
+        app = RayBatch(50_000)
+        result = Runtime(small_cluster, app.codelet(), seed=1).run(
+            ChunkedRoundRobin(0.1), app.total_units, 8
+        )
+        assert result.trace.total_units() == 50_000
+
+    def test_guided_blocks_shrink(self, small_cluster):
+        app = RayBatch(50_000)
+        result = Runtime(small_cluster, app.codelet(), seed=1).run(
+            ChunkedRoundRobin(0.1), app.total_units, 8
+        )
+        sizes = [r.units for r in sorted(result.trace.records, key=lambda r: r.dispatch_time)]
+        assert sizes[0] > sizes[-1]
+
+    def test_custom_cluster_from_tutorial(self):
+        from repro.cluster import CPUSpec, GPUArch, GPUSpec, Cluster
+        from repro.cluster.machine import Machine
+        from repro.cluster.network import NetworkSpec
+
+        node = Machine(
+            name="n0",
+            cpu=CPUSpec(model="EPYC-lite", cores=16, clock_ghz=2.8, cache_mb=64.0),
+            gpus=(
+                GPUSpec(
+                    model="mid-gpu", cores=3072, sms=24, clock_ghz=1.1,
+                    mem_bandwidth_gbs=400.0, mem_gb=8.0, arch=GPUArch.MAXWELL,
+                ),
+            ),
+        )
+        cluster = Cluster(machines=(node,), network=NetworkSpec(bandwidth_gbs=2.5))
+        app = RayBatch(20_000)
+        result = Runtime(cluster, app.codelet(), seed=1).run(
+            PLBHeC(), app.total_units, app.default_initial_block_size()
+        )
+        assert result.trace.total_units() == 20_000

@@ -1,0 +1,92 @@
+"""Tests for repro.util.gantt."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import ExecutionTrace, TaskRecord
+from repro.util.gantt import render_gantt
+
+
+def record(worker, start, end, phase="exec"):
+    return TaskRecord(
+        worker_id=worker, units=1, dispatch_time=start, transfer_time=0.0,
+        exec_time=end - start, start_time=start, end_time=end, phase=phase,
+    )
+
+
+@pytest.fixture
+def trace():
+    tr = ExecutionTrace(["a", "b"])
+    tr.add_record(record("a", 0.0, 5.0, phase="probe"))
+    tr.add_record(record("a", 5.0, 10.0))
+    tr.add_record(record("b", 0.0, 2.0))
+    tr.finalize(10.0)
+    return tr
+
+
+class TestRenderGantt:
+    def test_row_per_worker_plus_footer(self, trace):
+        lines = render_gantt(trace, width=40).splitlines()
+        assert lines[0].startswith("a")
+        assert lines[1].startswith("b")
+        assert "0" in lines[-2]  # axis
+        assert "probe" in lines[-1]  # legend
+
+    def test_busy_and_idle_glyphs(self, trace):
+        lines = render_gantt(trace, width=40).splitlines()
+        row_a = lines[0].split("|")[1]
+        row_b = lines[1].split("|")[1]
+        assert ":" in row_a and "#" in row_a
+        # b idles for 80% of the run
+        assert row_b.count(" ") > row_b.count("#")
+
+    def test_fully_busy_worker_has_no_gaps(self, trace):
+        lines = render_gantt(trace, width=40).splitlines()
+        row_a = lines[0].split("|")[1]
+        assert " " not in row_a
+
+    def test_width_respected(self, trace):
+        lines = render_gantt(trace, width=30).splitlines()
+        assert len(lines[0].split("|")[1]) == 30
+
+    def test_invalid_width(self, trace):
+        with pytest.raises(ConfigurationError):
+            render_gantt(trace, width=5)
+
+    def test_empty_trace(self):
+        tr = ExecutionTrace(["a"])
+        assert render_gantt(tr) == "(empty trace)"
+
+    def test_rebalance_marker(self, trace):
+        trace.record_rebalance(5.0)
+        out = render_gantt(trace, width=40)
+        assert "R" in out
+
+    def test_failure_marker_on_device_row(self, trace):
+        trace.record_failure(2.0, "b")
+        lines = render_gantt(trace, width=40).splitlines()
+        assert "X" in lines[1]
+        assert "X" not in lines[0]
+
+    def test_markers_can_be_disabled(self, trace):
+        trace.record_rebalance(5.0)
+        out = render_gantt(trace, width=40, show_markers=False)
+        assert "R" not in out.replace("probe", "").replace("rebalance", "")
+
+    def test_makespan_in_axis(self, trace):
+        assert "10" in render_gantt(trace, width=40).splitlines()[-2]
+
+
+class TestGanttIntegration:
+    def test_real_run_renders(self, small_cluster):
+        from repro import PLBHeC, Runtime
+        from repro.apps import MatMul
+
+        app = MatMul(n=2048)
+        res = Runtime(small_cluster, app.codelet(), seed=1).run(
+            PLBHeC(), app.total_units, app.default_initial_block_size()
+        )
+        out = render_gantt(res.trace, width=60)
+        assert ":" in out  # probe phase visible
+        assert "#" in out  # exec phase visible
+        assert len(out.splitlines()) == len(small_cluster.devices()) + 2

@@ -1,0 +1,25 @@
+"""Tests for repro.util.logging."""
+
+import logging
+
+from repro.util.logging import get_logger
+
+
+def test_logger_namespaced_under_repro():
+    log = get_logger("sim.engine")
+    assert log.name == "repro.sim.engine"
+
+
+def test_full_name_not_doubled():
+    log = get_logger("repro.solver.ipm")
+    assert log.name == "repro.solver.ipm"
+
+
+def test_root_has_null_handler():
+    get_logger("anything")
+    root = logging.getLogger("repro")
+    assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+def test_same_name_same_logger():
+    assert get_logger("a.b") is get_logger("repro.a.b")

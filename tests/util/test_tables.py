@@ -1,0 +1,68 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_float_precision(self):
+        out = format_table(["x"], [[1.23456]], precision=2)
+        assert "1.23" in out
+        assert "1.235" not in out
+
+    def test_nan_renders_as_dash(self):
+        out = format_table(["x"], [[float("nan")]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_large_float_uses_exponent(self):
+        out = format_table(["x"], [[1.5e9]])
+        assert "e+" in out
+
+    def test_tiny_float_uses_exponent(self):
+        out = format_table(["x"], [[1.5e-9]])
+        assert "e-" in out
+
+    def test_zero_renders_plain(self):
+        out = format_table(["x"], [[0.0]])
+        assert "0.000" in out
+
+    def test_bool_cells(self):
+        out = format_table(["x"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["a", "b"], [[1]])
+
+    def test_columns_aligned(self):
+        out = format_table(["col"], [[1], [1000]])
+        lines = out.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series("x", [1, 2], {"y": [0.1, 0.2]})
+        assert "x" in out and "y" in out
+        assert "0.100" in out
+
+    def test_multiple_series(self):
+        out = format_series("n", [1], {"a": [1.0], "b": [2.0]})
+        header = out.splitlines()[0]
+        assert "a" in header and "b" in header
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="series 'y'"):
+            format_series("x", [1, 2], {"y": [0.1]})

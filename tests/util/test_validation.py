@@ -1,0 +1,148 @@
+"""Tests for repro.util.validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_positive_int,
+    check_probability_vector,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_accepts_small_positive(self):
+        assert check_positive("x", 1e-300) == 1e-300
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ConfigurationError, match="x must be > 0"):
+            check_positive("x", 0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", -1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            check_positive("x", float("nan"))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            check_positive("x", math.inf)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError, match="number"):
+            check_positive("x", True)
+
+    def test_rejects_string(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", "3")  # type: ignore[arg-type]
+
+    def test_accepts_numpy_scalar(self):
+        assert check_positive("x", np.float64(2.0)) == 2.0
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ConfigurationError, match="bandwidth"):
+            check_positive("bandwidth", -1)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int("n", 3) == 3
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int("n", 0)
+
+    def test_minimum_parameter(self):
+        assert check_positive_int("n", 0, minimum=0) == 0
+        with pytest.raises(ConfigurationError):
+            check_positive_int("n", 1, minimum=2)
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError, match="integer"):
+            check_positive_int("n", 3.0)  # type: ignore[arg-type]
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int("n", True)
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int("n", np.int64(5)) == 5
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("f", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("f", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("f", 0.0, 0.0, 1.0, inclusive=False)
+        assert check_in_range("f", 0.5, 0.0, 1.0, inclusive=False) == 0.5
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("f", 1.5, 0.0, 1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("f", float("nan"), 0.0, 1.0)
+
+
+class TestCheckFinite:
+    def test_scalar(self):
+        assert check_finite("x", 3.0) == 3.0
+
+    def test_array(self):
+        arr = [1.0, 2.0]
+        assert check_finite("x", arr) is arr
+
+    def test_nan_in_array(self):
+        with pytest.raises(ConfigurationError):
+            check_finite("x", [1.0, float("nan")])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_finite("x", np.array([1.0, np.inf]))
+
+
+class TestCheckProbabilityVector:
+    def test_valid_vector(self):
+        out = check_probability_vector("p", [0.25, 0.75])
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_renormalises_exactly(self):
+        out = check_probability_vector("p", [0.3, 0.7 - 1e-9], atol=1e-6)
+        assert out.sum() == pytest.approx(1.0, abs=1e-15)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            check_probability_vector("p", [-0.1, 1.1])
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ConfigurationError, match="sum to 1"):
+            check_probability_vector("p", [0.5, 0.6])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            check_probability_vector("p", [])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            check_probability_vector("p", [[0.5], [0.5]])  # type: ignore[list-item]
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            check_probability_vector("p", [float("nan"), 1.0])

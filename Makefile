@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: test bench bench-fast clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Regenerate BENCH_wallclock.json (serial vs parallel vs cached sweeps).
+bench:
+	$(PYTHON) -m repro bench
+
+bench-fast:
+	REPRO_BENCH_FAST=1 $(PYTHON) -m pytest benchmarks/ -q -s \
+		-p no:cacheprovider --override-ini addopts=
+
+clean:
+	rm -rf .repro_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,45 @@
+"""Benchmark W: wall clock of the sweep engine itself.
+
+Times the Fig. 4 MatMul fast grid serial, parallel, cold-cached and
+warm-cached, checks the engine's correctness guarantees (parallel ==
+serial bit for bit; a warm cache replays the cold run exactly), and
+writes the numbers to ``BENCH_wallclock.json`` at the repository root —
+the data the repo's perf trajectory is judged against.
+
+The >= 2x parallel-speedup assertion only makes sense with real cores;
+it is gated on ``os.cpu_count() >= 4``.  The warm-cache-is-near-instant
+assertion holds everywhere.
+"""
+
+import os
+
+from benchmarks.conftest import fast_mode
+from repro.experiments.wallclock import BENCH_PATH, run_wallclock_bench
+
+
+def test_bench_wallclock(tmp_path):
+    replications = 1 if fast_mode() else 2
+    jobs = min(4, os.cpu_count() or 1)
+    report = run_wallclock_bench(
+        replications=replications,
+        jobs=jobs,
+        cache_dir=tmp_path / "cache",
+        output=BENCH_PATH,
+    )
+    timings = report["timings_s"]
+    meta = report["meta"]
+    print()
+    for phase in ("serial", "parallel", "cache_cold", "cache_warm"):
+        print(f"  {phase:11s} {timings[phase]:8.3f}s")
+    print(
+        f"  jobs={meta['jobs']} speedup={meta['parallel_speedup']:.2f}x "
+        f"warm/cold={meta['warm_over_cold_fraction']:.1%}"
+    )
+
+    assert meta["parallel_matches_serial"], "parallel run diverged from serial"
+    assert meta["warm_matches_cold"], "cache replay diverged from cold run"
+    assert meta["warm_cache_hits"] == meta["runs_per_sweep"]
+    assert timings["cache_warm"] < 0.10 * timings["cache_cold"]
+    assert os.path.exists(BENCH_PATH)
+    if (os.cpu_count() or 1) >= 4 and not meta["parallel_fell_back_serial"]:
+        assert meta["parallel_speedup"] >= 2.0

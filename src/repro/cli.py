@@ -13,6 +13,13 @@ Commands
     Time the block-size solver (the Sec. V.a statistic).
 ``ablations``
     Run the three DESIGN.md ablation studies.
+``bench``
+    Benchmark the sweep engine (serial vs parallel vs cached) and write
+    ``BENCH_wallclock.json``.
+
+Sweep-driving commands accept ``--jobs N`` (default: the ``REPRO_JOBS``
+environment variable, else the CPU count) and honour ``REPRO_CACHE``
+for on-disk result caching; see docs/TUTORIAL.md §5.
 
 Examples
 --------
@@ -92,9 +99,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--gantt", action="store_true", help="render an ASCII Gantt chart"
     )
 
+    def add_jobs_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="parallel worker processes (default: REPRO_JOBS or cpu count)",
+        )
+
     p_cmp = sub.add_parser("compare", help="compare the four paper policies")
     add_workload_args(p_cmp)
     p_cmp.add_argument("--replications", type=int, default=3)
+    add_jobs_arg(p_cmp)
 
     sub.add_parser("table1", help="render Table I")
 
@@ -111,10 +127,12 @@ def build_parser() -> argparse.ArgumentParser:
         p_fig.add_argument(
             "--fast", action="store_true", help="reduced size/machine grid"
         )
+        add_jobs_arg(p_fig)
 
     for fig in ("fig6", "fig7"):
         p_fig = sub.add_parser(fig, help=f"{fig} distribution / idleness")
         p_fig.add_argument("--replications", type=int, default=3)
+        add_jobs_arg(p_fig)
 
     p_oh = sub.add_parser("overhead", help="Sec. V.a solver overhead")
     p_oh.add_argument("--repetitions", type=int, default=20)
@@ -128,6 +146,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument("--replications", type=int, default=3)
     p_report.add_argument("--fast", action="store_true")
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark the sweep engine and write BENCH_wallclock.json",
+    )
+    p_bench.add_argument("--replications", type=int, default=2)
+    p_bench.add_argument(
+        "--output",
+        default="BENCH_wallclock.json",
+        help="report path ('-' to skip writing)",
+    )
+    add_jobs_arg(p_bench)
     return parser
 
 
@@ -170,6 +200,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         replications=args.replications,
         seed=args.seed,
         noise_sigma=args.noise,
+        jobs=args.jobs,
     )
     rows = []
     for name, outcome in point.outcomes.items():
@@ -216,6 +247,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     sizes=sizes,
                     machine_counts=machines,
                     replications=args.replications,
+                    jobs=args.jobs,
                 )
             )
         )
@@ -229,15 +261,44 @@ def main(argv: Sequence[str] | None = None) -> int:
                     sizes=sizes,
                     machine_counts=machines,
                     replications=args.replications,
+                    jobs=args.jobs,
                 )
             )
         )
         return 0
     if args.command == "fig6":
-        print(render_fig6(run_fig6(replications=args.replications)))
+        print(
+            render_fig6(run_fig6(replications=args.replications, jobs=args.jobs))
+        )
         return 0
     if args.command == "fig7":
-        print(render_fig7(run_fig7(replications=args.replications)))
+        print(
+            render_fig7(run_fig7(replications=args.replications, jobs=args.jobs))
+        )
+        return 0
+    if args.command == "bench":
+        from repro.experiments.wallclock import run_wallclock_bench
+
+        output = None if args.output == "-" else args.output
+        report = run_wallclock_bench(
+            replications=args.replications, jobs=args.jobs, output=output
+        )
+        timings = report["timings_s"]
+        meta = report["meta"]
+        print(
+            format_table(
+                ["phase", "wall_s"],
+                [[phase, seconds] for phase, seconds in timings.items()],
+                title="Sweep-engine wall clock (Fig. 4 MM fast grid)",
+            )
+        )
+        print(
+            f"jobs={meta['jobs']} parallel_speedup={meta['parallel_speedup']:.2f}x "
+            f"warm/cold={meta['warm_over_cold_fraction']:.1%} "
+            f"identical={meta['parallel_matches_serial']}"
+        )
+        if output is not None:
+            print(f"report written to {output}")
         return 0
     if args.command == "overhead":
         stats = run_solver_overhead(repetitions=args.repetitions)

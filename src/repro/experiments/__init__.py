@@ -21,9 +21,20 @@ artefact reports, as plain data structures plus an ASCII rendering:
   method (IPM / waterfill / proportional), rebalancing under
   perturbation (the Sec. VI cloud scenario), probing strategy.
 
-Shared machinery lives in :mod:`repro.experiments.runner`.
+Shared machinery lives in :mod:`repro.experiments.runner`; the parallel
+sweep engine (process fan-out + content-addressed result cache, the
+``REPRO_JOBS`` / ``REPRO_CACHE`` knobs) in
+:mod:`repro.experiments.parallel`; wall-clock benchmarking of the
+engine itself in :mod:`repro.experiments.wallclock`.
 """
 
+from repro.experiments.parallel import (
+    PointSpec,
+    ResultCache,
+    SweepStats,
+    run_point,
+    run_sweep,
+)
 from repro.experiments.runner import (
     PolicyOutcome,
     SweepPoint,
@@ -35,7 +46,12 @@ from repro.experiments.runner import (
 __all__ = [
     "PolicyOutcome",
     "SweepPoint",
+    "PointSpec",
+    "ResultCache",
+    "SweepStats",
     "make_application",
     "make_policy",
     "run_policies",
+    "run_point",
+    "run_sweep",
 ]

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.runner import PAPER_POLICIES, SweepPoint, run_policies
+from repro.experiments.parallel import PointSpec, run_sweep
+from repro.experiments.runner import PAPER_POLICIES, SweepPoint
 from repro.util.tables import format_table
 
 __all__ = [
@@ -35,24 +36,28 @@ def run_fig4(
     policies: Sequence[str] = PAPER_POLICIES,
     replications: int = 3,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> list[SweepPoint]:
-    """Run the Fig. 4 grid for ``"matmul"`` or ``"grn"``."""
+    """Run the Fig. 4 grid for ``"matmul"`` or ``"grn"``.
+
+    The whole grid is submitted to the parallel sweep engine as one
+    batch, so every (point, policy, replication) run fans out together.
+    """
     if sizes is None:
         sizes = MM_SIZES if app_name == "matmul" else GRN_SIZES
-    points = []
-    for machines in machine_counts:
-        for size in sizes:
-            points.append(
-                run_policies(
-                    app_name,
-                    size,
-                    machines,
-                    policies=policies,
-                    replications=replications,
-                    seed=seed,
-                )
-            )
-    return points
+    specs = [
+        PointSpec(
+            app_name=app_name,
+            size=size,
+            num_machines=machines,
+            policies=tuple(policies),
+            replications=replications,
+            seed=seed,
+        )
+        for machines in machine_counts
+        for size in sizes
+    ]
+    return run_sweep(specs, jobs=jobs)
 
 
 def render_sweep(points: list[SweepPoint], *, baseline: str = "greedy") -> str:

@@ -9,7 +9,8 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.fig4_exectime import render_sweep
-from repro.experiments.runner import PAPER_POLICIES, SweepPoint, run_policies
+from repro.experiments.parallel import PointSpec, run_sweep
+from repro.experiments.runner import PAPER_POLICIES, SweepPoint
 
 __all__ = ["BS_SIZES", "run_fig5", "render_sweep"]
 
@@ -24,19 +25,19 @@ def run_fig5(
     policies: Sequence[str] = PAPER_POLICIES,
     replications: int = 3,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> list[SweepPoint]:
-    """Run the Fig. 5 grid."""
-    points = []
-    for machines in machine_counts:
-        for size in sizes:
-            points.append(
-                run_policies(
-                    "blackscholes",
-                    size,
-                    machines,
-                    policies=policies,
-                    replications=replications,
-                    seed=seed,
-                )
-            )
-    return points
+    """Run the Fig. 5 grid (one parallel batch, see Fig. 4)."""
+    specs = [
+        PointSpec(
+            app_name="blackscholes",
+            size=size,
+            num_machines=machines,
+            policies=tuple(policies),
+            replications=replications,
+            seed=seed,
+        )
+        for machines in machine_counts
+        for size in sizes
+    ]
+    return run_sweep(specs, jobs=jobs)

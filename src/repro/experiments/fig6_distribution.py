@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from repro.experiments.runner import SweepPoint, run_policies
+from repro.experiments.parallel import PointSpec, run_sweep
 from repro.util.tables import format_table
 
 __all__ = ["DEFAULT_CASES", "run_fig6", "render_fig6", "gpu_share"]
@@ -54,30 +54,32 @@ def run_fig6(
     policies: Sequence[str] = FIG6_POLICIES,
     replications: int = 3,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> list[Fig6Case]:
     """Run the Fig. 6 grid (always 4 machines, one GPU each)."""
-    out = []
-    for app_name, sizes in cases:
-        for size in sizes:
-            point: SweepPoint = run_policies(
-                app_name,
-                size,
-                4,
-                policies=policies,
-                replications=replications,
-                seed=seed,
-            )
-            out.append(
-                Fig6Case(
-                    app_name=app_name,
-                    size=size,
-                    distributions={
-                        name: outcome.mean_distribution()
-                        for name, outcome in point.outcomes.items()
-                    },
-                )
-            )
-    return out
+    specs = [
+        PointSpec(
+            app_name=app_name,
+            size=size,
+            num_machines=4,
+            policies=tuple(policies),
+            replications=replications,
+            seed=seed,
+        )
+        for app_name, sizes in cases
+        for size in sizes
+    ]
+    return [
+        Fig6Case(
+            app_name=point.app_name,
+            size=point.size,
+            distributions={
+                name: outcome.mean_distribution()
+                for name, outcome in point.outcomes.items()
+            },
+        )
+        for point in run_sweep(specs, jobs=jobs)
+    ]
 
 
 def render_fig6(cases: list[Fig6Case]) -> str:

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.experiments.fig6_distribution import DEFAULT_CASES
-from repro.experiments.runner import run_policies
+from repro.experiments.parallel import PointSpec, run_sweep
 from repro.util.tables import format_table
 
 __all__ = ["Fig7Case", "run_fig7", "render_fig7"]
@@ -46,34 +46,36 @@ def run_fig7(
     policies: Sequence[str] = FIG7_POLICIES,
     replications: int = 3,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> list[Fig7Case]:
     """Run the Fig. 7 grid (always 4 machines, one GPU each)."""
-    out = []
-    for app_name, sizes in cases:
-        for size in sizes:
-            point = run_policies(
-                app_name,
-                size,
-                4,
-                policies=policies,
-                replications=replications,
-                seed=seed,
-            )
-            out.append(
-                Fig7Case(
-                    app_name=app_name,
-                    size=size,
-                    idle={
-                        name: outcome.mean_idle()
-                        for name, outcome in point.outcomes.items()
-                    },
-                    rebalances={
-                        name: sum(outcome.rebalances) / len(outcome.rebalances)
-                        for name, outcome in point.outcomes.items()
-                    },
-                )
-            )
-    return out
+    specs = [
+        PointSpec(
+            app_name=app_name,
+            size=size,
+            num_machines=4,
+            policies=tuple(policies),
+            replications=replications,
+            seed=seed,
+        )
+        for app_name, sizes in cases
+        for size in sizes
+    ]
+    return [
+        Fig7Case(
+            app_name=point.app_name,
+            size=point.size,
+            idle={
+                name: outcome.mean_idle()
+                for name, outcome in point.outcomes.items()
+            },
+            rebalances={
+                name: sum(outcome.rebalances) / len(outcome.rebalances)
+                for name, outcome in point.outcomes.items()
+            },
+        )
+        for point in run_sweep(specs, jobs=jobs)
+    ]
 
 
 def render_fig7(cases: list[Fig7Case]) -> str:

@@ -1,0 +1,430 @@
+"""Parallel sweep engine with content-addressed result caching.
+
+Every paper artefact (Figs. 4-7, the ablations, the scaling studies) is
+a grid of fully independent simulated runs: one (application, size,
+machine count, policy, replication) tuple never shares state with
+another, and each run is deterministically seeded (``seed * 1000 +
+rep``).  That independence is the whole performance opportunity of the
+harness, and this module exploits it twice:
+
+* **process fan-out** — :func:`run_sweep` expands the requested grid
+  points into a flat list of :class:`RunSpec` runs and executes them on
+  a ``ProcessPoolExecutor``.  The worker count comes from the ``jobs``
+  argument, else the ``REPRO_JOBS`` environment variable, else
+  ``os.cpu_count()``.  ``jobs == 1`` (or an unpicklable cluster
+  factory, or a broken pool) degrades to the plain serial loop.
+  Results are aggregated in submission order, so the
+  :class:`~repro.experiments.runner.SweepPoint` aggregates are
+  *bit-identical* between serial and parallel execution;
+
+* **result caching** — each run's outputs (makespan, idle fractions,
+  distribution, solver overhead, rebalance count) are small JSON
+  payloads addressed by a SHA-256 key over everything that determines
+  them: application name/size, machine count, policy, per-replication
+  seed, noise sigma, the overhead-accounting mode, the cluster-factory
+  tag, and the repo algorithm version.  With ``REPRO_CACHE=1`` (cache
+  under ``.repro_cache/``) or ``REPRO_CACHE=<dir>``, re-running a
+  figure after touching only report code is near-instant.
+
+Each sweep logs a one-line summary (``jobs=N cache_hits=H wall=Ts``)
+through :mod:`repro.util.logging`.
+
+Caveat on bit-identity: the default ``plb-hec`` policy charges
+*measured* host solve time into the virtual makespan ("overhead
+honesty", see :mod:`repro.core.plb_hec`), which jitters between any two
+runs — serial or parallel.  Pass ``fixed_overhead_s`` to pin the
+charge when exact reproducibility across executions matters; within a
+single sweep the parallel/serial aggregation order is identical either
+way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.cluster import paper_cluster
+from repro.cluster.topology import Cluster
+from repro.errors import ConfigurationError
+from repro.experiments.runner import PolicyOutcome, SweepPoint
+from repro.util.logging import get_logger
+
+__all__ = [
+    "ALGORITHM_VERSION",
+    "PointSpec",
+    "RunSpec",
+    "ResultCache",
+    "SweepStats",
+    "resolve_jobs",
+    "run_sweep",
+    "run_point",
+]
+
+#: Bump whenever simulator/balancer/solver numerics change: it is part of
+#: every cache key, so stale cached results can never leak across
+#: algorithm versions.
+ALGORITHM_VERSION = "1"
+
+_log = get_logger("experiments.parallel")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulated run (the unit of fan-out and caching)."""
+
+    app_name: str
+    size: int
+    num_machines: int
+    policy_name: str
+    run_seed: int
+    noise_sigma: float
+    fixed_overhead_s: float | None = None
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One requested grid point: every policy at one configuration.
+
+    The parallel analogue of a :func:`repro.experiments.runner.run_policies`
+    call; :func:`run_sweep` takes a sequence of these so a whole figure's
+    grid fans out as one flat batch of runs.
+    """
+
+    app_name: str
+    size: int
+    num_machines: int
+    policies: tuple[str, ...]
+    replications: int = 3
+    seed: int = 0
+    noise_sigma: float = 0.005
+    fixed_overhead_s: float | None = None
+    cluster_factory: Callable[[int], Cluster] = paper_cluster
+
+    def __post_init__(self) -> None:
+        if self.replications < 1:
+            raise ConfigurationError("replications must be >= 1")
+        if not self.policies:
+            raise ConfigurationError("policies must be non-empty")
+
+    def expand(self) -> list[RunSpec]:
+        """The point's runs in deterministic aggregation order."""
+        return [
+            RunSpec(
+                app_name=self.app_name,
+                size=self.size,
+                num_machines=self.num_machines,
+                policy_name=policy,
+                run_seed=self.seed * 1000 + rep,
+                noise_sigma=self.noise_sigma,
+                fixed_overhead_s=self.fixed_overhead_s,
+            )
+            for policy in self.policies
+            for rep in range(self.replications)
+        ]
+
+
+def _factory_tag(factory: Callable[[int], Cluster]) -> str | None:
+    """A stable identity for a cluster factory, or None if it has none.
+
+    Lambdas, closures and bound locals have no stable import path, so
+    results built from them are never cached (and never silently
+    collide).
+    """
+    module = getattr(factory, "__module__", None)
+    qualname = getattr(factory, "__qualname__", None)
+    if not module or not qualname:
+        return None
+    if "<lambda>" in qualname or "<locals>" in qualname:
+        return None
+    return f"{module}.{qualname}"
+
+
+def _execute_run(spec: RunSpec, cluster_factory: Callable[[int], Cluster]) -> dict:
+    """Worker body: run one spec and return a JSON-serialisable payload.
+
+    Must stay a module-level function — it is pickled into pool workers.
+    """
+    from repro.cluster import GroundTruth
+    from repro.experiments.runner import (
+        _extract_distribution,
+        make_application,
+        make_policy,
+    )
+    from repro.runtime import Runtime
+
+    cluster = cluster_factory(spec.num_machines)
+    app = make_application(spec.app_name, spec.size)
+    ground_truth = GroundTruth(cluster, app.kernel_characteristics())
+    policy = make_policy(
+        spec.policy_name,
+        ground_truth=ground_truth,
+        fixed_overhead_s=spec.fixed_overhead_s,
+    )
+    runtime = Runtime(
+        cluster,
+        app.codelet(),
+        seed=spec.run_seed,
+        noise_sigma=spec.noise_sigma,
+    )
+    result = runtime.run(policy, app.total_units, app.default_initial_block_size())
+    return {
+        "makespan": result.makespan,
+        "idle_fractions": result.idle_fractions,
+        "distribution": _extract_distribution(policy, result),
+        "overhead": result.solver_overhead_s,
+        "rebalances": result.num_rebalances,
+    }
+
+
+class ResultCache:
+    """Content-addressed on-disk store of run payloads.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` where ``key`` is the SHA-256
+    of the canonical JSON of every run-determining input.  Writes are
+    atomic (temp file + rename), so concurrent sweeps sharing one cache
+    directory can never observe torn entries.
+    """
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+
+    @staticmethod
+    def from_env() -> "ResultCache | None":
+        """Honour ``REPRO_CACHE``: off / ``1`` = ``.repro_cache`` / a dir."""
+        value = os.environ.get("REPRO_CACHE", "").strip()
+        if value in ("", "0", "off", "false", "no"):
+            return None
+        if value in ("1", "on", "true", "yes"):
+            return ResultCache(".repro_cache")
+        return ResultCache(value)
+
+    @staticmethod
+    def key(spec: RunSpec, cluster_tag: str) -> str:
+        """The content address of one run under one cluster factory."""
+        blob = json.dumps(
+            {
+                "version": ALGORITHM_VERSION,
+                "app": spec.app_name,
+                "size": spec.size,
+                "machines": spec.num_machines,
+                "policy": spec.policy_name,
+                "seed": spec.run_seed,
+                "noise": spec.noise_sigma,
+                "overhead": spec.fixed_overhead_s,
+                "cluster": cluster_tag,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / (key + ".json")
+
+    def load(self, key: str) -> dict | None:
+        """Return the stored payload, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            _log.warning("dropping unreadable cache entry %s", path)
+            return None
+
+    def store(self, key: str, payload: dict) -> None:
+        """Atomically persist one payload.
+
+        The cache is an optimisation: an unwritable cache directory
+        (read-only volume, ``REPRO_CACHE`` pointing at a file) degrades
+        to a warning instead of discarding the sweep's computed results.
+        """
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".json.tmp%d" % os.getpid())
+            tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+            tmp.replace(path)
+        except OSError as exc:
+            _log.warning("cannot write cache entry %s: %s", path, exc)
+
+
+@dataclass
+class SweepStats:
+    """What one :func:`run_sweep` call did, for logs and benchmarks."""
+
+    jobs: int = 1
+    total_runs: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    wall_s: float = 0.0
+    fell_back_serial: bool = False
+
+    def summary(self) -> str:
+        """The one-line log form: ``jobs=N cache_hits=H wall=Ts``."""
+        return (
+            f"jobs={self.jobs} cache_hits={self.cache_hits} "
+            f"wall={self.wall_s:.2f}s"
+        )
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """The effective worker count: argument, ``REPRO_JOBS``, cpu count."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ConfigurationError(
+                    f"REPRO_JOBS must be an integer, got {env!r}"
+                ) from None
+        else:
+            jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+_UNSET = object()
+
+
+def _execute_batch(
+    tasks: Sequence[tuple[RunSpec, Callable[[int], Cluster]]],
+    jobs: int,
+    stats: SweepStats,
+) -> list[dict]:
+    """Run the cache misses, parallel when possible, serial otherwise."""
+    if not tasks:
+        return []
+    if jobs > 1:
+        try:
+            # A factory that cannot cross a process boundary forces the
+            # serial path; probe before paying for worker start-up.
+            pickle.dumps(tasks[0])
+        except Exception:
+            _log.info("cluster factory is not picklable; running serially")
+            stats.fell_back_serial = True
+            jobs = 1
+    if jobs > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+                futures = [
+                    pool.submit(_execute_run, spec, factory)
+                    for spec, factory in tasks
+                ]
+                return [f.result() for f in futures]
+        except BrokenProcessPool:
+            _log.warning("process pool broke; re-running the batch serially")
+            stats.fell_back_serial = True
+    return [_execute_run(spec, factory) for spec, factory in tasks]
+
+
+def run_sweep(
+    points: Sequence[PointSpec],
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None | object = _UNSET,
+    stats: SweepStats | None = None,
+) -> list[SweepPoint]:
+    """Run a batch of grid points and aggregate each into a SweepPoint.
+
+    Parameters
+    ----------
+    points:
+        The grid, in output order.  All of their runs are flattened into
+        one batch, so small points piggyback on big ones' parallelism.
+    jobs:
+        Worker processes (default: ``REPRO_JOBS`` env, else cpu count).
+    cache:
+        A :class:`ResultCache`, ``None`` to disable, or unset to honour
+        the ``REPRO_CACHE`` environment variable.
+    stats:
+        Optional out-parameter; filled with what the sweep did.
+    """
+    t0 = time.perf_counter()
+    jobs = resolve_jobs(jobs)
+    if cache is _UNSET:
+        cache = ResultCache.from_env()
+    if stats is None:
+        stats = SweepStats()
+    stats.jobs = jobs
+
+    flat: list[tuple[int, RunSpec]] = []
+    for index, point in enumerate(points):
+        for spec in point.expand():
+            flat.append((index, spec))
+    stats.total_runs = len(flat)
+
+    tags = [_factory_tag(p.cluster_factory) for p in points]
+    payloads: list[dict | None] = [None] * len(flat)
+    miss_slots: list[int] = []
+    keys: list[str | None] = [None] * len(flat)
+    for slot, (index, spec) in enumerate(flat):
+        if cache is not None and tags[index] is not None:
+            key = ResultCache.key(spec, tags[index])
+            keys[slot] = key
+            hit = cache.load(key)
+            if hit is not None:
+                payloads[slot] = hit
+                stats.cache_hits += 1
+                continue
+        miss_slots.append(slot)
+
+    tasks = [
+        (flat[slot][1], points[flat[slot][0]].cluster_factory)
+        for slot in miss_slots
+    ]
+    fresh = _execute_batch(tasks, jobs, stats)
+    stats.executed = len(fresh)
+    for slot, payload in zip(miss_slots, fresh):
+        payloads[slot] = payload
+        if cache is not None and keys[slot] is not None:
+            cache.store(keys[slot], payload)
+
+    results: list[SweepPoint] = []
+    cursor = 0
+    for index, point in enumerate(points):
+        outcomes: dict[str, PolicyOutcome] = {}
+        for policy in point.policies:
+            outcome = PolicyOutcome(policy=policy)
+            for _rep in range(point.replications):
+                payload = payloads[cursor]
+                cursor += 1
+                outcome.makespans.append(payload["makespan"])
+                outcome.idle_fractions.append(payload["idle_fractions"])
+                outcome.distributions.append(payload["distribution"])
+                outcome.overheads.append(payload["overhead"])
+                outcome.rebalances.append(payload["rebalances"])
+            outcomes[policy] = outcome
+        results.append(
+            SweepPoint(
+                app_name=point.app_name,
+                size=point.size,
+                num_machines=point.num_machines,
+                outcomes=outcomes,
+            )
+        )
+
+    stats.wall_s = time.perf_counter() - t0
+    _log.info("sweep complete: %s", stats.summary())
+    return results
+
+
+def run_point(
+    point: PointSpec,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None | object = _UNSET,
+    stats: SweepStats | None = None,
+) -> SweepPoint:
+    """Run one grid point through the sweep engine."""
+    return run_sweep([point], jobs=jobs, cache=cache, stats=stats)[0]

@@ -17,7 +17,7 @@ from repro.cluster import GroundTruth, paper_cluster
 from repro.cluster.topology import Cluster
 from repro.core import PLBHeC
 from repro.errors import ConfigurationError
-from repro.runtime import Runtime, RunResult, SchedulingPolicy
+from repro.runtime import RunResult, SchedulingPolicy
 from repro.util.stats import mean_std
 
 __all__ = [
@@ -50,9 +50,19 @@ def make_application(name: str, size: int) -> Application:
 
 
 def make_policy(
-    name: str, *, ground_truth: GroundTruth | None = None
+    name: str,
+    *,
+    ground_truth: GroundTruth | None = None,
+    fixed_overhead_s: float | None = None,
 ) -> SchedulingPolicy:
-    """Instantiate a policy by its report name."""
+    """Instantiate a policy by its report name.
+
+    ``fixed_overhead_s`` pins PLB-HeC's scheduler-overhead charge to a
+    constant instead of the measured host solve time, making runs
+    bit-reproducible (the deterministic mode the parallel sweep engine's
+    equality guarantees rely on).  Policies that charge no overhead
+    ignore it.
+    """
     if name == "greedy":
         return Greedy()
     if name == "acosta":
@@ -62,7 +72,7 @@ def make_policy(
     if name == "hdss-async":
         return HDSS(per_device_growth=True)
     if name == "plb-hec":
-        return PLBHeC()
+        return PLBHeC(fixed_overhead_s=fixed_overhead_s)
     if name == "plb-hec-free":
         return PLBHeC(overhead_scale=0.0)
     if name == "oracle":
@@ -153,36 +163,33 @@ def run_policies(
     seed: int = 0,
     noise_sigma: float = 0.005,
     cluster_factory: Callable[[int], Cluster] = paper_cluster,
+    fixed_overhead_s: float | None = None,
+    jobs: int | None = None,
 ) -> SweepPoint:
-    """Run every policy at one grid point and aggregate replications."""
-    if replications < 1:
-        raise ConfigurationError("replications must be >= 1")
-    cluster = cluster_factory(num_machines)
-    outcomes: dict[str, PolicyOutcome] = {}
-    for policy_name in policies:
-        outcome = PolicyOutcome(policy=policy_name)
-        for rep in range(replications):
-            app = make_application(app_name, size)
-            ground_truth = GroundTruth(cluster, app.kernel_characteristics())
-            policy = make_policy(policy_name, ground_truth=ground_truth)
-            runtime = Runtime(
-                cluster,
-                app.codelet(),
-                seed=seed * 1000 + rep,
-                noise_sigma=noise_sigma,
-            )
-            result = runtime.run(
-                policy, app.total_units, app.default_initial_block_size()
-            )
-            outcome.makespans.append(result.makespan)
-            outcome.idle_fractions.append(result.idle_fractions)
-            outcome.distributions.append(_extract_distribution(policy, result))
-            outcome.overheads.append(result.solver_overhead_s)
-            outcome.rebalances.append(result.num_rebalances)
-        outcomes[policy_name] = outcome
-    return SweepPoint(
-        app_name=app_name,
-        size=size,
-        num_machines=num_machines,
-        outcomes=outcomes,
+    """Run every policy at one grid point and aggregate replications.
+
+    Delegates to the parallel sweep engine
+    (:mod:`repro.experiments.parallel`): the (policy, replication)
+    product fans out over ``jobs`` worker processes (``REPRO_JOBS``
+    environment variable by default) with optional on-disk result
+    caching (``REPRO_CACHE``), while keeping the historical
+    per-replication seeding ``seed * 1000 + rep`` so aggregates match
+    the old serial loop bit for bit.
+    """
+    # Imported lazily: parallel.py imports this module's factories.
+    from repro.experiments.parallel import PointSpec, run_point
+
+    return run_point(
+        PointSpec(
+            app_name=app_name,
+            size=size,
+            num_machines=num_machines,
+            policies=tuple(policies),
+            replications=replications,
+            seed=seed,
+            noise_sigma=noise_sigma,
+            fixed_overhead_s=fixed_overhead_s,
+            cluster_factory=cluster_factory,
+        ),
+        jobs=jobs,
     )

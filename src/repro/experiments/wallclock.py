@@ -1,0 +1,160 @@
+"""Wall-clock benchmark of the sweep engine itself.
+
+Times the Fig. 4 MatMul fast grid four ways — serial, parallel, cold
+cache, warm cache — and writes the numbers to ``BENCH_wallclock.json``
+(via :func:`repro.util.timing.perf_report`), so the repo's performance
+trajectory is recorded in-tree instead of anecdotally.  Runs use a
+pinned scheduler-overhead charge (``fixed_overhead_s``), which makes
+the serial and parallel aggregates comparable bit for bit; the
+benchmark asserts that equality and reports it in the output.
+
+Entry points: ``python -m repro bench`` and
+``benchmarks/test_bench_wallclock.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Any, Sequence
+
+from repro.experiments.parallel import (
+    PointSpec,
+    ResultCache,
+    SweepStats,
+    resolve_jobs,
+    run_sweep,
+)
+from repro.experiments.runner import PAPER_POLICIES, SweepPoint
+from repro.util.timing import Stopwatch, perf_report
+
+__all__ = ["BENCH_PATH", "points_equal", "run_wallclock_bench"]
+
+#: Default output file, at the repository root.
+BENCH_PATH = "BENCH_wallclock.json"
+
+#: The Fig. 4 MatMul fast grid (sizes x one machine count).
+FAST_SIZES: tuple[int, ...] = (4096, 65536)
+FAST_MACHINES: tuple[int, ...] = (4,)
+
+#: Pinned per-solve overhead charge (about the measured median on a
+#: modern host) so benchmark runs are bit-reproducible.
+FIXED_OVERHEAD_S = 0.018
+
+
+def points_equal(a: Sequence[SweepPoint], b: Sequence[SweepPoint]) -> bool:
+    """Exact (bitwise) equality of two sweeps' aggregates."""
+    if len(a) != len(b):
+        return False
+    for pa, pb in zip(a, b):
+        if (pa.app_name, pa.size, pa.num_machines) != (
+            pb.app_name,
+            pb.size,
+            pb.num_machines,
+        ):
+            return False
+        if set(pa.outcomes) != set(pb.outcomes):
+            return False
+        for name, oa in pa.outcomes.items():
+            ob = pb.outcomes[name]
+            if (
+                oa.makespans != ob.makespans
+                or oa.idle_fractions != ob.idle_fractions
+                or oa.distributions != ob.distributions
+                or oa.overheads != ob.overheads
+                or oa.rebalances != ob.rebalances
+            ):
+                return False
+    return True
+
+
+def _grid(replications: int) -> list[PointSpec]:
+    return [
+        PointSpec(
+            app_name="matmul",
+            size=size,
+            num_machines=machines,
+            policies=PAPER_POLICIES,
+            replications=replications,
+            seed=0,
+            fixed_overhead_s=FIXED_OVERHEAD_S,
+        )
+        for machines in FAST_MACHINES
+        for size in FAST_SIZES
+    ]
+
+
+def run_wallclock_bench(
+    *,
+    replications: int = 2,
+    jobs: int | None = None,
+    cache_dir: str | os.PathLike[str] | None = None,
+    output: str | os.PathLike[str] | None = BENCH_PATH,
+) -> dict[str, Any]:
+    """Benchmark the sweep engine and return the perf report dict.
+
+    Parameters
+    ----------
+    replications:
+        Replications per grid point (the acceptance setting is 2).
+    jobs:
+        Parallel worker count for the non-serial phases; defaults to
+        ``REPRO_JOBS`` / cpu count.
+    cache_dir:
+        Directory for the cold/warm cache phases; a throwaway temp
+        directory when omitted, so benchmarking never pollutes (or is
+        flattered by) a pre-existing ``.repro_cache``.
+    output:
+        Where to write the JSON report; ``None`` skips writing.
+    """
+    jobs = resolve_jobs(jobs)
+    grid = _grid(replications)
+    sw = Stopwatch()
+
+    with sw.lap("serial"):
+        serial_points = run_sweep(grid, jobs=1, cache=None)
+    par_stats = SweepStats()
+    with sw.lap("parallel"):
+        parallel_points = run_sweep(grid, jobs=jobs, cache=None, stats=par_stats)
+    identical = points_equal(serial_points, parallel_points)
+
+    own_tmp = None
+    if cache_dir is None:
+        own_tmp = tempfile.TemporaryDirectory(prefix="repro-bench-cache-")
+        cache_dir = own_tmp.name
+    try:
+        cache = ResultCache(cache_dir)
+        cold_stats = SweepStats()
+        with sw.lap("cache_cold"):
+            cold_points = run_sweep(grid, jobs=jobs, cache=cache, stats=cold_stats)
+        warm_stats = SweepStats()
+        with sw.lap("cache_warm"):
+            warm_points = run_sweep(grid, jobs=jobs, cache=cache, stats=warm_stats)
+    finally:
+        if own_tmp is not None:
+            own_tmp.cleanup()
+
+    laps = sw.laps
+    speedup = laps["serial"] / laps["parallel"] if laps["parallel"] > 0 else 0.0
+    warm_fraction = (
+        laps["cache_warm"] / laps["cache_cold"] if laps["cache_cold"] > 0 else 0.0
+    )
+    meta = {
+        "grid": {
+            "app": "matmul",
+            "sizes": list(FAST_SIZES),
+            "machine_counts": list(FAST_MACHINES),
+            "policies": list(PAPER_POLICIES),
+            "replications": replications,
+            "fixed_overhead_s": FIXED_OVERHEAD_S,
+        },
+        "jobs": jobs,
+        "runs_per_sweep": par_stats.total_runs,
+        "parallel_matches_serial": identical,
+        "warm_matches_cold": points_equal(cold_points, warm_points),
+        "warm_cache_hits": warm_stats.cache_hits,
+        "parallel_speedup": speedup,
+        "warm_over_cold_fraction": warm_fraction,
+        "parallel_fell_back_serial": par_stats.fell_back_serial,
+    }
+    return perf_report(laps, path=output, meta=meta)

@@ -16,6 +16,7 @@ a real cluster.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from repro.cluster.perfmodel import GroundTruth, KernelCharacteristics
 from repro.cluster.topology import Cluster
@@ -165,6 +166,13 @@ class SimulatedExecutor:
         stall_until = 0.0
         task_counter = 0
         failed: set[str] = set()
+        # Hot-path string constants, hoisted so the per-task dispatch loop
+        # does not rebuild them for every event (the noise keys must stay
+        # byte-identical to the historical f-strings for seed stability).
+        complete_tag = {w: "complete:" + w for w in order}
+        transfer_key = {w: w + "/transfer/" for w in order}
+        exec_key = {w: w + "/exec/" for w in order}
+        noisy = self.noise_sigma > 0.0
         # data ranges lost to failed devices, awaiting reprocessing
         pending_retry: list[tuple[int, int]] = []
         failure_events: list = []
@@ -229,16 +237,18 @@ class SimulatedExecutor:
                 begin = max(engine.now, stall_until)
                 slow = self._slowdown(worker_id, begin)
                 transfer = self.ground_truth.transfer_time(worker_id, granted)
-                transfer *= noise(f"{worker_id}/transfer/{task.task_id}")
                 exec_s = self.ground_truth.exec_time(worker_id, granted) * slow
-                exec_s *= noise(f"{worker_id}/exec/{task.task_id}")
+                if noisy:
+                    task_key = str(task.task_id)
+                    transfer *= noise(transfer_key[worker_id] + task_key)
+                    exec_s *= noise(exec_key[worker_id] + task_key)
                 task.transfer_time = transfer
                 task.exec_time = exec_s
                 task.mark_running(begin)
                 event = engine.schedule_at(
                     begin + transfer + exec_s,
-                    lambda t=task: complete(t),
-                    tag=f"complete:{worker_id}",
+                    partial(complete, task),
+                    tag=complete_tag[worker_id],
                     payload=task.task_id,
                 )
                 busy[worker_id] = (task, event)

@@ -18,7 +18,7 @@ from repro.errors import SimulationError
 __all__ = ["Event", "EventQueue"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """A scheduled simulation event.
 
@@ -54,6 +54,7 @@ class EventQueue:
         self._heap: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._cancelled: set[int] = set()
+        self._pending: set[int] = set()
         self._live = 0
 
     def __len__(self) -> int:
@@ -80,6 +81,7 @@ class EventQueue:
         seq = next(self._counter)
         ev = Event(time=float(time), seq=seq, action=action, tag=tag, payload=payload)
         heapq.heappush(self._heap, (ev.time, ev.seq, ev))
+        self._pending.add(seq)
         self._live += 1
         return ev
 
@@ -87,19 +89,17 @@ class EventQueue:
         """Cancel a previously pushed event.
 
         Returns True if the event was live and is now cancelled; False if it
-        had already fired or been cancelled.
+        had already fired or been cancelled.  O(1): liveness is tracked in a
+        membership set, and the dead heap entry is skipped lazily at pop
+        time.
         """
-        if event.seq in self._cancelled:
+        seq = event.seq
+        if seq not in self._pending:
             return False
-        # An event that already fired is no longer in the heap; detect that
-        # by scanning lazily at pop time.  We optimistically mark and adjust
-        # the live count only if the event is still pending.
-        for t, s, _ in self._heap:
-            if s == event.seq:
-                self._cancelled.add(event.seq)
-                self._live -= 1
-                return True
-        return False
+        self._pending.discard(seq)
+        self._cancelled.add(seq)
+        self._live -= 1
+        return True
 
     def peek_time(self) -> float:
         """Return the firing time of the earliest live event."""
@@ -113,7 +113,8 @@ class EventQueue:
         self._skip_dead()
         if not self._heap:
             raise SimulationError("pop on empty event queue")
-        _, _, ev = heapq.heappop(self._heap)
+        _, seq, ev = heapq.heappop(self._heap)
+        self._pending.discard(seq)
         self._live -= 1
         return ev
 
@@ -131,4 +132,5 @@ class EventQueue:
         """Drop every pending event."""
         self._heap.clear()
         self._cancelled.clear()
+        self._pending.clear()
         self._live = 0

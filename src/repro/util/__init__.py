@@ -1,4 +1,5 @@
-"""Small shared utilities: validation, statistics, ASCII tables, logging."""
+"""Small shared utilities: validation, statistics, ASCII tables, logging,
+wall-clock timing."""
 
 from repro.util.validation import (
     check_finite,
@@ -11,6 +12,7 @@ from repro.util.stats import RunningStats, mean_std, relative_error, summarize
 from repro.util.tables import format_table, format_series
 from repro.util.gantt import render_gantt
 from repro.util.logging import get_logger
+from repro.util.timing import Stopwatch, perf_report
 
 __all__ = [
     "check_finite",
@@ -26,4 +28,6 @@ __all__ = [
     "format_series",
     "render_gantt",
     "get_logger",
+    "Stopwatch",
+    "perf_report",
 ]

@@ -1,0 +1,142 @@
+"""Lightweight wall-clock instrumentation.
+
+The experiment harness needs honest wall-clock numbers (the ROADMAP's
+"fast as the hardware allows" goal is unfalsifiable without them), but
+nothing as heavy as a profiler.  :class:`Stopwatch` is a re-usable
+perf-counter with named laps; :func:`perf_report` turns a mapping of
+timings into a JSON document (host metadata included) that benchmark
+runs append to ``BENCH_wallclock.json`` so the performance trajectory
+of the repo is recorded next to the code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Stopwatch", "perf_report"]
+
+
+class Stopwatch:
+    """A perf-counter stopwatch usable as a context manager.
+
+    Examples
+    --------
+    ::
+
+        with Stopwatch() as sw:
+            do_work()
+        print(sw.elapsed)
+
+        sw = Stopwatch()
+        with sw.lap("serial"):
+            run_serial()
+        with sw.lap("parallel"):
+            run_parallel()
+        sw.laps  # {"serial": ..., "parallel": ...}
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._elapsed = 0.0
+        self.laps: dict[str, float] = {}
+
+    def start(self) -> "Stopwatch":
+        """Start (or restart) the clock."""
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the clock and return the elapsed seconds."""
+        if self._start is None:
+            raise ConfigurationError("stopwatch stopped without being started")
+        self._elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self._elapsed
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds of the last completed interval (live if running)."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    def lap(self, label: str) -> "_Lap":
+        """Context manager recording one named lap into :attr:`laps`."""
+        return _Lap(self, label)
+
+
+class _Lap:
+    def __init__(self, owner: Stopwatch, label: str) -> None:
+        self._owner = owner
+        self._label = label
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Lap":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._owner.laps[self._label] = time.perf_counter() - self._t0
+
+
+def perf_report(
+    timings: Mapping[str, float],
+    *,
+    path: str | os.PathLike[str] | None = None,
+    meta: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble (and optionally write) a wall-clock report.
+
+    Parameters
+    ----------
+    timings:
+        Label -> seconds.  Non-finite or negative values are rejected.
+    path:
+        When given, the report is written there as indented JSON via an
+        atomic rename, so a crashed benchmark never leaves a torn file.
+    meta:
+        Extra JSON-serialisable context (grid sizes, job counts, ...).
+
+    Returns
+    -------
+    dict
+        ``{"schema", "timestamp", "host", "meta", "timings_s"}``.
+    """
+    clean: dict[str, float] = {}
+    for label, seconds in timings.items():
+        value = float(seconds)
+        if value != value or value < 0.0:
+            raise ConfigurationError(
+                f"timing {label!r} must be a non-negative number, got {seconds!r}"
+            )
+        clean[label] = value
+    report = {
+        "schema": 1,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "meta": dict(meta or {}),
+        "timings_s": clean,
+    }
+    if path is not None:
+        target = Path(path)
+        tmp = target.with_suffix(target.suffix + ".tmp")
+        tmp.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        tmp.replace(target)
+    return report

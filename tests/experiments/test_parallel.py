@@ -1,0 +1,249 @@
+"""Tests for repro.experiments.parallel (sweep engine + result cache)."""
+
+import json
+
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.errors import ConfigurationError
+from repro.experiments.parallel import (
+    PointSpec,
+    ResultCache,
+    RunSpec,
+    SweepStats,
+    _factory_tag,
+    resolve_jobs,
+    run_point,
+    run_sweep,
+)
+from repro.experiments.wallclock import points_equal
+
+#: A small deterministic grid point: no measured-wall-clock overhead
+#: (fixed charge), covering a no-overhead policy, HDSS and PLB-HeC.
+SMALL = PointSpec(
+    app_name="matmul",
+    size=2048,
+    num_machines=2,
+    policies=("greedy", "hdss", "plb-hec"),
+    replications=2,
+    seed=3,
+    fixed_overhead_s=0.01,
+)
+
+
+def assert_points_identical(a, b):
+    assert points_equal(a, b), "sweep aggregates differ"
+
+
+class TestSpecs:
+    def test_expand_order_is_policy_major(self):
+        specs = SMALL.expand()
+        assert [s.policy_name for s in specs] == [
+            "greedy", "greedy", "hdss", "hdss", "plb-hec", "plb-hec",
+        ]
+        assert [s.run_seed for s in specs] == [3000, 3001] * 3
+
+    def test_replication_validation(self):
+        with pytest.raises(ConfigurationError):
+            PointSpec("matmul", 128, 1, ("greedy",), replications=0)
+
+    def test_empty_policies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PointSpec("matmul", 128, 1, (), replications=1)
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) >= 1
+
+    def test_bad_values_rejected(self, monkeypatch):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(0)
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(None)
+
+
+class TestFactoryTag:
+    def test_module_level_factory_tagged(self):
+        assert _factory_tag(paper_cluster) == "repro.cluster.presets.paper_cluster"
+
+    def test_lambda_untaggable(self):
+        assert _factory_tag(lambda n: paper_cluster(n)) is None
+
+    def test_closure_untaggable(self):
+        def make():
+            def factory(n):
+                return paper_cluster(n)
+
+            return factory
+
+        assert _factory_tag(make()) is None
+
+
+class TestParallelDeterminism:
+    def test_parallel_matches_serial_bit_for_bit(self, monkeypatch):
+        """REPRO_JOBS=1 and REPRO_JOBS=4 must aggregate identically."""
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        serial_stats = SweepStats()
+        serial = run_sweep([SMALL], cache=None, stats=serial_stats)
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        parallel_stats = SweepStats()
+        parallel = run_sweep([SMALL], cache=None, stats=parallel_stats)
+        assert serial_stats.jobs == 1
+        assert parallel_stats.jobs == 4
+        assert not parallel_stats.fell_back_serial
+        assert_points_identical(serial, parallel)
+
+    def test_matches_legacy_run_policies_seeding(self):
+        """The engine reproduces the historical serial loop's results."""
+        from repro.experiments.runner import run_policies
+
+        legacy = run_policies(
+            "matmul",
+            2048,
+            2,
+            policies=("greedy", "hdss"),
+            replications=2,
+            seed=3,
+            jobs=1,
+        )
+        engine = run_point(
+            PointSpec(
+                "matmul", 2048, 2, ("greedy", "hdss"), replications=2, seed=3
+            ),
+            jobs=1,
+            cache=None,
+        )
+        assert_points_identical([legacy], [engine])
+
+    def test_unpicklable_factory_falls_back_to_serial(self):
+        spec = PointSpec(
+            "matmul",
+            1024,
+            1,
+            ("greedy",),
+            replications=1,
+            cluster_factory=lambda n: paper_cluster(n),
+        )
+        stats = SweepStats()
+        points = run_sweep([spec], jobs=4, cache=None, stats=stats)
+        assert stats.fell_back_serial
+        assert points[0].outcomes["greedy"].makespans[0] > 0
+
+
+class TestResultCache:
+    def test_cold_then_warm_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold_stats = SweepStats()
+        cold = run_sweep([SMALL], jobs=1, cache=cache, stats=cold_stats)
+        assert cold_stats.cache_hits == 0
+        assert cold_stats.executed == 6
+        warm_stats = SweepStats()
+        warm = run_sweep([SMALL], jobs=1, cache=cache, stats=warm_stats)
+        assert warm_stats.cache_hits == 6
+        assert warm_stats.executed == 0
+        assert_points_identical(cold, warm)
+
+    def test_key_depends_on_every_input(self):
+        base = RunSpec("matmul", 2048, 2, "greedy", 3000, 0.005, 0.01)
+        keys = {ResultCache.key(base, "tag")}
+        for variant in (
+            RunSpec("grn", 2048, 2, "greedy", 3000, 0.005, 0.01),
+            RunSpec("matmul", 4096, 2, "greedy", 3000, 0.005, 0.01),
+            RunSpec("matmul", 2048, 4, "greedy", 3000, 0.005, 0.01),
+            RunSpec("matmul", 2048, 2, "hdss", 3000, 0.005, 0.01),
+            RunSpec("matmul", 2048, 2, "greedy", 3001, 0.005, 0.01),
+            RunSpec("matmul", 2048, 2, "greedy", 3000, 0.01, 0.01),
+            RunSpec("matmul", 2048, 2, "greedy", 3000, 0.005, None),
+        ):
+            keys.add(ResultCache.key(variant, "tag"))
+        keys.add(ResultCache.key(base, "other-tag"))
+        assert len(keys) == 9
+
+    def test_seed_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep([SMALL], jobs=1, cache=cache)
+        other = PointSpec(
+            "matmul",
+            2048,
+            2,
+            ("greedy", "hdss", "plb-hec"),
+            replications=2,
+            seed=4,
+            fixed_overhead_s=0.01,
+        )
+        stats = SweepStats()
+        run_sweep([other], jobs=1, cache=cache, stats=stats)
+        assert stats.cache_hits == 0
+
+    def test_corrupt_entry_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = PointSpec("matmul", 1024, 1, ("greedy",), replications=1)
+        run_sweep([spec], jobs=1, cache=cache)
+        (entry,) = list(tmp_path.rglob("*.json"))
+        entry.write_text("{ torn")
+        stats = SweepStats()
+        points = run_sweep([spec], jobs=1, cache=cache, stats=stats)
+        assert stats.cache_hits == 0
+        assert stats.executed == 1
+        assert points[0].outcomes["greedy"].makespans[0] > 0
+        # the recomputed payload was re-stored and is valid JSON again
+        assert json.loads(entry.read_text())["makespan"] > 0
+
+    def test_unwritable_cache_root_degrades_to_warning(self, tmp_path):
+        # REPRO_CACHE pointing at a regular file must not crash the
+        # sweep (nor discard its computed results).
+        not_a_dir = tmp_path / "cachefile"
+        not_a_dir.write_text("occupied")
+        cache = ResultCache(not_a_dir)
+        spec = PointSpec("matmul", 1024, 1, ("greedy",), replications=1)
+        stats = SweepStats()
+        points = run_sweep([spec], jobs=1, cache=cache, stats=stats)
+        assert stats.executed == 1
+        assert points[0].outcomes["greedy"].makespans[0] > 0
+        assert not_a_dir.read_text() == "occupied"
+
+    def test_unstable_factory_is_never_cached(self, tmp_path):
+        spec = PointSpec(
+            "matmul",
+            1024,
+            1,
+            ("greedy",),
+            replications=1,
+            cluster_factory=lambda n: paper_cluster(n),
+        )
+        cache = ResultCache(tmp_path)
+        run_sweep([spec], jobs=1, cache=cache)
+        assert list(tmp_path.rglob("*.json")) == []
+
+    def test_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert ResultCache.from_env() is None
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert ResultCache.from_env() is None
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        assert ResultCache.from_env().root.name == ".repro_cache"
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "deep"))
+        assert ResultCache.from_env().root == tmp_path / "deep"
+
+
+class TestBatching:
+    def test_multi_point_sweep_preserves_order(self):
+        points = [
+            PointSpec("matmul", 1024, 1, ("greedy",), replications=1),
+            PointSpec("matmul", 2048, 2, ("greedy",), replications=1),
+        ]
+        results = run_sweep(points, jobs=1, cache=None)
+        assert [(p.size, p.num_machines) for p in results] == [(1024, 1), (2048, 2)]
+        for point in results:
+            assert point.outcomes["greedy"].makespans[0] > 0

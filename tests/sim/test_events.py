@@ -98,6 +98,51 @@ class TestEventQueue:
         q.clear()
         assert not q
 
+    def test_cancel_bulk_is_constant_time(self):
+        """Cancelling 10k events must not scan the heap (O(1) each).
+
+        The pending-membership set is swapped for a counting subclass:
+        each cancel may probe it a bounded number of times, so the total
+        operation count stays linear in the number of cancels — the old
+        full-heap scan would have cost ~N^2/2 comparisons instead.
+        """
+
+        class CountingSet(set):
+            contains_calls = 0
+
+            def __contains__(self, item):
+                CountingSet.contains_calls += 1
+                return super().__contains__(item)
+
+        q = EventQueue()
+        events = [q.push(float(i), noop) for i in range(10_000)]
+        q._pending = CountingSet(q._pending)
+        CountingSet.contains_calls = 0
+        for ev in events:
+            assert q.cancel(ev) is True
+        assert CountingSet.contains_calls <= 2 * len(events)
+        assert len(q) == 0
+        # cancelling again is a miss, still without scanning
+        assert not q.cancel(events[0])
+        assert CountingSet.contains_calls <= 2 * len(events) + 2
+
+    def test_cancel_interleaved_with_pops(self):
+        q = EventQueue()
+        events = [q.push(float(i), noop) for i in range(100)]
+        fired = q.pop()
+        assert not q.cancel(fired)  # already fired
+        for ev in events[1:50]:
+            assert q.cancel(ev)
+        assert len(q) == 50
+        times = [ev.time for ev in q.drain()]
+        assert times == [float(i) for i in range(50, 100)]
+
+    def test_event_has_slots(self):
+        q = EventQueue()
+        ev = q.push(1.0, noop)
+        with pytest.raises((AttributeError, TypeError)):
+            ev.extra = 1
+
     def test_tag_and_payload_carried(self):
         q = EventQueue()
         q.push(1.0, noop, tag="hello", payload={"k": 1})

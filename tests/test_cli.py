@@ -24,6 +24,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--machines", "7"])
 
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.replications == 2
+        assert args.jobs is None
+        assert args.output == "BENCH_wallclock.json"
+
+    def test_jobs_flag_on_sweep_commands(self):
+        args = build_parser().parse_args(["fig4", "--jobs", "3"])
+        assert args.jobs == 3
+        args = build_parser().parse_args(["compare", "--jobs", "2"])
+        assert args.jobs == 2
+
 
 class TestCommands:
     def test_run(self, capsys):
@@ -76,6 +88,16 @@ class TestCommands:
     def test_overhead(self, capsys):
         assert main(["overhead", "--repetitions", "3"]) == 0
         assert "solver overhead" in capsys.readouterr().out
+
+    def test_bench(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["bench", "--jobs", "1", "--replications", "1",
+             "--output", "out.json"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "parallel_speedup" in out
+        assert (tmp_path / "out.json").exists()
 
     def test_run_gantt(self, capsys):
         assert main(

@@ -84,6 +84,24 @@ class TestTutorialApplication:
         assert app.verify(result.results)
 
 
+class TestTutorialSweeps:
+    def test_sweep_snippet_runs(self):
+        """The §5 run_sweep snippet, verbatim in structure."""
+        from repro.experiments import PointSpec, SweepStats, run_sweep
+
+        specs = [
+            PointSpec("matmul", size, num_machines=2,
+                      policies=("greedy", "plb-hec"), replications=1)
+            for size in (1024, 2048)
+        ]
+        stats = SweepStats()
+        points = run_sweep(specs, jobs=1, cache=None, stats=stats)
+        assert stats.summary().startswith("jobs=1 cache_hits=0 wall=")
+        assert [p.size for p in points] == [1024, 2048]
+        for point in points:
+            assert point.outcomes["plb-hec"].mean_makespan > 0
+
+
 class TestTutorialPolicy:
     def test_completes_domain(self, small_cluster):
         app = RayBatch(50_000)

@@ -1,0 +1,56 @@
+"""Tests for repro.util.timing."""
+
+import json
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.timing import Stopwatch, perf_report
+
+
+class TestStopwatch:
+    def test_context_manager(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert 0.0 < sw.elapsed < 5.0
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(ConfigurationError):
+            Stopwatch().stop()
+
+    def test_elapsed_live_while_running(self):
+        sw = Stopwatch().start()
+        first = sw.elapsed
+        assert sw.elapsed >= first
+        sw.stop()
+
+    def test_laps(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            pass
+        with sw.lap("b"):
+            time.sleep(0.005)
+        assert set(sw.laps) == {"a", "b"}
+        assert sw.laps["b"] > 0.0
+
+
+class TestPerfReport:
+    def test_report_shape(self):
+        report = perf_report({"serial": 1.5}, meta={"jobs": 4})
+        assert report["schema"] == 1
+        assert report["timings_s"] == {"serial": 1.5}
+        assert report["meta"] == {"jobs": 4}
+        assert report["host"]["cpu_count"] >= 1
+
+    def test_written_json_round_trips(self, tmp_path):
+        path = tmp_path / "bench.json"
+        report = perf_report({"x": 0.25}, path=path)
+        assert json.loads(path.read_text()) == report
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_bad_timing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            perf_report({"x": float("nan")})
+        with pytest.raises(ConfigurationError):
+            perf_report({"x": -1.0})

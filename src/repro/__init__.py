@@ -32,6 +32,7 @@ from repro.balancers import (
 from repro.cluster import Cluster, paper_cluster, paper_machines
 from repro.core import PLBHeC
 from repro.errors import ReproError
+from repro.obs import MetricsRegistry, RunReport, get_registry, write_chrome_trace
 from repro.runtime import Runtime, RunResult, SchedulingPolicy
 
 __version__ = "1.0.0"
@@ -39,6 +40,10 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "ReproError",
+    "MetricsRegistry",
+    "RunReport",
+    "get_registry",
+    "write_chrome_trace",
     "Cluster",
     "paper_cluster",
     "paper_machines",

@@ -4,9 +4,18 @@ Commands
 --------
 ``run``
     Run one workload under one policy and print the result summary.
+    ``--trace-out trace.json`` additionally exports a Chrome
+    trace-event/Perfetto timeline; ``--metrics-out metrics.json``
+    writes the run's telemetry manifest (:class:`repro.obs.RunReport`).
+``trace``
+    Run one workload and write the Perfetto/Chrome timeline to
+    ``--out`` (default ``trace.json``) — shorthand for
+    ``run --trace-out``.
 ``compare``
     Run all four paper policies on one workload and print the
-    comparison table.
+    comparison table.  ``--trace-out`` re-runs each policy once at the
+    first replication's seed and exports all of them side by side, one
+    process group per policy.
 ``table1`` / ``fig1`` / ``fig4`` / ``fig5`` / ``fig6`` / ``fig7``
     Regenerate the corresponding paper artefact.
 ``overhead``
@@ -21,12 +30,20 @@ Sweep-driving commands accept ``--jobs N`` (default: the ``REPRO_JOBS``
 environment variable, else the CPU count) and honour ``REPRO_CACHE``
 for on-disk result caching; see docs/TUTORIAL.md §5.
 
+Global options (before the subcommand): ``--log-level
+{debug,info,warning,error,critical}`` and ``--log-format {text,json}``
+configure console logging; the ``REPRO_LOG`` environment variable
+(``REPRO_LOG=debug``, ``REPRO_LOG=json``, ``REPRO_LOG=info:json``)
+supplies defaults that the flags override.  See docs/TUTORIAL.md §6.
+
 Examples
 --------
 ::
 
     python -m repro run --app matmul --size 16384 --policy plb-hec
-    python -m repro compare --app blackscholes --size 500000 --machines 4
+    python -m repro run --app matmul --size 4096 --trace-out trace.json
+    python -m repro trace --app grn --size 2048 --out grn.json
+    python -m repro --log-format json compare --app blackscholes --size 500000
     python -m repro fig4 --app matmul --fast
     python -m repro fig7
 """
@@ -34,7 +51,9 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.experiments.ablations import (
@@ -62,7 +81,12 @@ from repro.experiments.runner import (
 from repro.experiments.solver_overhead import run_solver_overhead
 from repro.experiments.table1 import render_table1
 from repro.cluster import GroundTruth, paper_cluster
+from repro.obs.events import new_run_id, push_run_id
+from repro.obs.metrics import get_registry
+from repro.obs.report import RunReport
+from repro.obs.trace_export import trace_to_chrome, write_chrome_trace
 from repro.runtime import Runtime
+from repro.util.logging import configure_from_env
 from repro.util.tables import format_table
 
 __all__ = ["main", "build_parser"]
@@ -74,6 +98,18 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="PLB-HeC reproduction: run workloads and regenerate "
         "the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error", "critical"],
+        default=None,
+        help="console log level (default: REPRO_LOG, else no console logs)",
+    )
+    parser.add_argument(
+        "--log-format",
+        choices=["text", "json"],
+        default=None,
+        help="console log format: text or JSON-lines (default: REPRO_LOG)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -88,15 +124,42 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--noise", type=float, default=0.005)
 
+    def add_policy_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--policy",
+            default="plb-hec",
+            choices=[*PAPER_POLICIES, "hdss-async", "oracle"],
+        )
+
     p_run = sub.add_parser("run", help="run one workload under one policy")
     add_workload_args(p_run)
-    p_run.add_argument(
-        "--policy",
-        default="plb-hec",
-        choices=[*PAPER_POLICIES, "hdss-async", "oracle"],
-    )
+    add_policy_arg(p_run)
     p_run.add_argument(
         "--gantt", action="store_true", help="render an ASCII Gantt chart"
+    )
+    p_run.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="also export a Chrome trace-event/Perfetto timeline",
+    )
+    p_run.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="also write the run's telemetry manifest (RunReport JSON)",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="run one workload and export its Perfetto timeline"
+    )
+    add_workload_args(p_trace)
+    add_policy_arg(p_trace)
+    p_trace.add_argument(
+        "--out",
+        metavar="PATH",
+        default="trace.json",
+        help="trace output path (default: trace.json)",
     )
 
     def add_jobs_arg(p: argparse.ArgumentParser) -> None:
@@ -111,6 +174,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_args(p_cmp)
     p_cmp.add_argument("--replications", type=int, default=3)
     add_jobs_arg(p_cmp)
+    p_cmp.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="export one timeline with a process group per policy",
+    )
 
     sub.add_parser("table1", help="render Table I")
 
@@ -161,17 +230,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _simulate(args: argparse.Namespace, policy_name: str, *, seed: int | None = None):
+    """Run one workload/policy pair; returns ``(policy, result)``."""
     app = make_application(args.app, args.size)
     cluster = paper_cluster(args.machines)
     ground_truth = GroundTruth(cluster, app.kernel_characteristics())
-    policy = make_policy(args.policy, ground_truth=ground_truth)
+    policy = make_policy(policy_name, ground_truth=ground_truth)
     runtime = Runtime(
-        cluster, app.codelet(), seed=args.seed, noise_sigma=args.noise
+        cluster,
+        app.codelet(),
+        seed=args.seed if seed is None else seed,
+        noise_sigma=args.noise,
     )
     result = runtime.run(
         policy, app.total_units, app.default_initial_block_size()
     )
+    return policy, result
+
+
+def _run_config(args: argparse.Namespace, policy_name: str) -> dict:
+    return {
+        "app": args.app,
+        "size": args.size,
+        "machines": args.machines,
+        "policy": policy_name,
+        "seed": args.seed,
+        "noise": args.noise,
+    }
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    run_id = new_run_id(repr(sorted(_run_config(args, args.policy).items())))
+    with push_run_id(run_id):
+        policy, result = _simulate(args, args.policy)
     idle = result.idle_fractions
     print(
         format_table(
@@ -184,11 +275,53 @@ def _cmd_run(args: argparse.Namespace) -> int:
             ]],
         )
     )
+    if args.trace_out:
+        path = write_chrome_trace(
+            result.trace,
+            args.trace_out,
+            run_id=run_id,
+            metadata=_run_config(args, policy.name),
+        )
+        print(f"trace written to {path}")
+    if args.metrics_out:
+        report = RunReport.build(
+            config=_run_config(args, policy.name),
+            makespan=result.makespan,
+            rebalances=result.num_rebalances,
+            solver_overhead_s=result.solver_overhead_s,
+            phase_summary=result.trace.phase_summary(),
+            metrics=get_registry().snapshot(),
+            run_id=run_id,
+        )
+        Path(args.metrics_out).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True),
+            encoding="utf-8",
+        )
+        print(f"metrics written to {args.metrics_out}")
     if args.gantt:
         from repro.util.gantt import render_gantt
 
         print()
         print(render_gantt(result.trace))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    run_id = new_run_id(repr(sorted(_run_config(args, args.policy).items())))
+    with push_run_id(run_id):
+        policy, result = _simulate(args, args.policy)
+    path = write_chrome_trace(
+        result.trace,
+        args.out,
+        run_id=run_id,
+        metadata=_run_config(args, policy.name),
+    )
+    print(
+        f"trace written to {path} "
+        f"(makespan {result.makespan:.4f}s, "
+        f"{result.num_rebalances} rebalances); "
+        "load it at https://ui.perfetto.dev or chrome://tracing"
+    )
     return 0
 
 
@@ -219,14 +352,34 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             title=f"{args.app} size={args.size} machines={args.machines}",
         )
     )
+    if args.trace_out:
+        # One extra run per policy at the first replication's seed
+        # (run_policies seeds rep r with seed*1000+r), each exported as
+        # its own process group on a shared timeline.
+        run_id = new_run_id(f"compare:{args.app}:{args.size}:{args.seed}")
+        labelled = []
+        with push_run_id(run_id):
+            for name in point.outcomes:
+                _, result = _simulate(args, name, seed=args.seed * 1000)
+                labelled.append((name, result.trace))
+        doc = trace_to_chrome(
+            labelled,
+            run_id=run_id,
+            metadata=_run_config(args, "compare"),
+        )
+        path = write_chrome_trace(doc, args.trace_out)
+        print(f"trace written to {path}")
     return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_from_env(level=args.log_level, fmt=args.log_format)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "table1":

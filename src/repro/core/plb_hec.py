@@ -29,10 +29,13 @@ measurements did (they report ~170 ms per solve on four machines).
 
 from __future__ import annotations
 
+import logging
 import time
 
 from repro.errors import ConfigurationError, FitError
 from repro.modeling.perf_profile import DeviceModel, PerfProfile
+from repro.obs.events import EventLog
+from repro.obs.metrics import get_registry
 from repro.runtime.scheduler_api import SchedulingContext, SchedulingPolicy
 from repro.sim.trace import TaskRecord
 from repro.solver.ipm import IPMOptions
@@ -44,6 +47,7 @@ from repro.util.logging import get_logger
 __all__ = ["PLBHeC"]
 
 _log = get_logger("core.plb_hec")
+_events = EventLog("core.plb_hec", level=logging.DEBUG)
 
 
 class PLBHeC(SchedulingPolicy):
@@ -348,6 +352,7 @@ class PLBHeC(SchedulingPolicy):
         # workers were ever dispatched.
         if not set(self._ids) <= set(self._round_times) or self._in_flight:
             return  # barrier: the round is still running
+        get_registry().inc("plbhec.probe_rounds")
         if remaining == 0:
             return  # tiny input: the whole domain fit inside profiling
         if self._round >= self.min_probe_rounds:
@@ -391,6 +396,8 @@ class PLBHeC(SchedulingPolicy):
 
     def _try_fit(self) -> tuple[bool, dict[str, DeviceModel]]:
         """Fit every profile; charge the measured wall time as overhead."""
+        registry = get_registry()
+        registry.inc("plbhec.fit_attempts")
         t0 = time.perf_counter()
         models: dict[str, DeviceModel] = {}
         all_ok = True
@@ -401,6 +408,7 @@ class PLBHeC(SchedulingPolicy):
                 all_ok = False
                 continue
             models[d] = model
+            registry.set_gauge("plbhec.r2", model.r2, device=d)
             # The paper's acceptance is R2 >= 0.7; R2 is meaningless for
             # devices whose probe times are intercept-dominated (nearly
             # constant — the mean predictor is unbeatable there), so a
@@ -436,11 +444,15 @@ class PLBHeC(SchedulingPolicy):
 
     def _solve(self, remaining: int) -> None:
         quantum = min(self._quantum, float(remaining))
+        registry = get_registry()
         t0 = time.perf_counter()
-        result = solve_block_partition(
-            self._models, quantum, ipm_options=self.ipm_options
-        )
+        with _events.span("plbhec.solve", remaining=remaining):
+            result = solve_block_partition(
+                self._models, quantum, ipm_options=self.ipm_options
+            )
         self._charge(time.perf_counter() - t0)
+        registry.inc("plbhec.solves")
+        registry.observe("plbhec.solve_ms", result.solve_time_s * 1e3)
         _log.info(
             "partition solved (%s, %d iterations, %.1f ms): T=%.4fs",
             result.method,
@@ -453,6 +465,7 @@ class PLBHeC(SchedulingPolicy):
         sizes = {}
         for d, units in result.units_by_device.items():
             sizes[d] = int(round(units))
+            registry.set_gauge("plbhec.block_size", sizes[d], device=d)
         if all(v <= 0 for v in sizes.values()):
             # pathological quantum: give the best-rate device one unit
             best = max(result.units_by_device, key=result.units_by_device.get)
@@ -470,6 +483,8 @@ class PLBHeC(SchedulingPolicy):
         """Re-fit with accumulated execution times and re-solve."""
         self.rebalance_count += 1
         self.ctx.note_rebalance()
+        get_registry().inc("plbhec.rebalances")
+        _events.instant("plbhec.rebalance", remaining=remaining)
         t0 = time.perf_counter()
         models: dict[str, DeviceModel] = {}
         for d in self._ids:

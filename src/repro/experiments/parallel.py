@@ -55,6 +55,9 @@ from repro.cluster import paper_cluster
 from repro.cluster.topology import Cluster
 from repro.errors import ConfigurationError
 from repro.experiments.runner import PolicyOutcome, SweepPoint
+from repro.obs.events import EventLog
+from repro.obs.metrics import diff_snapshots, get_registry, merge_snapshots
+from repro.obs.report import RunReport
 from repro.util.logging import get_logger
 
 __all__ = [
@@ -68,12 +71,14 @@ __all__ = [
     "run_point",
 ]
 
-#: Bump whenever simulator/balancer/solver numerics change: it is part of
-#: every cache key, so stale cached results can never leak across
-#: algorithm versions.
-ALGORITHM_VERSION = "1"
+#: Bump whenever simulator/balancer/solver numerics change — or the
+#: cached payload schema changes: it is part of every cache key, so
+#: stale cached results can never leak across algorithm versions.
+#: ("2": payload gained the per-run RunReport manifest and wall clock.)
+ALGORITHM_VERSION = "2"
 
 _log = get_logger("experiments.parallel")
+_events = EventLog("experiments.parallel")
 
 
 @dataclass(frozen=True)
@@ -151,6 +156,13 @@ def _execute_run(spec: RunSpec, cluster_factory: Callable[[int], Cluster]) -> di
     """Worker body: run one spec and return a JSON-serialisable payload.
 
     Must stay a module-level function — it is pickled into pool workers.
+
+    Besides the aggregate outcomes, the payload carries the run's full
+    telemetry manifest (:class:`~repro.obs.report.RunReport`: config
+    hash, phase summary, per-run metrics delta) and host wall clock.
+    Because the manifest is computed *here* and cached with the payload,
+    a warm-cache replay serves byte-identical telemetry to the original
+    execution.
     """
     from repro.cluster import GroundTruth
     from repro.experiments.runner import (
@@ -160,6 +172,8 @@ def _execute_run(spec: RunSpec, cluster_factory: Callable[[int], Cluster]) -> di
     )
     from repro.runtime import Runtime
 
+    wall0 = time.perf_counter()
+    metrics_before = get_registry().snapshot()
     cluster = cluster_factory(spec.num_machines)
     app = make_application(spec.app_name, spec.size)
     ground_truth = GroundTruth(cluster, app.kernel_characteristics())
@@ -175,12 +189,32 @@ def _execute_run(spec: RunSpec, cluster_factory: Callable[[int], Cluster]) -> di
         noise_sigma=spec.noise_sigma,
     )
     result = runtime.run(policy, app.total_units, app.default_initial_block_size())
+    report = RunReport.build(
+        config={
+            "app": spec.app_name,
+            "size": spec.size,
+            "machines": spec.num_machines,
+            "policy": spec.policy_name,
+            "seed": spec.run_seed,
+            "noise": spec.noise_sigma,
+            "overhead": spec.fixed_overhead_s,
+        },
+        makespan=result.makespan,
+        rebalances=result.num_rebalances,
+        solver_overhead_s=result.solver_overhead_s,
+        phase_summary=result.trace.phase_summary(),
+        # pool workers execute several runs per process; the delta
+        # isolates this run's contribution to the worker's registry
+        metrics=diff_snapshots(metrics_before, get_registry().snapshot()),
+    )
     return {
         "makespan": result.makespan,
         "idle_fractions": result.idle_fractions,
         "distribution": _extract_distribution(policy, result),
         "overhead": result.solver_overhead_s,
         "rebalances": result.num_rebalances,
+        "wall_s": time.perf_counter() - wall0,
+        "report": report.to_dict(),
     }
 
 
@@ -267,6 +301,10 @@ class SweepStats:
     executed: int = 0
     wall_s: float = 0.0
     fell_back_serial: bool = False
+    #: run manifests in aggregation order (cached and fresh alike)
+    reports: list = field(default_factory=list)
+    #: sweep-wide metrics snapshot merged over every run's delta
+    metrics: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         """The one-line log form: ``jobs=N cache_hits=H wall=Ts``."""
@@ -414,7 +452,27 @@ def run_sweep(
             )
         )
 
+    for payload in payloads:
+        report = payload.get("report")
+        if report is not None:
+            stats.reports.append(report)
+            merge_snapshots(stats.metrics, report.get("metrics", {}))
+
     stats.wall_s = time.perf_counter() - t0
+    registry = get_registry()
+    registry.inc("sweep.jobs", stats.total_runs)
+    registry.inc("sweep.cache_hits", stats.cache_hits)
+    registry.inc("sweep.cache_misses", stats.executed)
+    for payload in fresh:
+        if "wall_s" in payload:
+            registry.observe("sweep.job_wall_s", payload["wall_s"])
+    _events.instant(
+        "sweep.complete",
+        runs=stats.total_runs,
+        cache_hits=stats.cache_hits,
+        executed=stats.executed,
+        wall_s=round(stats.wall_s, 4),
+    )
     _log.info("sweep complete: %s", stats.summary())
     return results
 

@@ -1,0 +1,59 @@
+"""Cross-cutting observability: metrics, structured events, trace export.
+
+The three legs every experiment stands on:
+
+* :mod:`repro.obs.metrics` — a zero-dependency metrics registry
+  (counters, gauges, histograms with labels) instrumented through the
+  DES engine, the PLB-HeC policy, the interior-point solver and the
+  parallel sweep engine;
+* :mod:`repro.obs.events` — structured span/instant events with run-id
+  correlation, emitted through the ``repro`` logging hierarchy
+  (JSON-lines with ``--log-format json``);
+* :mod:`repro.obs.trace_export` — Chrome trace-event / Perfetto export
+  of :class:`~repro.sim.trace.ExecutionTrace` objects
+  (``python -m repro trace ... --out trace.json``);
+* :mod:`repro.obs.report` — the per-run :class:`RunReport` manifest
+  cached alongside sweep results.
+"""
+
+from repro.obs.events import EventLog, current_run_id, new_run_id, push_run_id
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    get_registry,
+    merge_snapshots,
+    reset_registry,
+    set_registry,
+)
+from repro.obs.report import RunReport, config_hash
+from repro.obs.trace_export import (
+    trace_to_chrome,
+    trace_to_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunReport",
+    "config_hash",
+    "current_run_id",
+    "diff_snapshots",
+    "get_registry",
+    "merge_snapshots",
+    "new_run_id",
+    "push_run_id",
+    "reset_registry",
+    "set_registry",
+    "trace_to_chrome",
+    "trace_to_events",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,132 @@
+"""Structured event log: spans and instants with run-id correlation.
+
+The observability layer's second leg (next to the metrics registry and
+the Chrome-trace exporter): every interesting host-side moment — a run
+starting, a model fit, an interior-point solve, a sweep batch — can be
+emitted as a *structured* record through the normal ``repro`` logging
+hierarchy.  With the default text formatter the records read as
+ordinary log lines; with ``--log-format json`` (see
+:func:`repro.util.logging.configure_logging`) each becomes one JSON
+object per line, ready for ``jq``/ingestion.
+
+Correlation: a run id set via :func:`push_run_id` (the
+:class:`~repro.runtime.runtime.Runtime` does this for every run) is
+attached to every event emitted underneath it, from any module, without
+threading the id through call signatures — it lives in a
+:class:`contextvars.ContextVar`, so it is safe under threads and is
+inherited by the real executor's worker threads.
+
+Spans use *wall* time: they measure the host-side cost of scheduler
+decisions (the paper's "~170 ms per solve" statistic), not virtual
+simulation time — virtual-time spans live in
+:class:`~repro.sim.trace.ExecutionTrace` and are exported by
+:mod:`repro.obs.trace_export`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import hashlib
+import itertools
+import logging
+import time
+from typing import Any, Iterator
+
+from repro.util.logging import get_logger
+
+__all__ = [
+    "EventLog",
+    "current_run_id",
+    "push_run_id",
+    "new_run_id",
+]
+
+_run_id_var: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_run_id", default=None
+)
+_run_counter = itertools.count(1)
+
+
+def new_run_id(seed_material: str = "") -> str:
+    """A short, human-scannable run id.
+
+    Deterministic inputs (config hashes) pass ``seed_material``;
+    otherwise the id is a process-local sequence number plus the time,
+    unique enough for log correlation without any global coordination.
+    """
+    if seed_material:
+        digest = hashlib.sha256(seed_material.encode("utf-8")).hexdigest()
+        return f"run-{digest[:12]}"
+    return f"run-{int(time.time()) % 100000:05d}-{next(_run_counter)}"
+
+
+def current_run_id() -> str | None:
+    """The run id events in this context correlate under (or None)."""
+    return _run_id_var.get()
+
+
+@contextlib.contextmanager
+def push_run_id(run_id: str) -> Iterator[str]:
+    """Set the ambient run id for the duration of the ``with`` block."""
+    token = _run_id_var.set(run_id)
+    try:
+        yield run_id
+    finally:
+        _run_id_var.reset(token)
+
+
+class EventLog:
+    """Emit structured span/instant events through a ``repro`` logger.
+
+    Parameters
+    ----------
+    name:
+        Logger suffix the events are emitted under (``obs.events`` by
+        default; instrumented modules pass their own so per-module
+        level filtering keeps working).
+    level:
+        Logging level of emitted records (INFO by default).
+    """
+
+    def __init__(self, name: str = "obs.events", *, level: int = logging.INFO) -> None:
+        self._log = get_logger(name)
+        self._level = level
+
+    # ------------------------------------------------------------------
+    def _emit(self, payload: dict[str, Any], message: str) -> None:
+        run_id = _run_id_var.get()
+        if run_id is not None:
+            payload.setdefault("run_id", run_id)
+        self._log.log(self._level, "%s", message, extra={"repro_event": payload})
+
+    def instant(self, name: str, **attrs: Any) -> None:
+        """Emit a point-in-time event."""
+        payload = {"type": "instant", "name": name, "ts": time.time(), **attrs}
+        detail = " ".join(f"{k}={v}" for k, v in attrs.items())
+        self._emit(payload, f"event {name}" + (f" {detail}" if detail else ""))
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[dict[str, Any]]:
+        """Emit begin/end events around a block, measuring wall time.
+
+        Yields a mutable dict; keys added inside the block are attached
+        to the end event (e.g. result sizes discovered mid-span).
+        """
+        extra: dict[str, Any] = {}
+        t0 = time.perf_counter()
+        payload = {"type": "span_begin", "name": name, "ts": time.time(), **attrs}
+        self._emit(payload, f"begin {name}")
+        try:
+            yield extra
+        finally:
+            duration = time.perf_counter() - t0
+            payload = {
+                "type": "span_end",
+                "name": name,
+                "ts": time.time(),
+                "duration_s": duration,
+                **attrs,
+                **extra,
+            }
+            self._emit(payload, f"end {name} ({duration * 1e3:.1f} ms)")

@@ -1,0 +1,286 @@
+"""Chrome trace-event / Perfetto export of execution traces.
+
+Converts an :class:`~repro.sim.trace.ExecutionTrace` into the Chrome
+trace-event JSON format (the ``{"traceEvents": [...]}`` document
+``chrome://tracing`` and https://ui.perfetto.dev load directly), so a
+simulated run can be inspected on a real timeline UI instead of ASCII
+Gantt art:
+
+* one named thread track per processing unit, carrying two slices per
+  task — the transfer (``cat="transfer"``) and the computation
+  (``cat="exec"``/``"probe"``, coloured by phase);
+* a ``scheduler`` track with one slice per charged solver/fit overhead
+  (the paper's "master thinking time") and instant markers for phase
+  transitions;
+* global instant markers for rebalances and device failures.
+
+Virtual seconds are exported as microseconds (the format's native
+unit), so a 3.2 s simulated makespan reads as 3.2 s on the UI ruler.
+
+The format reference is the "Trace Event Format" document (Google,
+2016); only ``X`` (complete), ``i`` (instant) and ``M`` (metadata)
+events are emitted, which every viewer supports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import ExecutionTrace
+
+__all__ = [
+    "trace_to_events",
+    "trace_to_chrome",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+#: chrome://tracing reserved colour names per phase label; unknown
+#: phases fall back to the viewer's hash-based palette.
+PHASE_CNAMES = {
+    "probe": "thread_state_iowait",
+    "exec": "thread_state_running",
+}
+_TRANSFER_CNAME = "rail_load"
+_SCHEDULER_TID = 0
+_US = 1e6  # seconds -> microseconds
+
+
+def _meta(pid: int, name: str, value: str, tid: int | None = None) -> dict:
+    event = {"ph": "M", "pid": pid, "name": name, "args": {"name": value}}
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def trace_to_events(
+    trace: ExecutionTrace,
+    *,
+    pid: int = 1,
+    process_name: str = "simulation",
+    run_id: str | None = None,
+) -> list[dict]:
+    """Flatten one trace into trace-event dicts under one process id.
+
+    ``pid``/``process_name`` allow several runs (e.g. one per policy in
+    a comparison) to coexist in a single document as separate process
+    groups.
+    """
+    events: list[dict] = [_meta(pid, "process_name", process_name)]
+    if run_id:
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "name": "process_labels",
+                "args": {"labels": run_id},
+            }
+        )
+
+    # --- per-worker tracks (tid 0 is reserved for the scheduler) -------
+    tids = {worker: i + 1 for i, worker in enumerate(trace.worker_ids)}
+    events.append(_meta(pid, "thread_name", "scheduler", _SCHEDULER_TID))
+    for worker, tid in tids.items():
+        events.append(_meta(pid, "thread_name", worker, tid))
+
+    for r in trace.records:
+        tid = tids[r.worker_id]
+        args = {"units": r.units, "step": r.step, "phase": r.phase}
+        if r.transfer_time > 0.0:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": f"transfer {r.units}u",
+                    "cat": "transfer",
+                    "cname": _TRANSFER_CNAME,
+                    "ts": r.start_time * _US,
+                    "dur": r.transfer_time * _US,
+                    "args": args,
+                }
+            )
+        exec_event = {
+            "ph": "X",
+            "pid": pid,
+            "tid": tid,
+            "name": f"{r.phase} {r.units}u",
+            "cat": r.phase,
+            "ts": (r.start_time + r.transfer_time) * _US,
+            "dur": r.exec_time * _US,
+            "args": args,
+        }
+        cname = PHASE_CNAMES.get(r.phase)
+        if cname:
+            exec_event["cname"] = cname
+        events.append(exec_event)
+
+    # --- scheduler track: solver overhead spans + phase marks ----------
+    for start, seconds in zip(trace.solver_overhead_times, trace.solver_overheads):
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": _SCHEDULER_TID,
+                "name": "solver",
+                "cat": "scheduler",
+                "cname": "thread_state_runnable",
+                "ts": start * _US,
+                "dur": seconds * _US,
+                "args": {"overhead_s": seconds},
+            }
+        )
+    for t, phase in trace.phase_marks:
+        events.append(
+            {
+                "ph": "i",
+                "pid": pid,
+                "tid": _SCHEDULER_TID,
+                "name": f"phase:{phase}",
+                "cat": "phase",
+                "s": "p",
+                "ts": t * _US,
+            }
+        )
+
+    # --- global markers ------------------------------------------------
+    for t in trace.rebalance_times:
+        events.append(
+            {
+                "ph": "i",
+                "pid": pid,
+                "tid": _SCHEDULER_TID,
+                "name": "rebalance",
+                "cat": "rebalance",
+                "s": "g",
+                "ts": t * _US,
+            }
+        )
+    for t, device in trace.failures:
+        events.append(
+            {
+                "ph": "i",
+                "pid": pid,
+                "tid": tids.get(device, _SCHEDULER_TID),
+                "name": f"failure:{device}",
+                "cat": "failure",
+                "s": "g",
+                "ts": t * _US,
+            }
+        )
+    return events
+
+
+def trace_to_chrome(
+    traces: ExecutionTrace | list[tuple[str, ExecutionTrace]],
+    *,
+    run_id: str | None = None,
+    metadata: dict | None = None,
+) -> dict:
+    """Build a complete Chrome trace-event document.
+
+    Parameters
+    ----------
+    traces:
+        A single trace, or ``[(label, trace), ...]`` — each labelled
+        trace becomes its own process group (used by ``compare
+        --trace-out`` to put every policy on one timeline).
+    run_id / metadata:
+        Attached under ``otherData`` for provenance.
+    """
+    if isinstance(traces, ExecutionTrace):
+        traces = [("simulation", traces)]
+    if not traces:
+        raise ConfigurationError("trace export needs at least one trace")
+    events: list[dict] = []
+    for index, (label, trace) in enumerate(traces):
+        events.extend(
+            trace_to_events(trace, pid=index + 1, process_name=label, run_id=run_id)
+        )
+    other = {"source": "repro", "schema": "chrome-trace-event"}
+    if run_id:
+        other["run_id"] = run_id
+    if metadata:
+        other.update(metadata)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(
+    doc_or_trace: dict | ExecutionTrace,
+    path: str | os.PathLike[str],
+    **kwargs,
+) -> Path:
+    """Write a trace document (building it first if given a raw trace).
+
+    Atomic (temp file + rename): a crashed export never leaves a torn
+    ``trace.json`` behind.  Returns the written path.
+    """
+    if isinstance(doc_or_trace, ExecutionTrace):
+        doc = trace_to_chrome(doc_or_trace, **kwargs)
+    else:
+        if kwargs:
+            raise ConfigurationError(
+                "keyword options only apply when passing a raw ExecutionTrace"
+            )
+        doc = doc_or_trace
+    errors = validate_chrome_trace(doc)
+    if errors:
+        raise ConfigurationError(
+            "refusing to write invalid trace document: " + "; ".join(errors[:5])
+        )
+    target = Path(path)
+    tmp = target.with_suffix(target.suffix + ".tmp%d" % os.getpid())
+    tmp.write_text(json.dumps(doc, sort_keys=True), encoding="utf-8")
+    tmp.replace(target)
+    return target
+
+
+def validate_chrome_trace(doc: dict) -> list[str]:
+    """Check a document against the trace-event format's requirements.
+
+    Returns a list of problems (empty = valid).  Used by the exporter
+    itself, the test suite, and the CI artefact check; intentionally a
+    validator rather than an assertion so callers choose the failure
+    mode.
+    """
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document must be a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    if not events:
+        errors.append("traceEvents is empty")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "B", "E", "i", "I", "M", "C", "b", "e", "n", "s", "t", "f"):
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if "name" not in ev:
+            errors.append(f"{where}: missing name")
+        if "pid" not in ev:
+            errors.append(f"{where}: missing pid")
+        if ph == "M":
+            continue  # metadata events need no timestamp
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: complete event with bad dur {dur!r}")
+        if len(errors) >= 50:
+            errors.append("... (further problems suppressed)")
+            break
+    return errors

@@ -15,11 +15,13 @@ This is the library's main entry point::
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 
 from repro.cluster.topology import Cluster
 from repro.errors import ConfigurationError
+from repro.obs.events import EventLog, current_run_id, new_run_id, push_run_id
 from repro.runtime.codelet import Codelet
 from repro.runtime.real_executor import RealExecutor
 from repro.runtime.scheduler_api import SchedulingPolicy
@@ -31,6 +33,8 @@ from repro.runtime.sim_executor import (
 from repro.sim.trace import ExecutionTrace
 
 __all__ = ["Runtime", "RunResult"]
+
+_events = EventLog("runtime")
 
 
 @dataclass(frozen=True)
@@ -51,6 +55,10 @@ class RunResult:
         Host seconds the run took to compute.
     results:
         Real-backend block results (``None`` on the sim backend).
+    run_id:
+        Correlation id structured log events of this run carry (the
+        ambient :func:`repro.obs.events.current_run_id` if one was
+        pushed, else a fresh id minted by :meth:`Runtime.run`).
     """
 
     policy_name: str
@@ -62,6 +70,7 @@ class RunResult:
     results: list[tuple[int, int, object]] | None = field(
         default=None, repr=False
     )
+    run_id: str = ""
 
     @property
     def idle_fractions(self) -> dict[str, float]:
@@ -159,14 +168,28 @@ class Runtime:
             initial_block_size = max(1, total_units // 100)
         t0 = time.perf_counter()
         results = None
-        if self.backend == "sim":
-            trace, makespan = self._executor.run(
-                policy, total_units, initial_block_size
-            )
-        else:
-            trace, makespan, results = self._executor.run(
-                policy, total_units, initial_block_size
-            )
+        run_id = current_run_id()
+        scope = (
+            contextlib.nullcontext(run_id)
+            if run_id
+            else push_run_id(new_run_id())
+        )
+        with scope as run_id:
+            with _events.span(
+                "runtime.run",
+                policy=policy.name,
+                backend=self.backend,
+                total_units=int(total_units),
+            ) as span:
+                if self.backend == "sim":
+                    trace, makespan = self._executor.run(
+                        policy, total_units, initial_block_size
+                    )
+                else:
+                    trace, makespan, results = self._executor.run(
+                        policy, total_units, initial_block_size
+                    )
+                span["makespan"] = float(makespan)
         return RunResult(
             policy_name=policy.name,
             backend=self.backend,
@@ -175,4 +198,5 @@ class Runtime:
             trace=trace,
             wall_time_s=time.perf_counter() - t0,
             results=results,
+            run_id=run_id or "",
         )

@@ -165,6 +165,7 @@ class SimulatedExecutor:
         busy: dict[str, tuple[Task, object]] = {}
         stall_until = 0.0
         task_counter = 0
+        last_phase: str | None = None
         failed: set[str] = set()
         # Hot-path string constants, hoisted so the per-task dispatch loop
         # does not rebuild them for every event (the noise keys must stay
@@ -196,8 +197,9 @@ class SimulatedExecutor:
             nonlocal stall_until
             overhead = ctx.drain_overhead()
             if overhead > 0.0:
-                stall_until = max(stall_until, engine.now) + overhead
-                trace.record_solver_overhead(overhead)
+                begin = max(stall_until, engine.now)
+                stall_until = begin + overhead
+                trace.record_solver_overhead(overhead, begin)
             for _ in range(ctx.drain_rebalances()):
                 trace.record_rebalance(engine.now)
 
@@ -205,7 +207,7 @@ class SimulatedExecutor:
             return streams.lognormal_factor(key, self.noise_sigma)
 
         def dispatch_idle() -> None:
-            nonlocal task_counter
+            nonlocal task_counter, last_phase
             for worker_id in order:
                 if worker_id in busy or worker_id in failed:
                     continue
@@ -225,12 +227,18 @@ class SimulatedExecutor:
                     continue
                 policy.on_block_dispatched(worker_id, granted, engine.now)
                 task_counter += 1
+                phase = policy.phase_label(worker_id)
+                if phase != last_phase:
+                    # first dispatch of a new phase: mark the transition so
+                    # phase spans cover stalls, not just busy intervals
+                    trace.mark_phase(engine.now, phase)
+                    last_phase = phase
                 task = Task(
                     task_id=task_counter,
                     worker_id=worker_id,
                     start_unit=start_unit,
                     units=granted,
-                    phase=policy.phase_label(worker_id),
+                    phase=phase,
                     step=policy.step_index(worker_id),
                     dispatch_time=engine.now,
                 )

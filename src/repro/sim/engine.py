@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.obs.metrics import get_registry
 from repro.sim.clock import VirtualClock
 from repro.sim.events import Event, EventQueue
 
@@ -37,6 +38,10 @@ class Engine:
         self.max_events = int(max_events)
         self._processed = 0
         self._running = False
+        # metrics already flushed to the registry (run() publishes
+        # deltas, so interleaved runs on several engines never
+        # double-count)
+        self._flushed = (0, 0, 0)
 
     @property
     def now(self) -> float:
@@ -110,7 +115,29 @@ class Engine:
                 self.step()
         finally:
             self._running = False
+            self._flush_metrics()
         return self.clock.now
+
+    def _flush_metrics(self) -> None:
+        """Publish DES counters to the metrics registry (delta-based).
+
+        Called once per :meth:`run`, never inside the event loop: the
+        hot path stays lock-free and allocation-free, at the cost of
+        metrics only being current between runs.
+        """
+        registry = get_registry()
+        processed, pushed, cancelled = self._flushed
+        registry.inc("sim.events_dispatched", self._processed - processed)
+        registry.inc("sim.events_scheduled", self.queue.pushed_total - pushed)
+        registry.inc(
+            "sim.events_cancelled", self.queue.cancelled_total - cancelled
+        )
+        registry.set_gauge("sim.queue_max_depth", self.queue.max_depth)
+        self._flushed = (
+            self._processed,
+            self.queue.pushed_total,
+            self.queue.cancelled_total,
+        )
 
     def reset(self) -> None:
         """Clear all pending events and rewind the clock to zero."""
@@ -119,3 +146,4 @@ class Engine:
         self.queue.clear()
         self.clock.reset()
         self._processed = 0
+        self._flushed = (0, self.queue.pushed_total, self.queue.cancelled_total)

@@ -56,6 +56,12 @@ class EventQueue:
         self._cancelled: set[int] = set()
         self._pending: set[int] = set()
         self._live = 0
+        #: lifetime observability totals (cheap enough for the hot path:
+        #: one add / one compare per operation; flushed to the metrics
+        #: registry by :meth:`Engine.run`, never read mid-simulation)
+        self.pushed_total = 0
+        self.cancelled_total = 0
+        self.max_depth = 0
 
     def __len__(self) -> int:
         return self._live
@@ -83,6 +89,9 @@ class EventQueue:
         heapq.heappush(self._heap, (ev.time, ev.seq, ev))
         self._pending.add(seq)
         self._live += 1
+        self.pushed_total += 1
+        if self._live > self.max_depth:
+            self.max_depth = self._live
         return ev
 
     def cancel(self, event: Event) -> bool:
@@ -99,6 +108,7 @@ class EventQueue:
         self._pending.discard(seq)
         self._cancelled.add(seq)
         self._live -= 1
+        self.cancelled_total += 1
         return True
 
     def peek_time(self) -> float:

@@ -84,6 +84,7 @@ class ExecutionTrace:
         self.phase_marks: list[tuple[float, str]] = []
         self.rebalance_times: list[float] = []
         self.solver_overheads: list[float] = []
+        self.solver_overhead_times: list[float] = []
         self.failures: list[tuple[float, str]] = []
         self.makespan: float = 0.0
 
@@ -107,9 +108,16 @@ class ExecutionTrace:
         """Note that a rebalancing pass ran at ``time``."""
         self.rebalance_times.append(time)
 
-    def record_solver_overhead(self, seconds: float) -> None:
-        """Charge one model-fit + partition-solve overhead."""
+    def record_solver_overhead(self, seconds: float, time: float = 0.0) -> None:
+        """Charge one model-fit + partition-solve overhead.
+
+        ``time`` is the virtual time at which the charge was applied —
+        the start of the dispatch stall it causes.  Recording it lets
+        the trace exporter draw the overhead as a span on the scheduler
+        track instead of a bare total.
+        """
         self.solver_overheads.append(seconds)
+        self.solver_overhead_times.append(time)
 
     def record_failure(self, time: float, device_id: str) -> None:
         """Note that a device failed permanently at ``time``."""
@@ -227,6 +235,13 @@ class ExecutionTrace:
         Returns ``{phase: {units, busy_s, span_s, unit_share}}``, the
         numbers behind statements like "the initial phase took ~10 % of
         the execution time".
+
+        ``span_s`` prefers the policy's explicit :meth:`mark_phase`
+        marks (via :meth:`phase_span`) when a mark with the phase's name
+        exists: task records only cover busy intervals, so a phase with
+        dispatch gaps (a barrier drain, a solver stall) under-reports
+        its wall span when derived from records alone.  Phases never
+        marked fall back to the record-derived envelope.
         """
         phases: dict[str, dict[str, float]] = {}
         total_units = max(self.total_units(), 1)
@@ -240,15 +255,21 @@ class ExecutionTrace:
             agg["busy_s"] += r.total_time
             agg["start"] = min(agg["start"], r.start_time)
             agg["end"] = max(agg["end"], r.end_time)
-        return {
-            name: {
+        marked = {name for _, name in self.phase_marks}
+        summary: dict[str, dict[str, float]] = {}
+        for name, agg in phases.items():
+            span_s = agg["end"] - agg["start"]
+            if name in marked:
+                span = self.phase_span(name)
+                if span is not None:
+                    span_s = span[1] - span[0]
+            summary[name] = {
                 "units": agg["units"],
                 "busy_s": agg["busy_s"],
-                "span_s": agg["end"] - agg["start"],
+                "span_s": span_s,
                 "unit_share": agg["units"] / total_units,
             }
-            for name, agg in phases.items()
-        }
+        return summary
 
     # ------------------------------------------------------------------
     # serialisation
@@ -275,12 +296,18 @@ class ExecutionTrace:
             "phase_marks": [list(m) for m in self.phase_marks],
             "rebalance_times": list(self.rebalance_times),
             "solver_overheads": list(self.solver_overheads),
+            "solver_overhead_times": list(self.solver_overhead_times),
             "failures": [list(f) for f in self.failures],
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExecutionTrace":
         """Rebuild a trace serialised by :meth:`to_dict`.
+
+        The round trip is lossless: ``from_dict(t.to_dict()).to_dict()
+        == t.to_dict()`` for every trace (verified by the test suite).
+        ``solver_overhead_times`` is optional for compatibility with
+        traces serialised before it existed (charges default to t=0).
 
         Raises
         ------
@@ -295,6 +322,16 @@ class ExecutionTrace:
             trace.phase_marks = [(float(t), str(n)) for t, n in data["phase_marks"]]
             trace.rebalance_times = [float(t) for t in data["rebalance_times"]]
             trace.solver_overheads = [float(s) for s in data["solver_overheads"]]
+            trace.solver_overhead_times = [
+                float(t)
+                for t in data.get(
+                    "solver_overhead_times", [0.0] * len(trace.solver_overheads)
+                )
+            ]
+            if len(trace.solver_overhead_times) != len(trace.solver_overheads):
+                raise ValueError(
+                    "solver_overhead_times length does not match solver_overheads"
+                )
             trace.failures = [(float(t), str(d)) for t, d in data["failures"]]
             trace.finalize(float(data["makespan"]))
         except KeyError as exc:

@@ -31,6 +31,8 @@ class ConvergenceReport:
     barrier_decreased: bool
     mean_step_length: float
     restorations_suspected: bool
+    #: exact count from :attr:`repro.solver.ipm.IPMResult.restorations`
+    restorations: int = 0
 
     def healthy(self) -> bool:
         """A solve that converged with sane dynamics."""
@@ -66,7 +68,12 @@ def analyze_convergence(result: IPMResult) -> ConvergenceReport:
         or thetas[-1] < 1e-6,
         barrier_decreased=mus[-1] <= mus[0],
         mean_step_length=sum(alphas) / len(alphas),
-        restorations_suspected=any(h.get("delta_w", 0.0) > 1e-2 for h in result.history),
+        # the exact counter supersedes the regulariser heuristic; the
+        # heuristic is kept as a fallback for results recorded before
+        # the counter existed (restorations defaults to 0 there)
+        restorations_suspected=result.restorations > 0
+        or any(h.get("delta_w", 0.0) > 1e-2 for h in result.history),
+        restorations=result.restorations,
     )
 
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConvergenceError, SolverError
+from repro.obs.metrics import get_registry
 from repro.solver.filter import Filter, FilterEntry
 from repro.solver.kkt import solve_kkt
 from repro.solver.nlp import NLPProblem
@@ -99,6 +100,10 @@ class IPMResult:
     mu_final: float
     wall_time_s: float
     history: list[dict] = field(default_factory=list)
+    #: feasibility-restoration phases entered during the solve (an exact
+    #: count, unlike the history-based heuristic in
+    #: :mod:`repro.solver.diagnostics`, which it supersedes)
+    restorations: int = 0
 
     @property
     def converged(self) -> bool:
@@ -145,6 +150,7 @@ class InteriorPointSolver:
         delta_w_last = 0.0
         status = "max_iterations"
         iteration = 0
+        restorations = 0
 
         for iteration in range(1, opts.max_iter + 1):
             grad = problem.eval_gradient(x)
@@ -277,6 +283,7 @@ class InteriorPointSolver:
 
             if not accepted:
                 # --- feasibility restoration ---------------------------
+                restorations += 1
                 x_new, ok = self._restore(problem, x, theta_k)
                 if not ok:
                     status = "restoration_failed"
@@ -316,6 +323,14 @@ class InteriorPointSolver:
         final_err = self._kkt_error(problem, x, lam, z_lo, z_up, grad, c, jac, 0.0)
         if final_err <= self.options.tol:
             status = "optimal"
+        registry = get_registry()
+        registry.inc("ipm.solves")
+        registry.inc("ipm.iterations", iteration)
+        registry.inc("ipm.restorations", restorations)
+        registry.set_gauge("ipm.kkt_error", final_err)
+        registry.observe("ipm.solve_ms", (time.perf_counter() - t0) * 1e3)
+        if status != "optimal":
+            registry.inc("ipm.failures", **{"status": status})
         return IPMResult(
             x=x,
             lam=lam,
@@ -329,6 +344,7 @@ class InteriorPointSolver:
             mu_final=mu,
             wall_time_s=time.perf_counter() - t0,
             history=history,
+            restorations=restorations,
         )
 
     # ------------------------------------------------------------------

@@ -237,6 +237,59 @@ class TestResultCache:
         assert ResultCache.from_env().root == tmp_path / "deep"
 
 
+class TestTelemetry:
+    def test_payload_carries_report_and_wall_clock(self):
+        from repro.experiments.parallel import _execute_run
+        from repro.obs.report import RunReport
+
+        spec = RunSpec("matmul", 1024, 1, "plb-hec", 3000, 0.005, 0.01)
+        payload = _execute_run(spec, paper_cluster)
+        assert payload["wall_s"] > 0.0
+        report = RunReport.from_dict(payload["report"])  # hash verifies
+        assert report.config["app"] == "matmul"
+        assert report.makespan == payload["makespan"]
+        assert report.metrics["counters"]["plbhec.probe_rounds"] > 0
+        assert "probe" in report.phase_summary
+
+    def test_sweep_counters_cold_then_warm(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry, set_registry
+
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            cache = ResultCache(tmp_path)
+            run_sweep([SMALL], jobs=1, cache=cache)
+            cold = registry.snapshot()["counters"]
+            assert cold["sweep.jobs"] == 6.0
+            assert cold["sweep.cache_hits"] == 0.0
+            assert cold["sweep.cache_misses"] == 6.0
+            # every fresh run observed its wall clock
+            hist = registry.snapshot()["histograms"]["sweep.job_wall_s"]
+            assert hist["count"] == 6
+
+            registry.reset()
+            run_sweep([SMALL], jobs=1, cache=cache)
+            warm = registry.snapshot()["counters"]
+            # the acceptance check: a fully warm sweep is all cache hits
+            assert warm["sweep.cache_hits"] == warm["sweep.jobs"] == 6.0
+            assert warm.get("sweep.cache_misses", 0.0) == 0.0
+        finally:
+            set_registry(previous)
+
+    def test_stats_aggregate_reports_even_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold_stats = SweepStats()
+        run_sweep([SMALL], jobs=1, cache=cache, stats=cold_stats)
+        warm_stats = SweepStats()
+        run_sweep([SMALL], jobs=1, cache=cache, stats=warm_stats)
+        assert len(cold_stats.reports) == len(warm_stats.reports) == 6
+        # cache replay serves byte-identical telemetry manifests
+        assert warm_stats.reports == cold_stats.reports
+        merged = warm_stats.metrics["counters"]
+        assert merged["plbhec.probe_rounds"] > 0
+        assert merged["sim.events_dispatched"] > 0
+
+
 class TestBatching:
     def test_multi_point_sweep_preserves_order(self):
         points = [

@@ -1,0 +1,228 @@
+"""Tests for repro.obs.metrics (registry, snapshots, cardinality)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    MetricsRegistry,
+    diff_snapshots,
+    get_registry,
+    merge_snapshots,
+    reset_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        reg.inc("x", 2.5)
+        assert reg.snapshot()["counters"]["x"] == 3.5
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.inc("x", -1.0)
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.counter("x") is not reg.counter("x", device="a")
+
+
+class TestGauge:
+    def test_set_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 1.0)
+        reg.set_gauge("g", -4.0)
+        assert reg.snapshot()["gauges"]["g"] == -4.0
+
+    def test_add_shifts(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").add(2.0)
+        reg.gauge("g").add(-0.5)
+        assert reg.snapshot()["gauges"]["g"] == 1.5
+
+
+class TestHistogram:
+    def test_percentiles_interpolate(self):
+        reg = MetricsRegistry()
+        for v in range(1, 101):  # 1..100
+            reg.observe("h", float(v))
+        h = reg.histogram("h")
+        assert h.percentile(0.0) == 1.0
+        assert h.percentile(100.0) == 100.0
+        assert h.percentile(50.0) == pytest.approx(50.5)
+        assert h.percentile(90.0) == pytest.approx(90.1)
+
+    def test_percentile_out_of_range(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.histogram("h").percentile(101.0)
+
+    def test_empty_summary(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("h").summary() == {"count": 0, "sum": 0.0}
+
+    def test_reservoir_bounded_but_totals_exact(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.max_samples = 10
+        for v in range(1000):
+            h.observe(float(v))
+        summ = h.summary()
+        assert summ["count"] == 1000
+        assert summ["sum"] == sum(range(1000))
+        assert summ["min"] == 0.0 and summ["max"] == 999.0
+        # percentiles reflect only the retained (most recent) window
+        assert h.percentile(0.0) >= 990.0
+
+
+class TestLabelCardinality:
+    def test_labelled_series_are_distinct(self):
+        reg = MetricsRegistry()
+        reg.inc("x", device="a")
+        reg.inc("x", device="b", host="h")
+        counters = reg.snapshot()["counters"]
+        assert counters["x{device=a}"] == 1.0
+        assert counters["x{device=b,host=h}"] == 1.0
+
+    def test_overflow_folds_into_single_series(self):
+        reg = MetricsRegistry(max_label_sets=3)
+        for i in range(10):
+            reg.inc("x", device=f"d{i}")
+        counters = reg.snapshot()["counters"]
+        assert counters["x{overflow=true}"] == 7.0
+        # the first three distinct series survived untouched
+        assert sum(1 for k in counters if k.startswith("x{device=")) == 3
+
+    def test_overflow_is_per_metric_name(self):
+        reg = MetricsRegistry(max_label_sets=1)
+        reg.inc("a", k="1")
+        reg.inc("b", k="1")
+        counters = reg.snapshot()["counters"]
+        assert "a{k=1}" in counters and "b{k=1}" in counters
+
+    def test_empty_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.inc("")
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_compatible(self):
+        reg = MetricsRegistry()
+        reg.inc("c", device="a")
+        reg.set_gauge("g", 0.5)
+        reg.observe("h", 1.0)
+        json.dumps(reg.snapshot())  # must not raise
+
+    def test_snapshot_under_concurrency(self):
+        reg = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                reg.inc("c")
+                reg.observe("h", float(i % 7))
+                i += 1
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    snap = reg.snapshot()
+                    # a snapshot is internally consistent plain data
+                    json.dumps(snap)
+                    assert snap["counters"].get("c", 0.0) >= 0.0
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        stop.wait(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == reg.counter("c").value
+        assert snap["histograms"]["h"]["count"] == reg.histogram("h").count
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestDiffMerge:
+    def test_diff_isolates_one_run(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 5)
+        reg.observe("h", 1.0)
+        before = reg.snapshot()
+        reg.inc("c", 2)
+        reg.set_gauge("g", 9.0)
+        reg.observe("h", 3.0)
+        delta = diff_snapshots(before, reg.snapshot())
+        assert delta["counters"] == {"c": 2.0}
+        assert delta["gauges"]["g"] == 9.0
+        assert delta["histograms"]["h"]["count"] == 1
+        assert delta["histograms"]["h"]["sum"] == 3.0
+
+    def test_diff_drops_unchanged_series(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        snap = reg.snapshot()
+        delta = diff_snapshots(snap, reg.snapshot())
+        assert delta["counters"] == {}
+        assert delta["histograms"] == {}
+
+    def test_merge_is_inverse_of_diff_for_counters(self):
+        total = {}
+        merge_snapshots(total, {"counters": {"c": 2.0}, "histograms": {}})
+        merge_snapshots(
+            total,
+            {
+                "counters": {"c": 3.0, "d": 1.0},
+                "histograms": {"h": {"count": 2, "sum": 4.0, "min": 1.0, "max": 3.0}},
+            },
+        )
+        merge_snapshots(
+            total,
+            {"histograms": {"h": {"count": 1, "sum": 9.0, "min": 9.0, "max": 9.0}}},
+        )
+        assert total["counters"] == {"c": 5.0, "d": 1.0}
+        h = total["histograms"]["h"]
+        assert h["count"] == 3 and h["sum"] == 13.0
+        assert h["min"] == 1.0 and h["max"] == 9.0
+        assert h["mean"] == pytest.approx(13.0 / 3)
+
+
+class TestDefaultRegistry:
+    def test_set_and_restore(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+            get_registry().inc("only.mine")
+            assert "only.mine" not in previous.snapshot()["counters"]
+        finally:
+            set_registry(previous)
+
+    def test_reset_registry_clears_default(self):
+        previous = set_registry(MetricsRegistry())
+        try:
+            get_registry().inc("tmp")
+            reset_registry()
+            assert get_registry().snapshot()["counters"] == {}
+        finally:
+            set_registry(previous)

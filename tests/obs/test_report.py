@@ -1,0 +1,62 @@
+"""Tests for repro.obs.report (RunReport manifests)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.report import RunReport, config_hash
+
+CONFIG = {"app": "matmul", "size": 4096, "machines": 4, "policy": "plb-hec",
+          "seed": 0, "noise": 0.005}
+
+
+def make_report(**overrides):
+    kwargs = dict(
+        config=CONFIG,
+        makespan=1.25,
+        rebalances=2,
+        solver_overhead_s=0.06,
+        phase_summary={"probe": {"units": 100.0}},
+        metrics={"counters": {"ipm.iterations": 40.0}},
+    )
+    kwargs.update(overrides)
+    return RunReport.build(**kwargs)
+
+
+class TestBuild:
+    def test_hash_derived_from_config(self):
+        report = make_report()
+        assert report.config_hash == config_hash(CONFIG)
+
+    def test_default_run_id_is_deterministic(self):
+        assert make_report().run_id == make_report().run_id
+        assert make_report().run_id.startswith("run-")
+
+    def test_explicit_run_id_wins(self):
+        assert make_report(run_id="run-mine").run_id == "run-mine"
+
+    def test_config_hash_is_key_order_independent(self):
+        shuffled = dict(reversed(list(CONFIG.items())))
+        assert config_hash(shuffled) == config_hash(CONFIG)
+
+
+class TestRoundTrip:
+    def test_to_from_dict_lossless(self):
+        original = make_report()
+        rebuilt = RunReport.from_dict(
+            json.loads(json.dumps(original.to_dict()))
+        )
+        assert rebuilt == original
+
+    def test_tampered_config_rejected(self):
+        data = make_report().to_dict()
+        data["config"]["size"] = 9999
+        with pytest.raises(ConfigurationError, match="hash mismatch"):
+            RunReport.from_dict(data)
+
+    def test_missing_key_rejected(self):
+        data = make_report().to_dict()
+        del data["makespan"]
+        with pytest.raises(ConfigurationError, match="missing key"):
+            RunReport.from_dict(data)

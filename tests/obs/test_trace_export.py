@@ -1,0 +1,154 @@
+"""Tests for repro.obs.trace_export (Chrome trace-event export)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.trace_export import (
+    trace_to_chrome,
+    trace_to_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.sim.trace import ExecutionTrace, TaskRecord
+
+
+def make_trace():
+    tr = ExecutionTrace(["gpu0", "cpu0"])
+    tr.add_record(
+        TaskRecord(
+            worker_id="gpu0", units=50, dispatch_time=0.0, transfer_time=0.2,
+            exec_time=0.8, start_time=0.0, end_time=1.0, phase="probe", step=1,
+        )
+    )
+    tr.add_record(
+        TaskRecord(
+            worker_id="cpu0", units=30, dispatch_time=0.0, transfer_time=0.0,
+            exec_time=1.5, start_time=0.5, end_time=2.0, phase="exec", step=2,
+        )
+    )
+    tr.mark_phase(0.0, "modeling")
+    tr.mark_phase(1.0, "execution")
+    tr.record_solver_overhead(0.05, time=1.0)
+    tr.record_rebalance(1.5)
+    tr.record_failure(1.8, "cpu0")
+    tr.finalize(2.0)
+    return tr
+
+
+class TestTraceToEvents:
+    def test_worker_tracks_named_and_scheduler_reserved(self):
+        events = trace_to_events(make_trace())
+        threads = {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert threads[0] == "scheduler"
+        assert set(threads.values()) == {"scheduler", "gpu0", "cpu0"}
+
+    def test_transfer_and_exec_slices(self):
+        events = trace_to_events(make_trace())
+        slices = [e for e in events if e["ph"] == "X"]
+        transfer = [e for e in slices if e["cat"] == "transfer"]
+        assert len(transfer) == 1  # cpu0's record has zero transfer
+        assert transfer[0]["ts"] == 0.0
+        assert transfer[0]["dur"] == pytest.approx(0.2e6)
+        probe = [e for e in slices if e["cat"] == "probe"][0]
+        # exec slice starts after the transfer
+        assert probe["ts"] == pytest.approx(0.2e6)
+        assert probe["dur"] == pytest.approx(0.8e6)
+        assert probe["cname"] == "thread_state_iowait"
+
+    def test_solver_span_on_scheduler_track(self):
+        events = trace_to_events(make_trace())
+        solver = [e for e in events if e.get("cat") == "scheduler"]
+        assert len(solver) == 1
+        assert solver[0]["tid"] == 0
+        assert solver[0]["ts"] == pytest.approx(1.0e6)
+        assert solver[0]["dur"] == pytest.approx(0.05e6)
+
+    def test_instant_markers(self):
+        events = trace_to_events(make_trace())
+        instants = {e["name"]: e for e in events if e["ph"] == "i"}
+        assert instants["rebalance"]["s"] == "g"
+        assert instants["phase:modeling"]["s"] == "p"
+        assert instants["failure:cpu0"]["ts"] == pytest.approx(1.8e6)
+
+    def test_run_id_label(self):
+        events = trace_to_events(make_trace(), run_id="run-123")
+        labels = [e for e in events if e.get("name") == "process_labels"]
+        assert labels[0]["args"]["labels"] == "run-123"
+
+
+class TestTraceToChrome:
+    def test_single_trace_document(self):
+        doc = trace_to_chrome(make_trace(), run_id="run-1")
+        assert validate_chrome_trace(doc) == []
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["run_id"] == "run-1"
+
+    def test_multi_trace_gets_one_pid_per_label(self):
+        doc = trace_to_chrome(
+            [("plb-hec", make_trace()), ("greedy", make_trace())]
+        )
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {1, 2}
+        names = [
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert names == ["plb-hec", "greedy"]
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            trace_to_chrome([])
+
+
+class TestWriteAndValidate:
+    def test_write_roundtrip(self, tmp_path):
+        out = tmp_path / "trace.json"
+        path = write_chrome_trace(make_trace(), out, run_id="run-9")
+        assert path == out
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert not list(tmp_path.glob("*.tmp*"))  # atomic write cleaned up
+
+    def test_write_rejects_kwargs_with_prebuilt_doc(self, tmp_path):
+        doc = trace_to_chrome(make_trace())
+        with pytest.raises(ConfigurationError):
+            write_chrome_trace(doc, tmp_path / "t.json", run_id="nope")
+
+    def test_write_refuses_invalid_document(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="invalid trace"):
+            write_chrome_trace({"traceEvents": [{"ph": "?"}]}, tmp_path / "t.json")
+
+    def test_validator_catches_problems(self):
+        assert validate_chrome_trace([]) == ["document must be a JSON object"]
+        assert validate_chrome_trace({}) == ["traceEvents must be a list"]
+        assert "traceEvents is empty" in validate_chrome_trace({"traceEvents": []})
+        errors = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {"ph": "X", "pid": 1, "name": "no-ts-no-dur"},
+                    {"ph": "i", "pid": 1, "ts": -1.0, "name": "negative"},
+                    {"ph": "M", "pid": 1, "name": "meta-needs-no-ts"},
+                ]
+            }
+        )
+        assert len(errors) == 3  # bad ts, bad dur, negative ts; meta passes
+
+    def test_simulated_run_exports_cleanly(self, small_cluster):
+        from repro import PLBHeC, Runtime
+        from repro.apps import MatMul
+
+        app = MatMul(n=4096)
+        res = Runtime(small_cluster, app.codelet(), seed=0).run(
+            PLBHeC(), app.total_units, app.default_initial_block_size()
+        )
+        doc = trace_to_chrome(res.trace, run_id=res.run_id)
+        assert validate_chrome_trace(doc) == []
+        cats = {e.get("cat") for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"transfer", "probe", "exec"} <= cats

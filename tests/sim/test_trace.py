@@ -175,6 +175,28 @@ class TestPhaseSummary:
     def test_empty_trace(self):
         assert ExecutionTrace(["a"]).phase_summary() == {}
 
+    def test_marked_phase_uses_phase_span(self):
+        tr = ExecutionTrace(["a"])
+        tr.mark_phase(0.0, "probe")
+        tr.add_record(record("a", 1.0, 2.0, units=10, phase="probe"))
+        tr.mark_phase(4.0, "exec")
+        tr.add_record(record("a", 4.5, 5.0, units=10, phase="exec"))
+        tr.finalize(6.0)
+        summary = tr.phase_summary()
+        # marked phases span mark-to-mark (0..4), not the record envelope
+        assert summary["probe"]["span_s"] == pytest.approx(4.0)
+        # the last mark extends to the makespan
+        assert summary["exec"]["span_s"] == pytest.approx(2.0)
+
+    def test_unmarked_phase_falls_back_to_record_envelope(self):
+        tr = ExecutionTrace(["a"])
+        tr.mark_phase(0.0, "probe")
+        tr.add_record(record("a", 0.0, 1.0, phase="probe"))
+        tr.add_record(record("a", 2.0, 5.0, phase="exec"))  # never marked
+        tr.finalize(5.0)
+        summary = tr.phase_summary()
+        assert summary["exec"]["span_s"] == pytest.approx(3.0)
+
     def test_plb_initial_phase_share(self, small_cluster):
         """The modeling phase consumes a bounded share of the data."""
         from repro import PLBHeC, Runtime
@@ -195,7 +217,7 @@ class TestTraceSerialisation:
         tr.add_record(record("b", 0.5, 3.0, units=9, transfer=0.25))
         tr.mark_phase(0.0, "modeling")
         tr.record_rebalance(2.0)
-        tr.record_solver_overhead(0.01)
+        tr.record_solver_overhead(0.01, time=0.75)
         tr.record_failure(2.5, "b")
         tr.finalize(3.5)
         return tr
@@ -207,10 +229,30 @@ class TestTraceSerialisation:
         assert rebuilt.makespan == original.makespan
         assert rebuilt.num_rebalances == original.num_rebalances
         assert rebuilt.total_solver_overhead == original.total_solver_overhead
+        assert rebuilt.solver_overhead_times == original.solver_overhead_times
         assert rebuilt.failures == original.failures
         assert len(rebuilt.records) == len(original.records)
         assert rebuilt.records[0] == original.records[0]
         assert rebuilt.idle_fractions() == original.idle_fractions()
+
+    def test_roundtrip_is_lossless_by_dict_equality(self):
+        original = self.make_trace()
+        data = original.to_dict()
+        assert ExecutionTrace.from_dict(data).to_dict() == data
+
+    def test_legacy_payload_without_overhead_times_accepted(self):
+        data = self.make_trace().to_dict()
+        del data["solver_overhead_times"]
+        rebuilt = ExecutionTrace.from_dict(data)
+        # times default to 0.0 per recorded overhead, lengths stay paired
+        assert rebuilt.solver_overhead_times == [0.0]
+        assert rebuilt.total_solver_overhead == pytest.approx(0.01)
+
+    def test_mismatched_overhead_times_rejected(self):
+        data = self.make_trace().to_dict()
+        data["solver_overhead_times"] = [0.0, 1.0]
+        with pytest.raises(ValueError):
+            ExecutionTrace.from_dict(data)
 
     def test_json_compatible(self):
         import json

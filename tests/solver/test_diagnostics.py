@@ -41,6 +41,36 @@ class TestAnalyzeConvergence:
         report = analyze_convergence(recorded_solve)
         assert report.iterations == recorded_solve.iterations
 
+    def test_restorations_copied_from_result(self, recorded_solve):
+        report = analyze_convergence(recorded_solve)
+        assert report.restorations == recorded_solve.restorations
+        assert report.restorations >= 0
+
+    def test_exact_restoration_count_implies_suspected(self, recorded_solve):
+        from dataclasses import replace
+
+        forced = replace(recorded_solve, restorations=2)
+        report = analyze_convergence(forced)
+        assert report.restorations == 2
+        assert report.restorations_suspected
+
+    def test_heuristic_fallback_without_counter(self, recorded_solve):
+        from dataclasses import replace
+
+        # a legacy result (restorations=0) with a big regulariser spike
+        # still trips the heuristic
+        history = [dict(h) for h in recorded_solve.history]
+        history[0]["delta_w"] = 1.0
+        legacy = replace(recorded_solve, history=history, restorations=0)
+        assert analyze_convergence(legacy).restorations_suspected
+
+    def test_unhealthy_when_steps_tiny(self, recorded_solve):
+        report = analyze_convergence(recorded_solve)
+        from dataclasses import replace
+
+        crippled = replace(report, mean_step_length=0.001)
+        assert not crippled.healthy()
+
 
 class TestRenderHistory:
     def test_table_structure(self, recorded_solve):

@@ -36,6 +36,31 @@ class TestParser:
         args = build_parser().parse_args(["compare", "--jobs", "2"])
         assert args.jobs == 2
 
+    def test_log_flags_are_global(self):
+        args = build_parser().parse_args(
+            ["--log-level", "debug", "--log-format", "json", "run"]
+        )
+        assert args.log_level == "debug"
+        assert args.log_format == "json"
+        args = build_parser().parse_args(["run"])
+        assert args.log_level is None and args.log_format is None
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.out == "trace.json"
+        assert args.policy == "plb-hec"
+
+    def test_run_trace_and_metrics_out(self):
+        args = build_parser().parse_args(
+            ["run", "--trace-out", "t.json", "--metrics-out", "m.json"]
+        )
+        assert args.trace_out == "t.json"
+        assert args.metrics_out == "m.json"
+
+    def test_compare_trace_out(self):
+        args = build_parser().parse_args(["compare", "--trace-out", "c.json"])
+        assert args.trace_out == "c.json"
+
 
 class TestCommands:
     def test_run(self, capsys):
@@ -105,3 +130,57 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "=probe" in out and "=exec" in out
+
+    def test_run_trace_and_metrics_out(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.trace_export import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            ["run", "--app", "matmul", "--size", "4096",
+             "--trace-out", str(trace_path), "--metrics-out", str(metrics_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out and "metrics written to" in out
+        doc = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(doc) == []
+        report = json.loads(metrics_path.read_text())
+        assert report["config"]["app"] == "matmul"
+        assert report["run_id"] == doc["otherData"]["run_id"]
+        counters = report["metrics"]["counters"]
+        assert counters["plbhec.probe_rounds"] > 0
+        assert counters["ipm.iterations"] > 0
+        assert counters["sim.events_dispatched"] > 0
+
+    def test_trace_command(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.trace_export import validate_chrome_trace
+
+        out_path = tmp_path / "t.json"
+        assert main(
+            ["trace", "--app", "matmul", "--size", "2048",
+             "--out", str(out_path)]
+        ) == 0
+        assert "perfetto" in capsys.readouterr().out
+        assert validate_chrome_trace(json.loads(out_path.read_text())) == []
+
+    def test_compare_trace_out(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "cmp.json"
+        assert main(
+            ["compare", "--app", "matmul", "--size", "2048",
+             "--machines", "2", "--replications", "1",
+             "--trace-out", str(out_path)]
+        ) == 0
+        doc = json.loads(out_path.read_text())
+        names = [
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        # one process group per compared policy
+        assert sorted(names) == ["acosta", "greedy", "hdss", "plb-hec"]

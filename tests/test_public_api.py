@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.core",
     "repro.experiments",
     "repro.modeling",
+    "repro.obs",
     "repro.runtime",
     "repro.sim",
     "repro.solver",

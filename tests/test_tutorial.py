@@ -102,6 +102,42 @@ class TestTutorialSweeps:
             assert point.outcomes["plb-hec"].mean_makespan > 0
 
 
+class TestTutorialObservability:
+    def test_metrics_snippet_runs(self, small_cluster):
+        """The §6 registry snippet, verbatim in structure."""
+        from repro.obs import MetricsRegistry, get_registry
+        from repro.obs.metrics import set_registry
+
+        previous = set_registry(MetricsRegistry())
+        try:
+            app = RayBatch(100_000)
+            Runtime(small_cluster, app.codelet(), seed=1).run(
+                PLBHeC(), app.total_units, app.default_initial_block_size()
+            )
+            snap = get_registry().snapshot()
+            assert snap["counters"]["plbhec.probe_rounds"] > 0
+            assert snap["counters"]["ipm.iterations"] > 0
+            assert any(k.startswith("plbhec.r2{device=") for k in snap["gauges"])
+            assert snap["histograms"]["ipm.solve_ms"]["p90"] >= 0.0
+        finally:
+            set_registry(previous)
+
+    def test_trace_export_snippet_runs(self, small_cluster, tmp_path):
+        """The §6 export snippet: library-level write + validate."""
+        import json
+
+        from repro.obs import write_chrome_trace
+        from repro.obs.trace_export import validate_chrome_trace
+
+        app = RayBatch(100_000)
+        result = Runtime(small_cluster, app.codelet(), seed=1).run(
+            PLBHeC(), app.total_units, app.default_initial_block_size()
+        )
+        path = write_chrome_trace(result.trace, tmp_path / "trace.json")
+        assert validate_chrome_trace(json.loads(path.read_text())) == []
+        assert result.run_id.startswith("run-")
+
+
 class TestTutorialPolicy:
     def test_completes_domain(self, small_cluster):
         app = RayBatch(50_000)

@@ -1,8 +1,30 @@
 """Tests for repro.util.logging."""
 
+import io
+import json
 import logging
 
-from repro.util.logging import get_logger
+import pytest
+
+import repro.util.logging as logmod
+from repro.errors import ConfigurationError
+from repro.util.logging import (
+    JsonFormatter,
+    configure_from_env,
+    configure_logging,
+    get_logger,
+)
+
+
+@pytest.fixture
+def clean_handler():
+    """Detach any console handler configured during the test."""
+    yield
+    root = logging.getLogger("repro")
+    if logmod._configured_handler is not None:
+        root.removeHandler(logmod._configured_handler)
+        logmod._configured_handler = None
+    root.setLevel(logging.NOTSET)
 
 
 def test_logger_namespaced_under_repro():
@@ -23,3 +45,114 @@ def test_root_has_null_handler():
 
 def test_same_name_same_logger():
     assert get_logger("a.b") is get_logger("repro.a.b")
+
+
+class TestConfigureLogging:
+    def test_text_format_records(self, clean_handler):
+        stream = io.StringIO()
+        configure_logging("info", "text", stream=stream)
+        get_logger("test.text").info("hello %s", "world")
+        assert "hello world" in stream.getvalue()
+        assert "repro.test.text" in stream.getvalue()
+
+    def test_json_format_records(self, clean_handler):
+        stream = io.StringIO()
+        configure_logging("info", "json", stream=stream)
+        get_logger("test.json").info("structured")
+        doc = json.loads(stream.getvalue())
+        assert doc["msg"] == "structured"
+        assert doc["level"] == "info"
+        assert doc["logger"] == "repro.test.json"
+
+    def test_level_filters(self, clean_handler):
+        stream = io.StringIO()
+        configure_logging("warning", "text", stream=stream)
+        get_logger("test.lvl").info("dropped")
+        get_logger("test.lvl").warning("kept")
+        assert "dropped" not in stream.getvalue()
+        assert "kept" in stream.getvalue()
+
+    def test_reconfigure_replaces_handler(self, clean_handler):
+        first, second = io.StringIO(), io.StringIO()
+        configure_logging("info", "text", stream=first)
+        configure_logging("info", "text", stream=second)
+        get_logger("test.re").info("once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("once") == 1
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            configure_logging("loud")
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ConfigurationError):
+            configure_logging("info", "xml")
+
+
+class TestConfigureFromEnv:
+    def test_nothing_requested_is_noop(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        assert configure_from_env() is None
+
+    @pytest.mark.parametrize(
+        "env,expected_level,expected_json",
+        [
+            ("debug", logging.DEBUG, False),
+            ("json", logging.INFO, True),
+            ("warning:json", logging.WARNING, True),
+            ("json:warning", logging.WARNING, True),  # order-insensitive
+        ],
+    )
+    def test_env_forms(self, monkeypatch, clean_handler,
+                       env, expected_level, expected_json):
+        monkeypatch.setenv("REPRO_LOG", env)
+        handler = configure_from_env()
+        assert logging.getLogger("repro").level == expected_level
+        assert isinstance(handler.formatter, JsonFormatter) == expected_json
+
+    def test_explicit_args_win_over_env(self, monkeypatch, clean_handler):
+        monkeypatch.setenv("REPRO_LOG", "debug:text")
+        handler = configure_from_env(level="error", fmt="json")
+        assert logging.getLogger("repro").level == logging.ERROR
+        assert isinstance(handler.formatter, JsonFormatter)
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "verbose")
+        with pytest.raises(ConfigurationError, match="REPRO_LOG"):
+            configure_from_env()
+
+
+class TestJsonFormatter:
+    def make_record(self, **extra):
+        record = logging.LogRecord(
+            "repro.x", logging.INFO, __file__, 1, "msg %d", (7,), None
+        )
+        for key, value in extra.items():
+            setattr(record, key, value)
+        return record
+
+    def test_base_fields(self):
+        doc = json.loads(JsonFormatter().format(self.make_record()))
+        assert doc["msg"] == "msg 7"
+        assert doc["level"] == "info"
+
+    def test_event_payload_merged_without_clobbering(self):
+        record = self.make_record(
+            repro_event={"name": "ev", "msg": "evil-clobber"}
+        )
+        doc = json.loads(JsonFormatter().format(record))
+        assert doc["name"] == "ev"
+        assert doc["msg"] == "msg 7"  # base field wins
+
+    def test_exception_included(self):
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            import sys
+
+            record = logging.LogRecord(
+                "repro.x", logging.ERROR, __file__, 1, "failed", (),
+                sys.exc_info(),
+            )
+        doc = json.loads(JsonFormatter().format(record))
+        assert "ValueError: boom" in doc["exc"]

@@ -1,12 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test bench bench-fast clean
+.PHONY: test bench bench-fast check dashboard clean
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 # Regenerate BENCH_wallclock.json (serial vs parallel vs cached sweeps).
+# Each run also appends to the .repro_history/ trend store.
 bench:
 	$(PYTHON) -m repro bench
 
@@ -14,6 +15,16 @@ bench-fast:
 	REPRO_BENCH_FAST=1 $(PYTHON) -m pytest benchmarks/ -q -s \
 		-p no:cacheprovider --override-ini addopts=
 
+# Gate the current bench run against local history (exit 2 on regression).
+check:
+	$(PYTHON) -m repro bench --check
+
+# Self-contained HTML observability dashboard (policies, trends, solver,
+# Gantt, anomalies) at dashboard.html.
+dashboard:
+	$(PYTHON) -m repro dashboard
+
 clean:
-	rm -rf .repro_cache .benchmarks
+	rm -rf .repro_cache .benchmarks .repro_history
+	rm -f dashboard.html
 	find . -name __pycache__ -type d -exec rm -rf {} +

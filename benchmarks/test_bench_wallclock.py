@@ -31,8 +31,15 @@ def test_bench_wallclock(tmp_path):
     print()
     for phase in ("serial", "parallel", "cache_cold", "cache_warm"):
         print(f"  {phase:11s} {timings[phase]:8.3f}s")
+    speedup = meta["parallel_speedup"]
+    speedup_text = (
+        f"{speedup:.2f}x"
+        if speedup is not None
+        else f"n/a ({meta['parallel_speedup_reason']})"
+    )
     print(
-        f"  jobs={meta['jobs']} speedup={meta['parallel_speedup']:.2f}x "
+        f"  jobs={meta['jobs']} effective_jobs={meta['effective_jobs']} "
+        f"speedup={speedup_text} "
         f"warm/cold={meta['warm_over_cold_fraction']:.1%}"
     )
 

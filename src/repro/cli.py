@@ -24,7 +24,15 @@ Commands
     Run the three DESIGN.md ablation studies.
 ``bench``
     Benchmark the sweep engine (serial vs parallel vs cached) and write
-    ``BENCH_wallclock.json``.
+    ``BENCH_wallclock.json``.  Every run is also appended to the
+    benchmark history store (``.repro_history/``, see ``REPRO_HISTORY``);
+    ``--check`` compares the fresh laps against the recorded baseline
+    with the statistical gate in :mod:`repro.obs.regress` and exits
+    non-zero on a regression.
+``dashboard``
+    Write the self-contained HTML observability dashboard (policy
+    comparison, benchmark trend, solver convergence, Gantt timeline,
+    anomaly findings) — no external requests, open it anywhere.
 
 Sweep-driving commands accept ``--jobs N`` (default: the ``REPRO_JOBS``
 environment variable, else the CPU count) and honour ``REPRO_CACHE``
@@ -226,7 +234,54 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_wallclock.json",
         help="report path ('-' to skip writing)",
     )
+    p_bench.add_argument(
+        "--history",
+        metavar="PATH",
+        default=None,
+        help="history store to append to ('-' disables; default: "
+        "REPRO_HISTORY, else .repro_history/)",
+    )
+    p_bench.add_argument(
+        "--check",
+        action="store_true",
+        help="gate this run against the recorded baseline laps; "
+        "exits 2 on a statistically significant regression",
+    )
+    p_bench.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="history file/dir to compare against (default: the "
+        "history store itself)",
+    )
+    p_bench.add_argument(
+        "--rel-threshold",
+        type=float,
+        default=0.50,
+        help="relative slowdown that counts as a regression (default 0.50)",
+    )
     add_jobs_arg(p_bench)
+
+    p_dash = sub.add_parser(
+        "dashboard",
+        help="write the self-contained HTML observability dashboard",
+    )
+    add_workload_args(p_dash)
+    p_dash.add_argument("--replications", type=int, default=2)
+    p_dash.add_argument(
+        "--out",
+        metavar="PATH",
+        default="dashboard.html",
+        help="output path (default: dashboard.html)",
+    )
+    p_dash.add_argument(
+        "--history",
+        metavar="PATH",
+        default=None,
+        help="history store for the trend section (default: REPRO_HISTORY, "
+        "else .repro_history/)",
+    )
+    add_jobs_arg(p_dash)
     return parser
 
 
@@ -372,6 +427,118 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_history(flag: str | None):
+    """The history store a command should use, or None when disabled.
+
+    Precedence: an explicit ``--history`` flag (``-`` disables), then
+    the ``REPRO_HISTORY`` environment variable (including its off
+    values), then the default ``.repro_history/`` directory.
+    """
+    import os
+
+    from repro.obs.history import DEFAULT_HISTORY_DIR, HistoryStore
+
+    if flag == "-":
+        return None
+    if flag:
+        return HistoryStore(flag)
+    if os.environ.get("REPRO_HISTORY", "").strip():
+        return HistoryStore.from_env()
+    return HistoryStore(DEFAULT_HISTORY_DIR)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.wallclock import run_wallclock_bench
+    from repro.obs.history import HistoryStore, bench_entry
+
+    output = None if args.output == "-" else args.output
+    report = run_wallclock_bench(
+        replications=args.replications, jobs=args.jobs, output=output
+    )
+    timings = report["timings_s"]
+    meta = report["meta"]
+    print(
+        format_table(
+            ["phase", "wall_s"],
+            [[phase, seconds] for phase, seconds in timings.items()],
+            title="Sweep-engine wall clock (Fig. 4 MM fast grid)",
+        )
+    )
+    speedup = meta.get("parallel_speedup")
+    speedup_text = (
+        f"{speedup:.2f}x"
+        if speedup is not None
+        else f"n/a ({meta.get('parallel_speedup_reason', 'not measured')})"
+    )
+    print(
+        f"jobs={meta['jobs']} effective_jobs={meta.get('effective_jobs')} "
+        f"parallel_speedup={speedup_text} "
+        f"warm/cold={meta['warm_over_cold_fraction']:.1%} "
+        f"identical={meta['parallel_matches_serial']}"
+    )
+    if output is not None:
+        print(f"report written to {output}")
+
+    history = _resolve_history(args.history)
+    exit_code = 0
+    if args.check:
+        from repro.obs.regress import check_bench_report
+
+        baseline = HistoryStore(args.baseline) if args.baseline else history
+        if baseline is None:
+            print("check: no baseline available (history disabled) -> "
+                  "insufficient-data")
+        else:
+            # Check BEFORE appending, so a run never gates against itself.
+            check = check_bench_report(
+                report, baseline, rel_threshold=args.rel_threshold
+            )
+            rows = [
+                [c.metric, c.verdict,
+                 "-" if c.rel_change is None else f"{c.rel_change:+.1%}",
+                 "-" if c.p_value is None else f"{c.p_value:.3f}",
+                 c.baseline_n, c.reason]
+                for c in check.comparisons
+            ]
+            print(
+                format_table(
+                    ["lap", "verdict", "change", "p", "n", "reason"],
+                    rows,
+                    title=f"Regression gate vs {baseline.path}",
+                )
+            )
+            print(f"check: {check.verdict} ({check.reason})")
+            exit_code = check.exit_code
+    if history is not None:
+        stored = history.append(bench_entry(report))
+        print(f"history: appended to {history.path} "
+              f"(config {stored['config_hash'][:12]})")
+    return exit_code
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import collect_dashboard_data, write_dashboard
+
+    history = _resolve_history(args.history)
+    data = collect_dashboard_data(
+        app=args.app,
+        size=args.size,
+        machines=args.machines,
+        seed=args.seed,
+        noise=args.noise,
+        replications=args.replications,
+        jobs=args.jobs,
+        history=history,
+    )
+    path = write_dashboard(args.out, data)
+    print(
+        f"dashboard written to {path} "
+        f"({len(data.bench_trend)} trend entries, "
+        f"{len(data.anomalies)} anomalies); open it in any browser"
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -430,29 +597,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         return 0
     if args.command == "bench":
-        from repro.experiments.wallclock import run_wallclock_bench
-
-        output = None if args.output == "-" else args.output
-        report = run_wallclock_bench(
-            replications=args.replications, jobs=args.jobs, output=output
-        )
-        timings = report["timings_s"]
-        meta = report["meta"]
-        print(
-            format_table(
-                ["phase", "wall_s"],
-                [[phase, seconds] for phase, seconds in timings.items()],
-                title="Sweep-engine wall clock (Fig. 4 MM fast grid)",
-            )
-        )
-        print(
-            f"jobs={meta['jobs']} parallel_speedup={meta['parallel_speedup']:.2f}x "
-            f"warm/cold={meta['warm_over_cold_fraction']:.1%} "
-            f"identical={meta['parallel_matches_serial']}"
-        )
-        if output is not None:
-            print(f"report written to {output}")
-        return 0
+        return _cmd_bench(args)
+    if args.command == "dashboard":
+        return _cmd_dashboard(args)
     if args.command == "overhead":
         stats = run_solver_overhead(repetitions=args.repetitions)
         print(

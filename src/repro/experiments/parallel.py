@@ -55,10 +55,10 @@ from repro.cluster import paper_cluster
 from repro.cluster.topology import Cluster
 from repro.errors import ConfigurationError
 from repro.experiments.runner import PolicyOutcome, SweepPoint
-from repro.obs.events import EventLog
+from repro.obs.events import EventLog, push_run_id
 from repro.obs.metrics import diff_snapshots, get_registry, merge_snapshots
-from repro.obs.report import RunReport
-from repro.util.logging import get_logger
+from repro.obs.report import RunReport, config_hash
+from repro.util.logging import configure_logging, current_config, get_logger
 
 __all__ = [
     "ALGORITHM_VERSION",
@@ -174,6 +174,19 @@ def _execute_run(spec: RunSpec, cluster_factory: Callable[[int], Cluster]) -> di
 
     wall0 = time.perf_counter()
     metrics_before = get_registry().snapshot()
+    config = {
+        "app": spec.app_name,
+        "size": spec.size,
+        "machines": spec.num_machines,
+        "policy": spec.policy_name,
+        "seed": spec.run_seed,
+        "noise": spec.noise_sigma,
+        "overhead": spec.fixed_overhead_s,
+    }
+    # The deterministic id RunReport.build would derive anyway; pushing
+    # it around the execution tags worker-side events and log records
+    # with the run they belong to, without perturbing cached payloads.
+    run_id = f"run-{config_hash(config)[:12]}"
     cluster = cluster_factory(spec.num_machines)
     app = make_application(spec.app_name, spec.size)
     ground_truth = GroundTruth(cluster, app.kernel_characteristics())
@@ -188,17 +201,12 @@ def _execute_run(spec: RunSpec, cluster_factory: Callable[[int], Cluster]) -> di
         seed=spec.run_seed,
         noise_sigma=spec.noise_sigma,
     )
-    result = runtime.run(policy, app.total_units, app.default_initial_block_size())
+    with push_run_id(run_id):
+        result = runtime.run(
+            policy, app.total_units, app.default_initial_block_size()
+        )
     report = RunReport.build(
-        config={
-            "app": spec.app_name,
-            "size": spec.size,
-            "machines": spec.num_machines,
-            "policy": spec.policy_name,
-            "seed": spec.run_seed,
-            "noise": spec.noise_sigma,
-            "overhead": spec.fixed_overhead_s,
-        },
+        config=config,
         makespan=result.makespan,
         rebalances=result.num_rebalances,
         solver_overhead_s=result.solver_overhead_s,
@@ -206,6 +214,7 @@ def _execute_run(spec: RunSpec, cluster_factory: Callable[[int], Cluster]) -> di
         # pool workers execute several runs per process; the delta
         # isolates this run's contribution to the worker's registry
         metrics=diff_snapshots(metrics_before, get_registry().snapshot()),
+        run_id=run_id,
     )
     return {
         "makespan": result.makespan,
@@ -335,6 +344,18 @@ def resolve_jobs(jobs: int | None = None) -> int:
 _UNSET = object()
 
 
+def _pool_worker_init(log_config: tuple[str, str] | None) -> None:
+    """Re-apply the parent's console logging config in a pool worker.
+
+    Pool workers are fresh interpreters: without this they fall back to
+    the library's NullHandler and every worker-side record (cache
+    warnings, structured events) silently disappears.  Must stay a
+    module-level function — it is pickled into the pool.
+    """
+    if log_config is not None:
+        configure_logging(log_config[0], log_config[1])
+
+
 def _execute_batch(
     tasks: Sequence[tuple[RunSpec, Callable[[int], Cluster]]],
     jobs: int,
@@ -354,7 +375,11 @@ def _execute_batch(
             jobs = 1
     if jobs > 1:
         try:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(tasks)),
+                initializer=_pool_worker_init,
+                initargs=(current_config(),),
+            ) as pool:
                 futures = [
                     pool.submit(_execute_run, spec, factory)
                     for spec, factory in tasks
@@ -457,6 +482,24 @@ def run_sweep(
         if report is not None:
             stats.reports.append(report)
             merge_snapshots(stats.metrics, report.get("metrics", {}))
+
+    # Record freshly executed runs (never cache hits — replays would
+    # double-count samples) when REPRO_HISTORY enables the store.  The
+    # history is telemetry: failure to write it must not fail the sweep.
+    if fresh:
+        try:
+            from repro.obs.history import HistoryStore, run_entry
+
+            history = HistoryStore.from_env()
+            if history is not None:
+                for payload in fresh:
+                    report = payload.get("report")
+                    if report is not None:
+                        history.append(
+                            run_entry(report, wall_s=payload.get("wall_s"))
+                        )
+        except Exception:
+            _log.warning("failed to record sweep history", exc_info=True)
 
     stats.wall_s = time.perf_counter() - t0
     registry = get_registry()

@@ -28,7 +28,12 @@ from repro.experiments.parallel import (
 from repro.experiments.runner import PAPER_POLICIES, SweepPoint
 from repro.util.timing import Stopwatch, perf_report
 
-__all__ = ["BENCH_PATH", "points_equal", "run_wallclock_bench"]
+__all__ = [
+    "BENCH_PATH",
+    "parallel_speedup_meta",
+    "points_equal",
+    "run_wallclock_bench",
+]
 
 #: Default output file, at the repository root.
 BENCH_PATH = "BENCH_wallclock.json"
@@ -66,6 +71,39 @@ def points_equal(a: Sequence[SweepPoint], b: Sequence[SweepPoint]) -> bool:
             ):
                 return False
     return True
+
+
+def parallel_speedup_meta(
+    laps: dict[str, float],
+    jobs: int,
+    *,
+    cpu_count: int | None = None,
+) -> dict[str, Any]:
+    """Speedup bookkeeping that stays honest on core-starved hosts.
+
+    A "parallel" sweep on a 1-cpu machine (or with ``jobs=1``) runs the
+    exact same serial path plus pool overhead, so ``serial/parallel``
+    is pure noise there — historically it printed a misleading 0.9x.
+    In that case ``parallel_speedup`` is ``None`` and
+    ``parallel_speedup_reason`` says why; ``effective_jobs`` records how
+    much parallelism the measurement actually had either way.
+    """
+    if cpu_count is None:
+        cpu_count = os.cpu_count() or 1
+    effective = max(min(jobs, cpu_count), 1)
+    meta: dict[str, Any] = {"effective_jobs": effective}
+    if effective <= 1:
+        meta["parallel_speedup"] = None
+        meta["parallel_speedup_reason"] = (
+            f"no parallelism available (jobs={jobs}, cpu_count={cpu_count}): "
+            "serial and parallel laps measure the same execution path"
+        )
+    elif laps.get("parallel", 0.0) > 0.0:
+        meta["parallel_speedup"] = laps["serial"] / laps["parallel"]
+    else:
+        meta["parallel_speedup"] = None
+        meta["parallel_speedup_reason"] = "parallel lap recorded no wall time"
+    return meta
 
 
 def _grid(replications: int) -> list[PointSpec]:
@@ -135,7 +173,6 @@ def run_wallclock_bench(
             own_tmp.cleanup()
 
     laps = sw.laps
-    speedup = laps["serial"] / laps["parallel"] if laps["parallel"] > 0 else 0.0
     warm_fraction = (
         laps["cache_warm"] / laps["cache_cold"] if laps["cache_cold"] > 0 else 0.0
     )
@@ -153,8 +190,8 @@ def run_wallclock_bench(
         "parallel_matches_serial": identical,
         "warm_matches_cold": points_equal(cold_points, warm_points),
         "warm_cache_hits": warm_stats.cache_hits,
-        "parallel_speedup": speedup,
         "warm_over_cold_fraction": warm_fraction,
         "parallel_fell_back_serial": par_stats.fell_back_serial,
+        **parallel_speedup_meta(laps, jobs),
     }
     return perf_report(laps, path=output, meta=meta)

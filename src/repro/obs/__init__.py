@@ -13,10 +13,31 @@ The three legs every experiment stands on:
   of :class:`~repro.sim.trace.ExecutionTrace` objects
   (``python -m repro trace ... --out trace.json``);
 * :mod:`repro.obs.report` — the per-run :class:`RunReport` manifest
-  cached alongside sweep results.
+  cached alongside sweep results;
+* :mod:`repro.obs.history` — the append-only JSONL benchmark/run
+  history store (``.repro_history/``, ``REPRO_HISTORY``);
+* :mod:`repro.obs.regress` — the statistical perf-regression gate
+  (``repro bench --check``) and built-in anomaly detectors;
+* :mod:`repro.obs.dashboard` — the self-contained HTML dashboard
+  (``repro dashboard``).
 """
 
+from repro.obs.dashboard import (
+    DashboardData,
+    collect_dashboard_data,
+    render_dashboard,
+    write_dashboard,
+)
 from repro.obs.events import EventLog, current_run_id, new_run_id, push_run_id
+from repro.obs.history import (
+    HistoryStore,
+    bench_entry,
+    fingerprint_hash,
+    git_rev,
+    host_fingerprint,
+    run_entry,
+    validate_entry,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -28,6 +49,17 @@ from repro.obs.metrics import (
     reset_registry,
     set_registry,
 )
+from repro.obs.regress import (
+    Anomaly,
+    BenchCheck,
+    Comparison,
+    check_bench_report,
+    compare_samples,
+    detect_anomalies,
+    detect_report_anomalies,
+    mann_whitney_u,
+    overall_verdict,
+)
 from repro.obs.report import RunReport, config_hash
 from repro.obs.trace_export import (
     trace_to_chrome,
@@ -37,23 +69,42 @@ from repro.obs.trace_export import (
 )
 
 __all__ = [
+    "Anomaly",
+    "BenchCheck",
+    "Comparison",
     "Counter",
+    "DashboardData",
     "EventLog",
     "Gauge",
     "Histogram",
+    "HistoryStore",
     "MetricsRegistry",
     "RunReport",
+    "bench_entry",
+    "check_bench_report",
+    "collect_dashboard_data",
+    "compare_samples",
     "config_hash",
     "current_run_id",
+    "detect_anomalies",
+    "detect_report_anomalies",
     "diff_snapshots",
+    "fingerprint_hash",
     "get_registry",
+    "git_rev",
+    "host_fingerprint",
+    "mann_whitney_u",
     "merge_snapshots",
     "new_run_id",
+    "overall_verdict",
     "push_run_id",
+    "render_dashboard",
     "reset_registry",
+    "run_entry",
     "set_registry",
     "trace_to_chrome",
     "trace_to_events",
-    "validate_chrome_trace",
+    "validate_entry",
     "write_chrome_trace",
+    "write_dashboard",
 ]

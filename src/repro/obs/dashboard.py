@@ -1,0 +1,717 @@
+"""Self-contained HTML observability dashboard (``repro dashboard``).
+
+One static file that answers "what changed and why" for a run of the
+reproduction: per-policy makespan and idleness (the shape of the
+paper's Figs. 4-7), the benchmark trend from the history store, solver
+convergence (KKT error per interior-point iteration), a per-worker
+Gantt strip rendered from the :class:`~repro.sim.trace.ExecutionTrace`,
+and the anomaly findings from :mod:`repro.obs.regress`.
+
+Constraints, enforced by the tests:
+
+* **zero dependencies** — stdlib only, charts are hand-rolled inline
+  SVG;
+* **self-contained** — no external requests of any kind (no CDN
+  scripts, fonts, or images), so the artifact renders identically from
+  a CI upload, an airgapped machine, or a mail attachment;
+* **both color schemes** — light and dark are separately chosen
+  palettes (not an automatic inversion), switched on
+  ``prefers-color-scheme``.
+
+Chart conventions follow one system: categorical series colors are
+assigned to policies in fixed order (never cycled), marks are thin with
+rounded data-ends, values are directly labeled at bar tips (two light
+series sit below 3:1 contrast on the light surface, so labels + the
+table views carry the numbers), text wears text tokens rather than
+series colors, and every mark has a ``<title>`` hover tooltip.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+from xml.sax.saxutils import escape
+
+from repro.obs.history import HistoryStore, git_rev, host_fingerprint
+from repro.obs.regress import Anomaly
+
+if TYPE_CHECKING:  # the render stack is imported lazily: repro.obs is
+    # loaded by low-level modules (sim.engine), and importing the
+    # experiment/simulator layers here would close an import cycle
+    from repro.experiments.runner import SweepPoint
+    from repro.sim.trace import ExecutionTrace
+    from repro.solver.diagnostics import ConvergenceReport
+
+__all__ = ["DashboardData", "collect_dashboard_data", "render_dashboard", "write_dashboard"]
+
+#: Fixed categorical assignment: paper policies in presentation order.
+#: (Validated 4-slot palette; light/dark steps of the same hues.)
+_SERIES_VARS = ("--series-1", "--series-2", "--series-3", "--series-4")
+
+_CSS = """
+:root { color-scheme: light; }
+body {
+  margin: 0; padding: 0 0 48px;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page); color: var(--text-primary);
+  --page: #f9f9f7; --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b; --text-secondary: #52514e; --text-muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7; --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834;
+  --series-3: #1baf7a; --series-4: #eda100;
+  --status-good: #0ca30c; --status-warning: #fab219;
+  --status-serious: #ec835a; --status-critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root { color-scheme: dark; }
+  body {
+    --page: #0d0d0d; --surface-1: #1a1a19;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7; --text-muted: #898781;
+    --grid: #2c2c2a; --axis: #383835; --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926;
+    --series-3: #199e70; --series-4: #c98500;
+  }
+}
+main { max-width: 960px; margin: 0 auto; padding: 0 20px; }
+header.page { max-width: 960px; margin: 0 auto; padding: 28px 20px 4px; }
+h1 { font-size: 22px; font-weight: 600; margin: 0 0 4px; }
+h2 { font-size: 16px; font-weight: 600; margin: 0 0 2px; }
+.sub { color: var(--text-secondary); font-size: 13px; margin: 0 0 6px; }
+.meta { color: var(--text-muted); font-size: 12px; }
+section {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 10px; padding: 18px 20px 16px; margin: 16px 0;
+}
+.hero { display: flex; gap: 32px; align-items: baseline; flex-wrap: wrap; }
+.hero .value { font-size: 48px; font-weight: 600; line-height: 1.1; }
+.tiles { display: flex; gap: 24px; flex-wrap: wrap; margin: 8px 0 4px; }
+.tile .label { color: var(--text-secondary); font-size: 12px; }
+.tile .value { font-size: 24px; font-weight: 600; }
+.tile .hint { color: var(--text-muted); font-size: 11px; }
+.legend { display: flex; gap: 16px; flex-wrap: wrap; margin: 6px 0 10px;
+  font-size: 12px; color: var(--text-secondary); }
+.legend .key { display: inline-flex; align-items: center; gap: 6px; }
+.swatch { width: 10px; height: 10px; border-radius: 3px; display: inline-block; }
+svg { display: block; }
+svg text { font-family: system-ui, -apple-system, "Segoe UI", sans-serif; }
+.axis-label { font-size: 11px; fill: var(--text-muted); }
+.value-label { font-size: 11px; fill: var(--text-primary); }
+.series-label { font-size: 11px; fill: var(--text-secondary); }
+.axis-line { stroke: var(--axis); stroke-width: 1; }
+.gridline { stroke: var(--grid); stroke-width: 1; }
+table { border-collapse: collapse; font-size: 12px; margin-top: 10px; width: 100%; }
+th { text-align: left; color: var(--text-secondary); font-weight: 600; }
+th, td { padding: 3px 10px 3px 0; border-bottom: 1px solid var(--grid); }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+.anomaly { display: flex; gap: 10px; align-items: baseline; padding: 6px 0;
+  border-bottom: 1px solid var(--grid); font-size: 13px; }
+.anomaly:last-child { border-bottom: none; }
+.badge { font-size: 11px; font-weight: 600; padding: 1px 8px; border-radius: 8px;
+  color: #fff; white-space: nowrap; }
+.badge.warning { background: var(--status-serious); }
+.badge.critical { background: var(--status-critical); }
+.allclear { color: var(--status-good); font-size: 13px; font-weight: 600; }
+.empty { color: var(--text-muted); font-size: 13px; font-style: italic; }
+details.table-view summary { color: var(--text-muted); font-size: 12px;
+  cursor: pointer; margin-top: 8px; }
+footer { max-width: 960px; margin: 0 auto; padding: 8px 20px;
+  color: var(--text-muted); font-size: 12px; }
+"""
+
+
+@dataclass
+class DashboardData:
+    """Everything one rendered dashboard shows."""
+
+    config: dict = field(default_factory=dict)
+    generated_at: str = ""
+    host: dict = field(default_factory=dict)
+    git_rev: str | None = None
+    point: SweepPoint | None = None
+    bench_trend: list[dict] = field(default_factory=list)
+    convergence: ConvergenceReport | None = None
+    convergence_history: list[dict] = field(default_factory=list)
+    trace: ExecutionTrace | None = None
+    trace_policy: str = "plb-hec"
+    anomalies: list[Anomaly] = field(default_factory=list)
+
+
+def collect_dashboard_data(
+    *,
+    app: str = "matmul",
+    size: int = 16384,
+    machines: int = 4,
+    seed: int = 0,
+    noise: float = 0.005,
+    replications: int = 2,
+    jobs: int | None = None,
+    history: HistoryStore | None = None,
+    trend_last: int = 30,
+) -> DashboardData:
+    """Run the workload and gather every section's inputs.
+
+    The policy comparison goes through the sweep engine (so
+    ``REPRO_JOBS``/``REPRO_CACHE`` apply); the Gantt/anomaly section
+    re-runs one PLB-HeC instance to get a live trace and a per-run
+    metrics delta; the convergence section performs one recorded
+    interior-point solve on models fitted for the same scenario.
+    """
+    from repro.cluster import paper_cluster
+    from repro.experiments.runner import make_application, make_policy, run_policies
+    from repro.experiments.solver_overhead import fitted_models_for_scenario
+    from repro.obs.metrics import diff_snapshots, get_registry
+    from repro.obs.regress import detect_anomalies
+    from repro.runtime import Runtime
+    from repro.solver.diagnostics import analyze_convergence
+    from repro.solver.ipm import IPMOptions, InteriorPointSolver
+    from repro.solver.problem import build_partition_nlp, initial_partition_point
+
+    data = DashboardData(
+        config={
+            "app": app,
+            "size": size,
+            "machines": machines,
+            "seed": seed,
+            "noise": noise,
+            "replications": replications,
+        },
+        generated_at=time.strftime("%Y-%m-%d %H:%M:%S %z"),
+        host=host_fingerprint(),
+        git_rev=git_rev(),
+    )
+
+    data.point = run_policies(
+        app,
+        size,
+        machines,
+        replications=replications,
+        seed=seed,
+        noise_sigma=noise,
+        jobs=jobs,
+    )
+
+    # One live PLB-HeC run: Gantt strip + anomaly detectors over its
+    # metrics delta, idle fractions and phase summary.
+    application = make_application(app, size)
+    registry = get_registry()
+    before = registry.snapshot()
+    runtime = Runtime(
+        paper_cluster(machines), application.codelet(), seed=seed, noise_sigma=noise
+    )
+    result = runtime.run(
+        make_policy("plb-hec"),
+        application.total_units,
+        application.default_initial_block_size(),
+    )
+    delta = diff_snapshots(before, registry.snapshot())
+    data.trace = result.trace
+    data.anomalies = detect_anomalies(
+        phase_summary=result.trace.phase_summary(),
+        metrics=delta,
+        idle_fractions=result.idle_fractions,
+    )
+
+    # One recorded solve for the convergence section.
+    models = list(
+        fitted_models_for_scenario(
+            app_name=app, size=size, num_machines=machines, seed=seed,
+            noise_sigma=noise,
+        ).values()
+    )
+    total_units = float(application.total_units)
+    nlp = build_partition_nlp(models, total_units)
+    x0 = initial_partition_point(models, total_units)
+    solver = InteriorPointSolver(
+        IPMOptions(
+            tol=1e-8, max_iter=150, barrier_strategy="adaptive", record_history=True
+        )
+    )
+    ipm_result = solver.solve(nlp, x0)
+    data.convergence = analyze_convergence(ipm_result)
+    data.convergence_history = list(ipm_result.history)
+
+    if history is not None:
+        data.bench_trend = history.entries(kind="bench", last=trend_last)
+    return data
+
+
+# ----------------------------------------------------------------------
+# SVG chart helpers (stdlib only)
+# ----------------------------------------------------------------------
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(n - 1, 1)
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if step >= raw:
+            break
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + step * 0.5:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def _fmt_value(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000:
+        return f"{v:,.0f}"
+    if abs(v) >= 1:
+        return f"{v:.3g}"
+    return f"{v:.2g}"
+
+
+def _hbar_chart(
+    rows: Sequence[tuple[str, float, str]],
+    *,
+    width: int = 860,
+    unit: str = "s",
+) -> str:
+    """Horizontal bars: label, thin rounded bar, value at the tip."""
+    if not rows:
+        return "<p class='empty'>(no data)</p>"
+    label_w, value_w, bar_h, row_h = 110, 86, 18, 30
+    plot_w = width - label_w - value_w
+    height = row_h * len(rows) + 6
+    vmax = max(v for _, v, _ in rows) or 1.0
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="100%" role="img" '
+        f'xmlns="http://www.w3.org/2000/svg">'
+    ]
+    for i, (label, value, color) in enumerate(rows):
+        y = i * row_h + 4
+        w = max(value / vmax * plot_w, 1.5)
+        parts.append(
+            f'<text x="{label_w - 8}" y="{y + bar_h - 5}" text-anchor="end" '
+            f'class="axis-label">{escape(label)}</text>'
+            f'<rect x="{label_w}" y="{y}" width="{w:.2f}" height="{bar_h}" '
+            f'rx="4" fill="{color}">'
+            f"<title>{escape(label)}: {value:.4f}{unit}</title></rect>"
+            f'<text x="{label_w + w + 8:.2f}" y="{y + bar_h - 5}" '
+            f'class="value-label">{_fmt_value(value)}{unit}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _grouped_columns(
+    groups: Sequence[str],
+    series: Sequence[tuple[str, str, Sequence[float]]],
+    *,
+    width: int = 860,
+    height: int = 220,
+    y_unit: str = "",
+    percent: bool = False,
+) -> str:
+    """Grouped columns: one cluster per group, one column per series."""
+    if not groups or not series:
+        return "<p class='empty'>(no data)</p>"
+    margin_l, margin_b, margin_t = 52, 26, 8
+    plot_w, plot_h = width - margin_l - 10, height - margin_b - margin_t
+    vmax = max((max(vals) for _, _, vals in series), default=1.0) or 1.0
+    ticks = _nice_ticks(0.0, vmax)
+    vmax = ticks[-1]
+    group_w = plot_w / len(groups)
+    col_w = min((group_w * 0.8 - 2 * (len(series) - 1)) / len(series), 24)
+    cluster_w = col_w * len(series) + 2 * (len(series) - 1)
+
+    def y(v: float) -> float:
+        return margin_t + plot_h * (1.0 - v / vmax)
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="100%" role="img" '
+        f'xmlns="http://www.w3.org/2000/svg">'
+    ]
+    for t in ticks:
+        label = f"{t * 100:.0f}%" if percent else f"{_fmt_value(t)}{y_unit}"
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y(t):.1f}" x2="{width - 10}" '
+            f'y2="{y(t):.1f}" class="gridline"/>'
+            f'<text x="{margin_l - 6}" y="{y(t) + 4:.1f}" text-anchor="end" '
+            f'class="axis-label">{label}</text>'
+        )
+    for gi, group in enumerate(groups):
+        x0 = margin_l + gi * group_w + (group_w - cluster_w) / 2
+        parts.append(
+            f'<text x="{margin_l + gi * group_w + group_w / 2:.1f}" '
+            f'y="{height - 8}" text-anchor="middle" class="axis-label">'
+            f"{escape(group)}</text>"
+        )
+        for si, (name, color, vals) in enumerate(series):
+            v = float(vals[gi])
+            x = x0 + si * (col_w + 2)
+            h = max(plot_h * v / vmax, 1.0)
+            label = f"{v * 100:.0f}%" if percent else f"{_fmt_value(v)}{y_unit}"
+            parts.append(
+                f'<rect x="{x:.2f}" y="{y(v):.1f}" width="{col_w:.2f}" '
+                f'height="{h:.1f}" rx="3" fill="{color}">'
+                f"<title>{escape(name)} on {escape(group)}: {label}</title></rect>"
+            )
+    parts.append(
+        f'<line x1="{margin_l}" y1="{margin_t + plot_h}" x2="{width - 10}" '
+        f'y2="{margin_t + plot_h}" class="axis-line"/></svg>'
+    )
+    return "".join(parts)
+
+
+def _line_chart(
+    series: Sequence[tuple[str, str, Sequence[tuple[float, float]]]],
+    *,
+    width: int = 860,
+    height: int = 240,
+    log_y: bool = False,
+    y_unit: str = "",
+    x_label: str = "",
+) -> str:
+    """2px lines with ringed >=8px markers, hairline grid, end labels."""
+    series = [(n, c, [(x, y) for x, y in pts if y == y]) for n, c, pts in series]
+    series = [(n, c, pts) for n, c, pts in series if pts]
+    if not series:
+        return "<p class='empty'>(no data)</p>"
+    margin_l, margin_r, margin_b, margin_t = 64, 92, 28, 10
+    plot_w, plot_h = width - margin_l - margin_r, height - margin_b - margin_t
+    xs = [x for _, _, pts in series for x, _ in pts]
+    ys = [y for _, _, pts in series for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if log_y:
+        floor = min((y for y in ys if y > 0), default=1e-12)
+        ys = [max(y, floor) for y in ys]
+        lo_e = math.floor(math.log10(min(ys)))
+        hi_e = math.ceil(math.log10(max(ys))) or lo_e + 1
+        if hi_e == lo_e:
+            hi_e += 1
+        ticks = [10.0**e for e in range(lo_e, hi_e + 1)]
+
+        def ty(v: float) -> float:
+            frac = (math.log10(max(v, floor)) - lo_e) / (hi_e - lo_e)
+            return margin_t + plot_h * (1.0 - frac)
+
+        def tick_label(t: float) -> str:
+            return f"1e{int(math.log10(t))}"
+    else:
+        ticks = _nice_ticks(min(min(ys), 0.0), max(ys))
+
+        def ty(v: float) -> float:
+            return margin_t + plot_h * (1.0 - (v - ticks[0]) / (ticks[-1] - ticks[0]))
+
+        def tick_label(t: float) -> str:
+            return f"{_fmt_value(t)}{y_unit}"
+
+    def tx(v: float) -> float:
+        return margin_l + (v - x_lo) / (x_hi - x_lo) * plot_w
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="100%" role="img" '
+        f'xmlns="http://www.w3.org/2000/svg">'
+    ]
+    for t in ticks:
+        parts.append(
+            f'<line x1="{margin_l}" y1="{ty(t):.1f}" x2="{width - margin_r}" '
+            f'y2="{ty(t):.1f}" class="gridline"/>'
+            f'<text x="{margin_l - 6}" y="{ty(t) + 4:.1f}" text-anchor="end" '
+            f'class="axis-label">{tick_label(t)}</text>'
+        )
+    for name, color, pts in series:
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'}{tx(x):.1f},{ty(y):.1f}"
+            for i, (x, y) in enumerate(pts)
+        )
+        parts.append(
+            f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2" '
+            f'stroke-linejoin="round" stroke-linecap="round"/>'
+        )
+        for x, y in pts:
+            parts.append(
+                f'<circle cx="{tx(x):.1f}" cy="{ty(y):.1f}" r="4" fill="{color}" '
+                f'stroke="var(--surface-1)" stroke-width="2">'
+                f"<title>{escape(name)}: {y:.5g}{y_unit} (x={x:.6g})</title></circle>"
+            )
+        ex, ey = pts[-1]
+        parts.append(
+            f'<text x="{tx(ex) + 10:.1f}" y="{ty(ey) + 4:.1f}" '
+            f'class="series-label">{escape(name)}</text>'
+        )
+    parts.append(
+        f'<line x1="{margin_l}" y1="{margin_t + plot_h}" '
+        f'x2="{width - margin_r}" y2="{margin_t + plot_h}" class="axis-line"/>'
+    )
+    if x_label:
+        parts.append(
+            f'<text x="{margin_l + plot_w / 2:.0f}" y="{height - 6}" '
+            f'text-anchor="middle" class="axis-label">{escape(x_label)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _legend(entries: Sequence[tuple[str, str]]) -> str:
+    keys = "".join(
+        f'<span class="key"><span class="swatch" style="background:{color}">'
+        f"</span>{escape(name)}</span>"
+        for name, color in entries
+    )
+    return f'<div class="legend">{keys}</div>'
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    head = "".join(
+        f'<th{" class=num" if i else ""}>{escape(str(h))}</th>'
+        for i, h in enumerate(headers)
+    )
+    body = "".join(
+        "<tr>"
+        + "".join(
+            f'<td{" class=num" if i else ""}>'
+            + escape(_fmt_value(c) if isinstance(c, float) else str(c))
+            + "</td>"
+            for i, c in enumerate(row)
+        )
+        + "</tr>"
+        for row in rows
+    )
+    return (
+        "<details class='table-view'><summary>table view</summary>"
+        f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table></details>"
+    )
+
+
+# ----------------------------------------------------------------------
+# sections
+# ----------------------------------------------------------------------
+
+def _policy_colors(names: Sequence[str]) -> dict[str, str]:
+    """Fixed-order categorical assignment, one slot per policy."""
+    return {
+        name: f"var({_SERIES_VARS[i % len(_SERIES_VARS)]})"
+        for i, name in enumerate(names)
+    }
+
+
+def _section_policies(point: SweepPoint | None) -> str:
+    if point is None or not point.outcomes:
+        return "<section><h2>Policy comparison</h2><p class='empty'>no sweep data</p></section>"
+    names = list(point.outcomes)
+    colors = _policy_colors(names)
+    bars = [
+        (name, point.outcomes[name].mean_makespan, colors[name]) for name in names
+    ]
+    devices = sorted(
+        {d for name in names for d in point.outcomes[name].mean_idle()}
+    )
+    idle_series = [
+        (
+            name,
+            colors[name],
+            [point.outcomes[name].mean_idle().get(d, 0.0) for d in devices],
+        )
+        for name in names
+    ]
+    table = _table(
+        ["policy", "mean makespan (s)", "std (s)", "speedup vs greedy", "rebalances"],
+        [
+            [
+                name,
+                point.outcomes[name].mean_makespan,
+                point.outcomes[name].std_makespan,
+                point.speedup_vs("greedy", name) if "greedy" in point.outcomes else float("nan"),
+                sum(point.outcomes[name].rebalances),
+            ]
+            for name in names
+        ],
+    )
+    return (
+        "<section><h2>Policy comparison</h2>"
+        f"<p class='sub'>{point.app_name}, size {point.size:,}, "
+        f"{point.num_machines} machine(s) — mean makespan and per-device "
+        "idleness over replications (the paper's Figs. 4-7 shape)</p>"
+        + _legend([(n, colors[n]) for n in names])
+        + _hbar_chart(bars, unit="s")
+        + "<h2 style='margin-top:18px'>Idleness per device</h2>"
+        + _grouped_columns(devices, idle_series, percent=True)
+        + table
+        + "</section>"
+    )
+
+
+def _section_trend(entries: Sequence[Mapping[str, Any]]) -> str:
+    if not entries:
+        return (
+            "<section><h2>Benchmark trend</h2><p class='empty'>no history yet — "
+            "run <code>python -m repro bench</code> to start recording "
+            "(see docs/TUTORIAL.md §7)</p></section>"
+        )
+    laps = sorted({lap for e in entries for lap in e.get("laps", {})})
+    lap_colors = {
+        lap: f"var({_SERIES_VARS[i % len(_SERIES_VARS)]})"
+        for i, lap in enumerate(laps)
+    }
+    series = []
+    for lap in laps:
+        pts = [
+            (float(i), float(e["laps"][lap]))
+            for i, e in enumerate(entries)
+            if lap in e.get("laps", {})
+        ]
+        series.append((lap, lap_colors[lap], pts))
+    rows = [
+        [
+            e.get("recorded_at", "?"),
+            e.get("git_rev") or "-",
+        ]
+        + [e.get("laps", {}).get(lap, float("nan")) for lap in laps]
+        for e in entries
+    ]
+    return (
+        "<section><h2>Benchmark trend</h2>"
+        f"<p class='sub'>{len(entries)} recorded <code>repro bench</code> "
+        "entries from the history store (log scale; lower is better)</p>"
+        + _legend([(lap, lap_colors[lap]) for lap in laps])
+        + _line_chart(series, log_y=True, y_unit="s", x_label="history entry")
+        + _table(["recorded", "git rev"] + laps, rows)
+        + "</section>"
+    )
+
+
+def _section_convergence(
+    report: ConvergenceReport | None, history: Sequence[Mapping[str, Any]]
+) -> str:
+    if report is None:
+        return "<section><h2>Solver convergence</h2><p class='empty'>no recorded solve</p></section>"
+    tiles = (
+        ("iterations", f"{report.iterations}", ""),
+        ("converged", "yes" if report.converged else "NO", ""),
+        ("final KKT error", f"{report.final_kkt_error:.2e}", ""),
+        ("restorations", f"{report.restorations}", ""),
+        ("mean step length", f"{report.mean_step_length:.3f}", ""),
+    )
+    tiles_html = "".join(
+        f'<div class="tile"><div class="label">{escape(label)}</div>'
+        f'<div class="value">{escape(value)}</div>'
+        f'<div class="hint">{escape(hint)}</div></div>'
+        for label, value, hint in tiles
+    )
+    chart = ""
+    if history:
+        pts = [
+            (float(h.get("iter", i)), float(h.get("kkt_error", float("nan"))))
+            for i, h in enumerate(history)
+        ]
+        chart = _line_chart(
+            [("KKT error", "var(--series-1)", pts)],
+            log_y=True,
+            x_label="interior-point iteration",
+        )
+    return (
+        "<section><h2>Solver convergence</h2>"
+        "<p class='sub'>one recorded interior-point block-partition solve "
+        "for this scenario (Sec. V.a overhead statistic)</p>"
+        f'<div class="tiles">{tiles_html}</div>' + chart + "</section>"
+    )
+
+
+def _section_gantt(trace: ExecutionTrace | None, policy: str) -> str:
+    if trace is None:
+        return "<section><h2>Execution timeline</h2><p class='empty'>no trace</p></section>"
+    from repro.util.gantt import render_gantt_svg
+
+    svg = render_gantt_svg(
+        trace,
+        phase_colors={
+            "exec": "var(--series-1)",
+            "probe": "var(--series-2)",
+        },
+    )
+    return (
+        "<section><h2>Execution timeline</h2>"
+        f"<p class='sub'>per-worker Gantt strip of one {escape(policy)} run — "
+        "probe (orange) vs execution (blue) intervals, dashed rules at "
+        "rebalances</p>"
+        + _legend([("exec", "var(--series-1)"), ("probe", "var(--series-2)")])
+        + svg
+        + "</section>"
+    )
+
+
+def _section_anomalies(anomalies: Sequence[Anomaly]) -> str:
+    if not anomalies:
+        body = '<p class="allclear">&#10003; no anomalies detected</p>'
+    else:
+        body = "".join(
+            f'<div class="anomaly"><span class="badge {a.severity}">'
+            f'{"&#9888;" if a.severity == "warning" else "&#10007;"} '
+            f"{escape(a.severity)}</span>"
+            f"<span><strong>{escape(a.name)}</strong> — {escape(a.message)}</span></div>"
+            for a in anomalies
+        )
+    return (
+        "<section><h2>Anomalies</h2>"
+        "<p class='sub'>built-in detectors over this run's telemetry "
+        "(probe share, per-device R&#178;, load imbalance, IPM restorations)</p>"
+        + body
+        + "</section>"
+    )
+
+
+def render_dashboard(data: DashboardData) -> str:
+    """Render the full dashboard document as a string."""
+    cfg = data.config
+    hero = ""
+    if data.point is not None and {"greedy", "plb-hec"} <= set(data.point.outcomes):
+        speedup = data.point.speedup_vs("greedy", "plb-hec")
+        hero = (
+            '<div class="hero"><div><div class="tile"><div class="label">'
+            "PLB-HeC speedup vs greedy</div>"
+            f'<div class="value">{speedup:.2f}&#215;</div></div></div></div>'
+        )
+    host = data.host
+    meta_bits = [
+        f"{escape(str(cfg.get('app', '?')))} size {cfg.get('size', '?')}",
+        f"{cfg.get('machines', '?')} machine(s)",
+        f"{cfg.get('replications', '?')} replication(s)",
+        escape(str(host.get("platform", "?"))),
+        f"python {escape(str(host.get('python', '?')))}",
+        f"{host.get('cpu_count', '?')} cpu(s)",
+    ]
+    if data.git_rev:
+        meta_bits.append(f"rev {escape(data.git_rev)}")
+    meta_bits.append(escape(data.generated_at))
+    sections = [
+        _section_policies(data.point),
+        _section_trend(data.bench_trend),
+        _section_convergence(data.convergence, data.convergence_history),
+        _section_gantt(data.trace, data.trace_policy),
+        _section_anomalies(data.anomalies),
+    ]
+    return (
+        "<!DOCTYPE html>\n<html lang='en'><head><meta charset='utf-8'>"
+        "<meta name='viewport' content='width=device-width, initial-scale=1'>"
+        "<title>PLB-HeC observability dashboard</title>"
+        f"<style>{_CSS}</style></head><body>"
+        "<header class='page'><h1>PLB-HeC observability dashboard</h1>"
+        f"<p class='meta'>{' &#183; '.join(meta_bits)}</p>" + hero + "</header>"
+        "<main>" + "".join(sections) + "</main>"
+        "<footer>generated by <code>python -m repro dashboard</code> — "
+        "self-contained, no external requests</footer></body></html>\n"
+    )
+
+
+def write_dashboard(path: str | Path, data: DashboardData) -> Path:
+    """Render and atomically write the dashboard file."""
+    target = Path(path)
+    html = render_dashboard(data)
+    tmp = target.with_suffix(target.suffix + ".tmp")
+    tmp.write_text(html, encoding="utf-8")
+    tmp.replace(target)
+    return target

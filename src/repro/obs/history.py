@@ -1,0 +1,310 @@
+"""Append-only benchmark/run history store (JSONL).
+
+``BENCH_wallclock.json`` is a single overwritten snapshot: it tells you
+where the repo is, never where it came from.  This module gives every
+``repro bench`` invocation and every sweep execution a *trajectory*: one
+JSON line per event, appended to ``.repro_history/history.jsonl`` (or
+wherever ``REPRO_HISTORY`` points), carrying everything a later
+comparison needs to decide whether two measurements are comparable at
+all:
+
+* a **host fingerprint** (platform, python, cpu count) plus its hash —
+  black-box performance numbers do not transfer across machines
+  (Stevens & Klöckner, arXiv:1904.09538), so the regression gate in
+  :mod:`repro.obs.regress` refuses to compare entries whose
+  fingerprints differ;
+* the **config hash** of what ran (grid/app/policy/seed), so only
+  like-for-like samples are pooled;
+* the **git revision**, so a trend line can be mapped back to commits;
+* the measured **laps** (bench entries) or outcome **samples** (run
+  entries) and an optional metrics snapshot.
+
+The store is deliberately dumb: append-only JSON lines, no index, no
+locking beyond O_APPEND atomicity for the line sizes involved.  Query
+helpers filter in memory — history files stay small (hundreds of
+entries) for the lifetime of a repo.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.obs.report import config_hash
+from repro.util.logging import get_logger
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "DEFAULT_HISTORY_DIR",
+    "HistoryStore",
+    "bench_entry",
+    "run_entry",
+    "host_fingerprint",
+    "fingerprint_hash",
+    "git_rev",
+    "validate_entry",
+]
+
+_log = get_logger("obs.history")
+
+#: Bump when the entry layout changes incompatibly.
+HISTORY_SCHEMA = 1
+
+#: Default store location, relative to the working directory.
+DEFAULT_HISTORY_DIR = ".repro_history"
+
+#: Entry kinds the store understands.
+_KINDS = ("bench", "run")
+
+#: Keys every entry must carry to be usable by the regression gate.
+_REQUIRED_KEYS = ("schema", "kind", "recorded_at", "host", "host_hash", "config_hash")
+
+
+def host_fingerprint() -> dict[str, Any]:
+    """The machine identity performance numbers are only valid on."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def fingerprint_hash(fingerprint: Mapping[str, Any] | None = None) -> str:
+    """Short stable hash of a host fingerprint (default: this host)."""
+    blob = json.dumps(
+        dict(fingerprint if fingerprint is not None else host_fingerprint()),
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+
+def git_rev(cwd: str | os.PathLike[str] | None = None) -> str | None:
+    """The current git revision, or None outside a repo / without git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def validate_entry(entry: Mapping[str, Any]) -> list[str]:
+    """Schema-check one entry; returns a list of problems (empty = ok)."""
+    problems: list[str] = []
+    for key in _REQUIRED_KEYS:
+        if key not in entry:
+            problems.append(f"missing key {key!r}")
+    if problems:
+        return problems
+    if entry["kind"] not in _KINDS:
+        problems.append(f"unknown kind {entry['kind']!r} (expected one of {_KINDS})")
+    if not isinstance(entry["schema"], int):
+        problems.append("schema must be an integer")
+    if not isinstance(entry["host"], dict):
+        problems.append("host must be a fingerprint dict")
+    if entry["kind"] == "bench":
+        laps = entry.get("laps")
+        if not isinstance(laps, dict) or not laps:
+            problems.append("bench entry needs a non-empty 'laps' dict")
+        else:
+            for name, value in laps.items():
+                if not isinstance(value, (int, float)) or value != value or value < 0:
+                    problems.append(f"lap {name!r} must be a non-negative number")
+    if entry["kind"] == "run":
+        samples = entry.get("samples")
+        if not isinstance(samples, dict) or "makespan" not in samples:
+            problems.append("run entry needs a 'samples' dict with 'makespan'")
+    return problems
+
+
+def _stamp(entry: dict[str, Any]) -> dict[str, Any]:
+    """Fill the shared bookkeeping fields an entry may omit."""
+    entry.setdefault("schema", HISTORY_SCHEMA)
+    entry.setdefault("recorded_at", time.strftime("%Y-%m-%dT%H:%M:%S%z"))
+    entry.setdefault("host", host_fingerprint())
+    entry.setdefault("host_hash", fingerprint_hash(entry["host"]))
+    entry.setdefault("git_rev", git_rev())
+    return entry
+
+
+def bench_entry(report: Mapping[str, Any]) -> dict[str, Any]:
+    """Build a history entry from a :func:`repro.util.timing.perf_report`.
+
+    The config hash covers the grid *and* the job count: a ``jobs=1``
+    parallel lap is a different experiment from a ``jobs=8`` one.
+    """
+    meta = dict(report.get("meta", {}))
+    config = {"grid": meta.get("grid", {}), "jobs": meta.get("jobs")}
+    entry: dict[str, Any] = {
+        "kind": "bench",
+        "config": config,
+        "config_hash": config_hash(config),
+        "laps": dict(report["timings_s"]),
+        "meta": {
+            k: meta.get(k)
+            for k in (
+                "parallel_speedup",
+                "parallel_speedup_reason",
+                "effective_jobs",
+                "warm_over_cold_fraction",
+                "parallel_matches_serial",
+            )
+            if k in meta
+        },
+    }
+    if "host" in report:
+        entry["host"] = dict(report["host"])
+    return _stamp(entry)
+
+
+def run_entry(report: Mapping[str, Any], *, wall_s: float | None = None) -> dict[str, Any]:
+    """Build a history entry from a RunReport dict (sweep payloads)."""
+    entry: dict[str, Any] = {
+        "kind": "run",
+        "run_id": report.get("run_id"),
+        "config": dict(report.get("config", {})),
+        "config_hash": report["config_hash"],
+        "samples": {
+            "makespan": report["makespan"],
+            "solver_overhead_s": report.get("solver_overhead_s"),
+            "rebalances": report.get("rebalances"),
+        },
+    }
+    if wall_s is not None:
+        entry["samples"]["wall_s"] = float(wall_s)
+    return _stamp(entry)
+
+
+class HistoryStore:
+    """The append-only JSONL store with filtering query helpers.
+
+    ``root`` may be a directory (entries live in ``<root>/history.jsonl``)
+    or a path ending in ``.jsonl`` (used verbatim — how CI points the
+    gate at a committed baseline file).
+    """
+
+    def __init__(self, root: str | os.PathLike[str] = DEFAULT_HISTORY_DIR) -> None:
+        root = Path(root)
+        if root.suffix == ".jsonl":
+            self.path = root
+            self.root = root.parent
+        else:
+            self.root = root
+            self.path = root / "history.jsonl"
+
+    @staticmethod
+    def from_env() -> "HistoryStore | None":
+        """Honour ``REPRO_HISTORY``: off / ``1`` = default dir / a path."""
+        value = os.environ.get("REPRO_HISTORY", "").strip()
+        if value in ("", "0", "off", "false", "no"):
+            return None
+        if value in ("1", "on", "true", "yes"):
+            return HistoryStore(DEFAULT_HISTORY_DIR)
+        return HistoryStore(value)
+
+    # ------------------------------------------------------------------
+    def append(self, entry: Mapping[str, Any]) -> dict[str, Any]:
+        """Stamp, validate and append one entry; returns the stored form.
+
+        Raises
+        ------
+        ConfigurationError
+            When the entry fails :func:`validate_entry` — a malformed
+            entry would silently poison every later comparison.
+        """
+        stored = _stamp(dict(entry))
+        problems = validate_entry(stored)
+        if problems:
+            raise ConfigurationError(
+                "refusing to append malformed history entry: " + "; ".join(problems)
+            )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(stored, sort_keys=True, default=str)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+        return stored
+
+    def entries(
+        self,
+        *,
+        kind: str | None = None,
+        config_hash: str | None = None,
+        host_hash: str | None = None,
+        last: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """Entries in append order, filtered; corrupt lines are skipped."""
+        out: list[dict[str, Any]] = []
+        try:
+            lines: Iterable[str] = self.path.read_text(encoding="utf-8").splitlines()
+        except FileNotFoundError:
+            return out
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                _log.warning("skipping corrupt history line %s:%d", self.path, lineno)
+                continue
+            if not isinstance(entry, dict):
+                _log.warning("skipping non-object history line %s:%d", self.path, lineno)
+                continue
+            if kind is not None and entry.get("kind") != kind:
+                continue
+            if config_hash is not None and entry.get("config_hash") != config_hash:
+                continue
+            if host_hash is not None and entry.get("host_hash") != host_hash:
+                continue
+            out.append(entry)
+        if last is not None:
+            out = out[-last:]
+        return out
+
+    # ------------------------------------------------------------------
+    def lap_samples(
+        self,
+        lap: str,
+        *,
+        config_hash: str | None = None,
+        host_hash: str | None = None,
+        last: int | None = None,
+    ) -> list[float]:
+        """The trajectory of one bench lap, oldest first."""
+        return [
+            float(e["laps"][lap])
+            for e in self.entries(
+                kind="bench", config_hash=config_hash, host_hash=host_hash, last=last
+            )
+            if lap in e.get("laps", {})
+        ]
+
+    def makespan_samples(
+        self,
+        config_hash: str,
+        *,
+        host_hash: str | None = None,
+        last: int | None = None,
+    ) -> list[float]:
+        """Recorded makespans of one run configuration, oldest first."""
+        return [
+            float(e["samples"]["makespan"])
+            for e in self.entries(
+                kind="run", config_hash=config_hash, host_hash=host_hash, last=last
+            )
+            if e.get("samples", {}).get("makespan") is not None
+        ]

@@ -1,0 +1,518 @@
+"""Statistical performance-regression gate and anomaly detectors.
+
+Point-comparing two wall-clock numbers cannot tell a regression from
+scheduler jitter; the gate here compares the *distribution* of matched
+history samples (same config hash, same host fingerprint — see
+:mod:`repro.obs.history`) against the current measurement and issues one
+of four documented verdicts:
+
+``regressed``
+    The change is statistically significant *and* practically
+    significant (relative change beyond the threshold) in the slow
+    direction.  CI exit code 2.
+``improved``
+    Same evidence bar, fast direction.  Exit code 0.
+``no-change``
+    Enough data, no significant difference.  Exit code 0.
+``insufficient-data``
+    Too few matched baseline samples — including the case where history
+    exists but only from *other* hosts, which is never compared (exit
+    code 0; CI stays neutral, it does not guess).
+
+Significance is two-layered: with at least four samples on both sides a
+two-sided Mann-Whitney U test (normal approximation with tie
+correction) at ``alpha``; with fewer, a conservative threshold rule that
+also requires the change to exceed 1.5x the baseline's own relative
+spread, so a noisy baseline cannot trip the gate.
+
+The second half of the module is a set of built-in **anomaly
+detectors** over a run's telemetry (phase summary, metrics snapshot,
+idle fractions) encoding the paper's own health criteria: probing must
+stay a small fraction of the application data (Sec. IV), per-device
+model fits should reach R2 >= 0.7 before the solver trusts them,
+interior-point restorations should be rare, and the whole point of
+PLB-HeC is a *balanced* load (Fig. 7).  Each finding is emitted as a
+structured warning through the event log and rendered by the
+dashboard.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.obs.events import EventLog
+from repro.obs.history import HistoryStore, fingerprint_hash
+from repro.obs.report import config_hash
+
+__all__ = [
+    "VERDICTS",
+    "EXIT_CODES",
+    "Comparison",
+    "BenchCheck",
+    "Anomaly",
+    "mann_whitney_u",
+    "compare_samples",
+    "overall_verdict",
+    "check_bench_report",
+    "detect_anomalies",
+    "detect_report_anomalies",
+]
+
+_events = EventLog("obs.regress", level=logging.WARNING)
+
+#: The documented verdicts, in severity order.
+VERDICTS = ("regressed", "improved", "no-change", "insufficient-data")
+
+#: Process exit code per overall verdict (CI gates on non-zero).
+EXIT_CODES = {
+    "regressed": 2,
+    "improved": 0,
+    "no-change": 0,
+    "insufficient-data": 0,
+}
+
+#: Fewest baseline samples a comparison will accept.
+MIN_BASELINE_SAMPLES = 2
+
+#: Both sides need this many samples before Mann-Whitney is meaningful.
+_MW_MIN_SAMPLES = 4
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    return ordered[mid] if n % 2 else 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def mann_whitney_u(a: Sequence[float], b: Sequence[float]) -> tuple[float, float]:
+    """Two-sided Mann-Whitney U test (normal approximation, tie-corrected).
+
+    Returns ``(U, p_value)`` where ``U`` is the statistic of sample
+    ``a``.  The normal approximation is adequate from about four samples
+    per side, which is where the gate starts using it.
+    """
+    n1, n2 = len(a), len(b)
+    if n1 == 0 or n2 == 0:
+        raise ValueError("mann_whitney_u needs non-empty samples")
+    pooled = sorted((v, 0) for v in a)
+    pooled += sorted((v, 1) for v in b)
+    pooled.sort(key=lambda t: t[0])
+    # midranks with tie groups
+    ranks = [0.0] * len(pooled)
+    tie_term = 0.0
+    i = 0
+    while i < len(pooled):
+        j = i
+        while j + 1 < len(pooled) and pooled[j + 1][0] == pooled[i][0]:
+            j += 1
+        rank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[k] = rank
+        t = j - i + 1
+        if t > 1:
+            tie_term += t**3 - t
+        i = j + 1
+    r1 = sum(rank for rank, (_, which) in zip(ranks, pooled) if which == 0)
+    u1 = r1 - n1 * (n1 + 1) / 2.0
+    mu = n1 * n2 / 2.0
+    n = n1 + n2
+    sigma_sq = n1 * n2 / 12.0 * ((n + 1) - tie_term / (n * (n - 1)))
+    if sigma_sq <= 0.0:  # all values identical
+        return (u1, 1.0)
+    z = (u1 - mu - (0.5 if u1 > mu else -0.5 if u1 < mu else 0.0)) / math.sqrt(sigma_sq)
+    p = 2.0 * 0.5 * math.erfc(abs(z) / math.sqrt(2.0))
+    return (u1, min(p, 1.0))
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Verdict of one metric's baseline-vs-current comparison."""
+
+    metric: str
+    verdict: str
+    rel_change: float | None
+    p_value: float | None
+    baseline_n: int
+    current_n: int
+    reason: str = ""
+
+
+def compare_samples(
+    baseline: Sequence[float],
+    current: Sequence[float],
+    *,
+    metric: str = "metric",
+    rel_threshold: float = 0.30,
+    alpha: float = 0.05,
+    min_baseline: int = MIN_BASELINE_SAMPLES,
+) -> Comparison:
+    """Compare current measurements against a matched baseline.
+
+    Parameters
+    ----------
+    baseline / current:
+        Samples of the same metric under the same config on the same
+        host.  Lower is better (wall-clock semantics).
+    rel_threshold:
+        Practical-significance floor on ``|median change| / baseline``.
+    alpha:
+        Mann-Whitney significance level (used when both sides have
+        at least four samples).
+    min_baseline:
+        Below this many baseline samples the verdict is
+        ``insufficient-data``.
+    """
+    baseline = [float(v) for v in baseline]
+    current = [float(v) for v in current]
+    if len(baseline) < min_baseline or not current:
+        return Comparison(
+            metric=metric,
+            verdict="insufficient-data",
+            rel_change=None,
+            p_value=None,
+            baseline_n=len(baseline),
+            current_n=len(current),
+            reason=f"need >= {min_baseline} baseline and >= 1 current sample(s)",
+        )
+    med_b = _median(baseline)
+    med_c = _median(current)
+    if med_b <= 0.0:
+        return Comparison(
+            metric=metric,
+            verdict="insufficient-data",
+            rel_change=None,
+            p_value=None,
+            baseline_n=len(baseline),
+            current_n=len(current),
+            reason="baseline median is not positive",
+        )
+    rel_change = (med_c - med_b) / med_b
+    p_value: float | None = None
+    if len(baseline) >= _MW_MIN_SAMPLES and len(current) >= _MW_MIN_SAMPLES:
+        _, p_value = mann_whitney_u(baseline, current)
+        significant = p_value < alpha
+        reason = f"mann-whitney p={p_value:.4f}"
+    else:
+        # Conservative small-sample rule: the shift must clear the
+        # baseline's own relative spread with margin, so two noisy
+        # baseline entries cannot flag noise as a regression.
+        noise_band = (max(baseline) - min(baseline)) / med_b
+        significant = abs(rel_change) > 1.5 * noise_band
+        reason = f"threshold rule (baseline spread {noise_band:.1%})"
+    practical = abs(rel_change) > rel_threshold
+    if significant and practical:
+        verdict = "regressed" if rel_change > 0 else "improved"
+    else:
+        verdict = "no-change"
+    return Comparison(
+        metric=metric,
+        verdict=verdict,
+        rel_change=rel_change,
+        p_value=p_value,
+        baseline_n=len(baseline),
+        current_n=len(current),
+        reason=reason,
+    )
+
+
+def overall_verdict(comparisons: Sequence[Comparison]) -> str:
+    """Fold per-metric verdicts into one: worst wins, data permitting."""
+    verdicts = {c.verdict for c in comparisons}
+    if "regressed" in verdicts:
+        return "regressed"
+    if not verdicts or verdicts == {"insufficient-data"}:
+        return "insufficient-data"
+    if "improved" in verdicts:
+        return "improved"
+    return "no-change"
+
+
+@dataclass(frozen=True)
+class BenchCheck:
+    """The regression gate's full answer for one bench report."""
+
+    verdict: str
+    comparisons: tuple[Comparison, ...]
+    baseline_entries: int
+    reason: str = ""
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_CODES[self.verdict]
+
+
+#: Laps whose baseline median is below this many seconds are too
+#: noise-dominated for relative comparison (a warm-cache lap of ~2ms
+#: can jitter 60% on a loaded host without meaning anything).
+MIN_MEASURABLE_S = 0.05
+
+
+def check_bench_report(
+    report: Mapping[str, Any],
+    baseline: HistoryStore,
+    *,
+    rel_threshold: float = 0.50,
+    alpha: float = 0.05,
+    min_baseline: int = MIN_BASELINE_SAMPLES,
+    last: int | None = 20,
+    min_abs_s: float = MIN_MEASURABLE_S,
+) -> BenchCheck:
+    """Gate one ``repro bench`` report against a history store.
+
+    Matching is strict: only bench entries with the same config hash
+    (grid + job count) *and* the same host fingerprint hash are pooled
+    as baseline.  Entries from other hosts are counted and reported but
+    never compared — a different machine is a different experiment.
+
+    ``rel_threshold`` defaults higher than :func:`compare_samples`'s
+    generic 0.30: single-shot wall clocks on shared machines routinely
+    swing 30-40% without any code change, and a real regression worth
+    gating on (the acceptance case is a 2x slowdown, +100%) clears 0.50
+    easily.  Laps whose baseline median is under ``min_abs_s`` are
+    reported but never gated — relative change of a 2ms measurement is
+    noise by construction.
+    """
+    meta = dict(report.get("meta", {}))
+    cfg = {"grid": meta.get("grid", {}), "jobs": meta.get("jobs")}
+    cfg_hash = config_hash(cfg)
+    host = fingerprint_hash(report.get("host"))
+    matched = baseline.entries(kind="bench", config_hash=cfg_hash, host_hash=host, last=last)
+    any_config = baseline.entries(kind="bench", config_hash=cfg_hash)
+    if not matched and any_config:
+        comparisons = tuple(
+            Comparison(
+                metric=lap,
+                verdict="insufficient-data",
+                rel_change=None,
+                p_value=None,
+                baseline_n=0,
+                current_n=1,
+                reason="host fingerprint mismatch",
+            )
+            for lap in report["timings_s"]
+        )
+        return BenchCheck(
+            verdict="insufficient-data",
+            comparisons=comparisons,
+            baseline_entries=0,
+            reason=(
+                f"{len(any_config)} baseline entr{'y' if len(any_config) == 1 else 'ies'} "
+                "exist for this config but none from this host; refusing "
+                "cross-host comparison"
+            ),
+        )
+    comparisons = []
+    for lap, value in report["timings_s"].items():
+        samples = [float(e["laps"][lap]) for e in matched if lap in e.get("laps", {})]
+        if samples and _median(samples) < min_abs_s:
+            comparisons.append(
+                Comparison(
+                    metric=lap,
+                    verdict="no-change",
+                    rel_change=None,
+                    p_value=None,
+                    baseline_n=len(samples),
+                    current_n=1,
+                    reason=(
+                        f"baseline median {_median(samples) * 1e3:.1f}ms is "
+                        f"below the {min_abs_s * 1e3:.0f}ms measurement floor"
+                    ),
+                )
+            )
+            continue
+        comparisons.append(
+            compare_samples(
+                samples,
+                [float(value)],
+                metric=lap,
+                rel_threshold=rel_threshold,
+                alpha=alpha,
+                min_baseline=min_baseline,
+            )
+        )
+    verdict = overall_verdict(comparisons)
+    check = BenchCheck(
+        verdict=verdict,
+        comparisons=tuple(comparisons),
+        baseline_entries=len(matched),
+        reason="" if matched else "no matched baseline entries",
+    )
+    if verdict == "regressed":
+        worst = max(
+            (c for c in comparisons if c.verdict == "regressed"),
+            key=lambda c: c.rel_change or 0.0,
+        )
+        _events.instant(
+            "regression.detected",
+            metric=worst.metric,
+            rel_change=round(worst.rel_change or 0.0, 4),
+            baseline_n=worst.baseline_n,
+        )
+    return check
+
+
+# ----------------------------------------------------------------------
+# anomaly detectors
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One telemetry finding; severity is ``"warning"`` or ``"critical"``."""
+
+    name: str
+    severity: str
+    message: str
+    value: float
+    threshold: float
+    context: dict = field(default_factory=dict)
+
+
+#: Probing beyond this share of the application data defeats the point
+#: of a short modeling phase (paper Sec. IV: ~10% observed).
+PROBE_SHARE_THRESHOLD = 0.20
+
+#: The policy's own trust floor for per-device fits.
+R2_THRESHOLD = 0.7
+
+#: Max-minus-min idle fraction beyond this is an imbalanced run.
+IMBALANCE_THRESHOLD = 0.25
+
+#: Feasibility restorations per interior-point solve beyond this are a
+#: numerically struggling solver.
+RESTORATION_RATE_THRESHOLD = 1.0
+
+
+def _gauge_by_device(metrics: Mapping[str, Any], name: str) -> dict[str, float]:
+    """Collect ``name{device=...}`` gauges into ``{device: value}``."""
+    out: dict[str, float] = {}
+    prefix = name + "{"
+    for key, value in metrics.get("gauges", {}).items():
+        if key.startswith(prefix) and "device=" in key:
+            label = key[len(prefix):-1]
+            for part in label.split(","):
+                if part.startswith("device="):
+                    out[part[len("device="):]] = float(value)
+    return out
+
+
+def detect_anomalies(
+    *,
+    phase_summary: Mapping[str, Any] | None = None,
+    metrics: Mapping[str, Any] | None = None,
+    idle_fractions: Mapping[str, float] | None = None,
+    probe_share_threshold: float = PROBE_SHARE_THRESHOLD,
+    r2_threshold: float = R2_THRESHOLD,
+    imbalance_threshold: float = IMBALANCE_THRESHOLD,
+    restoration_rate_threshold: float = RESTORATION_RATE_THRESHOLD,
+    emit: bool = True,
+) -> list[Anomaly]:
+    """Run every built-in detector over one run's telemetry.
+
+    Each finding is also emitted as a structured ``anomaly.<name>``
+    warning through the event log (suppress with ``emit=False``), so
+    JSON-lines consumers see them without rendering a dashboard.
+    """
+    findings: list[Anomaly] = []
+    phase_summary = phase_summary or {}
+    metrics = metrics or {}
+
+    probe_share = float(phase_summary.get("probe", {}).get("unit_share", 0.0))
+    if probe_share > probe_share_threshold:
+        findings.append(
+            Anomaly(
+                name="probe-share",
+                severity="warning",
+                message=(
+                    f"probe phase consumed {probe_share:.1%} of the application "
+                    f"data (threshold {probe_share_threshold:.0%}); the modeling "
+                    "phase is not amortising"
+                ),
+                value=probe_share,
+                threshold=probe_share_threshold,
+            )
+        )
+
+    r2 = _gauge_by_device(metrics, "plbhec.r2")
+    weak = {d: v for d, v in r2.items() if v < r2_threshold}
+    if weak:
+        worst_dev = min(weak, key=weak.get)
+        findings.append(
+            Anomaly(
+                name="low-r2",
+                severity="warning",
+                message=(
+                    f"{len(weak)} device model(s) below R2 {r2_threshold} at solve "
+                    f"time (worst: {worst_dev} at {weak[worst_dev]:.3f}); the "
+                    "partition solver is extrapolating from a poor fit"
+                ),
+                value=weak[worst_dev],
+                threshold=r2_threshold,
+                context={"devices": dict(sorted(weak.items()))},
+            )
+        )
+
+    if idle_fractions:
+        values = [float(v) for v in idle_fractions.values()]
+        spread = max(values) - min(values)
+        if spread > imbalance_threshold:
+            laziest = max(idle_fractions, key=idle_fractions.get)
+            findings.append(
+                Anomaly(
+                    name="load-imbalance",
+                    severity="critical",
+                    message=(
+                        f"idle-fraction spread {spread:.1%} across devices "
+                        f"(threshold {imbalance_threshold:.0%}); {laziest} sat "
+                        f"idle {idle_fractions[laziest]:.1%} of the run"
+                    ),
+                    value=spread,
+                    threshold=imbalance_threshold,
+                    context={"idle_fractions": dict(idle_fractions)},
+                )
+            )
+
+    counters = metrics.get("counters", {})
+    solves = float(counters.get("ipm.solves", 0.0))
+    restorations = float(counters.get("ipm.restorations", 0.0))
+    if solves > 0:
+        rate = restorations / solves
+        if rate > restoration_rate_threshold:
+            findings.append(
+                Anomaly(
+                    name="ipm-restorations",
+                    severity="warning",
+                    message=(
+                        f"{restorations:.0f} feasibility restorations over "
+                        f"{solves:.0f} interior-point solve(s) "
+                        f"({rate:.2f}/solve, threshold "
+                        f"{restoration_rate_threshold:.1f}); the solver is "
+                        "repeatedly leaving the feasible region"
+                    ),
+                    value=rate,
+                    threshold=restoration_rate_threshold,
+                )
+            )
+
+    if emit:
+        for finding in findings:
+            _events.instant(
+                f"anomaly.{finding.name}",
+                severity=finding.severity,
+                value=round(finding.value, 6),
+                threshold=finding.threshold,
+                message=finding.message,
+            )
+    return findings
+
+
+def detect_report_anomalies(report: Mapping[str, Any], **kwargs: Any) -> list[Anomaly]:
+    """Run the detectors over a RunReport dict (as stored by sweeps)."""
+    return detect_anomalies(
+        phase_summary=report.get("phase_summary", {}),
+        metrics=report.get("metrics", {}),
+        **kwargs,
+    )

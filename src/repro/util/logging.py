@@ -36,12 +36,14 @@ __all__ = [
     "get_logger",
     "configure_logging",
     "configure_from_env",
+    "current_config",
     "JsonFormatter",
 ]
 
 _ROOT_NAME = "repro"
 _initialized = False
 _configured_handler: logging.Handler | None = None
+_current_config: tuple[str, str] | None = None
 
 _LEVELS = {
     "critical": logging.CRITICAL,
@@ -133,7 +135,7 @@ def configure_logging(
     handler instead of stacking duplicates, so ``--log-level`` on a CLI
     that already configured defaults just takes effect.
     """
-    global _configured_handler
+    global _configured_handler, _current_config
     level_no = _LEVELS.get(level.strip().lower())
     if level_no is None:
         raise ConfigurationError(
@@ -150,7 +152,20 @@ def configure_logging(
     root.addHandler(handler)
     root.setLevel(level_no)
     _configured_handler = handler
+    _current_config = (level.strip().lower(), fmt)
     return handler
+
+
+def current_config() -> tuple[str, str] | None:
+    """The active ``(level, fmt)`` console config, or None if unset.
+
+    Process-pool workers start with the library's default NullHandler
+    regardless of what the parent configured; the sweep engine passes
+    this value into its worker initializer so worker-side records reach
+    the console in the same format as the parent's (see
+    ``repro.experiments.parallel._pool_worker_init``).
+    """
+    return _current_config
 
 
 def configure_from_env(

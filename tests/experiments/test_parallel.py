@@ -300,3 +300,89 @@ class TestBatching:
         assert [(p.size, p.num_machines) for p in results] == [(1024, 1), (2048, 2)]
         for point in results:
             assert point.outcomes["greedy"].makespans[0] > 0
+
+
+class TestWorkerLogPropagation:
+    def test_initializer_applies_parent_config(self):
+        import logging
+
+        from repro.experiments.parallel import _pool_worker_init
+        from repro.util.logging import current_config, get_logger
+
+        before = current_config()
+        try:
+            _pool_worker_init(("debug", "json"))
+            assert current_config() == ("debug", "json")
+            assert get_logger("repro").level == logging.DEBUG
+        finally:
+            if before is not None:
+                _pool_worker_init(before)
+
+    def test_initializer_noop_without_config(self):
+        from repro.experiments.parallel import _pool_worker_init
+
+        _pool_worker_init(None)  # must not raise or attach handlers
+
+    def test_pool_uses_initializer(self, monkeypatch):
+        # The executor must be constructed with the propagation hook.
+        import repro.experiments.parallel as par
+
+        captured = {}
+
+        class FakePool:
+            def __init__(self, max_workers=None, initializer=None, initargs=()):
+                captured["initializer"] = initializer
+                captured["initargs"] = initargs
+                raise par.BrokenProcessPool()  # force serial fallback
+
+        monkeypatch.setattr(par, "ProcessPoolExecutor", FakePool)
+        stats = par.SweepStats()
+        point = PointSpec("matmul", 1024, 1, ("greedy",), replications=1)
+        par.run_sweep([point], jobs=2, cache=None, stats=stats)
+        assert captured["initializer"] is par._pool_worker_init
+        assert stats.fell_back_serial
+
+
+class TestRunIdTagging:
+    def test_payload_run_id_is_deterministic(self):
+        from repro.experiments.parallel import RunSpec, _execute_run
+        from repro.cluster import paper_cluster
+        from repro.obs.report import config_hash
+
+        spec = RunSpec("matmul", 1024, 1, "greedy", 0, 0.005)
+        payload = _execute_run(spec, paper_cluster)
+        expected = config_hash(payload["report"]["config"])[:12]
+        assert payload["report"]["run_id"] == f"run-{expected}"
+
+
+class TestSweepHistoryRecording:
+    def test_fresh_runs_recorded_when_enabled(self, tmp_path, monkeypatch):
+        from repro.obs.history import HistoryStore
+
+        monkeypatch.setenv("REPRO_HISTORY", str(tmp_path / "hist"))
+        cache = ResultCache(tmp_path / "cache")
+        point = PointSpec("matmul", 1024, 1, ("greedy",), replications=2)
+        run_sweep([point], jobs=1, cache=cache)
+        store = HistoryStore(tmp_path / "hist")
+        entries = store.entries(kind="run")
+        assert len(entries) == 2
+        assert entries[0]["samples"]["makespan"] > 0
+        assert entries[0]["samples"]["wall_s"] is not None
+
+    def test_cache_hits_not_double_counted(self, tmp_path, monkeypatch):
+        from repro.obs.history import HistoryStore
+
+        monkeypatch.setenv("REPRO_HISTORY", str(tmp_path / "hist"))
+        cache = ResultCache(tmp_path / "cache")
+        point = PointSpec("matmul", 1024, 1, ("greedy",), replications=1)
+        run_sweep([point], jobs=1, cache=cache)
+        run_sweep([point], jobs=1, cache=cache)  # fully warm: no new entries
+        store = HistoryStore(tmp_path / "hist")
+        assert len(store.entries(kind="run")) == 1
+
+    def test_disabled_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.delenv("REPRO_HISTORY", raising=False)
+        point = PointSpec("matmul", 1024, 1, ("greedy",), replications=1)
+        run_sweep([point], jobs=1, cache=None)
+        assert not (tmp_path / ".repro_history").exists()

@@ -1,0 +1,51 @@
+"""Tests for repro.experiments.wallclock helpers (no timed sweeps)."""
+
+from repro.experiments.wallclock import parallel_speedup_meta
+
+
+class TestParallelSpeedupMeta:
+    def test_real_parallelism_reports_ratio(self):
+        meta = parallel_speedup_meta(
+            {"serial": 2.0, "parallel": 1.0}, jobs=4, cpu_count=8
+        )
+        assert meta["parallel_speedup"] == 2.0
+        assert meta["effective_jobs"] == 4
+        assert "parallel_speedup_reason" not in meta
+
+    def test_single_core_host_reports_null_with_reason(self):
+        meta = parallel_speedup_meta(
+            {"serial": 2.0, "parallel": 2.2}, jobs=4, cpu_count=1
+        )
+        assert meta["parallel_speedup"] is None
+        assert meta["effective_jobs"] == 1
+        assert "cpu_count=1" in meta["parallel_speedup_reason"]
+
+    def test_jobs_one_reports_null_with_reason(self):
+        meta = parallel_speedup_meta(
+            {"serial": 2.0, "parallel": 2.0}, jobs=1, cpu_count=8
+        )
+        assert meta["parallel_speedup"] is None
+        assert meta["effective_jobs"] == 1
+
+    def test_effective_jobs_capped_by_cpus(self):
+        meta = parallel_speedup_meta(
+            {"serial": 4.0, "parallel": 2.0}, jobs=16, cpu_count=2
+        )
+        assert meta["effective_jobs"] == 2
+        assert meta["parallel_speedup"] == 2.0
+
+    def test_zero_parallel_lap_is_null(self):
+        meta = parallel_speedup_meta(
+            {"serial": 1.0, "parallel": 0.0}, jobs=4, cpu_count=8
+        )
+        assert meta["parallel_speedup"] is None
+        assert "no wall time" in meta["parallel_speedup_reason"]
+
+    def test_meta_is_json_safe(self):
+        import json
+
+        for cpus in (1, 8):
+            meta = parallel_speedup_meta(
+                {"serial": 1.0, "parallel": 0.5}, jobs=4, cpu_count=cpus
+            )
+            json.dumps(meta)

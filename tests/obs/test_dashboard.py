@@ -1,0 +1,215 @@
+"""Tests for repro.obs.dashboard (the self-contained HTML dashboard)."""
+
+import re
+
+import pytest
+
+from repro.experiments.runner import PolicyOutcome, SweepPoint
+from repro.obs.dashboard import (
+    DashboardData,
+    collect_dashboard_data,
+    render_dashboard,
+    write_dashboard,
+)
+from repro.obs.history import HistoryStore, bench_entry
+from repro.obs.regress import Anomaly
+from repro.sim.trace import ExecutionTrace, TaskRecord
+from repro.solver.diagnostics import ConvergenceReport
+
+SECTIONS = (
+    "Policy comparison",
+    "Benchmark trend",
+    "Solver convergence",
+    "Execution timeline",
+    "Anomalies",
+)
+
+
+def make_point():
+    outcomes = {}
+    for name, base in (("plb-hec", 1.0), ("greedy", 1.4), ("static", 1.2)):
+        outcomes[name] = PolicyOutcome(
+            policy=name,
+            makespans=[base, base * 1.02],
+            idle_fractions=[{"A.cpu": 0.05, "A.gpu0": 0.10}] * 2,
+            distributions=[{}] * 2,
+            overheads=[0.01] * 2,
+            rebalances=[2, 2],
+        )
+    return SweepPoint(
+        app_name="matmul", size=4096, num_machines=1, outcomes=outcomes
+    )
+
+
+def make_trace():
+    tr = ExecutionTrace(["A.cpu", "A.gpu0"])
+    tr.add_record(
+        TaskRecord(
+            worker_id="A.cpu", units=8, dispatch_time=0.0, transfer_time=0.0,
+            exec_time=0.4, start_time=0.0, end_time=0.4, phase="probe",
+        )
+    )
+    tr.add_record(
+        TaskRecord(
+            worker_id="A.gpu0", units=100, dispatch_time=0.4, transfer_time=0.0,
+            exec_time=0.6, start_time=0.4, end_time=1.0, phase="exec",
+        )
+    )
+    tr.record_rebalance(0.5)
+    tr.finalize(1.0)
+    return tr
+
+
+def make_data(**overrides):
+    data = DashboardData(
+        config={"app": "matmul", "size": 4096, "machines": 1,
+                "seed": 0, "noise": 0.005, "replications": 2},
+        generated_at="2026-01-01 00:00:00",
+        host={"platform": "test-os", "python": "3.12.0", "cpu_count": 8},
+        git_rev="abc1234",
+        point=make_point(),
+        trace=make_trace(),
+        convergence=ConvergenceReport(
+            iterations=12, converged=True, final_kkt_error=3e-9,
+            final_mu=1e-9, feasibility_improved=True, barrier_decreased=True,
+            mean_step_length=0.85, restorations_suspected=False,
+        ),
+        convergence_history=[
+            {"iter": i, "kkt_error": 10.0 ** -i} for i in range(6)
+        ],
+        anomalies=[],
+    )
+    for key, value in overrides.items():
+        setattr(data, key, value)
+    return data
+
+
+class TestRenderDashboard:
+    def test_all_sections_present(self):
+        html = render_dashboard(make_data())
+        for section in SECTIONS:
+            assert section in html
+
+    def test_single_self_contained_document(self):
+        html = render_dashboard(make_data())
+        assert html.startswith("<!DOCTYPE html>")
+        # No external requests of any kind: no scripts, stylesheets,
+        # images, fonts or CSS url() loads.
+        assert "<script" not in html
+        assert "<link" not in html
+        assert "<img" not in html
+        assert "url(" not in html
+        assert "@import" not in html
+        # The only protocol occurrences are SVG xmlns identifiers.
+        for m in re.finditer(r"https?://", html):
+            context = html[max(0, m.start() - 30):m.start()]
+            assert "xmlns" in context
+
+    def test_policy_bars_with_value_labels_and_tooltips(self):
+        html = render_dashboard(make_data())
+        assert html.count("<svg") >= 4
+        assert "plb-hec" in html and "greedy" in html
+        assert 'class="value-label"' in html
+        assert "<title>" in html
+
+    def test_speedup_hero(self):
+        html = render_dashboard(make_data())
+        assert "1.40" in html and "speedup" in html
+
+    def test_dark_mode_palette_selected(self):
+        html = render_dashboard(make_data())
+        assert "prefers-color-scheme: dark" in html
+        assert "#2a78d6" in html  # light series-1
+        assert "#3987e5" in html  # dark series-1 step
+
+    def test_trend_section_with_entries(self):
+        entries = [
+            bench_entry({
+                "timings_s": {"serial": 1.0 + 0.01 * i, "parallel": 0.5},
+                "host": {"platform": "t", "python": "3", "cpu_count": 1},
+                "meta": {"grid": {}, "jobs": 1},
+            })
+            for i in range(3)
+        ]
+        html = render_dashboard(make_data(bench_trend=entries))
+        assert "3 recorded" in html
+        assert "history entry" in html
+
+    def test_trend_section_empty_placeholder(self):
+        html = render_dashboard(make_data(bench_trend=[]))
+        assert "no history yet" in html
+
+    def test_convergence_tiles(self):
+        html = render_dashboard(make_data())
+        assert "interior-point iteration" in html
+        assert "3.00e-09" in html
+
+    def test_gantt_embedded(self):
+        html = render_dashboard(make_data())
+        assert "A.gpu0" in html
+        assert "rebalance at" in html
+
+    def test_anomaly_findings_rendered_with_badge(self):
+        anomaly = Anomaly(
+            name="load-imbalance", severity="critical",
+            message="idle spread 40%", value=0.4, threshold=0.25,
+        )
+        html = render_dashboard(make_data(anomalies=[anomaly]))
+        assert "load-imbalance" in html
+        assert 'badge critical' in html
+
+    def test_no_anomalies_all_clear(self):
+        html = render_dashboard(make_data(anomalies=[]))
+        assert "no anomalies detected" in html
+
+    def test_missing_pieces_degrade_to_placeholders(self):
+        html = render_dashboard(
+            make_data(point=None, trace=None, convergence=None)
+        )
+        for section in SECTIONS:
+            assert section in html
+        assert "no sweep data" in html
+        assert "no trace" in html
+        assert "no recorded solve" in html
+
+    def test_legend_present_for_multi_series(self):
+        html = render_dashboard(make_data())
+        assert 'class="legend"' in html
+
+    def test_table_views_present(self):
+        # Relief rule for sub-contrast light-mode slots: the numbers are
+        # always available as text.
+        html = render_dashboard(make_data())
+        assert "table view" in html
+        assert "<table>" in html
+
+
+class TestWriteDashboard:
+    def test_writes_single_file(self, tmp_path):
+        target = tmp_path / "dash.html"
+        path = write_dashboard(target, make_data())
+        assert path == target
+        assert target.read_text().startswith("<!DOCTYPE html>")
+        assert list(tmp_path.iterdir()) == [target]  # no sidecar files
+
+
+class TestCollectDashboardData:
+    def test_collects_every_section_input(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.append(bench_entry({
+            "timings_s": {"serial": 1.0},
+            "meta": {"grid": {}, "jobs": 1},
+        }))
+        data = collect_dashboard_data(
+            app="matmul", size=2048, machines=1, replications=1,
+            jobs=1, history=store,
+        )
+        assert data.point is not None and "plb-hec" in data.point.outcomes
+        assert data.trace is not None and data.trace.makespan > 0
+        assert data.convergence is not None and data.convergence.iterations > 0
+        assert data.convergence_history
+        assert len(data.bench_trend) == 1
+        assert data.config["size"] == 2048
+        html = render_dashboard(data)
+        for section in SECTIONS:
+            assert section in html

@@ -1,0 +1,217 @@
+"""Tests for repro.obs.history (the append-only JSONL store)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.history import (
+    DEFAULT_HISTORY_DIR,
+    HISTORY_SCHEMA,
+    HistoryStore,
+    bench_entry,
+    fingerprint_hash,
+    git_rev,
+    host_fingerprint,
+    run_entry,
+    validate_entry,
+)
+
+
+def make_bench_report(laps=None, jobs=2):
+    return {
+        "timings_s": dict(laps or {"serial": 1.0, "parallel": 0.5}),
+        "host": {"platform": "test-os", "python": "3.12.0", "cpu_count": 8},
+        "meta": {
+            "grid": {"app": "matmul", "sizes": [4096]},
+            "jobs": jobs,
+            "parallel_speedup": 2.0,
+            "effective_jobs": jobs,
+        },
+    }
+
+
+def make_run_report():
+    return {
+        "run_id": "run-abc",
+        "config": {"app": "matmul", "size": 4096, "policy": "plb-hec"},
+        "config_hash": "f" * 64,
+        "makespan": 1.25,
+        "solver_overhead_s": 0.01,
+        "rebalances": 2,
+    }
+
+
+class TestFingerprint:
+    def test_fingerprint_has_required_fields(self):
+        fp = host_fingerprint()
+        assert set(fp) == {"platform", "python", "cpu_count"}
+
+    def test_hash_is_stable_and_short(self):
+        fp = {"platform": "x", "python": "3.12", "cpu_count": 4}
+        assert fingerprint_hash(fp) == fingerprint_hash(dict(fp))
+        assert len(fingerprint_hash(fp)) == 12
+
+    def test_hash_distinguishes_hosts(self):
+        a = {"platform": "x", "python": "3.12", "cpu_count": 4}
+        b = {"platform": "x", "python": "3.12", "cpu_count": 8}
+        assert fingerprint_hash(a) != fingerprint_hash(b)
+
+    def test_git_rev_in_repo_or_none(self):
+        rev = git_rev()
+        assert rev is None or (isinstance(rev, str) and rev)
+
+    def test_git_rev_outside_repo(self, tmp_path):
+        assert git_rev(cwd=tmp_path) is None
+
+
+class TestValidateEntry:
+    def test_valid_bench_entry(self):
+        entry = bench_entry(make_bench_report())
+        assert validate_entry(entry) == []
+
+    def test_valid_run_entry(self):
+        entry = run_entry(make_run_report())
+        assert validate_entry(entry) == []
+
+    def test_missing_keys_reported(self):
+        problems = validate_entry({"kind": "bench"})
+        assert any("config_hash" in p for p in problems)
+
+    def test_unknown_kind(self):
+        entry = bench_entry(make_bench_report())
+        entry["kind"] = "mystery"
+        assert any("unknown kind" in p for p in validate_entry(entry))
+
+    def test_negative_lap_rejected(self):
+        entry = bench_entry(make_bench_report(laps={"serial": -1.0}))
+        assert any("non-negative" in p for p in validate_entry(entry))
+
+    def test_run_entry_needs_makespan(self):
+        entry = run_entry(make_run_report())
+        del entry["samples"]["makespan"]
+        entry["samples"] = {}
+        assert validate_entry(entry)
+
+
+class TestEntryBuilders:
+    def test_bench_entry_carries_schema_and_host(self):
+        entry = bench_entry(make_bench_report())
+        assert entry["schema"] == HISTORY_SCHEMA
+        assert entry["kind"] == "bench"
+        assert entry["host"]["platform"] == "test-os"
+        assert entry["host_hash"] == fingerprint_hash(entry["host"])
+        assert entry["laps"] == {"serial": 1.0, "parallel": 0.5}
+
+    def test_bench_config_hash_covers_jobs(self):
+        one = bench_entry(make_bench_report(jobs=1))
+        four = bench_entry(make_bench_report(jobs=4))
+        assert one["config_hash"] != four["config_hash"]
+
+    def test_run_entry_samples(self):
+        entry = run_entry(make_run_report(), wall_s=0.8)
+        assert entry["kind"] == "run"
+        assert entry["samples"]["makespan"] == 1.25
+        assert entry["samples"]["wall_s"] == 0.8
+
+
+class TestHistoryStore:
+    def test_directory_root_uses_default_file(self, tmp_path):
+        store = HistoryStore(tmp_path / "hist")
+        assert store.path == tmp_path / "hist" / "history.jsonl"
+
+    def test_jsonl_root_used_verbatim(self, tmp_path):
+        store = HistoryStore(tmp_path / "baseline.jsonl")
+        assert store.path == tmp_path / "baseline.jsonl"
+
+    def test_append_and_read_back(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        stored = store.append(bench_entry(make_bench_report()))
+        assert stored["schema"] == HISTORY_SCHEMA
+        entries = store.entries()
+        assert len(entries) == 1
+        assert entries[0]["laps"]["serial"] == 1.0
+
+    def test_append_is_append_only(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.append(bench_entry(make_bench_report()))
+        store.append(bench_entry(make_bench_report()))
+        assert len(store.path.read_text().splitlines()) == 2
+
+    def test_append_rejects_malformed(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        with pytest.raises(ConfigurationError):
+            store.append({"kind": "bench", "config_hash": "x", "laps": {}})
+
+    def test_entries_filter_by_kind_and_config(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.append(bench_entry(make_bench_report(jobs=1)))
+        store.append(bench_entry(make_bench_report(jobs=2)))
+        store.append(run_entry(make_run_report()))
+        assert len(store.entries(kind="bench")) == 2
+        assert len(store.entries(kind="run")) == 1
+        target = bench_entry(make_bench_report(jobs=1))["config_hash"]
+        assert len(store.entries(config_hash=target)) == 1
+
+    def test_entries_filter_by_host(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.append(bench_entry(make_bench_report()))
+        other = bench_entry(make_bench_report())
+        other["host"] = {"platform": "other", "python": "3.11", "cpu_count": 2}
+        other["host_hash"] = fingerprint_hash(other["host"])
+        store.append(other)
+        here = fingerprint_hash({"platform": "test-os", "python": "3.12.0", "cpu_count": 8})
+        assert len(store.entries(host_hash=here)) == 1
+
+    def test_entries_last_n(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        for i in range(5):
+            store.append(bench_entry(make_bench_report(laps={"serial": float(i + 1)})))
+        tail = store.entries(last=2)
+        assert [e["laps"]["serial"] for e in tail] == [4.0, 5.0]
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.append(bench_entry(make_bench_report()))
+        with store.path.open("a") as fh:
+            fh.write("{not json\n")
+            fh.write(json.dumps([1, 2, 3]) + "\n")
+        store.append(bench_entry(make_bench_report()))
+        assert len(store.entries()) == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert HistoryStore(tmp_path / "nowhere").entries() == []
+
+    def test_lap_samples(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        for value in (1.0, 1.1, 1.2):
+            store.append(bench_entry(make_bench_report(laps={"serial": value})))
+        assert store.lap_samples("serial") == [1.0, 1.1, 1.2]
+        assert store.lap_samples("missing") == []
+
+    def test_makespan_samples(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        entry = run_entry(make_run_report())
+        store.append(entry)
+        assert store.makespan_samples(entry["config_hash"]) == [1.25]
+
+
+class TestFromEnv:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HISTORY", raising=False)
+        assert HistoryStore.from_env() is None
+
+    @pytest.mark.parametrize("value", ["0", "off", "false", "no", ""])
+    def test_explicit_off(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_HISTORY", value)
+        assert HistoryStore.from_env() is None
+
+    def test_on_uses_default_dir(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HISTORY", "1")
+        store = HistoryStore.from_env()
+        assert str(store.root) == DEFAULT_HISTORY_DIR
+
+    def test_path_value(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_HISTORY", str(tmp_path / "h"))
+        store = HistoryStore.from_env()
+        assert store.root == tmp_path / "h"

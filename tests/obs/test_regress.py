@@ -1,0 +1,263 @@
+"""Tests for repro.obs.regress (the statistical perf-regression gate).
+
+The verdict matrix the satellite task asks for — each synthetic
+trajectory maps to a documented verdict and exit code:
+
+==========================  ==================  =========
+trajectory                  verdict             exit code
+==========================  ==================  =========
+clear regression (2x)       regressed           2
+clear improvement (2x)      improved            0
+pure noise                  no-change           0
+insufficient samples        insufficient-data   0
+mismatched host             insufficient-data   0
+==========================  ==================  =========
+"""
+
+import logging
+
+import pytest
+
+from repro.obs.history import HistoryStore, bench_entry, fingerprint_hash
+from repro.obs.regress import (
+    EXIT_CODES,
+    VERDICTS,
+    Anomaly,
+    BenchCheck,
+    check_bench_report,
+    compare_samples,
+    detect_anomalies,
+    detect_report_anomalies,
+    mann_whitney_u,
+    overall_verdict,
+)
+
+
+def report_with(laps, host=None, jobs=2):
+    return {
+        "timings_s": dict(laps),
+        "host": host or {"platform": "host-a", "python": "3.12.0", "cpu_count": 8},
+        "meta": {"grid": {"app": "matmul", "sizes": [4096]}, "jobs": jobs},
+    }
+
+
+def seeded_store(tmp_path, lap_values, host=None):
+    """A store holding one bench entry per value in ``lap_values``."""
+    store = HistoryStore(tmp_path / "hist")
+    for value in lap_values:
+        store.append(bench_entry(report_with({"serial": value}, host=host)))
+    return store
+
+
+class TestMannWhitney:
+    def test_identical_samples_not_significant(self):
+        _, p = mann_whitney_u([1.0, 1.0, 1.0, 1.0], [1.0, 1.0, 1.0, 1.0])
+        assert p == 1.0
+
+    def test_separated_samples_significant(self):
+        a = [1.0, 1.01, 0.99, 1.02, 0.98, 1.0]
+        b = [2.0, 2.01, 1.99, 2.02, 1.98, 2.0]
+        _, p = mann_whitney_u(a, b)
+        assert p < 0.01
+
+    def test_symmetry(self):
+        a, b = [1.0, 1.1, 1.2, 1.3], [1.4, 1.5, 1.6, 1.7]
+        _, p_ab = mann_whitney_u(a, b)
+        _, p_ba = mann_whitney_u(b, a)
+        assert p_ab == pytest.approx(p_ba)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+
+
+class TestCompareSamples:
+    def test_clear_regression(self):
+        c = compare_samples([1.0, 1.02, 0.98], [2.0], metric="serial")
+        assert c.verdict == "regressed"
+        assert c.rel_change == pytest.approx(1.0, abs=0.05)
+
+    def test_clear_improvement(self):
+        c = compare_samples([2.0, 2.02, 1.98], [1.0])
+        assert c.verdict == "improved"
+
+    def test_pure_noise_within_spread(self):
+        c = compare_samples([1.0, 1.1, 0.9], [1.05])
+        assert c.verdict == "no-change"
+
+    def test_insufficient_baseline(self):
+        c = compare_samples([1.0], [2.0])
+        assert c.verdict == "insufficient-data"
+
+    def test_no_current_samples(self):
+        c = compare_samples([1.0, 1.1], [])
+        assert c.verdict == "insufficient-data"
+
+    def test_nonpositive_baseline(self):
+        c = compare_samples([0.0, 0.0], [1.0])
+        assert c.verdict == "insufficient-data"
+
+    def test_mann_whitney_path_used_with_enough_samples(self):
+        base = [1.0, 1.01, 0.99, 1.02, 0.98]
+        cur = [1.6, 1.61, 1.59, 1.62]
+        c = compare_samples(base, cur)
+        assert c.p_value is not None
+        assert c.verdict == "regressed"
+
+    def test_small_shift_with_enough_samples_not_practical(self):
+        # Statistically significant but below the practical threshold.
+        base = [1.0, 1.001, 0.999, 1.002, 0.998]
+        cur = [1.05, 1.051, 1.049, 1.052]
+        c = compare_samples(base, cur, rel_threshold=0.30)
+        assert c.verdict == "no-change"
+
+    def test_noisy_baseline_guards_threshold_rule(self):
+        # 40% shift, but the two baseline points are 50% apart: the
+        # 1.5x-spread guard must refuse to call it.
+        c = compare_samples([1.0, 1.5], [1.7], rel_threshold=0.30)
+        assert c.verdict == "no-change"
+
+
+class TestOverallVerdict:
+    def test_regression_wins(self):
+        cs = [
+            compare_samples([1.0, 1.0], [1.0]),
+            compare_samples([1.0, 1.0], [3.0]),
+        ]
+        assert overall_verdict(cs) == "regressed"
+
+    def test_empty_is_insufficient(self):
+        assert overall_verdict([]) == "insufficient-data"
+
+    def test_exit_codes_documented_for_every_verdict(self):
+        assert set(EXIT_CODES) == set(VERDICTS)
+        assert EXIT_CODES["regressed"] != 0
+        assert EXIT_CODES["improved"] == 0
+        assert EXIT_CODES["no-change"] == 0
+        assert EXIT_CODES["insufficient-data"] == 0
+
+
+class TestCheckBenchReport:
+    def test_clear_regression_exits_nonzero(self, tmp_path):
+        store = seeded_store(tmp_path, [1.0, 1.02, 0.98])
+        check = check_bench_report(report_with({"serial": 2.0}), store)
+        assert check.verdict == "regressed"
+        assert check.exit_code == 2
+
+    def test_clear_improvement_exits_zero(self, tmp_path):
+        store = seeded_store(tmp_path, [2.0, 2.02, 1.98])
+        check = check_bench_report(report_with({"serial": 0.8}), store)
+        assert check.verdict == "improved"
+        assert check.exit_code == 0
+
+    def test_pure_noise_is_no_change(self, tmp_path):
+        store = seeded_store(tmp_path, [1.0, 1.1, 0.9])
+        check = check_bench_report(report_with({"serial": 1.05}), store)
+        assert check.verdict == "no-change"
+        assert check.exit_code == 0
+
+    def test_insufficient_samples(self, tmp_path):
+        store = seeded_store(tmp_path, [1.0])
+        check = check_bench_report(report_with({"serial": 9.0}), store)
+        assert check.verdict == "insufficient-data"
+        assert check.exit_code == 0
+
+    def test_empty_store_is_insufficient(self, tmp_path):
+        store = HistoryStore(tmp_path / "empty")
+        check = check_bench_report(report_with({"serial": 1.0}), store)
+        assert check.verdict == "insufficient-data"
+        assert check.exit_code == 0
+
+    def test_mismatched_host_refuses_comparison(self, tmp_path):
+        other_host = {"platform": "host-b", "python": "3.11.0", "cpu_count": 2}
+        store = seeded_store(tmp_path, [1.0, 1.0, 1.0], host=other_host)
+        check = check_bench_report(report_with({"serial": 9.0}), store)
+        assert check.verdict == "insufficient-data"
+        assert check.exit_code == 0
+        assert "cross-host" in check.reason
+        assert all(c.verdict == "insufficient-data" for c in check.comparisons)
+        assert all("host fingerprint" in c.reason for c in check.comparisons)
+
+    def test_different_jobs_do_not_pool(self, tmp_path):
+        store = HistoryStore(tmp_path / "hist")
+        for value in (1.0, 1.0, 1.0):
+            store.append(bench_entry(report_with({"serial": value}, jobs=8)))
+        check = check_bench_report(report_with({"serial": 9.0}, jobs=1), store)
+        assert check.verdict == "insufficient-data"
+
+    def test_micro_laps_never_gate(self, tmp_path):
+        store = HistoryStore(tmp_path / "hist")
+        for value in (0.002, 0.002):
+            store.append(bench_entry(report_with({"serial": value})))
+        check = check_bench_report(report_with({"serial": 0.02}), store)
+        assert check.verdict == "no-change"
+        assert "measurement floor" in check.comparisons[0].reason
+
+    def test_regression_emits_structured_event(self, tmp_path, caplog):
+        store = seeded_store(tmp_path, [1.0, 1.02, 0.98])
+        with caplog.at_level(logging.WARNING, logger="repro.obs.regress"):
+            check_bench_report(report_with({"serial": 2.0}), store)
+        assert any("regression.detected" in r.getMessage() for r in caplog.records)
+
+    def test_is_benchcheck(self, tmp_path):
+        store = seeded_store(tmp_path, [1.0, 1.0])
+        assert isinstance(
+            check_bench_report(report_with({"serial": 1.0}), store), BenchCheck
+        )
+
+
+class TestAnomalyDetectors:
+    def test_all_clear(self):
+        findings = detect_anomalies(
+            phase_summary={"probe": {"unit_share": 0.05}},
+            metrics={"gauges": {"plbhec.r2{device=a}": 0.95}},
+            idle_fractions={"a": 0.05, "b": 0.07},
+            emit=False,
+        )
+        assert findings == []
+
+    def test_probe_share(self):
+        findings = detect_anomalies(
+            phase_summary={"probe": {"unit_share": 0.35}}, emit=False
+        )
+        assert [f.name for f in findings] == ["probe-share"]
+        assert findings[0].severity == "warning"
+
+    def test_low_r2(self):
+        findings = detect_anomalies(
+            metrics={
+                "gauges": {
+                    "plbhec.r2{device=a}": 0.4,
+                    "plbhec.r2{device=b}": 0.95,
+                }
+            },
+            emit=False,
+        )
+        assert [f.name for f in findings] == ["low-r2"]
+        assert findings[0].context["devices"] == {"a": 0.4}
+
+    def test_load_imbalance_is_critical(self):
+        findings = detect_anomalies(
+            idle_fractions={"a": 0.05, "b": 0.60}, emit=False
+        )
+        assert [f.name for f in findings] == ["load-imbalance"]
+        assert findings[0].severity == "critical"
+
+    def test_ipm_restoration_rate(self):
+        findings = detect_anomalies(
+            metrics={"counters": {"ipm.solves": 2.0, "ipm.restorations": 5.0}},
+            emit=False,
+        )
+        assert [f.name for f in findings] == ["ipm-restorations"]
+
+    def test_emits_structured_warnings(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.obs.regress"):
+            detect_anomalies(idle_fractions={"a": 0.0, "b": 0.9})
+        assert any("anomaly.load-imbalance" in r.getMessage() for r in caplog.records)
+
+    def test_report_wrapper(self):
+        findings = detect_report_anomalies(
+            {"phase_summary": {"probe": {"unit_share": 0.5}}, "metrics": {}},
+            emit=False,
+        )
+        assert findings and isinstance(findings[0], Anomaly)

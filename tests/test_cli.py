@@ -184,3 +184,143 @@ class TestCommands:
         ]
         # one process group per compared policy
         assert sorted(names) == ["acosta", "greedy", "hdss", "plb-hec"]
+
+
+def fake_bench_report(serial=1.0):
+    return {
+        "timings_s": {
+            "serial": serial, "parallel": serial / 2,
+            "cache_cold": serial / 2, "cache_warm": 0.001,
+        },
+        "host": {"platform": "test-os", "python": "3.12.0", "cpu_count": 8},
+        "meta": {
+            "grid": {"app": "matmul", "sizes": [4096, 65536]},
+            "jobs": 2,
+            "effective_jobs": 2,
+            "parallel_speedup": 2.0,
+            "warm_over_cold_fraction": 0.01,
+            "parallel_matches_serial": True,
+        },
+    }
+
+
+class TestBenchGateParser:
+    def test_bench_gate_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.check is False
+        assert args.baseline is None
+        assert args.history is None
+        assert args.rel_threshold == 0.50
+
+    def test_bench_gate_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "--check", "--baseline", "b.jsonl",
+             "--history", "h", "--rel-threshold", "0.75"]
+        )
+        assert args.check is True
+        assert args.baseline == "b.jsonl"
+        assert args.history == "h"
+        assert args.rel_threshold == 0.75
+
+    def test_dashboard_defaults(self):
+        args = build_parser().parse_args(["dashboard"])
+        assert args.out == "dashboard.html"
+        assert args.app == "matmul"
+        assert args.replications == 2
+        assert args.history is None
+
+
+class TestBenchGateCommand:
+    @pytest.fixture(autouse=True)
+    def fast_bench(self, monkeypatch):
+        import repro.experiments.wallclock as wallclock
+
+        self.reports = [fake_bench_report()]
+        monkeypatch.setattr(
+            wallclock, "run_wallclock_bench",
+            lambda **kwargs: self.reports[-1],
+        )
+
+    def test_bench_appends_history(self, tmp_path, capsys):
+        hist = tmp_path / "h" / "history.jsonl"
+        assert main(["bench", "--output", "-", "--history", str(hist)]) == 0
+        assert "history: appended" in capsys.readouterr().out
+        assert len(hist.read_text().splitlines()) == 1
+
+    def test_bench_history_dash_disables(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--output", "-", "--history", "-"]) == 0
+        assert "history:" not in capsys.readouterr().out
+        assert not (tmp_path / ".repro_history").exists()
+
+    def test_bench_defaults_to_repro_history_dir(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.delenv("REPRO_HISTORY", raising=False)
+        assert main(["bench", "--output", "-"]) == 0
+        assert (tmp_path / ".repro_history" / "history.jsonl").exists()
+
+    def test_check_no_change_exits_zero(self, tmp_path, capsys):
+        hist = str(tmp_path / "history.jsonl")
+        assert main(["bench", "--output", "-", "--history", hist]) == 0
+        assert main(["bench", "--output", "-", "--history", hist]) == 0
+        code = main(["bench", "--output", "-", "--history", hist, "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no-change" in out
+
+    def test_check_regression_exits_nonzero(self, tmp_path, capsys):
+        hist = str(tmp_path / "history.jsonl")
+        assert main(["bench", "--output", "-", "--history", hist]) == 0
+        assert main(["bench", "--output", "-", "--history", hist]) == 0
+        self.reports.append(fake_bench_report(serial=2.5))  # injected slowdown
+        code = main(["bench", "--output", "-", "--history", hist, "--check"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "regressed" in out
+
+    def test_check_without_baseline_is_neutral(self, tmp_path, capsys):
+        hist = str(tmp_path / "history.jsonl")
+        code = main(["bench", "--output", "-", "--history", hist, "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "insufficient-data" in out
+
+    def test_check_against_committed_baseline_file(self, tmp_path, capsys):
+        from repro.obs.history import HistoryStore, bench_entry
+
+        baseline = tmp_path / "BASELINE.jsonl"
+        store = HistoryStore(baseline)
+        for _ in range(2):
+            store.append(bench_entry(fake_bench_report()))
+        code = main(
+            ["bench", "--output", "-", "--history", "-",
+             "--check", "--baseline", str(baseline)]
+        )
+        assert code == 0
+        assert "no-change" in capsys.readouterr().out
+
+    def test_speedup_none_printed_gracefully(self, tmp_path, capsys):
+        report = fake_bench_report()
+        report["meta"]["parallel_speedup"] = None
+        report["meta"]["parallel_speedup_reason"] = "no parallelism available"
+        report["meta"]["effective_jobs"] = 1
+        self.reports.append(report)
+        assert main(["bench", "--output", "-", "--history", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "n/a" in out
+        assert "no parallelism available" in out
+
+
+class TestDashboardCommand:
+    def test_dashboard_writes_file(self, tmp_path, monkeypatch, capsys):
+        import repro.obs.dashboard as dashboard_mod
+        from tests.obs.test_dashboard import make_data
+
+        monkeypatch.setattr(
+            dashboard_mod, "collect_dashboard_data",
+            lambda **kwargs: make_data(),
+        )
+        out = tmp_path / "dash.html"
+        assert main(["dashboard", "--out", str(out), "--history", "-"]) == 0
+        assert "dashboard written" in capsys.readouterr().out
+        assert out.read_text().startswith("<!DOCTYPE html>")

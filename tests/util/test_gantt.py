@@ -90,3 +90,74 @@ class TestGanttIntegration:
         assert ":" in out  # probe phase visible
         assert "#" in out  # exec phase visible
         assert len(out.splitlines()) == len(small_cluster.devices()) + 2
+
+
+class TestRenderGanttSvg:
+    def test_svg_fragment_with_worker_rows(self, trace):
+        from repro.util.gantt import render_gantt_svg
+
+        svg = render_gantt_svg(trace)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert ">a</text>" in svg and ">b</text>" in svg
+
+    def test_phase_colors_and_tooltips(self, trace):
+        from repro.util.gantt import SVG_PHASE_COLORS, render_gantt_svg
+
+        svg = render_gantt_svg(trace)
+        assert SVG_PHASE_COLORS["probe"] in svg
+        assert SVG_PHASE_COLORS["exec"] in svg
+        assert "<title>a probe:" in svg
+
+    def test_phase_color_override(self, trace):
+        from repro.util.gantt import render_gantt_svg
+
+        svg = render_gantt_svg(
+            trace, phase_colors={"exec": "var(--series-1)"}
+        )
+        assert "var(--series-1)" in svg
+
+    def test_rebalance_rule_and_failure_marker(self, trace):
+        from repro.util.gantt import render_gantt_svg
+
+        trace.record_rebalance(5.0)
+        trace.record_failure(2.0, "b")
+        svg = render_gantt_svg(trace)
+        assert "rebalance at 5.0000s" in svg
+        assert "failure on b" in svg
+        assert "stroke-dasharray" in svg
+
+    def test_markers_can_be_disabled(self, trace):
+        from repro.util.gantt import render_gantt_svg
+
+        trace.record_rebalance(5.0)
+        svg = render_gantt_svg(trace, show_markers=False)
+        assert "rebalance" not in svg
+
+    def test_empty_trace_placeholder(self):
+        from repro.util.gantt import render_gantt_svg
+
+        assert "empty trace" in render_gantt_svg(ExecutionTrace(["a"]))
+
+    def test_invalid_width(self, trace):
+        from repro.util.gantt import render_gantt_svg
+
+        with pytest.raises(ConfigurationError):
+            render_gantt_svg(trace, width=50)
+
+    def test_axis_ticks_cover_makespan(self, trace):
+        from repro.util.gantt import render_gantt_svg
+
+        svg = render_gantt_svg(trace)
+        assert ">0s</text>" in svg
+        assert ">10s</text>" in svg
+
+    def test_worker_ids_are_escaped(self):
+        from repro.util.gantt import render_gantt_svg
+
+        tr = ExecutionTrace(["a<b>"])
+        tr.add_record(record("a<b>", 0.0, 1.0))
+        tr.finalize(1.0)
+        svg = render_gantt_svg(tr)
+        assert "a&lt;b&gt;" in svg
+        assert "<b>" not in svg

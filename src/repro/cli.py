@@ -32,11 +32,22 @@ Commands
 ``dashboard``
     Write the self-contained HTML observability dashboard (policy
     comparison, benchmark trend, solver convergence, Gantt timeline,
-    anomaly findings) — no external requests, open it anywhere.
+    CPU profile, anomaly findings) — no external requests, open it
+    anywhere.
+``profile``
+    Run one workload under the deterministic phase-attributed CPU
+    profiler and write a flamegraph SVG (``--flame``), a collapsed-stack
+    file for flamegraph.pl / speedscope (``--collapsed``), the raw
+    snapshot (``--json``) and/or profile slices merged into a Perfetto
+    timeline (``--trace-out``).  ``run``/``compare``/``bench`` accept a
+    ``--profile`` flag for the same capture in passing; profiled bench
+    laps are tagged in history and never drive the regression gate.
 
 Sweep-driving commands accept ``--jobs N`` (default: the ``REPRO_JOBS``
 environment variable, else the CPU count) and honour ``REPRO_CACHE``
-for on-disk result caching; see docs/TUTORIAL.md §5.
+for on-disk result caching; see docs/TUTORIAL.md §5.  ``REPRO_PROFILE=1``
+profiles every sweep the way ``--profile`` does (and, like it,
+disables the result cache while active); see docs/TUTORIAL.md §8.
 
 Global options (before the subcommand): ``--log-level
 {debug,info,warning,error,critical}`` and ``--log-format {text,json}``
@@ -157,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the run's telemetry manifest (RunReport JSON)",
     )
+    p_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="capture a phase-attributed CPU profile and print the "
+        "per-phase breakdown and hot functions",
+    )
 
     p_trace = sub.add_parser(
         "trace", help="run one workload and export its Perfetto timeline"
@@ -187,6 +204,51 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="export one timeline with a process group per policy",
+    )
+    p_cmp.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile every run and print the merged hot-function table "
+        "(disables the result cache for this comparison)",
+    )
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run one workload under the phase-attributed CPU profiler",
+    )
+    add_workload_args(p_prof)
+    add_policy_arg(p_prof)
+    p_prof.add_argument(
+        "--flame",
+        metavar="PATH",
+        default="profile.svg",
+        help="flamegraph SVG output (self-contained, dark-mode aware; "
+        "default: profile.svg, '-' to skip)",
+    )
+    p_prof.add_argument(
+        "--collapsed",
+        metavar="PATH",
+        default=None,
+        help="collapsed-stack output for flamegraph.pl / speedscope.app",
+    )
+    p_prof.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        dest="json_out",
+        help="raw profile snapshot (phases, functions, caller edges)",
+    )
+    p_prof.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="Perfetto timeline with the profile as its own process group",
+    )
+    p_prof.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="hot functions to print (default 10)",
     )
 
     sub.add_parser("table1", help="render Table I")
@@ -260,6 +322,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.50,
         help="relative slowdown that counts as a regression (default 0.50)",
     )
+    p_bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the serial/parallel laps and record the hot-function "
+        "table into history; profiled laps are tagged and never gate",
+    )
     add_jobs_arg(p_bench)
 
     p_dash = sub.add_parser(
@@ -314,10 +382,61 @@ def _run_config(args: argparse.Namespace, policy_name: str) -> dict:
     }
 
 
+def _print_profile_summary(snapshot: dict, *, top: int = 10) -> None:
+    """Print the per-phase breakdown and hot-function tables."""
+    from repro.obs.profiler import hot_functions, phase_breakdown
+
+    breakdown = phase_breakdown(snapshot)
+    print()
+    print(
+        format_table(
+            ["phase", "self_ms", "wall_ms", "share"],
+            [
+                [
+                    phase,
+                    d["self_s"] * 1e3,
+                    d["wall_s"] * 1e3,
+                    f"{d['share'] * 100:.1f}%",
+                ]
+                for phase, d in breakdown.items()
+            ],
+            title="CPU time by phase",
+        )
+    )
+    rows = hot_functions(snapshot, top=top)
+    if rows:
+        print()
+        print(
+            format_table(
+                ["function", "phase", "calls", "self_ms", "cum_ms", "share"],
+                [
+                    [
+                        h["function"],
+                        h["phase"],
+                        h["calls"],
+                        h["self_s"] * 1e3,
+                        h["cum_s"] * 1e3,
+                        f"{h['share'] * 100:.1f}%",
+                    ]
+                    for h in rows
+                ],
+                title=f"Top {len(rows)} hot functions",
+            )
+        )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.obs.profiler import profiling
+
     run_id = new_run_id(repr(sorted(_run_config(args, args.policy).items())))
+    prof_snapshot = None
     with push_run_id(run_id):
-        policy, result = _simulate(args, args.policy)
+        if args.profile:
+            with profiling() as prof:
+                policy, result = _simulate(args, args.policy)
+            prof_snapshot = prof.snapshot()
+        else:
+            policy, result = _simulate(args, args.policy)
     idle = result.idle_fractions
     print(
         format_table(
@@ -330,13 +449,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             ]],
         )
     )
+    if prof_snapshot is not None:
+        _print_profile_summary(prof_snapshot)
     if args.trace_out:
-        path = write_chrome_trace(
+        doc = trace_to_chrome(
             result.trace,
-            args.trace_out,
             run_id=run_id,
             metadata=_run_config(args, policy.name),
+            profile=prof_snapshot,
         )
+        path = write_chrome_trace(doc, args.trace_out)
         print(f"trace written to {path}")
     if args.metrics_out:
         report = RunReport.build(
@@ -381,6 +503,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import SweepStats
+
+    stats = SweepStats()
     point = run_policies(
         args.app,
         args.size,
@@ -389,6 +514,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         seed=args.seed,
         noise_sigma=args.noise,
         jobs=args.jobs,
+        profile=args.profile or None,
+        stats=stats,
     )
     rows = []
     for name, outcome in point.outcomes.items():
@@ -407,6 +534,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             title=f"{args.app} size={args.size} machines={args.machines}",
         )
     )
+    # --profile or REPRO_PROFILE=1: either way a captured profile is shown.
+    if stats.profile:
+        _print_profile_summary(stats.profile)
     if args.trace_out:
         # One extra run per policy at the first replication's seed
         # (run_policies seeds rep r with seed*1000+r), each exported as
@@ -421,6 +551,62 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             labelled,
             run_id=run_id,
             metadata=_run_config(args, "compare"),
+        )
+        path = write_chrome_trace(doc, args.trace_out)
+        print(f"trace written to {path}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profiler import (
+        collapsed_stacks,
+        phase_breakdown,
+        profiling,
+        write_collapsed,
+        write_flamegraph,
+    )
+
+    run_id = new_run_id(repr(sorted(_run_config(args, args.policy).items())))
+    with push_run_id(run_id):
+        with profiling() as prof:
+            policy, result = _simulate(args, args.policy)
+    snapshot = prof.snapshot()
+
+    named = sum(d["share"] for d in phase_breakdown(snapshot).values())
+    print(
+        f"profiled {args.app} size={args.size} machines={args.machines} "
+        f"policy={policy.name}: makespan {result.makespan:.4f}s, "
+        f"{snapshot['total_self_s'] * 1e3:.1f}ms profiled host CPU, "
+        f"{named:.1%} attributed to a named phase"
+    )
+    _print_profile_summary(snapshot, top=args.top)
+    print()
+    if args.flame and args.flame != "-":
+        path = write_flamegraph(
+            args.flame,
+            snapshot,
+            title=f"{args.app} size={args.size} {policy.name} — "
+            "phase-attributed CPU profile",
+        )
+        print(f"flamegraph written to {path}")
+    if args.collapsed:
+        lines = collapsed_stacks(snapshot)
+        path = write_collapsed(args.collapsed, lines)
+        print(
+            f"collapsed stacks written to {path} ({len(lines)} stacks); "
+            "load at https://speedscope.app or pipe through flamegraph.pl"
+        )
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        print(f"profile snapshot written to {args.json_out}")
+    if args.trace_out:
+        doc = trace_to_chrome(
+            result.trace,
+            run_id=run_id,
+            metadata=_run_config(args, policy.name),
+            profile=snapshot,
         )
         path = write_chrome_trace(doc, args.trace_out)
         print(f"trace written to {path}")
@@ -453,7 +639,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     output = None if args.output == "-" else args.output
     report = run_wallclock_bench(
-        replications=args.replications, jobs=args.jobs, output=output
+        replications=args.replications,
+        jobs=args.jobs,
+        output=output,
+        profile=args.profile,
     )
     timings = report["timings_s"]
     meta = report["meta"]
@@ -478,6 +667,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     if output is not None:
         print(f"report written to {output}")
+    if args.profile:
+        hot = meta.get("hot_functions", [])
+        print(
+            format_table(
+                ["function", "phase", "self_ms", "share"],
+                [
+                    [
+                        h["function"],
+                        h.get("phase", ""),
+                        h["self_s"] * 1e3,
+                        f"{h['share'] * 100:.1f}%",
+                    ]
+                    for h in hot
+                ],
+                title="Hot functions (merged serial+parallel profile)",
+            )
+        )
 
     history = _resolve_history(args.history)
     exit_code = 0
@@ -509,6 +715,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             print(f"check: {check.verdict} ({check.reason})")
             exit_code = check.exit_code
+            if args.profile and meta.get("hot_functions"):
+                # Advisory hot-path drift vs matched profiled history —
+                # same config-hash + host-fingerprint rules as the gate,
+                # but never contributes to the exit code.
+                from repro.obs.history import fingerprint_hash
+                from repro.obs.report import config_hash as _config_hash
+                from repro.obs.regress import detect_hot_path_drift
+
+                cfg_hash = _config_hash(
+                    {"grid": meta.get("grid", {}), "jobs": meta.get("jobs")}
+                )
+                shares = baseline.hot_function_shares(
+                    config_hash=cfg_hash,
+                    host_hash=fingerprint_hash(report.get("host")),
+                    last=20,
+                )
+                drift = detect_hot_path_drift(meta["hot_functions"], shares)
+                if drift:
+                    for finding in drift:
+                        print(f"hot-path drift: {finding.message}")
+                else:
+                    print(
+                        f"hot-path drift: none over {len(shares)} matched "
+                        "profiled entr"
+                        + ("y" if len(shares) == 1 else "ies")
+                    )
     if history is not None:
         stored = history.append(bench_entry(report))
         print(f"history: appended to {history.path} "
@@ -549,6 +781,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "table1":
         print(render_table1())
         return 0

@@ -36,6 +36,7 @@ from repro.errors import ConfigurationError, FitError
 from repro.modeling.perf_profile import DeviceModel, PerfProfile
 from repro.obs.events import EventLog
 from repro.obs.metrics import get_registry
+from repro.obs.profiler import profile_phase
 from repro.runtime.scheduler_api import SchedulingContext, SchedulingPolicy
 from repro.sim.trace import TaskRecord
 from repro.solver.ipm import IPMOptions
@@ -401,24 +402,28 @@ class PLBHeC(SchedulingPolicy):
         t0 = time.perf_counter()
         models: dict[str, DeviceModel] = {}
         all_ok = True
-        for d in self._ids:
-            try:
-                model = self._profiles[d].fit(recency_decay=self.recency_decay)
-            except FitError:
-                all_ok = False
-                continue
-            models[d] = model
-            registry.set_gauge("plbhec.r2", model.r2, device=d)
-            # The paper's acceptance is R2 >= 0.7; R2 is meaningless for
-            # devices whose probe times are intercept-dominated (nearly
-            # constant — the mean predictor is unbeatable there), so a
-            # small relative RMS residual is accepted as well.
-            acceptable = (
-                model.r2 >= self.r2_threshold
-                or model.exec_fit.rel_rmse <= self.rel_rmse_accept
-            )
-            if not acceptable:
-                all_ok = False
+        with profile_phase("fit"):
+            for d in self._ids:
+                try:
+                    model = self._profiles[d].fit(
+                        recency_decay=self.recency_decay
+                    )
+                except FitError:
+                    all_ok = False
+                    continue
+                models[d] = model
+                registry.set_gauge("plbhec.r2", model.r2, device=d)
+                # The paper's acceptance is R2 >= 0.7; R2 is meaningless
+                # for devices whose probe times are intercept-dominated
+                # (nearly constant — the mean predictor is unbeatable
+                # there), so a small relative RMS residual is accepted
+                # as well.
+                acceptable = (
+                    model.r2 >= self.r2_threshold
+                    or model.exec_fit.rel_rmse <= self.rel_rmse_accept
+                )
+                if not acceptable:
+                    all_ok = False
         self._charge(time.perf_counter() - t0)
         if len(models) < len(self._ids):
             all_ok = False
@@ -447,9 +452,10 @@ class PLBHeC(SchedulingPolicy):
         registry = get_registry()
         t0 = time.perf_counter()
         with _events.span("plbhec.solve", remaining=remaining):
-            result = solve_block_partition(
-                self._models, quantum, ipm_options=self.ipm_options
-            )
+            with profile_phase("solve"):
+                result = solve_block_partition(
+                    self._models, quantum, ipm_options=self.ipm_options
+                )
         self._charge(time.perf_counter() - t0)
         registry.inc("plbhec.solves")
         registry.observe("plbhec.solve_ms", result.solve_time_s * 1e3)
@@ -487,14 +493,15 @@ class PLBHeC(SchedulingPolicy):
         _events.instant("plbhec.rebalance", remaining=remaining)
         t0 = time.perf_counter()
         models: dict[str, DeviceModel] = {}
-        for d in self._ids:
-            try:
-                models[d] = self._profiles[d].fit(
-                    recency_decay=self.rebalance_recency_decay
-                )
-            except FitError:
-                if d in self._models:
-                    models[d] = self._models[d]
+        with profile_phase("fit"):
+            for d in self._ids:
+                try:
+                    models[d] = self._profiles[d].fit(
+                        recency_decay=self.rebalance_recency_decay
+                    )
+                except FitError:
+                    if d in self._models:
+                        models[d] = self._models[d]
         self._charge(time.perf_counter() - t0)
         if models:
             self._models = models

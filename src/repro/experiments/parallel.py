@@ -57,6 +57,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.runner import PolicyOutcome, SweepPoint
 from repro.obs.events import EventLog, push_run_id
 from repro.obs.metrics import diff_snapshots, get_registry, merge_snapshots
+from repro.obs.profiler import merge_profiles, profiling
 from repro.obs.report import RunReport, config_hash
 from repro.util.logging import configure_logging, current_config, get_logger
 
@@ -67,6 +68,7 @@ __all__ = [
     "ResultCache",
     "SweepStats",
     "resolve_jobs",
+    "resolve_profile",
     "run_sweep",
     "run_point",
 ]
@@ -152,7 +154,11 @@ def _factory_tag(factory: Callable[[int], Cluster]) -> str | None:
     return f"{module}.{qualname}"
 
 
-def _execute_run(spec: RunSpec, cluster_factory: Callable[[int], Cluster]) -> dict:
+def _execute_run(
+    spec: RunSpec,
+    cluster_factory: Callable[[int], Cluster],
+    profile: bool = False,
+) -> dict:
     """Worker body: run one spec and return a JSON-serialisable payload.
 
     Must stay a module-level function — it is pickled into pool workers.
@@ -163,6 +169,12 @@ def _execute_run(spec: RunSpec, cluster_factory: Callable[[int], Cluster]) -> di
     Because the manifest is computed *here* and cached with the payload,
     a warm-cache replay serves byte-identical telemetry to the original
     execution.
+
+    With ``profile=True`` the run executes under a
+    :func:`repro.obs.profiler.profiling` scope and the payload gains a
+    ``"profile"`` snapshot — plain data, so it crosses the process
+    boundary unchanged and the parent can merge every worker's profile
+    into one stats object.
     """
     from repro.cluster import GroundTruth
     from repro.experiments.runner import (
@@ -201,10 +213,18 @@ def _execute_run(spec: RunSpec, cluster_factory: Callable[[int], Cluster]) -> di
         seed=spec.run_seed,
         noise_sigma=spec.noise_sigma,
     )
+    prof_snapshot = None
     with push_run_id(run_id):
-        result = runtime.run(
-            policy, app.total_units, app.default_initial_block_size()
-        )
+        if profile:
+            with profiling() as prof:
+                result = runtime.run(
+                    policy, app.total_units, app.default_initial_block_size()
+                )
+            prof_snapshot = prof.snapshot()
+        else:
+            result = runtime.run(
+                policy, app.total_units, app.default_initial_block_size()
+            )
     report = RunReport.build(
         config=config,
         makespan=result.makespan,
@@ -216,7 +236,7 @@ def _execute_run(spec: RunSpec, cluster_factory: Callable[[int], Cluster]) -> di
         metrics=diff_snapshots(metrics_before, get_registry().snapshot()),
         run_id=run_id,
     )
-    return {
+    payload = {
         "makespan": result.makespan,
         "idle_fractions": result.idle_fractions,
         "distribution": _extract_distribution(policy, result),
@@ -225,6 +245,9 @@ def _execute_run(spec: RunSpec, cluster_factory: Callable[[int], Cluster]) -> di
         "wall_s": time.perf_counter() - wall0,
         "report": report.to_dict(),
     }
+    if prof_snapshot is not None:
+        payload["profile"] = prof_snapshot
+    return payload
 
 
 class ResultCache:
@@ -314,6 +337,8 @@ class SweepStats:
     reports: list = field(default_factory=list)
     #: sweep-wide metrics snapshot merged over every run's delta
     metrics: dict = field(default_factory=dict)
+    #: merged phase-attributed CPU profile (profiled sweeps only)
+    profile: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         """The one-line log form: ``jobs=N cache_hits=H wall=Ts``."""
@@ -341,6 +366,18 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return jobs
 
 
+def resolve_profile(profile: bool | None = None) -> bool:
+    """The effective profiling switch: argument else ``REPRO_PROFILE``."""
+    if profile is not None:
+        return bool(profile)
+    return os.environ.get("REPRO_PROFILE", "").strip().lower() in (
+        "1",
+        "on",
+        "true",
+        "yes",
+    )
+
+
 _UNSET = object()
 
 
@@ -360,6 +397,7 @@ def _execute_batch(
     tasks: Sequence[tuple[RunSpec, Callable[[int], Cluster]]],
     jobs: int,
     stats: SweepStats,
+    profile: bool = False,
 ) -> list[dict]:
     """Run the cache misses, parallel when possible, serial otherwise."""
     if not tasks:
@@ -381,14 +419,14 @@ def _execute_batch(
                 initargs=(current_config(),),
             ) as pool:
                 futures = [
-                    pool.submit(_execute_run, spec, factory)
+                    pool.submit(_execute_run, spec, factory, profile)
                     for spec, factory in tasks
                 ]
                 return [f.result() for f in futures]
         except BrokenProcessPool:
             _log.warning("process pool broke; re-running the batch serially")
             stats.fell_back_serial = True
-    return [_execute_run(spec, factory) for spec, factory in tasks]
+    return [_execute_run(spec, factory, profile) for spec, factory in tasks]
 
 
 def run_sweep(
@@ -397,6 +435,7 @@ def run_sweep(
     jobs: int | None = None,
     cache: ResultCache | None | object = _UNSET,
     stats: SweepStats | None = None,
+    profile: bool | None = None,
 ) -> list[SweepPoint]:
     """Run a batch of grid points and aggregate each into a SweepPoint.
 
@@ -412,10 +451,21 @@ def run_sweep(
         the ``REPRO_CACHE`` environment variable.
     stats:
         Optional out-parameter; filled with what the sweep did.
+    profile:
+        Capture a phase-attributed CPU profile of every run (default:
+        the ``REPRO_PROFILE`` environment variable).  Worker profiles
+        are merged into ``stats.profile``.  Profiling disables the
+        result cache for the sweep: the default policy charges
+        *measured* host time into the virtual makespan, so payloads
+        computed under profiler overhead must never be replayed into
+        unprofiled sweeps (and cache hits carry no profile to merge).
     """
     t0 = time.perf_counter()
     jobs = resolve_jobs(jobs)
-    if cache is _UNSET:
+    profile = resolve_profile(profile)
+    if profile:
+        cache = None
+    elif cache is _UNSET:
         cache = ResultCache.from_env()
     if stats is None:
         stats = SweepStats()
@@ -446,12 +496,19 @@ def run_sweep(
         (flat[slot][1], points[flat[slot][0]].cluster_factory)
         for slot in miss_slots
     ]
-    fresh = _execute_batch(tasks, jobs, stats)
+    fresh = _execute_batch(tasks, jobs, stats, profile)
     stats.executed = len(fresh)
     for slot, payload in zip(miss_slots, fresh):
         payloads[slot] = payload
+        snapshot = payload.get("profile")
+        if snapshot is not None:
+            merge_profiles(stats.profile, snapshot)
         if cache is not None and keys[slot] is not None:
-            cache.store(keys[slot], payload)
+            # belt and braces: profiled payloads are never cached (the
+            # profile-implies-no-cache rule above), and the snapshot
+            # itself must never leak into an entry either way
+            stored = {k: v for k, v in payload.items() if k != "profile"}
+            cache.store(keys[slot], stored)
 
     results: list[SweepPoint] = []
     cursor = 0
@@ -526,6 +583,9 @@ def run_point(
     jobs: int | None = None,
     cache: ResultCache | None | object = _UNSET,
     stats: SweepStats | None = None,
+    profile: bool | None = None,
 ) -> SweepPoint:
     """Run one grid point through the sweep engine."""
-    return run_sweep([point], jobs=jobs, cache=cache, stats=stats)[0]
+    return run_sweep(
+        [point], jobs=jobs, cache=cache, stats=stats, profile=profile
+    )[0]

@@ -165,6 +165,8 @@ def run_policies(
     cluster_factory: Callable[[int], Cluster] = paper_cluster,
     fixed_overhead_s: float | None = None,
     jobs: int | None = None,
+    profile: bool | None = None,
+    stats: "object | None" = None,
 ) -> SweepPoint:
     """Run every policy at one grid point and aggregate replications.
 
@@ -174,7 +176,10 @@ def run_policies(
     environment variable by default) with optional on-disk result
     caching (``REPRO_CACHE``), while keeping the historical
     per-replication seeding ``seed * 1000 + rep`` so aggregates match
-    the old serial loop bit for bit.
+    the old serial loop bit for bit.  ``profile``/``stats`` pass
+    through to :func:`repro.experiments.parallel.run_sweep` — a
+    profiled comparison collects its merged CPU profile in
+    ``stats.profile``.
     """
     # Imported lazily: parallel.py imports this module's factories.
     from repro.experiments.parallel import PointSpec, run_point
@@ -192,4 +197,6 @@ def run_policies(
             cluster_factory=cluster_factory,
         ),
         jobs=jobs,
+        profile=profile,
+        stats=stats,
     )

@@ -26,6 +26,7 @@ from repro.experiments.parallel import (
     run_sweep,
 )
 from repro.experiments.runner import PAPER_POLICIES, SweepPoint
+from repro.obs.profiler import hot_functions, merge_profiles
 from repro.util.timing import Stopwatch, perf_report
 
 __all__ = [
@@ -128,6 +129,8 @@ def run_wallclock_bench(
     jobs: int | None = None,
     cache_dir: str | os.PathLike[str] | None = None,
     output: str | os.PathLike[str] | None = BENCH_PATH,
+    profile: bool = False,
+    profile_top: int = 10,
 ) -> dict[str, Any]:
     """Benchmark the sweep engine and return the perf report dict.
 
@@ -144,16 +147,28 @@ def run_wallclock_bench(
         flattered by) a pre-existing ``.repro_cache``.
     output:
         Where to write the JSON report; ``None`` skips writing.
+    profile:
+        Capture phase-attributed CPU profiles of the serial and
+        parallel laps (the cache laps stay unprofiled so the warm/cold
+        cache comparison keeps measuring cache behaviour, not tracer
+        overhead).  The report meta gains ``profiled: true`` and the
+        merged ``hot_functions`` top-``profile_top`` table; history
+        entries built from it are excluded from the regression gate.
     """
     jobs = resolve_jobs(jobs)
     grid = _grid(replications)
     sw = Stopwatch()
 
+    ser_stats = SweepStats()
     with sw.lap("serial"):
-        serial_points = run_sweep(grid, jobs=1, cache=None)
+        serial_points = run_sweep(
+            grid, jobs=1, cache=None, stats=ser_stats, profile=profile
+        )
     par_stats = SweepStats()
     with sw.lap("parallel"):
-        parallel_points = run_sweep(grid, jobs=jobs, cache=None, stats=par_stats)
+        parallel_points = run_sweep(
+            grid, jobs=jobs, cache=None, stats=par_stats, profile=profile
+        )
     identical = points_equal(serial_points, parallel_points)
 
     own_tmp = None
@@ -162,12 +177,19 @@ def run_wallclock_bench(
         cache_dir = own_tmp.name
     try:
         cache = ResultCache(cache_dir)
+        # The cache laps are explicitly unprofiled even under --profile
+        # (or REPRO_PROFILE): profiling disables the result cache, which
+        # would turn the warm lap into a third execution lap.
         cold_stats = SweepStats()
         with sw.lap("cache_cold"):
-            cold_points = run_sweep(grid, jobs=jobs, cache=cache, stats=cold_stats)
+            cold_points = run_sweep(
+                grid, jobs=jobs, cache=cache, stats=cold_stats, profile=False
+            )
         warm_stats = SweepStats()
         with sw.lap("cache_warm"):
-            warm_points = run_sweep(grid, jobs=jobs, cache=cache, stats=warm_stats)
+            warm_points = run_sweep(
+                grid, jobs=jobs, cache=cache, stats=warm_stats, profile=False
+            )
     finally:
         if own_tmp is not None:
             own_tmp.cleanup()
@@ -194,4 +216,10 @@ def run_wallclock_bench(
         "parallel_fell_back_serial": par_stats.fell_back_serial,
         **parallel_speedup_meta(laps, jobs),
     }
+    if profile:
+        merged: dict[str, Any] = {}
+        merge_profiles(merged, ser_stats.profile)
+        merge_profiles(merged, par_stats.profile)
+        meta["profiled"] = True
+        meta["hot_functions"] = hot_functions(merged, top=profile_top)
     return perf_report(laps, path=output, meta=meta)

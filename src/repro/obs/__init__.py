@@ -1,6 +1,6 @@
-"""Cross-cutting observability: metrics, structured events, trace export.
+"""Cross-cutting observability: metrics, events, traces, profiles.
 
-The three legs every experiment stands on:
+The legs every experiment stands on:
 
 * :mod:`repro.obs.metrics` — a zero-dependency metrics registry
   (counters, gauges, histograms with labels) instrumented through the
@@ -12,12 +12,16 @@ The three legs every experiment stands on:
 * :mod:`repro.obs.trace_export` — Chrome trace-event / Perfetto export
   of :class:`~repro.sim.trace.ExecutionTrace` objects
   (``python -m repro trace ... --out trace.json``);
+* :mod:`repro.obs.profiler` — deterministic phase-attributed CPU
+  profiling (``repro profile``, ``--profile`` on run/bench/compare):
+  collapsed stacks, flamegraph SVGs, hot-function tables;
 * :mod:`repro.obs.report` — the per-run :class:`RunReport` manifest
   cached alongside sweep results;
 * :mod:`repro.obs.history` — the append-only JSONL benchmark/run
   history store (``.repro_history/``, ``REPRO_HISTORY``);
 * :mod:`repro.obs.regress` — the statistical perf-regression gate
-  (``repro bench --check``) and built-in anomaly detectors;
+  (``repro bench --check``), built-in anomaly detectors, and the
+  hot-path drift detector over recorded profiles;
 * :mod:`repro.obs.dashboard` — the self-contained HTML dashboard
   (``repro dashboard``).
 """
@@ -49,6 +53,21 @@ from repro.obs.metrics import (
     reset_registry,
     set_registry,
 )
+from repro.obs.profiler import (
+    PROFILE_PHASES,
+    PhaseProfiler,
+    active_profiler,
+    collapsed_stacks,
+    hot_functions,
+    merge_profiles,
+    phase_breakdown,
+    profile_phase,
+    profiling,
+    render_flamegraph_svg,
+    switch_phase,
+    write_collapsed,
+    write_flamegraph,
+)
 from repro.obs.regress import (
     Anomaly,
     BenchCheck,
@@ -56,12 +75,14 @@ from repro.obs.regress import (
     check_bench_report,
     compare_samples,
     detect_anomalies,
+    detect_hot_path_drift,
     detect_report_anomalies,
     mann_whitney_u,
     overall_verdict,
 )
 from repro.obs.report import RunReport, config_hash
 from repro.obs.trace_export import (
+    profile_to_events,
     trace_to_chrome,
     trace_to_events,
     validate_chrome_trace,
@@ -79,32 +100,47 @@ __all__ = [
     "Histogram",
     "HistoryStore",
     "MetricsRegistry",
+    "PROFILE_PHASES",
+    "PhaseProfiler",
     "RunReport",
+    "active_profiler",
     "bench_entry",
     "check_bench_report",
+    "collapsed_stacks",
     "collect_dashboard_data",
     "compare_samples",
     "config_hash",
     "current_run_id",
     "detect_anomalies",
+    "detect_hot_path_drift",
     "detect_report_anomalies",
     "diff_snapshots",
     "fingerprint_hash",
     "get_registry",
     "git_rev",
+    "hot_functions",
     "host_fingerprint",
     "mann_whitney_u",
+    "merge_profiles",
     "merge_snapshots",
     "new_run_id",
     "overall_verdict",
+    "phase_breakdown",
+    "profile_phase",
+    "profile_to_events",
+    "profiling",
     "push_run_id",
     "render_dashboard",
+    "render_flamegraph_svg",
     "reset_registry",
     "run_entry",
     "set_registry",
+    "switch_phase",
     "trace_to_chrome",
     "trace_to_events",
     "validate_entry",
     "write_chrome_trace",
+    "write_collapsed",
     "write_dashboard",
+    "write_flamegraph",
 ]

@@ -137,6 +137,7 @@ class DashboardData:
     trace: ExecutionTrace | None = None
     trace_policy: str = "plb-hec"
     anomalies: list[Anomaly] = field(default_factory=list)
+    profile: dict = field(default_factory=dict)
 
 
 def collect_dashboard_data(
@@ -194,18 +195,24 @@ def collect_dashboard_data(
     )
 
     # One live PLB-HeC run: Gantt strip + anomaly detectors over its
-    # metrics delta, idle fractions and phase summary.
+    # metrics delta, idle fractions and phase summary.  The run executes
+    # under the phase profiler so the CPU-profile section shows where
+    # this scenario's host time actually goes.
+    from repro.obs.profiler import profiling
+
     application = make_application(app, size)
     registry = get_registry()
     before = registry.snapshot()
     runtime = Runtime(
         paper_cluster(machines), application.codelet(), seed=seed, noise_sigma=noise
     )
-    result = runtime.run(
-        make_policy("plb-hec"),
-        application.total_units,
-        application.default_initial_block_size(),
-    )
+    with profiling() as prof:
+        result = runtime.run(
+            make_policy("plb-hec"),
+            application.total_units,
+            application.default_initial_block_size(),
+        )
+    data.profile = prof.snapshot()
     delta = diff_snapshots(before, registry.snapshot())
     data.trace = result.trace
     data.anomalies = detect_anomalies(
@@ -644,6 +651,55 @@ def _section_gantt(trace: ExecutionTrace | None, policy: str) -> str:
     )
 
 
+def _section_profile(profile: Mapping[str, Any]) -> str:
+    if not profile or not profile.get("phases"):
+        return (
+            "<section><h2>CPU profile</h2><p class='empty'>no profile "
+            "captured</p></section>"
+        )
+    from repro.obs.profiler import (
+        hot_functions,
+        phase_breakdown,
+        render_flamegraph_svg,
+    )
+
+    breakdown = phase_breakdown(profile)
+    tiles_html = "".join(
+        f'<div class="tile"><div class="label">{escape(phase)}</div>'
+        f'<div class="value">{d["share"] * 100:.1f}%</div>'
+        f'<div class="hint">{d["self_s"] * 1e3:.1f}ms self</div></div>'
+        for phase, d in breakdown.items()
+    )
+    flame = render_flamegraph_svg(
+        profile, title="host CPU time by phase and call stack"
+    )
+    hot = hot_functions(profile, top=10)
+    table = _table(
+        ["function", "phase", "calls", "self (ms)", "cum (ms)", "share"],
+        [
+            [
+                h["function"],
+                h["phase"],
+                h["calls"],
+                h["self_s"] * 1e3,
+                h["cum_s"] * 1e3,
+                f"{h['share'] * 100:.1f}%",
+            ]
+            for h in hot
+        ],
+    )
+    return (
+        "<section><h2>CPU profile</h2>"
+        "<p class='sub'>deterministic phase-attributed profile of the live "
+        "PLB-HeC run above — where the scheduler's host time goes "
+        "(probe/fit/solve/execute/overhead)</p>"
+        f'<div class="tiles">{tiles_html}</div>'
+        + flame
+        + table
+        + "</section>"
+    )
+
+
 def _section_anomalies(anomalies: Sequence[Anomaly]) -> str:
     if not anomalies:
         body = '<p class="allclear">&#10003; no anomalies detected</p>'
@@ -692,6 +748,7 @@ def render_dashboard(data: DashboardData) -> str:
         _section_trend(data.bench_trend),
         _section_convergence(data.convergence, data.convergence_history),
         _section_gantt(data.trace, data.trace_policy),
+        _section_profile(data.profile),
         _section_anomalies(data.anomalies),
     ]
     return (

@@ -55,7 +55,9 @@ __all__ = [
 _log = get_logger("obs.history")
 
 #: Bump when the entry layout changes incompatibly.
-HISTORY_SCHEMA = 1
+#: ("2": bench entries gained the ``profiled`` flag and the optional
+#: ``hot_functions`` table; schema-1 entries read back as unprofiled.)
+HISTORY_SCHEMA = 2
 
 #: Default store location, relative to the working directory.
 DEFAULT_HISTORY_DIR = ".repro_history"
@@ -128,6 +130,21 @@ def validate_entry(entry: Mapping[str, Any]) -> list[str]:
         samples = entry.get("samples")
         if not isinstance(samples, dict) or "makespan" not in samples:
             problems.append("run entry needs a 'samples' dict with 'makespan'")
+    # Schema-2 additions: both optional so schema-1 lines (and minimal
+    # hand-written entries) stay readable, but malformed when present.
+    if not isinstance(entry.get("profiled", False), bool):
+        problems.append("'profiled' must be a boolean when present")
+    hot = entry.get("hot_functions")
+    if hot is not None:
+        if not isinstance(hot, list):
+            problems.append("'hot_functions' must be a list when present")
+        else:
+            for i, row in enumerate(hot):
+                if not isinstance(row, dict) or "function" not in row:
+                    problems.append(
+                        f"hot_functions[{i}] must be a dict with 'function'"
+                    )
+                    break
     return problems
 
 
@@ -146,6 +163,13 @@ def bench_entry(report: Mapping[str, Any]) -> dict[str, Any]:
 
     The config hash covers the grid *and* the job count: a ``jobs=1``
     parallel lap is a different experiment from a ``jobs=8`` one.
+
+    Benchmarks taken under ``--profile`` carry ``profiled: true`` plus
+    their ``hot_functions`` table.  The profiled flag is deliberately
+    *outside* the config hash: a profiled lap measures the same
+    experiment (just with tracer overhead), so the perf gate finds the
+    entry via the same hash and excludes it explicitly — hiding it
+    behind a different hash would make the exclusion untestable.
     """
     meta = dict(report.get("meta", {}))
     config = {"grid": meta.get("grid", {}), "jobs": meta.get("jobs")}
@@ -154,6 +178,7 @@ def bench_entry(report: Mapping[str, Any]) -> dict[str, Any]:
         "config": config,
         "config_hash": config_hash(config),
         "laps": dict(report["timings_s"]),
+        "profiled": bool(meta.get("profiled", False)),
         "meta": {
             k: meta.get(k)
             for k in (
@@ -166,6 +191,8 @@ def bench_entry(report: Mapping[str, Any]) -> dict[str, Any]:
             if k in meta
         },
     }
+    if meta.get("hot_functions"):
+        entry["hot_functions"] = [dict(row) for row in meta["hot_functions"]]
     if "host" in report:
         entry["host"] = dict(report["host"])
     return _stamp(entry)
@@ -245,8 +272,15 @@ class HistoryStore:
         config_hash: str | None = None,
         host_hash: str | None = None,
         last: int | None = None,
+        profiled: bool | None = None,
     ) -> list[dict[str, Any]]:
-        """Entries in append order, filtered; corrupt lines are skipped."""
+        """Entries in append order, filtered; corrupt lines are skipped.
+
+        ``profiled=False`` keeps only entries recorded without the
+        profiler (schema-1 entries predate the flag and count as
+        unprofiled); ``profiled=True`` keeps only profiled ones;
+        ``None`` disables the filter.
+        """
         out: list[dict[str, Any]] = []
         try:
             lines: Iterable[str] = self.path.read_text(encoding="utf-8").splitlines()
@@ -270,6 +304,8 @@ class HistoryStore:
                 continue
             if host_hash is not None and entry.get("host_hash") != host_hash:
                 continue
+            if profiled is not None and bool(entry.get("profiled", False)) != profiled:
+                continue
             out.append(entry)
         if last is not None:
             out = out[-last:]
@@ -283,15 +319,51 @@ class HistoryStore:
         config_hash: str | None = None,
         host_hash: str | None = None,
         last: int | None = None,
+        profiled: bool | None = None,
     ) -> list[float]:
         """The trajectory of one bench lap, oldest first."""
         return [
             float(e["laps"][lap])
             for e in self.entries(
-                kind="bench", config_hash=config_hash, host_hash=host_hash, last=last
+                kind="bench",
+                config_hash=config_hash,
+                host_hash=host_hash,
+                last=last,
+                profiled=profiled,
             )
             if lap in e.get("laps", {})
         ]
+
+    def hot_function_shares(
+        self,
+        *,
+        config_hash: str | None = None,
+        host_hash: str | None = None,
+        last: int | None = None,
+    ) -> list[dict[str, float]]:
+        """Per-entry ``{function: share}`` maps from profiled benches.
+
+        One dict per matched profiled bench entry, oldest first — the
+        baseline samples for the hot-path drift detector in
+        :mod:`repro.obs.regress`.
+        """
+        out: list[dict[str, float]] = []
+        for e in self.entries(
+            kind="bench",
+            config_hash=config_hash,
+            host_hash=host_hash,
+            last=last,
+            profiled=True,
+        ):
+            rows = e.get("hot_functions") or []
+            shares = {
+                str(row["function"]): float(row.get("share", 0.0))
+                for row in rows
+                if isinstance(row, dict) and "function" in row
+            }
+            if shares:
+                out.append(shares)
+        return out
 
     def makespan_samples(
         self,

@@ -58,6 +58,7 @@ __all__ = [
     "overall_verdict",
     "check_bench_report",
     "detect_anomalies",
+    "detect_hot_path_drift",
     "detect_report_anomalies",
 ]
 
@@ -275,13 +276,46 @@ def check_bench_report(
     easily.  Laps whose baseline median is under ``min_abs_s`` are
     reported but never gated — relative change of a 2ms measurement is
     noise by construction.
+
+    Profiling is excluded on both sides: a report measured under
+    ``--profile`` carries tracer overhead and is never gated (verdict
+    ``insufficient-data``), and baseline entries tagged ``profiled``
+    are never pooled as comparison samples.
     """
     meta = dict(report.get("meta", {}))
+    if meta.get("profiled"):
+        comparisons = tuple(
+            Comparison(
+                metric=lap,
+                verdict="insufficient-data",
+                rel_change=None,
+                p_value=None,
+                baseline_n=0,
+                current_n=1,
+                reason="measured under the profiler; tracer overhead is not comparable",
+            )
+            for lap in report["timings_s"]
+        )
+        return BenchCheck(
+            verdict="insufficient-data",
+            comparisons=comparisons,
+            baseline_entries=0,
+            reason=(
+                "report was measured with --profile; profiled laps carry "
+                "deterministic-tracer overhead and never gate"
+            ),
+        )
     cfg = {"grid": meta.get("grid", {}), "jobs": meta.get("jobs")}
     cfg_hash = config_hash(cfg)
     host = fingerprint_hash(report.get("host"))
-    matched = baseline.entries(kind="bench", config_hash=cfg_hash, host_hash=host, last=last)
-    any_config = baseline.entries(kind="bench", config_hash=cfg_hash)
+    matched = baseline.entries(
+        kind="bench",
+        config_hash=cfg_hash,
+        host_hash=host,
+        last=last,
+        profiled=False,
+    )
+    any_config = baseline.entries(kind="bench", config_hash=cfg_hash, profiled=False)
     if not matched and any_config:
         comparisons = tuple(
             Comparison(
@@ -503,6 +537,92 @@ def detect_anomalies(
                 f"anomaly.{finding.name}",
                 severity=finding.severity,
                 value=round(finding.value, 6),
+                threshold=finding.threshold,
+                message=finding.message,
+            )
+    return findings
+
+
+#: A hot function's share of total profiled time moving by more than
+#: this many percentage points against matched history is drift worth
+#: flagging (5pp absorbs tracer jitter; a real hot-path regression —
+#: a new O(n^2) loop, a lost cache — moves double digits).
+HOT_PATH_DRIFT_PP = 5.0
+
+
+def detect_hot_path_drift(
+    hot_functions: Sequence[Mapping[str, Any]],
+    baseline_shares: Sequence[Mapping[str, float]],
+    *,
+    drift_pp: float = HOT_PATH_DRIFT_PP,
+    min_samples: int = MIN_BASELINE_SAMPLES,
+    emit: bool = True,
+) -> list[Anomaly]:
+    """Flag hot functions whose time share drifted against history.
+
+    Parameters
+    ----------
+    hot_functions:
+        The current profile's top-N table (rows with ``function`` and
+        ``share``, as produced by :func:`repro.obs.profiler.hot_functions`
+        and recorded into history by ``repro bench --profile``).
+    baseline_shares:
+        One ``{function: share}`` map per matched historical profile —
+        :meth:`repro.obs.history.HistoryStore.hot_function_shares`
+        applies the same config-hash + host-fingerprint matching rules
+        as the wall-clock gate, so call it with those filters.
+    drift_pp:
+        Flag when ``|current - median(baseline)|`` exceeds this many
+        percentage points.  A function absent from a baseline sample
+        counts as 0% there (new hot paths are drift too).
+    min_samples:
+        Fewer matched baseline profiles than this yields no findings —
+        the detector stays neutral rather than guessing.
+
+    Findings are advisory (``severity="warning"``): profiled laps never
+    drive the exit-code gate, drift tells you *where* to look when the
+    unprofiled gate says something got slower.
+    """
+    if len(baseline_shares) < min_samples:
+        return []
+    findings: list[Anomaly] = []
+    for row in hot_functions:
+        function = str(row.get("function", ""))
+        if not function:
+            continue
+        current = float(row.get("share", 0.0))
+        history = sorted(float(s.get(function, 0.0)) for s in baseline_shares)
+        base = _median(history)
+        delta_pp = (current - base) * 100.0
+        if abs(delta_pp) > drift_pp:
+            direction = "grew" if delta_pp > 0 else "shrank"
+            findings.append(
+                Anomaly(
+                    name="hot-path-drift",
+                    severity="warning",
+                    message=(
+                        f"{function} {direction} from {base:.1%} to "
+                        f"{current:.1%} of profiled time "
+                        f"({delta_pp:+.1f}pp, threshold "
+                        f"±{drift_pp:.1f}pp over "
+                        f"{len(baseline_shares)} matched profiles)"
+                    ),
+                    value=delta_pp,
+                    threshold=drift_pp,
+                    context={
+                        "function": function,
+                        "current_share": current,
+                        "baseline_median": base,
+                        "samples": len(baseline_shares),
+                    },
+                )
+            )
+    if emit:
+        for finding in findings:
+            _events.instant(
+                "anomaly.hot-path-drift",
+                severity=finding.severity,
+                value=round(finding.value, 3),
                 threshold=finding.threshold,
                 message=finding.message,
             )

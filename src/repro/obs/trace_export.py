@@ -32,6 +32,7 @@ from repro.errors import ConfigurationError
 from repro.sim.trace import ExecutionTrace
 
 __all__ = [
+    "profile_to_events",
     "trace_to_events",
     "trace_to_chrome",
     "write_chrome_trace",
@@ -174,11 +175,92 @@ def trace_to_events(
     return events
 
 
+def profile_to_events(
+    snapshot: dict,
+    *,
+    pid: int,
+    process_name: str = "cpu-profile",
+    top_per_phase: int = 15,
+) -> list[dict]:
+    """Render a profiler snapshot as trace-event slices under one pid.
+
+    The snapshot (see :meth:`repro.obs.profiler.PhaseProfiler.snapshot`)
+    has no timeline — cProfile keeps aggregates — so the slices are a
+    *synthetic* sequential layout: one span per phase (in canonical
+    phase order, width = the phase's host wall clock), and inside each
+    phase its hottest functions laid end to end by self time.  Widths
+    are proportional to real measured time; only the ordering is
+    synthetic.  Keeping the profile in its own process group means the
+    virtual-time simulation tracks in the same document are untouched —
+    host microseconds and virtual microseconds never share a track.
+    """
+    events: list[dict] = [_meta(pid, "process_name", process_name)]
+    events.append(_meta(pid, "thread_name", "host-cpu", _SCHEDULER_TID))
+    cursor = 0.0
+    phases = snapshot.get("phases", {})
+    wall = snapshot.get("wall_s", {})
+    order = [p for p in ("probe", "fit", "solve", "execute", "overhead") if p in phases]
+    order += sorted(p for p in phases if p not in order)
+    for phase in order:
+        pdata = phases[phase]
+        phase_dur = max(float(wall.get(phase, pdata.get("self_s", 0.0))), 0.0)
+        if phase_dur <= 0.0:
+            continue
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": _SCHEDULER_TID,
+                "name": f"profile:{phase}",
+                "cat": "cpu-profile",
+                "ts": cursor * _US,
+                "dur": phase_dur * _US,
+                "args": {
+                    "phase": phase,
+                    "self_s": float(pdata.get("self_s", 0.0)),
+                    "wall_s": float(wall.get(phase, 0.0)),
+                },
+            }
+        )
+        hot = sorted(
+            pdata.get("functions", {}).values(),
+            key=lambda f: (-float(f.get("self_s", 0.0)), f.get("name", "")),
+        )[:top_per_phase]
+        inner = cursor
+        for f in hot:
+            dur = min(float(f.get("self_s", 0.0)), cursor + phase_dur - inner)
+            if dur <= 0.0:
+                continue
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": _SCHEDULER_TID + 1,
+                    "name": str(f.get("name", "?")),
+                    "cat": "cpu-profile-function",
+                    "ts": inner * _US,
+                    "dur": dur * _US,
+                    "args": {
+                        "phase": phase,
+                        "ncalls": int(f.get("ncalls", 0)),
+                        "self_s": float(f.get("self_s", 0.0)),
+                        "cum_s": float(f.get("cum_s", 0.0)),
+                    },
+                }
+            )
+            inner += dur
+        cursor += phase_dur
+    if len(events) > 2:
+        events.insert(2, _meta(pid, "thread_name", "hot-functions", _SCHEDULER_TID + 1))
+    return events
+
+
 def trace_to_chrome(
     traces: ExecutionTrace | list[tuple[str, ExecutionTrace]],
     *,
     run_id: str | None = None,
     metadata: dict | None = None,
+    profile: dict | None = None,
 ) -> dict:
     """Build a complete Chrome trace-event document.
 
@@ -190,6 +272,11 @@ def trace_to_chrome(
         --trace-out`` to put every policy on one timeline).
     run_id / metadata:
         Attached under ``otherData`` for provenance.
+    profile:
+        Optional profiler snapshot; its slices are appended as a
+        dedicated process group *after* every simulation process (pid
+        ``len(traces) + 1``), so host-time profile slices never mix
+        with virtual-time simulation tracks.
     """
     if isinstance(traces, ExecutionTrace):
         traces = [("simulation", traces)]
@@ -200,6 +287,8 @@ def trace_to_chrome(
         events.extend(
             trace_to_events(trace, pid=index + 1, process_name=label, run_id=run_id)
         )
+    if profile is not None:
+        events.extend(profile_to_events(profile, pid=len(traces) + 1))
     other = {"source": "repro", "schema": "chrome-trace-event"}
     if run_id:
         other["run_id"] = run_id

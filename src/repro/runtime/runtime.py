@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from repro.cluster.topology import Cluster
 from repro.errors import ConfigurationError
 from repro.obs.events import EventLog, current_run_id, new_run_id, push_run_id
+from repro.obs.profiler import profile_phase
 from repro.runtime.codelet import Codelet
 from repro.runtime.real_executor import RealExecutor
 from repro.runtime.scheduler_api import SchedulingPolicy
@@ -181,14 +182,19 @@ class Runtime:
                 backend=self.backend,
                 total_units=int(total_units),
             ) as span:
-                if self.backend == "sim":
-                    trace, makespan = self._executor.run(
-                        policy, total_units, initial_block_size
-                    )
-                else:
-                    trace, makespan, results = self._executor.run(
-                        policy, total_units, initial_block_size
-                    )
+                # Host-time attribution for `repro profile`: the whole
+                # executor loop runs as "execute"; the policy's fit and
+                # solve scopes and the executor's probe transitions
+                # re-attribute their slices from inside.
+                with profile_phase("execute"):
+                    if self.backend == "sim":
+                        trace, makespan = self._executor.run(
+                            policy, total_units, initial_block_size
+                        )
+                    else:
+                        trace, makespan, results = self._executor.run(
+                            policy, total_units, initial_block_size
+                        )
                 span["makespan"] = float(makespan)
         return RunResult(
             policy_name=policy.name,

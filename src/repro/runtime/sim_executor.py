@@ -21,6 +21,7 @@ from functools import partial
 from repro.cluster.perfmodel import GroundTruth, KernelCharacteristics
 from repro.cluster.topology import Cluster
 from repro.errors import SchedulingError, SimulationError
+from repro.obs.profiler import switch_phase
 from repro.runtime.data import BlockDomain
 from repro.runtime.scheduler_api import (
     DeviceInfo,
@@ -233,6 +234,9 @@ class SimulatedExecutor:
                     # phase spans cover stalls, not just busy intervals
                     trace.mark_phase(engine.now, phase)
                     last_phase = phase
+                    # keep the CPU profiler's phase in step with the
+                    # policy's (probe rounds vs. block execution)
+                    switch_phase("probe" if phase == "probe" else "execute")
                 task = Task(
                     task_id=task_counter,
                     worker_id=worker_id,

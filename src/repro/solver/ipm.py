@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.errors import ConvergenceError, SolverError
 from repro.obs.metrics import get_registry
+from repro.obs.profiler import profile_phase
 from repro.solver.filter import Filter, FilterEntry
 from repro.solver.kkt import solve_kkt
 from repro.solver.nlp import NLPProblem
@@ -133,6 +134,14 @@ class InteriorPointSolver:
         found (the partition layer falls back to waterfilling on
         failure).
         """
+        # Attribute solver time to the "solve" profile phase even when
+        # called outside the policy (direct solves from the dashboard or
+        # experiments); nested re-entry from the policy's own solve
+        # scope is a cheap no-op.
+        with profile_phase("solve"):
+            return self._solve_impl(problem, x0)
+
+    def _solve_impl(self, problem: NLPProblem, x0: np.ndarray) -> IPMResult:
         opts = self.options
         t0 = time.perf_counter()
 

@@ -386,3 +386,97 @@ class TestSweepHistoryRecording:
         point = PointSpec("matmul", 1024, 1, ("greedy",), replications=1)
         run_sweep([point], jobs=1, cache=None)
         assert not (tmp_path / ".repro_history").exists()
+
+
+def profile_calls(profile, fragment):
+    """Total recorded calls of functions whose name contains ``fragment``."""
+    return sum(
+        f["ncalls"]
+        for pdata in profile.get("phases", {}).values()
+        for f in pdata.get("functions", {}).values()
+        if fragment in f["name"]
+    )
+
+
+class TestProfiledSweeps:
+    """Satellite: multiprocess profile aggregation + cache interplay."""
+
+    #: Deterministic entry points whose call counts must not depend on
+    #: worker count (unlike e.g. lru_cache internals, which run once per
+    #: process and so differ between 1 and N workers by design).
+    CURATED = (
+        "repro.solver.ipm._solve_impl",
+        "repro.solver.partition.solve_block_partition",
+        "repro.modeling.least_squares.fit_basis_model",
+        "repro.runtime.sim_executor",
+    )
+
+    def test_jobs2_merge_matches_serial_call_counts(self, monkeypatch):
+        """A REPRO_JOBS=2 sweep merges worker profiles into the same
+        deterministic call counts as the serial run."""
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        ser_stats = SweepStats()
+        serial = run_sweep(
+            [SMALL], jobs=1, cache=None, stats=ser_stats, profile=True
+        )
+        par_stats = SweepStats()
+        parallel = run_sweep(
+            [SMALL], jobs=2, cache=None, stats=par_stats, profile=True
+        )
+        assert not par_stats.fell_back_serial
+        assert_points_identical(serial, parallel)
+        assert ser_stats.profile and par_stats.profile
+        for fragment in self.CURATED:
+            ser_calls = profile_calls(ser_stats.profile, fragment)
+            par_calls = profile_calls(par_stats.profile, fragment)
+            assert ser_calls > 0, fragment
+            assert ser_calls == par_calls, fragment
+
+    def test_profiled_sweep_attributes_named_phases(self):
+        stats = SweepStats()
+        run_sweep([SMALL], jobs=1, cache=None, stats=stats, profile=True)
+        from repro.obs.profiler import PROFILE_PHASES, phase_breakdown
+
+        breakdown = phase_breakdown(stats.profile)
+        assert set(breakdown) <= set(PROFILE_PHASES)
+        assert sum(p["share"] for p in breakdown.values()) == pytest.approx(1.0)
+        # The sim spends real time in all of probe/fit/solve/execute.
+        for phase in ("probe", "fit", "solve", "execute"):
+            assert breakdown[phase]["self_s"] > 0.0, phase
+
+    def test_profiled_sweep_bypasses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stats = SweepStats()
+        run_sweep([SMALL], jobs=1, cache=cache, stats=stats, profile=True)
+        # Nothing stored: profiled payloads would poison unprofiled
+        # replays (and measured overhead differs under the tracer).
+        assert list(tmp_path.rglob("*.json")) == []
+        assert stats.cache_hits == 0
+        # A warm unprofiled sweep afterwards sees a cold cache.
+        warm_stats = SweepStats()
+        run_sweep([SMALL], jobs=1, cache=cache, stats=warm_stats)
+        assert warm_stats.cache_hits == 0
+        assert warm_stats.executed == 6
+
+    def test_repro_profile_env_resolution(self, monkeypatch):
+        from repro.experiments.parallel import resolve_profile
+
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert resolve_profile(None) is False
+        assert resolve_profile(True) is True
+        assert resolve_profile(False) is False
+        for value in ("1", "on", "true", "YES"):
+            monkeypatch.setenv("REPRO_PROFILE", value)
+            assert resolve_profile(None) is True
+        monkeypatch.setenv("REPRO_PROFILE", "0")
+        assert resolve_profile(None) is False
+        # Explicit argument always wins over the environment.
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        assert resolve_profile(False) is False
+
+    def test_profiled_aggregates_match_unprofiled(self):
+        """Profiling must observe, not perturb: virtual-time results are
+        identical with and without the tracer."""
+        plain = run_sweep([SMALL], jobs=1, cache=None)
+        profiled = run_sweep([SMALL], jobs=1, cache=None, profile=True)
+        assert_points_identical(plain, profiled)

@@ -21,6 +21,7 @@ SECTIONS = (
     "Benchmark trend",
     "Solver convergence",
     "Execution timeline",
+    "CPU profile",
     "Anomalies",
 )
 
@@ -213,3 +214,56 @@ class TestCollectDashboardData:
         html = render_dashboard(data)
         for section in SECTIONS:
             assert section in html
+
+
+def make_profile_snapshot():
+    from repro.obs.profiler import profile_phase, profiling
+
+    def burn(n=500):
+        acc = 0
+        for i in range(n):
+            acc += i * i
+        return acc
+
+    with profiling() as prof:
+        with profile_phase("fit"):
+            burn()
+        with profile_phase("solve"):
+            burn()
+    return prof.snapshot()
+
+
+class TestProfileSection:
+    def test_empty_profile_placeholder(self):
+        html = render_dashboard(make_data())
+        assert "CPU profile" in html
+        assert "no profile captured" in html
+
+    def test_profile_tiles_and_table(self):
+        html = render_dashboard(make_data(profile=make_profile_snapshot()))
+        assert "no profile captured" not in html
+        assert "fit" in html and "solve" in html
+        assert "ms self" in html  # per-phase tiles
+        assert "burn" in html  # hot-function table row
+
+    def test_flamegraph_embedded_and_self_contained(self):
+        html = render_dashboard(make_data(profile=make_profile_snapshot()))
+        assert "repro-flame" in html
+        assert "host CPU time by phase and call stack" in html
+        # The embedded SVG must not break the document's bans.
+        assert "<script" not in html
+        assert "<img" not in html
+        assert "url(" not in html
+
+    def test_collect_populates_profile(self, tmp_path):
+        data = collect_dashboard_data(
+            app="matmul", size=2048, machines=1, replications=1,
+            jobs=1, history=HistoryStore(tmp_path),
+        )
+        assert data.profile.get("phases")
+        from repro.obs.profiler import phase_breakdown
+
+        breakdown = phase_breakdown(data.profile)
+        assert sum(d["share"] for d in breakdown.values()) == pytest.approx(1.0)
+        html = render_dashboard(data)
+        assert "no profile captured" not in html

@@ -215,3 +215,85 @@ class TestFromEnv:
         monkeypatch.setenv("REPRO_HISTORY", str(tmp_path / "h"))
         store = HistoryStore.from_env()
         assert store.root == tmp_path / "h"
+
+
+def make_profiled_report(shares=(0.3, 0.2), jobs=2):
+    report = make_bench_report(jobs=jobs)
+    report["meta"]["profiled"] = True
+    report["meta"]["hot_functions"] = [
+        {"function": f"mod.func{i}", "calls": 10, "self_s": s,
+         "cum_s": s, "share": s, "phase": "fit"}
+        for i, s in enumerate(shares)
+    ]
+    return report
+
+
+class TestProfiledEntries:
+    """Schema 2: the profiled flag + hot-function table."""
+
+    def test_schema_version_is_two(self):
+        assert HISTORY_SCHEMA == 2
+
+    def test_unprofiled_entry_has_false_flag(self):
+        entry = bench_entry(make_bench_report())
+        assert entry["profiled"] is False
+        assert "hot_functions" not in entry
+
+    def test_profiled_entry_round_trips(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.append(bench_entry(make_profiled_report()))
+        (entry,) = store.entries()
+        assert entry["profiled"] is True
+        assert entry["hot_functions"][0]["function"] == "mod.func0"
+
+    def test_schema1_lines_read_as_unprofiled(self, tmp_path):
+        # A pre-profiler entry (schema 1, no profiled key) must still
+        # load, and count as unprofiled for filtering.
+        store = HistoryStore(tmp_path)
+        legacy = bench_entry(make_bench_report())
+        legacy["schema"] = 1
+        del legacy["profiled"]
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        store.path.write_text(json.dumps(legacy) + "\n")
+        entries = store.entries(profiled=False)
+        assert len(entries) == 1
+        assert store.entries(profiled=True) == []
+        assert store.lap_samples("serial", profiled=False) == [1.0]
+
+    def test_entries_profiled_filter(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.append(bench_entry(make_bench_report()))
+        store.append(bench_entry(make_profiled_report()))
+        assert len(store.entries()) == 2
+        assert len(store.entries(profiled=False)) == 1
+        assert len(store.entries(profiled=True)) == 1
+
+    def test_validate_rejects_bad_profiled_type(self):
+        entry = bench_entry(make_bench_report())
+        entry["profiled"] = "yes"
+        assert any("boolean" in p for p in validate_entry(entry))
+
+    def test_validate_rejects_bad_hot_functions(self):
+        entry = bench_entry(make_profiled_report())
+        entry["hot_functions"] = [{"no_function_key": 1}]
+        assert any("hot_functions" in p for p in validate_entry(entry))
+        entry["hot_functions"] = "lots"
+        assert any("must be a list" in p for p in validate_entry(entry))
+
+    def test_hot_function_shares(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.append(bench_entry(make_bench_report()))  # unprofiled: skipped
+        store.append(bench_entry(make_profiled_report(shares=(0.3, 0.2))))
+        store.append(bench_entry(make_profiled_report(shares=(0.4, 0.1))))
+        shares = store.hot_function_shares()
+        assert shares == [
+            {"mod.func0": 0.3, "mod.func1": 0.2},
+            {"mod.func0": 0.4, "mod.func1": 0.1},
+        ]
+
+    def test_hot_function_shares_respects_filters(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.append(bench_entry(make_profiled_report(jobs=1)))
+        store.append(bench_entry(make_profiled_report(jobs=2)))
+        target = bench_entry(make_profiled_report(jobs=1))["config_hash"]
+        assert len(store.hot_function_shares(config_hash=target)) == 1

@@ -1,0 +1,336 @@
+"""Tests for repro.obs.profiler (phase-attributed CPU profiling)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.profiler import (
+    PROFILE_PHASES,
+    PROFILE_SCHEMA,
+    PhaseProfiler,
+    active_profiler,
+    collapsed_stacks,
+    hot_functions,
+    merge_profiles,
+    phase_breakdown,
+    profile_phase,
+    profiling,
+    render_flamegraph_svg,
+    switch_phase,
+    write_collapsed,
+    write_flamegraph,
+)
+
+
+def burn(n=200):
+    """A deterministic workload with an exact, countable call count."""
+    acc = 0
+    for i in range(n):
+        acc += i * i
+    return acc
+
+
+def outer(n=200):
+    return burn(n) + burn(n)
+
+
+def find_function(snap, phase, name_fragment):
+    """The stats row of the first function in ``phase`` matching by name."""
+    for row in snap["phases"][phase]["functions"].values():
+        if name_fragment in row["name"]:
+            return row
+    return None
+
+
+def captured_snapshot(calls_per_phase=3):
+    """A snapshot with known work in probe, fit and the overhead base."""
+    with profiling() as prof:
+        with profile_phase("probe"):
+            for _ in range(calls_per_phase):
+                burn()
+        with profile_phase("fit"):
+            for _ in range(calls_per_phase):
+                outer()
+        burn()  # overhead (the base phase)
+    return prof.snapshot()
+
+
+class TestPhaseProfiler:
+    def test_rejects_unknown_phase(self):
+        prof = PhaseProfiler()
+        with pytest.raises(ConfigurationError):
+            prof.start("warmup")
+
+    def test_start_twice_rejected(self):
+        prof = PhaseProfiler().start()
+        try:
+            with pytest.raises(ConfigurationError):
+                prof.start()
+        finally:
+            prof.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhaseProfiler().stop()
+
+    def test_snapshot_while_running_rejected(self):
+        prof = PhaseProfiler().start()
+        try:
+            with pytest.raises(ConfigurationError):
+                prof.snapshot()
+        finally:
+            prof.stop()
+
+    def test_phase_scoping_attributes_calls(self):
+        prof = PhaseProfiler().start()
+        with prof.phase("probe"):
+            burn()
+        with prof.phase("solve"):
+            burn()
+            burn()
+        prof.stop()
+        snap = prof.snapshot()
+        assert find_function(snap, "probe", "burn")["ncalls"] == 1
+        assert find_function(snap, "solve", "burn")["ncalls"] == 2
+
+    def test_nested_phases_restore_outer(self):
+        prof = PhaseProfiler().start()
+        with prof.phase("execute"):
+            with prof.phase("fit"):
+                burn()
+            burn()  # back in execute after the inner scope
+        prof.stop()
+        snap = prof.snapshot()
+        assert find_function(snap, "fit", "burn")["ncalls"] == 1
+        assert find_function(snap, "execute", "burn")["ncalls"] == 1
+
+    def test_switch_replaces_phase_in_place(self):
+        prof = PhaseProfiler().start()
+        with prof.phase("probe"):
+            burn()
+            prof.switch("execute")
+            burn()
+        # The scoped exit must restore the base phase, not "probe".
+        burn()
+        prof.stop()
+        snap = prof.snapshot()
+        assert find_function(snap, "probe", "burn")["ncalls"] == 1
+        assert find_function(snap, "execute", "burn")["ncalls"] == 1
+        assert find_function(snap, "overhead", "burn")["ncalls"] == 1
+
+    def test_wall_clock_banked_per_phase(self):
+        snap = captured_snapshot()
+        walls = snap["wall_s"]
+        assert set(walls) >= {"probe", "fit", "overhead"}
+        assert all(w >= 0.0 for w in walls.values())
+        assert walls["probe"] > 0.0
+
+    def test_snapshot_layout(self):
+        snap = captured_snapshot()
+        assert snap["schema"] == PROFILE_SCHEMA
+        assert snap["total_self_s"] > 0.0
+        for pdata in snap["phases"].values():
+            for key, row in pdata["functions"].items():
+                assert key.count(":") >= 2
+                assert set(row) == {"name", "ncalls", "self_s", "cum_s", "callers"}
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        snap = captured_snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+
+class TestAmbientHooks:
+    def test_inactive_hooks_are_noops(self):
+        assert active_profiler() is None
+        with profile_phase("fit"):
+            burn()
+        switch_phase("solve")  # must not raise
+
+    def test_profiling_activates_and_resets(self):
+        with profiling() as prof:
+            assert active_profiler() is prof
+        assert active_profiler() is None
+
+    def test_profiling_resets_on_error(self):
+        with pytest.raises(RuntimeError):
+            with profiling():
+                raise RuntimeError("boom")
+        assert active_profiler() is None
+
+    def test_double_activation_rejected(self):
+        with profiling():
+            with pytest.raises(ConfigurationError):
+                with profiling():
+                    pass
+
+    def test_hooks_route_into_active_profiler(self):
+        with profiling() as prof:
+            with profile_phase("solve"):
+                burn()
+        snap = prof.snapshot()
+        assert find_function(snap, "solve", "burn")["ncalls"] == 1
+
+    def test_exact_call_counts(self):
+        snap = captured_snapshot(calls_per_phase=4)
+        assert find_function(snap, "probe", "burn")["ncalls"] == 4
+        # outer calls burn twice per invocation.
+        assert find_function(snap, "fit", "burn")["ncalls"] == 8
+        assert find_function(snap, "overhead", "burn")["ncalls"] == 1
+
+
+class TestMergeProfiles:
+    def test_merge_into_empty_initialises(self):
+        snap = captured_snapshot()
+        merged = merge_profiles({}, snap)
+        assert merged["schema"] == PROFILE_SCHEMA
+        assert merged["total_self_s"] == pytest.approx(snap["total_self_s"])
+
+    def test_self_merge_doubles_counts_and_time(self):
+        snap = captured_snapshot()
+        merged = merge_profiles(merge_profiles({}, snap), snap)
+        assert merged["total_self_s"] == pytest.approx(2 * snap["total_self_s"])
+        for phase, pdata in snap["phases"].items():
+            for key, row in pdata["functions"].items():
+                mrow = merged["phases"][phase]["functions"][key]
+                assert mrow["ncalls"] == 2 * row["ncalls"]
+                assert mrow["self_s"] == pytest.approx(2 * row["self_s"])
+        for phase, wall in snap["wall_s"].items():
+            assert merged["wall_s"][phase] == pytest.approx(2 * wall)
+
+    def test_merge_sums_caller_edges(self):
+        snap = captured_snapshot()
+        merged = merge_profiles(merge_profiles({}, snap), snap)
+        row = find_function(snap, "fit", ".burn")
+        mrow = find_function(merged, "fit", ".burn")
+        assert row["callers"], "outer->burn edge expected"
+        for ck, edge in row["callers"].items():
+            assert mrow["callers"][ck] == pytest.approx(2 * edge)
+
+    def test_merge_disjoint_phases(self):
+        snap = captured_snapshot()
+        probe_only = {
+            "schema": PROFILE_SCHEMA,
+            "wall_s": {"probe": snap["wall_s"]["probe"]},
+            "total_self_s": snap["phases"]["probe"]["self_s"],
+            "phases": {"probe": snap["phases"]["probe"]},
+        }
+        fit_only = {
+            "schema": PROFILE_SCHEMA,
+            "wall_s": {"fit": snap["wall_s"]["fit"]},
+            "total_self_s": snap["phases"]["fit"]["self_s"],
+            "phases": {"fit": snap["phases"]["fit"]},
+        }
+        merged = merge_profiles(merge_profiles({}, probe_only), fit_only)
+        assert set(merged["phases"]) == {"probe", "fit"}
+        assert merged["total_self_s"] == pytest.approx(
+            probe_only["total_self_s"] + fit_only["total_self_s"]
+        )
+
+
+class TestTables:
+    def test_phase_breakdown_shares_sum_to_one(self):
+        bd = phase_breakdown(captured_snapshot())
+        assert set(bd) <= set(PROFILE_PHASES)
+        assert sum(p["share"] for p in bd.values()) == pytest.approx(1.0)
+
+    def test_phase_breakdown_empty_snapshot(self):
+        assert phase_breakdown({"total_self_s": 0.0, "phases": {}}) == {}
+
+    def test_hot_functions_sorted_and_bounded(self):
+        rows = hot_functions(captured_snapshot(), top=5)
+        assert 0 < len(rows) <= 5
+        assert rows == sorted(rows, key=lambda r: -r["self_s"])
+        for row in rows:
+            assert set(row) == {
+                "function", "calls", "self_s", "cum_s", "share", "phase",
+            }
+            assert row["phase"] in PROFILE_PHASES
+            assert 0.0 <= row["share"] <= 1.0
+
+    def test_hot_functions_aggregates_across_phases(self):
+        snap = captured_snapshot(calls_per_phase=3)
+        burn_row = next(
+            r for r in hot_functions(snap, top=50) if r["function"].endswith("burn")
+        )
+        # 3 in probe + 6 via outer in fit + 1 in overhead.
+        assert burn_row["calls"] == 10
+
+
+class TestCollapsedStacks:
+    def test_line_format_and_determinism(self):
+        snap = captured_snapshot()
+        lines = collapsed_stacks(snap)
+        assert lines and lines == sorted(lines)
+        assert lines == collapsed_stacks(snap)
+        for line in lines:
+            stack, _, value = line.rpartition(" ")
+            assert int(value) > 0
+            assert stack.split(";")[0] in PROFILE_PHASES
+
+    def test_values_conserve_profiled_time(self):
+        # Heavy enough that integer-microsecond rounding is noise.
+        with profiling() as prof:
+            with profile_phase("fit"):
+                for _ in range(5):
+                    outer(50_000)
+            with profile_phase("solve"):
+                burn(100_000)
+        snap = prof.snapshot()
+        lines = collapsed_stacks(snap)
+        total_us = sum(int(line.rpartition(" ")[2]) for line in lines)
+        assert total_us == pytest.approx(snap["total_self_s"] * 1e6, rel=0.05)
+
+    def test_caller_relationships_expand_to_stacks(self):
+        snap = captured_snapshot()
+        joined = "\n".join(collapsed_stacks(snap))
+        assert ".outer;" in joined  # outer appears as a parent frame
+
+    def test_write_collapsed_roundtrip(self, tmp_path):
+        lines = collapsed_stacks(captured_snapshot())
+        target = write_collapsed(tmp_path / "p.txt", lines)
+        assert target.read_text(encoding="utf-8").splitlines() == lines
+
+    def test_empty_snapshot_collapses_to_nothing(self):
+        assert collapsed_stacks({"phases": {}}) == []
+
+
+class TestFlamegraph:
+    # The dashboard's self-containment bans; xmlns is allowed (required
+    # for the SVG to open standalone).
+    FORBIDDEN = ("<script", "<link", "<img", "url(", "@import")
+
+    def test_svg_is_self_contained(self):
+        svg = render_flamegraph_svg(captured_snapshot())
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        low = svg.lower()
+        for banned in self.FORBIDDEN:
+            assert banned not in low, banned
+
+    def test_svg_has_dark_mode_and_phase_classes(self):
+        svg = render_flamegraph_svg(captured_snapshot())
+        assert "prefers-color-scheme:dark" in svg
+        for phase in PROFILE_PHASES:
+            assert f"rf-{phase}" in svg
+
+    def test_svg_escapes_frame_names(self):
+        svg = render_flamegraph_svg(captured_snapshot())
+        # builtins like <built-in method ...> must be escaped in labels.
+        assert "<built-in" not in svg
+
+    def test_accepts_precollapsed_lines(self):
+        lines = ["probe;a;b 1000", "fit;c 500"]
+        svg = render_flamegraph_svg(lines)
+        assert 'class="rf-probe"' in svg and 'class="rf-fit"' in svg
+
+    def test_empty_profile_renders_placeholder(self):
+        svg = render_flamegraph_svg([])
+        assert "(empty profile)" in svg
+
+    def test_write_flamegraph(self, tmp_path):
+        target = write_flamegraph(
+            tmp_path / "p.svg", captured_snapshot(), title="unit <test>"
+        )
+        text = target.read_text(encoding="utf-8")
+        assert text.startswith("<svg")
+        assert "unit &lt;test&gt;" in text

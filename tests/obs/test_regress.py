@@ -261,3 +261,148 @@ class TestAnomalyDetectors:
             emit=False,
         )
         assert findings and isinstance(findings[0], Anomaly)
+
+
+def profiled_report(laps, host=None, hot=None):
+    report = report_with(laps, host=host)
+    report["meta"]["profiled"] = True
+    report["meta"]["hot_functions"] = hot or [
+        {"function": "repro.solver.ipm._solve_impl", "share": 0.30},
+        {"function": "repro.modeling.least_squares.fit_basis_model", "share": 0.25},
+    ]
+    return report
+
+
+class TestProfiledLapExclusion:
+    """Satellite regress test: a profiled lap must never gate."""
+
+    def test_profiled_report_never_gates(self, tmp_path):
+        # A 50x slowdown that would gate hard unprofiled...
+        store = seeded_store(tmp_path, [1.0, 1.02, 0.98])
+        check = check_bench_report(profiled_report({"serial": 50.0}), store)
+        # ...is neutral under the profiler: tracer overhead is not
+        # comparable to unprofiled baselines.
+        assert check.verdict == "insufficient-data"
+        assert check.exit_code == 0
+        assert "--profile" in check.reason
+        assert all(c.verdict == "insufficient-data" for c in check.comparisons)
+        assert all("profiler" in c.reason for c in check.comparisons)
+
+    def test_profiled_baselines_never_used(self, tmp_path):
+        store = HistoryStore(tmp_path / "hist")
+        for value in (1.0, 1.0, 1.0):
+            store.append(bench_entry(profiled_report({"serial": value})))
+        check = check_bench_report(report_with({"serial": 9.0}), store)
+        assert check.verdict == "insufficient-data"
+        assert check.exit_code == 0
+
+    def test_mixed_history_gates_on_unprofiled_only(self, tmp_path):
+        store = seeded_store(tmp_path, [1.0, 1.02, 0.98])
+        # Interleaved profiled entries are slower (tracer overhead); they
+        # must not contaminate the unprofiled baseline.
+        for value in (1.6, 1.7):
+            store.append(bench_entry(profiled_report({"serial": value})))
+        check = check_bench_report(report_with({"serial": 1.01}), store)
+        assert check.verdict == "no-change"
+
+    def test_profiled_share_same_config_hash(self, tmp_path):
+        # The profiled flag is deliberately outside the config hash —
+        # that is what makes the exclusion above observable.
+        plain = bench_entry(report_with({"serial": 1.0}))
+        profiled = bench_entry(profiled_report({"serial": 1.0}))
+        assert plain["config_hash"] == profiled["config_hash"]
+
+
+class TestHotPathDrift:
+    BASELINE = [
+        {"repro.solver.ipm._solve_impl": 0.30, "f.g": 0.10},
+        {"repro.solver.ipm._solve_impl": 0.32, "f.g": 0.11},
+        {"repro.solver.ipm._solve_impl": 0.28, "f.g": 0.09},
+    ]
+
+    def test_matched_history_stays_clean(self):
+        from repro.obs.regress import detect_hot_path_drift
+
+        current = [
+            {"function": "repro.solver.ipm._solve_impl", "share": 0.31},
+            {"function": "f.g", "share": 0.105},
+        ]
+        assert detect_hot_path_drift(current, self.BASELINE, emit=False) == []
+
+    def test_synthetic_regression_flagged(self):
+        from repro.obs.regress import detect_hot_path_drift
+
+        current = [{"function": "repro.solver.ipm._solve_impl", "share": 0.55}]
+        findings = detect_hot_path_drift(current, self.BASELINE, emit=False)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.name == "hot-path-drift"
+        assert f.severity == "warning"
+        assert f.value == pytest.approx(25.0)  # 30% -> 55% = +25pp
+        assert f.context["function"] == "repro.solver.ipm._solve_impl"
+        assert "grew" in f.message
+
+    def test_shrinking_hot_path_also_flagged(self):
+        from repro.obs.regress import detect_hot_path_drift
+
+        current = [{"function": "repro.solver.ipm._solve_impl", "share": 0.05}]
+        findings = detect_hot_path_drift(current, self.BASELINE, emit=False)
+        assert findings and "shrank" in findings[0].message
+
+    def test_new_hot_function_counts_from_zero(self):
+        from repro.obs.regress import detect_hot_path_drift
+
+        current = [{"function": "brand.new_hotspot", "share": 0.20}]
+        findings = detect_hot_path_drift(current, self.BASELINE, emit=False)
+        assert findings[0].value == pytest.approx(20.0)
+
+    def test_below_min_samples_stays_neutral(self):
+        from repro.obs.regress import detect_hot_path_drift
+
+        current = [{"function": "repro.solver.ipm._solve_impl", "share": 0.99}]
+        assert detect_hot_path_drift(current, self.BASELINE[:1], emit=False) == []
+
+    def test_drift_threshold_configurable(self):
+        from repro.obs.regress import detect_hot_path_drift
+
+        current = [{"function": "repro.solver.ipm._solve_impl", "share": 0.33}]
+        assert detect_hot_path_drift(current, self.BASELINE, emit=False) == []
+        findings = detect_hot_path_drift(
+            current, self.BASELINE, drift_pp=1.0, emit=False
+        )
+        assert len(findings) == 1
+
+    def test_emits_structured_event(self, caplog):
+        from repro.obs.regress import detect_hot_path_drift
+
+        current = [{"function": "repro.solver.ipm._solve_impl", "share": 0.80}]
+        with caplog.at_level(logging.WARNING, logger="repro.obs.regress"):
+            detect_hot_path_drift(current, self.BASELINE)
+        assert any(
+            "anomaly.hot-path-drift" in r.getMessage() for r in caplog.records
+        )
+
+    def test_end_to_end_through_history_store(self, tmp_path):
+        """Acceptance: drift flags a synthetic regression, clean stays clean."""
+        from repro.obs.regress import detect_hot_path_drift
+
+        store = HistoryStore(tmp_path / "hist")
+        for share in (0.30, 0.31, 0.29):
+            store.append(
+                bench_entry(
+                    profiled_report(
+                        {"serial": 1.0},
+                        hot=[{"function": "repro.solver.ipm._solve_impl",
+                              "share": share}],
+                    )
+                )
+            )
+        entry = bench_entry(profiled_report({"serial": 1.0}))
+        shares = store.hot_function_shares(config_hash=entry["config_hash"])
+        assert len(shares) == 3
+        clean = [{"function": "repro.solver.ipm._solve_impl", "share": 0.30}]
+        assert detect_hot_path_drift(clean, shares, emit=False) == []
+        regressed = [{"function": "repro.solver.ipm._solve_impl", "share": 0.60}]
+        findings = detect_hot_path_drift(regressed, shares, emit=False)
+        assert len(findings) == 1
+        assert findings[0].value == pytest.approx(30.0)

@@ -152,3 +152,166 @@ class TestWriteAndValidate:
         assert validate_chrome_trace(doc) == []
         cats = {e.get("cat") for e in doc["traceEvents"] if e["ph"] == "X"}
         assert {"transfer", "probe", "exec"} <= cats
+
+
+def make_profile_snapshot():
+    """A hand-built profiler snapshot with known phases and functions."""
+    return {
+        "schema": 1,
+        "wall_s": {"probe": 0.010, "fit": 0.050, "solve": 0.030},
+        "total_self_s": 0.080,
+        "phases": {
+            # Deliberately unordered: export must lay out canonically.
+            "solve": {
+                "self_s": 0.028,
+                "functions": {
+                    "ipm.py:10:solve": {
+                        "name": "repro.solver.ipm._solve_impl",
+                        "ncalls": 4, "self_s": 0.020, "cum_s": 0.028,
+                        "callers": {},
+                    },
+                },
+            },
+            "probe": {
+                "self_s": 0.009,
+                "functions": {
+                    "plb.py:5:probe": {
+                        "name": "repro.core.plb_hec._probe",
+                        "ncalls": 2, "self_s": 0.009, "cum_s": 0.009,
+                        "callers": {},
+                    },
+                },
+            },
+            "fit": {
+                "self_s": 0.043,
+                "functions": {
+                    "ls.py:7:fit": {
+                        "name": "repro.modeling.least_squares.fit_basis_model",
+                        "ncalls": 8, "self_s": 0.040, "cum_s": 0.043,
+                        "callers": {},
+                    },
+                    "ls.py:9:aux": {
+                        "name": "repro.modeling.least_squares.r_squared",
+                        "ncalls": 8, "self_s": 0.003, "cum_s": 0.003,
+                        "callers": {},
+                    },
+                },
+            },
+        },
+    }
+
+
+class TestProfileGroup:
+    """Satellite: profile slices merge into the trace losslessly."""
+
+    def test_profile_events_in_dedicated_process_group(self):
+        from repro.obs.trace_export import profile_to_events
+
+        doc = trace_to_chrome(make_trace(), profile=make_profile_snapshot())
+        assert validate_chrome_trace(doc) == []
+        prof = [
+            e for e in doc["traceEvents"]
+            if e.get("cat", "").startswith("cpu-profile")
+        ]
+        assert prof, "profile slices expected"
+        # Single sim trace is pid 1; the profile group must be pid 2.
+        assert {e["pid"] for e in prof} == {2}
+        sim = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and not e.get("cat", "").startswith("cpu-profile")
+        ]
+        assert all(e["pid"] == 1 for e in sim)
+        # And the group is labelled.
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names[2] == "cpu-profile"
+        assert profile_to_events(make_profile_snapshot(), pid=9)[0]["pid"] == 9
+
+    def test_virtual_time_spans_untouched_by_profile(self):
+        plain = trace_to_chrome(make_trace(), run_id="r")
+        merged = trace_to_chrome(
+            make_trace(), run_id="r", profile=make_profile_snapshot()
+        )
+        keep = [
+            e for e in merged["traceEvents"]
+            if e["pid"] == 1 and not e.get("cat", "").startswith("cpu-profile")
+        ]
+        assert keep == plain["traceEvents"]
+
+    def test_phase_slices_canonical_order_and_wall_widths(self):
+        from repro.obs.trace_export import profile_to_events
+
+        events = profile_to_events(make_profile_snapshot(), pid=2)
+        phases = [e for e in events if e.get("cat") == "cpu-profile"]
+        assert [e["name"] for e in phases] == [
+            "profile:probe", "profile:fit", "profile:solve",
+        ]
+        # Laid end to end with the measured wall clock as width.
+        assert phases[0]["ts"] == 0.0
+        assert phases[0]["dur"] == pytest.approx(0.010e6)
+        assert phases[1]["ts"] == pytest.approx(0.010e6)
+        assert phases[1]["dur"] == pytest.approx(0.050e6)
+        assert phases[2]["ts"] == pytest.approx(0.060e6)
+
+    def test_hot_function_slices_clamped_inside_phase(self):
+        from repro.obs.trace_export import profile_to_events
+
+        events = profile_to_events(make_profile_snapshot(), pid=2)
+        phases = {
+            e["args"]["phase"]: e for e in events if e.get("cat") == "cpu-profile"
+        }
+        funcs = [e for e in events if e.get("cat") == "cpu-profile-function"]
+        assert funcs, "hot-function slices expected"
+        for f in funcs:
+            span = phases[f["args"]["phase"]]
+            assert f["ts"] >= span["ts"] - 1e-9
+            assert f["ts"] + f["dur"] <= span["ts"] + span["dur"] + 1e-9
+            assert f["tid"] != span["tid"]
+        fit = [f for f in funcs if f["args"]["phase"] == "fit"]
+        assert [f["name"] for f in fit] == [
+            "repro.modeling.least_squares.fit_basis_model",
+            "repro.modeling.least_squares.r_squared",
+        ]
+        assert fit[0]["args"]["ncalls"] == 8
+
+    def test_round_trip_with_profile_is_lossless(self, tmp_path):
+        out = tmp_path / "t.json"
+        doc = trace_to_chrome(
+            [("plb-hec", make_trace()), ("greedy", make_trace())],
+            profile=make_profile_snapshot(),
+        )
+        write_chrome_trace(doc, out)
+        loaded = json.loads(out.read_text())
+        assert loaded == doc
+        assert validate_chrome_trace(loaded) == []
+        # Two sim groups then the profile group.
+        assert {e["pid"] for e in loaded["traceEvents"]} == {1, 2, 3}
+
+    def test_empty_profile_adds_no_slices(self):
+        from repro.obs.trace_export import profile_to_events
+
+        events = profile_to_events(
+            {"schema": 1, "wall_s": {}, "total_self_s": 0.0, "phases": {}}, pid=2
+        )
+        assert [e["ph"] for e in events] == ["M", "M"]  # just the meta rows
+
+    def test_real_profiled_run_exports_cleanly(self, small_cluster):
+        from repro import PLBHeC, Runtime
+        from repro.apps import MatMul
+        from repro.obs.profiler import profiling
+
+        app = MatMul(n=4096)
+        with profiling() as prof:
+            res = Runtime(small_cluster, app.codelet(), seed=0).run(
+                PLBHeC(), app.total_units, app.default_initial_block_size()
+            )
+        doc = trace_to_chrome(res.trace, run_id=res.run_id, profile=prof.snapshot())
+        assert validate_chrome_trace(doc) == []
+        phase_names = {
+            e["name"] for e in doc["traceEvents"] if e.get("cat") == "cpu-profile"
+        }
+        assert {"profile:probe", "profile:fit", "profile:solve",
+                "profile:execute"} <= phase_names

@@ -324,3 +324,156 @@ class TestDashboardCommand:
         assert main(["dashboard", "--out", str(out), "--history", "-"]) == 0
         assert "dashboard written" in capsys.readouterr().out
         assert out.read_text().startswith("<!DOCTYPE html>")
+
+
+def fake_profiled_report(serial=1.0, shares=(0.30, 0.20)):
+    report = fake_bench_report(serial=serial)
+    report["meta"]["profiled"] = True
+    report["meta"]["hot_functions"] = [
+        {"function": f"mod.func{i}", "phase": "fit", "calls": 5,
+         "self_s": s, "cum_s": s, "share": s}
+        for i, s in enumerate(shares)
+    ]
+    return report
+
+
+class TestProfileParser:
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.app == "matmul"
+        assert args.policy == "plb-hec"
+        assert args.flame == "profile.svg"
+        assert args.collapsed is None
+        assert args.json_out is None
+        assert args.trace_out is None
+        assert args.top == 10
+
+    def test_profile_flags(self):
+        args = build_parser().parse_args(
+            ["profile", "--flame", "-", "--collapsed", "p.txt",
+             "--json", "p.json", "--trace-out", "t.json", "--top", "5"]
+        )
+        assert args.flame == "-"
+        assert args.collapsed == "p.txt"
+        assert args.json_out == "p.json"
+        assert args.trace_out == "t.json"
+        assert args.top == 5
+
+    @pytest.mark.parametrize("command", ["run", "compare", "bench"])
+    def test_profile_flag_everywhere(self, command):
+        assert build_parser().parse_args([command]).profile is False
+        assert build_parser().parse_args([command, "--profile"]).profile is True
+
+
+class TestProfileCommand:
+    def test_writes_all_artifacts(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.trace_export import validate_chrome_trace
+
+        flame = tmp_path / "p.svg"
+        collapsed = tmp_path / "p.txt"
+        snap_path = tmp_path / "p.json"
+        trace = tmp_path / "t.json"
+        assert main(
+            ["profile", "--app", "matmul", "--size", "4096",
+             "--flame", str(flame), "--collapsed", str(collapsed),
+             "--json", str(snap_path), "--trace-out", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "attributed to a named phase" in out
+        assert "CPU time by phase" in out
+        # Acceptance: self-contained SVG + loadable collapsed stacks.
+        svg = flame.read_text()
+        assert svg.startswith("<svg") and "<script" not in svg
+        lines = collapsed.read_text().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, value = line.rpartition(" ")
+            assert int(value) > 0 and stack
+        snap = json.loads(snap_path.read_text())
+        named = sum(p["self_s"] for p in snap["phases"].values())
+        assert named / snap["total_self_s"] >= 0.95  # >=95% named-phase
+        doc = json.loads(trace.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert any(
+            e.get("cat") == "cpu-profile" for e in doc["traceEvents"]
+        )
+
+    def test_flame_dash_skips_svg(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["profile", "--app", "matmul", "--size", "4096", "--flame", "-"]
+        ) == 0
+        assert "flamegraph written" not in capsys.readouterr().out
+        assert not (tmp_path / "profile.svg").exists()
+
+    def test_run_profile_prints_breakdown(self, capsys):
+        assert main(
+            ["run", "--app", "matmul", "--size", "4096", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CPU time by phase" in out
+        assert "Top" in out and "hot functions" in out
+
+
+class TestBenchProfileCommand:
+    @pytest.fixture(autouse=True)
+    def fast_bench(self, monkeypatch):
+        import repro.experiments.wallclock as wallclock
+
+        self.reports = [fake_profiled_report()]
+        self.calls = []
+        def fake(**kwargs):
+            self.calls.append(kwargs)
+            return self.reports[-1]
+        monkeypatch.setattr(wallclock, "run_wallclock_bench", fake)
+
+    def test_bench_profile_flag_passed_through(self, capsys):
+        assert main(["bench", "--output", "-", "--history", "-",
+                     "--profile"]) == 0
+        assert self.calls[-1]["profile"] is True
+        assert "Hot functions" in capsys.readouterr().out
+
+    def test_profiled_lap_recorded_and_never_gates(self, tmp_path, capsys):
+        from repro.obs.history import HistoryStore
+
+        hist = str(tmp_path / "history.jsonl")
+        # Two profiled runs seed history; the third would "regress" 10x
+        # but profiled laps never gate.
+        for _ in range(2):
+            assert main(["bench", "--output", "-", "--history", hist,
+                         "--profile"]) == 0
+        self.reports.append(fake_profiled_report(serial=10.0))
+        code = main(["bench", "--output", "-", "--history", hist,
+                     "--profile", "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "insufficient-data" in out
+        assert "never gate" in out
+        entries = HistoryStore(hist).entries(kind="bench")
+        assert all(e["profiled"] for e in entries)
+        assert entries[0]["hot_functions"][0]["function"] == "mod.func0"
+
+    def test_drift_advisory_clean(self, tmp_path, capsys):
+        hist = str(tmp_path / "history.jsonl")
+        for _ in range(2):
+            assert main(["bench", "--output", "-", "--history", hist,
+                         "--profile"]) == 0
+        code = main(["bench", "--output", "-", "--history", hist,
+                     "--profile", "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hot-path drift: none over 2 matched" in out
+
+    def test_drift_advisory_flags_shifted_hot_path(self, tmp_path, capsys):
+        hist = str(tmp_path / "history.jsonl")
+        for _ in range(2):
+            assert main(["bench", "--output", "-", "--history", hist,
+                         "--profile"]) == 0
+        self.reports.append(fake_profiled_report(shares=(0.70, 0.05)))
+        code = main(["bench", "--output", "-", "--history", hist,
+                     "--profile", "--check"])
+        out = capsys.readouterr().out
+        assert code == 0  # advisory: never changes the exit code
+        assert "hot-path drift: mod.func0 grew" in out

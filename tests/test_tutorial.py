@@ -175,3 +175,22 @@ class TestTutorialPolicy:
             PLBHeC(), app.total_units, app.default_initial_block_size()
         )
         assert result.trace.total_units() == 20_000
+
+
+class TestTutorialProfiling:
+    def test_profiling_snippet_runs(self, small_cluster, tmp_path):
+        """The §8 capture snippet, verbatim in structure."""
+        from repro.obs import phase_breakdown, profiling, write_flamegraph
+
+        app = RayBatch(100_000)
+        runtime = Runtime(small_cluster, app.codelet(), seed=1)
+        with profiling() as prof:
+            runtime.run(
+                PLBHeC(), app.total_units, app.default_initial_block_size()
+            )
+        snap = prof.snapshot()
+        breakdown = phase_breakdown(snap)
+        assert sum(d["share"] for d in breakdown.values()) == pytest.approx(1.0)
+        assert breakdown["execute"]["self_s"] > 0.0
+        path = write_flamegraph(tmp_path / "p.svg", snap)
+        assert path.read_text().startswith("<svg")

@@ -17,6 +17,7 @@ from typing import Mapping
 from repro.errors import ConfigurationError
 from repro.modeling.perf_profile import DeviceModel
 from repro.runtime.scheduler_api import SchedulingContext, SchedulingPolicy
+from repro.sim.trace import TaskRecord
 from repro.solver.partition import solve_block_partition
 
 __all__ = ["StaticProfile"]
@@ -56,16 +57,27 @@ class StaticProfile(SchedulingPolicy):
                 "distribution requires previous-execution profiles"
             )
         models = {d: self.profiles[d] for d in ctx.device_ids}
-        result = solve_block_partition(models, float(ctx.total_units))
+        self._remaining = ctx.total_units
+        self._outstanding: dict[str, int] = {d: 0 for d in ctx.device_ids}
+        self._replan(models, float(ctx.total_units))
+
+    def _replan(self, models: Mapping[str, DeviceModel], units: float) -> None:
+        """Solve the offline split for ``units`` over ``models``."""
+        result = solve_block_partition(dict(models), units)
         self.partition = result
-        per_step = {
+        self._per_step = {
             d: u / self.num_steps for d, u in result.units_by_device.items()
         }
-        self._per_step = per_step
-        self._steps_given = {d: 0 for d in ctx.device_ids}
+        self._steps_given = {d: 0 for d in models}
 
     def next_block(self, worker_id: str, now: float) -> int:
-        if self._steps_given[worker_id] >= self.num_steps:
+        if self._steps_given.get(worker_id, self.num_steps) >= self.num_steps:
+            # waves exhausted: mop up any shortfall from integer rounding
+            # or lost blocks the wave plan cannot see
+            if self._remaining > 0:
+                return min(
+                    self._remaining, max(self.ctx.initial_block_size, 1)
+                )
             return 0
         self._steps_given[worker_id] += 1
         units = self._per_step.get(worker_id, 0.0)
@@ -75,6 +87,53 @@ class StaticProfile(SchedulingPolicy):
             given = units * (self.num_steps - 1)
             units = total - given
         return max(int(round(units)), 0)
+
+    def on_block_dispatched(
+        self, worker_id: str, granted_units: int, now: float
+    ) -> None:
+        self._remaining -= granted_units
+        self._outstanding[worker_id] = (
+            self._outstanding.get(worker_id, 0) + granted_units
+        )
+
+    def on_task_finished(
+        self, record: TaskRecord, remaining: int, now: float
+    ) -> None:
+        d = record.worker_id
+        self._outstanding[d] = max(
+            self._outstanding.get(d, record.units) - record.units, 0
+        )
+        self._remaining = remaining
+
+    def on_device_failed(self, device_id: str, now: float) -> None:
+        """Re-run the offline split over the survivors.
+
+        "Static" means no *runtime* adaptation — but a permanently dead
+        device leaves its share unprocessed, so the undispatched work
+        (plus the failed device's lost in-flight block) is re-split over
+        the surviving profiles with one more offline solve; the original
+        system would similarly be re-run with the surviving machine
+        file.
+        """
+        lost = self._outstanding.pop(device_id, 0)
+        self._remaining += lost
+        self._per_step.pop(device_id, None)
+        self._steps_given.pop(device_id, None)
+        survivors = {
+            d: self.profiles[d] for d in self._steps_given if d in self.profiles
+        }
+        if survivors and self._remaining > 0:
+            self._replan(survivors, float(self._remaining))
+
+    def on_device_recovered(self, device_id: str, now: float) -> None:
+        """Fold a recovered device back in with a fresh survivor split."""
+        if device_id in self._steps_given or device_id not in self.profiles:
+            return
+        self._steps_given[device_id] = 0
+        self._outstanding.setdefault(device_id, 0)
+        models = {d: self.profiles[d] for d in self._steps_given}
+        if self._remaining > 0:
+            self._replan(models, float(self._remaining))
 
     def step_index(self, worker_id: str) -> int:
         return self._steps_given.get(worker_id, 0)

@@ -7,6 +7,9 @@ Commands
     ``--trace-out trace.json`` additionally exports a Chrome
     trace-event/Perfetto timeline; ``--metrics-out metrics.json``
     writes the run's telemetry manifest (:class:`repro.obs.RunReport`).
+    Repeatable fault-injection flags: ``--fail DEV@T`` (permanent
+    failure), ``--perturb DEV@T:FACTOR`` (speed change), ``--transient
+    DEV@T+D`` (down at T, back after D).
 ``trace``
     Run one workload and write the Perfetto/Chrome timeline to
     ``--out`` (default ``trace.json``) — shorthand for
@@ -32,8 +35,16 @@ Commands
 ``dashboard``
     Write the self-contained HTML observability dashboard (policy
     comparison, benchmark trend, solver convergence, Gantt timeline,
-    CPU profile, anomaly findings) — no external requests, open it
-    anywhere.
+    CPU profile, resilience scorecard, anomaly findings) — no external
+    requests, open it anywhere.  ``--scorecard chaos_scorecard.json``
+    feeds the resilience section from a previous ``chaos`` run.
+``chaos``
+    Run a seeded chaos campaign (randomized fault schedules over a
+    scenario × policy grid through the sweep engine), check the
+    work-conservation and fault-isolation invariants on every run, and
+    write the resilience scorecard JSON.  Exits non-zero when any
+    invariant is violated.  Same seed → bit-identical scorecard; see
+    docs/TUTORIAL.md §9.
 ``profile``
     Run one workload under the deterministic phase-attributed CPU
     profiler and write a flamegraph SVG (``--flame``), a collapsed-stack
@@ -100,6 +111,7 @@ from repro.experiments.runner import (
 from repro.experiments.solver_overhead import run_solver_overhead
 from repro.experiments.table1 import render_table1
 from repro.cluster import GroundTruth, paper_cluster
+from repro.errors import ConfigurationError
 from repro.obs.events import new_run_id, push_run_id
 from repro.obs.metrics import get_registry
 from repro.obs.report import RunReport
@@ -147,12 +159,36 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--policy",
             default="plb-hec",
-            choices=[*PAPER_POLICIES, "hdss-async", "oracle"],
+            choices=[*PAPER_POLICIES, "hdss-async", "gss", "static", "oracle"],
         )
 
     p_run = sub.add_parser("run", help="run one workload under one policy")
     add_workload_args(p_run)
     add_policy_arg(p_run)
+    p_run.add_argument(
+        "--fail",
+        metavar="DEV@T",
+        action="append",
+        default=[],
+        help="permanently fail a device at virtual time T "
+        "(repeatable, e.g. --fail A.gpu0@0.05)",
+    )
+    p_run.add_argument(
+        "--perturb",
+        metavar="DEV@T:FACTOR",
+        action="append",
+        default=[],
+        help="multiply a device's execution times by FACTOR from time T "
+        "on (repeatable, e.g. --perturb A.cpu@0.1:2.5)",
+    )
+    p_run.add_argument(
+        "--transient",
+        metavar="DEV@T+D",
+        action="append",
+        default=[],
+        help="take a device down at time T and bring it back after D "
+        "seconds (repeatable, e.g. --transient B.gpu0@0.05+0.02)",
+    )
     p_run.add_argument(
         "--gantt", action="store_true", help="render an ASCII Gantt chart"
     )
@@ -349,8 +385,115 @@ def build_parser() -> argparse.ArgumentParser:
         help="history store for the trend section (default: REPRO_HISTORY, "
         "else .repro_history/)",
     )
+    p_dash.add_argument(
+        "--scorecard",
+        metavar="PATH",
+        default=None,
+        help="chaos scorecard JSON (from 'repro chaos --out') to render "
+        "in the resilience section",
+    )
     add_jobs_arg(p_dash)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded chaos campaign and write the resilience scorecard",
+    )
+    p_chaos.add_argument(
+        "--app",
+        choices=["matmul", "grn", "blackscholes", "stencil"],
+        default="matmul",
+    )
+    p_chaos.add_argument("--size", type=int, default=2048)
+    p_chaos.add_argument("--machines", type=int, default=2, choices=[1, 2, 3, 4])
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--runs", type=int, default=16, help="campaign slots (default 16)"
+    )
+    p_chaos.add_argument(
+        "--policies",
+        default=None,
+        help="comma-separated policy list "
+        "(default plb-hec,greedy,hdss,gss; --quick: plb-hec,greedy)",
+    )
+    p_chaos.add_argument(
+        "--max-faults",
+        type=int,
+        default=None,
+        help="max faults per schedule (default 2; --quick: 1)",
+    )
+    p_chaos.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke grid: two policies, one fault per run",
+    )
+    p_chaos.add_argument(
+        "--out",
+        metavar="PATH",
+        default="chaos_scorecard.json",
+        help="scorecard JSON path ('-' to skip writing)",
+    )
+    p_chaos.add_argument(
+        "--dashboard",
+        metavar="PATH",
+        default=None,
+        help="also render an HTML dashboard with the resilience section",
+    )
+    p_chaos.add_argument(
+        "--history",
+        metavar="PATH",
+        default=None,
+        help="history store to append the campaign summary to "
+        "('-' disables; default: REPRO_HISTORY, else .repro_history/)",
+    )
+    add_jobs_arg(p_chaos)
     return parser
+
+
+def _split_fault_spec(spec: str, flag: str, syntax: str) -> tuple[str, str]:
+    """``DEV@REST`` → ``(DEV, REST)``; anything else is a usage error."""
+    device, sep, rest = spec.partition("@")
+    if not sep or not device or not rest:
+        raise ConfigurationError(f"--{flag} wants {syntax}, got {spec!r}")
+    return device, rest
+
+
+def _parse_fault_flags(args: argparse.Namespace):
+    """Fault objects from the repeatable ``run`` injection flags.
+
+    Malformed specs (and malformed numbers inside them) surface as
+    :class:`ConfigurationError` naming the flag; unknown device ids are
+    validated later by the runtime against the actual cluster.
+    """
+    from repro.runtime import DeviceFailure, Perturbation, TransientFailure
+
+    perturbations, failures, transients = [], [], []
+    try:
+        for spec in getattr(args, "fail", None) or []:
+            device, when = _split_fault_spec(spec, "fail", "DEV@T")
+            failures.append(DeviceFailure(device, float(when)))
+        for spec in getattr(args, "perturb", None) or []:
+            device, rest = _split_fault_spec(spec, "perturb", "DEV@T:FACTOR")
+            when, sep, factor = rest.partition(":")
+            if not sep or not when or not factor:
+                raise ConfigurationError(
+                    f"--perturb wants DEV@T:FACTOR, got {spec!r}"
+                )
+            perturbations.append(
+                Perturbation(device, float(when), float(factor))
+            )
+        for spec in getattr(args, "transient", None) or []:
+            device, rest = _split_fault_spec(spec, "transient", "DEV@T+D")
+            when, sep, downtime = rest.partition("+")
+            if not sep or not when or not downtime:
+                raise ConfigurationError(
+                    f"--transient wants DEV@T+D, got {spec!r}"
+                )
+            transients.append(
+                TransientFailure(device, float(when), float(downtime))
+            )
+    except ValueError as exc:
+        raise ConfigurationError(f"bad fault spec: {exc}") from exc
+    return tuple(perturbations), tuple(failures), tuple(transients)
 
 
 def _simulate(args: argparse.Namespace, policy_name: str, *, seed: int | None = None):
@@ -359,11 +502,15 @@ def _simulate(args: argparse.Namespace, policy_name: str, *, seed: int | None = 
     cluster = paper_cluster(args.machines)
     ground_truth = GroundTruth(cluster, app.kernel_characteristics())
     policy = make_policy(policy_name, ground_truth=ground_truth)
+    perturbations, failures, transients = _parse_fault_flags(args)
     runtime = Runtime(
         cluster,
         app.codelet(),
         seed=args.seed if seed is None else seed,
         noise_sigma=args.noise,
+        perturbations=perturbations,
+        failures=failures,
+        transients=transients,
     )
     result = runtime.run(
         policy, app.total_units, app.default_initial_block_size()
@@ -449,6 +596,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             ]],
         )
     )
+    trace = result.trace
+    if trace.failures or trace.recoveries or trace.lost_blocks:
+        lost = sum(units for _, _, units in trace.lost_blocks)
+        print(
+            f"faults: {len(trace.failures)} down event(s), "
+            f"{len(trace.recoveries)} recovery(ies), "
+            f"{lost} lost unit(s) reprocessed"
+        )
     if prof_snapshot is not None:
         _print_profile_summary(prof_snapshot)
     if args.trace_out:
@@ -752,6 +907,11 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
     from repro.obs.dashboard import collect_dashboard_data, write_dashboard
 
     history = _resolve_history(args.history)
+    scorecard = None
+    if args.scorecard:
+        scorecard = json.loads(
+            Path(args.scorecard).read_text(encoding="utf-8")
+        )
     data = collect_dashboard_data(
         app=args.app,
         size=args.size,
@@ -761,6 +921,7 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
         replications=args.replications,
         jobs=args.jobs,
         history=history,
+        scorecard=scorecard,
     )
     path = write_dashboard(args.out, data)
     print(
@@ -769,6 +930,83 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
         f"{len(data.anomalies)} anomalies); open it in any browser"
     )
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.obs.history import chaos_entry
+    from repro.resilience import ChaosConfig, run_campaign
+
+    if args.policies:
+        policies = tuple(
+            p.strip() for p in args.policies.split(",") if p.strip()
+        )
+    elif args.quick:
+        policies = ("plb-hec", "greedy")
+    else:
+        policies = ("plb-hec", "greedy", "hdss", "gss")
+    max_faults = args.max_faults
+    if max_faults is None:
+        max_faults = 1 if args.quick else 2
+    config = ChaosConfig(
+        apps=(args.app,),
+        sizes=(args.size,),
+        machines=args.machines,
+        policies=policies,
+        runs=args.runs,
+        seed=args.seed,
+        max_faults=max_faults,
+    )
+    scorecard = run_campaign(config, jobs=args.jobs)
+
+    def fmt(value, scale=1.0, suffix="", digits=3):
+        if value is None:
+            return "-"
+        return f"{value * scale:.{digits}f}{suffix}"
+
+    rows = [
+        [
+            name,
+            f"{agg['survived']}/{agg['runs']}",
+            f"{agg['survival_rate'] * 100:.0f}%",
+            fmt(agg["mean_degradation"], suffix="x"),
+            fmt(agg["max_degradation"], suffix="x"),
+            fmt(agg["mean_recovery_lag"], scale=1e3, suffix="ms", digits=1),
+            agg["violations"],
+        ]
+        for name, agg in scorecard["policies"].items()
+    ]
+    print(
+        format_table(
+            ["policy", "survived", "rate", "mean_deg", "max_deg",
+             "recovery_lag", "violations"],
+            rows,
+            title=f"Chaos campaign: {args.app} size={args.size} "
+            f"machines={args.machines} runs={args.runs} seed={args.seed}",
+        )
+    )
+    ok = scorecard["all_invariants_ok"]
+    print(
+        f"{scorecard['survived_runs']}/{scorecard['total_runs']} runs "
+        f"survived, {scorecard['total_violations']} invariant violation(s) "
+        f"-> {'OK' if ok else 'FAIL'}"
+    )
+    if args.out != "-":
+        Path(args.out).write_text(
+            json.dumps(scorecard, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"scorecard written to {args.out}")
+    if args.dashboard:
+        from repro.obs.dashboard import chaos_dashboard_data, write_dashboard
+
+        path = write_dashboard(args.dashboard, chaos_dashboard_data(scorecard))
+        print(f"dashboard written to {path}")
+    history = _resolve_history(args.history)
+    if history is not None:
+        stored = history.append(chaos_entry(scorecard))
+        print(f"history: appended to {history.path} "
+              f"(config {stored['config_hash'][:12]})")
+    return 0 if ok else 3
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -834,6 +1072,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "dashboard":
         return _cmd_dashboard(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "overhead":
         stats = run_solver_overhead(repetitions=args.repetitions)
         print(

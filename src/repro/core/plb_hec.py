@@ -30,9 +30,12 @@ measurements did (they report ~170 ms per solve on four machines).
 from __future__ import annotations
 
 import logging
+import math
 import time
 
-from repro.errors import ConfigurationError, FitError
+import numpy as np
+
+from repro.errors import ConfigurationError, FitError, SolverError
 from repro.modeling.perf_profile import DeviceModel, PerfProfile
 from repro.obs.events import EventLog
 from repro.obs.metrics import get_registry
@@ -208,6 +211,9 @@ class PLBHeC(SchedulingPolicy):
         self._syncing = False
         self.selection_history: list[PartitionResult] = []
         self.rebalance_count = 0
+        # state benched by transient failures, restored on recovery
+        self._benched_profiles: dict[str, PerfProfile] = {}
+        self._benched_models: dict[str, DeviceModel] = {}
 
         # Warm start: a later phase over the same devices reuses the
         # previous phase's profiles and skips the probing rounds.
@@ -297,8 +303,15 @@ class PLBHeC(SchedulingPolicy):
         the block sizes are re-solved over the remaining devices.
         """
         self._ids = tuple(d for d in self._ids if d != device_id)
-        self._profiles.pop(device_id, None)
-        self._models.pop(device_id, None)
+        # bench (don't discard) the learned state: if the outage turns
+        # out to be transient, on_device_recovered restores it so the
+        # device re-enters without a fresh profiling phase
+        profile = self._profiles.pop(device_id, None)
+        if profile is not None:
+            self._benched_profiles[device_id] = profile
+        model = self._models.pop(device_id, None)
+        if model is not None:
+            self._benched_models[device_id] = model
         self._block_sizes.pop(device_id, None)
         # the device's cancelled in-flight block produces no completion;
         # release it from the barrier accounting
@@ -323,6 +336,40 @@ class PLBHeC(SchedulingPolicy):
                 self._round_dispatched = set()
                 self._round_times = {}
         else:
+            remaining = self.ctx.total_units - self._consumed
+            if remaining > 0 and self._models:
+                self._rebalance(remaining)
+        self._monitor.reset()
+
+    def on_device_recovered(self, device_id: str, now: float) -> None:
+        """Fold a transiently-failed device back into the run.
+
+        The benched profile (and fitted model, if one existed) is
+        restored, so the device rejoins with everything it learned
+        before the outage.  In the execution phase the partition is
+        re-solved over the enlarged device set; in the modeling phase
+        the device simply rejoins the probe barrier from the current
+        round.
+        """
+        if device_id in self._ids:
+            return
+        get_registry().inc("plbhec.recoveries")
+        _events.instant("plbhec.recover", device=device_id)
+        self._ids = self._ids + (device_id,)
+        self._profiles[device_id] = self._benched_profiles.pop(
+            device_id, PerfProfile(device_id)
+        )
+        self._outstanding.setdefault(device_id, 0)
+        self._pull_count.setdefault(device_id, 0)
+        if self._phase == "modeling":
+            self._plan = ProbePlan(self._ids, self.ctx.initial_block_size)
+            self._round_sizes = self._plan.sizes(self._round, self._round_rates)
+            # let the device request a probe in the current round
+            self._round_requested.discard(device_id)
+        else:
+            model = self._benched_models.pop(device_id, None)
+            if model is not None:
+                self._models[device_id] = model
             remaining = self.ctx.total_units - self._consumed
             if remaining > 0 and self._models:
                 self._rebalance(remaining)
@@ -451,11 +498,16 @@ class PLBHeC(SchedulingPolicy):
         quantum = min(self._quantum, float(remaining))
         registry = get_registry()
         t0 = time.perf_counter()
-        with _events.span("plbhec.solve", remaining=remaining):
-            with profile_phase("solve"):
-                result = solve_block_partition(
-                    self._models, quantum, ipm_options=self.ipm_options
-                )
+        try:
+            with _events.span("plbhec.solve", remaining=remaining):
+                with profile_phase("solve"):
+                    result = solve_block_partition(
+                        self._models, quantum, ipm_options=self.ipm_options
+                    )
+        except (SolverError, FitError, ConfigurationError) as exc:
+            self._charge(time.perf_counter() - t0)
+            self._fallback(quantum, exc)
+            return
         self._charge(time.perf_counter() - t0)
         registry.inc("plbhec.solves")
         registry.observe("plbhec.solve_ms", result.solve_time_s * 1e3)
@@ -481,6 +533,89 @@ class PLBHeC(SchedulingPolicy):
 
     def _active_devices(self) -> int:
         return sum(1 for v in self._block_sizes.values() if v > 0)
+
+    # ------------------------------------------------------------------
+    # graceful degradation
+    # ------------------------------------------------------------------
+    def _fallback(self, quantum: float, exc: Exception) -> None:
+        """Survive a failed fit/solve with a degraded-but-safe partition.
+
+        The chain: reuse the last *good* (solver-produced) partition,
+        rescaled to the live device set → analytic speed-ratio split
+        from the latest profile measurements → GSS-style fair share.
+        The run keeps making progress in all three cases; only the
+        quality of the distribution degrades.
+        """
+        stage, sizes = self._fallback_sizes(quantum)
+        registry = get_registry()
+        registry.inc("plbhec.fallback")
+        _events.instant(
+            "plbhec.fallback",
+            stage=stage,
+            reason=f"{type(exc).__name__}: {exc}",
+        )
+        _log.warning(
+            "solve failed (%s: %s); falling back to %s split",
+            type(exc).__name__,
+            exc,
+            stage,
+        )
+        ids = tuple(sizes)
+        result = PartitionResult(
+            device_ids=ids,
+            units=np.array([sizes[d] for d in ids], dtype=float),
+            predicted_time=math.nan,
+            method=f"fallback-{stage}",
+            converged=False,
+            iterations=0,
+            kkt_error=math.nan,
+            solve_time_s=0.0,
+        )
+        self._partition = result
+        self.selection_history.append(result)
+        int_sizes = {d: max(int(round(sizes[d])), 1) for d in ids}
+        for d, v in int_sizes.items():
+            registry.set_gauge("plbhec.block_size", v, device=d)
+        self._block_sizes = int_sizes
+        self._monitor.reset()
+
+    def _fallback_sizes(self, quantum: float) -> tuple[str, dict[str, float]]:
+        live = list(self._ids)
+        # 1. last good solution: the most recent solver-produced
+        #    partition, restricted to live devices and rescaled to the
+        #    quantum (fallback partitions are skipped — repeating a
+        #    degraded split would compound the degradation)
+        for prev in reversed(self.selection_history):
+            if prev.method.startswith("fallback"):
+                continue
+            shares = {
+                d: u
+                for d, u in prev.units_by_device.items()
+                if d in live and u > 0.0
+            }
+            total = sum(shares.values())
+            if shares and total > 0.0:
+                return "last-good", {
+                    d: quantum * u / total for d, u in shares.items()
+                }
+        # 2. analytic speed-ratio split from the latest measurement of
+        #    each live profile (units per second, transfer included)
+        rates: dict[str, float] = {}
+        for d in live:
+            profile = self._profiles.get(d)
+            if profile is None or not profile.points:
+                continue
+            p = profile.points[-1]
+            elapsed = p.exec_s + p.transfer_s
+            if elapsed > 0.0:
+                rates[d] = p.units / elapsed
+        total_rate = sum(rates.values())
+        if rates and total_rate > 0.0:
+            return "speed-ratio", {
+                d: quantum * r / total_rate for d, r in rates.items()
+            }
+        # 3. fair share: equal split over the live devices
+        return "fair-share", {d: quantum / len(live) for d in live}
 
     # ------------------------------------------------------------------
     # rebalancing (Sec. III.D)

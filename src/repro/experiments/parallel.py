@@ -76,8 +76,10 @@ __all__ = [
 #: Bump whenever simulator/balancer/solver numerics change — or the
 #: cached payload schema changes: it is part of every cache key, so
 #: stale cached results can never leak across algorithm versions.
-#: ("2": payload gained the per-run RunReport manifest and wall clock.)
-ALGORITHM_VERSION = "2"
+#: ("2": payload gained the per-run RunReport manifest and wall clock.
+#: "3": the partition solver retries non-converged IPM attempts from a
+#: perturbed start, and faulted runs carry a resilience section.)
+ALGORITHM_VERSION = "3"
 
 _log = get_logger("experiments.parallel")
 _events = EventLog("experiments.parallel")
@@ -85,7 +87,16 @@ _events = EventLog("experiments.parallel")
 
 @dataclass(frozen=True)
 class RunSpec:
-    """One independent simulated run (the unit of fan-out and caching)."""
+    """One independent simulated run (the unit of fan-out and caching).
+
+    ``faults`` is a tuple of the fault objects from
+    :mod:`repro.runtime.sim_executor` (mixed kinds allowed); when
+    non-empty the payload gains a ``"resilience"`` section with the
+    run's invariant-check results.  ``tolerate_errors`` turns a
+    mid-run :class:`~repro.errors.ReproError` into an error payload
+    instead of poisoning the whole sweep — chaos campaigns score
+    survival, so a crash is a data point, not an abort.
+    """
 
     app_name: str
     size: int
@@ -94,6 +105,8 @@ class RunSpec:
     run_seed: int
     noise_sigma: float
     fixed_overhead_s: float | None = None
+    faults: tuple = ()
+    tolerate_errors: bool = False
 
 
 @dataclass(frozen=True)
@@ -114,6 +127,8 @@ class PointSpec:
     noise_sigma: float = 0.005
     fixed_overhead_s: float | None = None
     cluster_factory: Callable[[int], Cluster] = paper_cluster
+    faults: tuple = ()
+    tolerate_errors: bool = False
 
     def __post_init__(self) -> None:
         if self.replications < 1:
@@ -132,6 +147,8 @@ class PointSpec:
                 run_seed=self.seed * 1000 + rep,
                 noise_sigma=self.noise_sigma,
                 fixed_overhead_s=self.fixed_overhead_s,
+                faults=self.faults,
+                tolerate_errors=self.tolerate_errors,
             )
             for policy in self.policies
             for rep in range(self.replications)
@@ -177,6 +194,7 @@ def _execute_run(
     into one stats object.
     """
     from repro.cluster import GroundTruth
+    from repro.errors import ReproError
     from repro.experiments.runner import (
         _extract_distribution,
         make_application,
@@ -195,6 +213,11 @@ def _execute_run(
         "noise": spec.noise_sigma,
         "overhead": spec.fixed_overhead_s,
     }
+    if spec.faults:
+        # lazy import: repro.resilience imports this module
+        from repro.resilience.faults import fault_to_dict
+
+        config["faults"] = [fault_to_dict(f) for f in spec.faults]
     # The deterministic id RunReport.build would derive anyway; pushing
     # it around the execution tags worker-side events and log records
     # with the run they belong to, without perturbing cached payloads.
@@ -207,24 +230,54 @@ def _execute_run(
         ground_truth=ground_truth,
         fixed_overhead_s=spec.fixed_overhead_s,
     )
+    fault_kwargs = {}
+    if spec.faults:
+        from repro.resilience.faults import split_faults
+
+        perturbations, failures, transients, transfer_faults = split_faults(
+            spec.faults
+        )
+        fault_kwargs = {
+            "perturbations": perturbations,
+            "failures": failures,
+            "transients": transients,
+            "transfer_faults": transfer_faults,
+        }
     runtime = Runtime(
         cluster,
         app.codelet(),
         seed=spec.run_seed,
         noise_sigma=spec.noise_sigma,
+        **fault_kwargs,
     )
     prof_snapshot = None
-    with push_run_id(run_id):
-        if profile:
-            with profiling() as prof:
+    try:
+        with push_run_id(run_id):
+            if profile:
+                with profiling() as prof:
+                    result = runtime.run(
+                        policy,
+                        app.total_units,
+                        app.default_initial_block_size(),
+                    )
+                prof_snapshot = prof.snapshot()
+            else:
                 result = runtime.run(
                     policy, app.total_units, app.default_initial_block_size()
                 )
-            prof_snapshot = prof.snapshot()
-        else:
-            result = runtime.run(
-                policy, app.total_units, app.default_initial_block_size()
-            )
+    except ReproError as exc:
+        if not spec.tolerate_errors:
+            raise
+        return {
+            "makespan": None,
+            "idle_fractions": {},
+            "distribution": {},
+            "overhead": 0.0,
+            "rebalances": 0,
+            "wall_s": time.perf_counter() - wall0,
+            "report": None,
+            "error": {"type": type(exc).__name__, "message": str(exc)},
+        }
     report = RunReport.build(
         config=config,
         makespan=result.makespan,
@@ -247,6 +300,28 @@ def _execute_run(
     }
     if prof_snapshot is not None:
         payload["profile"] = prof_snapshot
+    if spec.faults:
+        from repro.resilience.invariants import (
+            check_conservation,
+            check_fault_isolation,
+            recovery_lags,
+        )
+
+        trace = result.trace
+        violations = check_conservation(trace, app.total_units)
+        violations += check_fault_isolation(trace)
+        payload["resilience"] = {
+            "violations": [
+                {"name": v.name, "message": v.message} for v in violations
+            ],
+            "failures": [[t, d] for t, d in trace.failures],
+            "recoveries": [[t, d] for t, d in trace.recoveries],
+            "lost_blocks": [[t, d, u] for t, d, u in trace.lost_blocks],
+            "lost_units": sum(u for _, _, u in trace.lost_blocks),
+            "completed_units": sum(r.units for r in trace.records),
+            "retries": sum(r.retries for r in trace.records),
+            "recovery_lags": recovery_lags(trace),
+        }
     return payload
 
 
@@ -274,21 +349,30 @@ class ResultCache:
 
     @staticmethod
     def key(spec: RunSpec, cluster_tag: str) -> str:
-        """The content address of one run under one cluster factory."""
-        blob = json.dumps(
-            {
-                "version": ALGORITHM_VERSION,
-                "app": spec.app_name,
-                "size": spec.size,
-                "machines": spec.num_machines,
-                "policy": spec.policy_name,
-                "seed": spec.run_seed,
-                "noise": spec.noise_sigma,
-                "overhead": spec.fixed_overhead_s,
-                "cluster": cluster_tag,
-            },
-            sort_keys=True,
-        )
+        """The content address of one run under one cluster factory.
+
+        Fault schedules and error tolerance join the key only when set,
+        so fault-free runs keep their historical addresses.
+        """
+        entry = {
+            "version": ALGORITHM_VERSION,
+            "app": spec.app_name,
+            "size": spec.size,
+            "machines": spec.num_machines,
+            "policy": spec.policy_name,
+            "seed": spec.run_seed,
+            "noise": spec.noise_sigma,
+            "overhead": spec.fixed_overhead_s,
+            "cluster": cluster_tag,
+        }
+        if spec.faults:
+            # lazy import: repro.resilience imports this module
+            from repro.resilience.faults import fault_to_dict
+
+            entry["faults"] = [fault_to_dict(f) for f in spec.faults]
+        if spec.tolerate_errors:
+            entry["tolerate_errors"] = True
+        blob = json.dumps(entry, sort_keys=True)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def _path(self, key: str) -> Path:
@@ -333,6 +417,9 @@ class SweepStats:
     executed: int = 0
     wall_s: float = 0.0
     fell_back_serial: bool = False
+    #: raw run payloads in aggregation order (cached and fresh alike);
+    #: chaos campaigns read per-run resilience sections from here
+    payloads: list = field(default_factory=list)
     #: run manifests in aggregation order (cached and fresh alike)
     reports: list = field(default_factory=list)
     #: sweep-wide metrics snapshot merged over every run's delta
@@ -534,6 +621,7 @@ def run_sweep(
             )
         )
 
+    stats.payloads.extend(payloads)
     for payload in payloads:
         report = payload.get("report")
         if report is not None:

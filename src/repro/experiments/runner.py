@@ -12,7 +12,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 from repro.apps import Application, BlackScholes, GRNInference, MatMul, Stencil2D
-from repro.balancers import HDSS, Acosta, Greedy, Oracle
+from repro.balancers import (
+    HDSS,
+    Acosta,
+    Greedy,
+    GuidedSelfScheduling,
+    Oracle,
+    StaticProfile,
+)
 from repro.cluster import GroundTruth, paper_cluster
 from repro.cluster.topology import Cluster
 from repro.core import PLBHeC
@@ -75,11 +82,43 @@ def make_policy(
         return PLBHeC(fixed_overhead_s=fixed_overhead_s)
     if name == "plb-hec-free":
         return PLBHeC(overhead_scale=0.0)
+    if name == "gss":
+        return GuidedSelfScheduling()
+    if name == "static":
+        if ground_truth is None:
+            raise ConfigurationError(
+                "the static policy needs the ground truth to derive its "
+                "previous-execution profiles"
+            )
+        return StaticProfile(_offline_models(ground_truth))
     if name == "oracle":
         if ground_truth is None:
             raise ConfigurationError("the oracle policy needs the ground truth")
         return Oracle(ground_truth)
     raise ConfigurationError(f"unknown policy {name!r}")
+
+
+def _offline_models(ground_truth: GroundTruth, sizes=(8, 16, 64, 256, 1024)):
+    """Previous-execution device models for the static baseline.
+
+    The static policy's contract is profiles measured on an *earlier*
+    run of the same kernel; a noiseless probe ladder over the ground
+    truth is exactly what such a run would have produced.
+    """
+    from repro.modeling.perf_profile import PerfProfile
+
+    models = {}
+    for device in ground_truth.cluster.devices():
+        did = device.device_id
+        profile = PerfProfile(did)
+        for u in sizes:
+            profile.add(
+                u,
+                ground_truth.exec_time(did, u),
+                ground_truth.transfer_time(did, u),
+            )
+        models[did] = profile.fit()
+    return models
 
 
 @dataclass

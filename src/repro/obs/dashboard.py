@@ -45,7 +45,13 @@ if TYPE_CHECKING:  # the render stack is imported lazily: repro.obs is
     from repro.sim.trace import ExecutionTrace
     from repro.solver.diagnostics import ConvergenceReport
 
-__all__ = ["DashboardData", "collect_dashboard_data", "render_dashboard", "write_dashboard"]
+__all__ = [
+    "DashboardData",
+    "chaos_dashboard_data",
+    "collect_dashboard_data",
+    "render_dashboard",
+    "write_dashboard",
+]
 
 #: Fixed categorical assignment: paper policies in presentation order.
 #: (Validated 4-slot palette; light/dark steps of the same hues.)
@@ -138,6 +144,8 @@ class DashboardData:
     trace_policy: str = "plb-hec"
     anomalies: list[Anomaly] = field(default_factory=list)
     profile: dict = field(default_factory=dict)
+    #: chaos-campaign scorecard (``repro chaos`` output); empty = none
+    resilience: dict = field(default_factory=dict)
 
 
 def collect_dashboard_data(
@@ -151,6 +159,7 @@ def collect_dashboard_data(
     jobs: int | None = None,
     history: HistoryStore | None = None,
     trend_last: int = 30,
+    scorecard: Mapping[str, Any] | None = None,
 ) -> DashboardData:
     """Run the workload and gather every section's inputs.
 
@@ -182,6 +191,7 @@ def collect_dashboard_data(
         generated_at=time.strftime("%Y-%m-%d %H:%M:%S %z"),
         host=host_fingerprint(),
         git_rev=git_rev(),
+        resilience=dict(scorecard) if scorecard else {},
     )
 
     data.point = run_policies(
@@ -243,6 +253,22 @@ def collect_dashboard_data(
     if history is not None:
         data.bench_trend = history.entries(kind="bench", last=trend_last)
     return data
+
+
+def chaos_dashboard_data(scorecard: Mapping[str, Any]) -> DashboardData:
+    """A dashboard carrying only the resilience section.
+
+    ``repro chaos --dashboard`` renders its scorecard without paying
+    for the full sweep/convergence/profile collection; every other
+    section shows its empty state.
+    """
+    return DashboardData(
+        config=dict(scorecard.get("config", {})),
+        generated_at=time.strftime("%Y-%m-%d %H:%M:%S %z"),
+        host=host_fingerprint(),
+        git_rev=git_rev(),
+        resilience=dict(scorecard),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -720,6 +746,73 @@ def _section_anomalies(anomalies: Sequence[Anomaly]) -> str:
     )
 
 
+def _section_resilience(scorecard: Mapping[str, Any]) -> str:
+    if not scorecard:
+        return (
+            "<section><h2>Resilience</h2><p class='empty'>no chaos "
+            "campaign scorecard (run <code>repro chaos</code>)</p></section>"
+        )
+    total = scorecard.get("total_runs", 0)
+    survived = scorecard.get("survived_runs", 0)
+    violations = scorecard.get("total_violations", 0)
+    ok = scorecard.get("all_invariants_ok", False)
+    verdict = (
+        '<p class="allclear">&#10003; all invariants satisfied</p>'
+        if ok
+        else (
+            f'<div class="anomaly"><span class="badge error">&#10007; '
+            f"error</span><span><strong>invariants</strong> — "
+            f"{violations} violation(s) across the campaign</span></div>"
+        )
+    )
+    tiles = (
+        f'<div class="tiles"><div class="tile"><div class="label">runs</div>'
+        f'<div class="value">{int(total)}</div></div>'
+        f'<div class="tile"><div class="label">survived</div>'
+        f'<div class="value">{int(survived)}</div></div>'
+        f'<div class="tile"><div class="label">violations</div>'
+        f'<div class="value">{int(violations)}</div></div></div>'
+    )
+    rows = []
+    for name, agg in dict(scorecard.get("policies", {})).items():
+        mean_deg = agg.get("mean_degradation")
+        max_deg = agg.get("max_degradation")
+        lag = agg.get("mean_recovery_lag")
+        rows.append(
+            [
+                name,
+                f"{agg.get('survived', 0)}/{agg.get('runs', 0)}",
+                f"{agg.get('survival_rate', 0.0) * 100:.0f}%",
+                f"{mean_deg:.3f}&#215;" if mean_deg is not None else "—",
+                f"{max_deg:.3f}&#215;" if max_deg is not None else "—",
+                f"{lag * 1e3:.1f}ms" if lag is not None else "—",
+                agg.get("violations", 0),
+            ]
+        )
+    table = _table(
+        [
+            "policy",
+            "survived",
+            "rate",
+            "mean degradation",
+            "max degradation",
+            "mean recovery lag",
+            "violations",
+        ],
+        rows,
+    )
+    return (
+        "<section><h2>Resilience</h2>"
+        "<p class='sub'>chaos-campaign scorecard: per-policy survival and "
+        "makespan degradation under randomized fault schedules "
+        "(failures, transients, perturbations, transfer faults)</p>"
+        + verdict
+        + tiles
+        + table
+        + "</section>"
+    )
+
+
 def render_dashboard(data: DashboardData) -> str:
     """Render the full dashboard document as a string."""
     cfg = data.config
@@ -749,6 +842,7 @@ def render_dashboard(data: DashboardData) -> str:
         _section_convergence(data.convergence, data.convergence_history),
         _section_gantt(data.trace, data.trace_policy),
         _section_profile(data.profile),
+        _section_resilience(data.resilience),
         _section_anomalies(data.anomalies),
     ]
     return (

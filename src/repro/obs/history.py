@@ -46,6 +46,7 @@ __all__ = [
     "HistoryStore",
     "bench_entry",
     "run_entry",
+    "chaos_entry",
     "host_fingerprint",
     "fingerprint_hash",
     "git_rev",
@@ -56,14 +57,16 @@ _log = get_logger("obs.history")
 
 #: Bump when the entry layout changes incompatibly.
 #: ("2": bench entries gained the ``profiled`` flag and the optional
-#: ``hot_functions`` table; schema-1 entries read back as unprofiled.)
-HISTORY_SCHEMA = 2
+#: ``hot_functions`` table; schema-1 entries read back as unprofiled.
+#: "3": the ``chaos`` kind records campaign scorecards; the perf gate
+#: pools bench laps only, so chaos entries are excluded by construction.)
+HISTORY_SCHEMA = 3
 
 #: Default store location, relative to the working directory.
 DEFAULT_HISTORY_DIR = ".repro_history"
 
 #: Entry kinds the store understands.
-_KINDS = ("bench", "run")
+_KINDS = ("bench", "run", "chaos")
 
 #: Keys every entry must carry to be usable by the regression gate.
 _REQUIRED_KEYS = ("schema", "kind", "recorded_at", "host", "host_hash", "config_hash")
@@ -130,6 +133,12 @@ def validate_entry(entry: Mapping[str, Any]) -> list[str]:
         samples = entry.get("samples")
         if not isinstance(samples, dict) or "makespan" not in samples:
             problems.append("run entry needs a 'samples' dict with 'makespan'")
+    if entry["kind"] == "chaos":
+        summary = entry.get("summary")
+        if not isinstance(summary, dict) or "survival_rate" not in summary:
+            problems.append(
+                "chaos entry needs a 'summary' dict with 'survival_rate'"
+            )
     # Schema-2 additions: both optional so schema-1 lines (and minimal
     # hand-written entries) stay readable, but malformed when present.
     if not isinstance(entry.get("profiled", False), bool):
@@ -213,6 +222,45 @@ def run_entry(report: Mapping[str, Any], *, wall_s: float | None = None) -> dict
     }
     if wall_s is not None:
         entry["samples"]["wall_s"] = float(wall_s)
+    return _stamp(entry)
+
+
+def chaos_entry(scorecard: Mapping[str, Any]) -> dict[str, Any]:
+    """Build a history entry from a chaos-campaign scorecard.
+
+    The config hash covers the campaign grid (apps, sizes, policies,
+    seed, fault budget), so survival-rate trends pool like-for-like
+    campaigns only.  Mirroring the bench ``profiled`` pattern, the
+    ``chaos: true`` marker is *outside* the hash: the perf-regression
+    gate pools bench laps exclusively, and the explicit marker keeps
+    that exclusion assertable instead of incidental.
+    """
+    config = dict(scorecard.get("config", {}))
+    policies = {
+        name: {
+            "survival_rate": agg.get("survival_rate"),
+            "mean_degradation": agg.get("mean_degradation"),
+            "mean_recovery_lag": agg.get("mean_recovery_lag"),
+            "violations": agg.get("violations"),
+        }
+        for name, agg in dict(scorecard.get("policies", {})).items()
+    }
+    total = int(scorecard.get("total_runs", 0) or 0)
+    survived = int(scorecard.get("survived_runs", 0) or 0)
+    entry: dict[str, Any] = {
+        "kind": "chaos",
+        "chaos": True,
+        "config": config,
+        "config_hash": config_hash(config),
+        "summary": {
+            "survival_rate": survived / total if total else 0.0,
+            "total_runs": total,
+            "survived_runs": survived,
+            "total_violations": int(scorecard.get("total_violations", 0) or 0),
+            "all_invariants_ok": bool(scorecard.get("all_invariants_ok")),
+            "policies": policies,
+        },
+    }
     return _stamp(entry)
 
 
@@ -364,6 +412,25 @@ class HistoryStore:
             if shares:
                 out.append(shares)
         return out
+
+    def survival_samples(
+        self,
+        config_hash: str,
+        *,
+        host_hash: str | None = None,
+        last: int | None = None,
+    ) -> list[float]:
+        """Survival-rate trajectory of one campaign config, oldest first."""
+        return [
+            float(e["summary"]["survival_rate"])
+            for e in self.entries(
+                kind="chaos",
+                config_hash=config_hash,
+                host_hash=host_hash,
+                last=last,
+            )
+            if e.get("summary", {}).get("survival_rate") is not None
+        ]
 
     def makespan_samples(
         self,

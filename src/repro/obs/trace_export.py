@@ -172,6 +172,18 @@ def trace_to_events(
                 "ts": t * _US,
             }
         )
+    for t, device in trace.recoveries:
+        events.append(
+            {
+                "ph": "i",
+                "pid": pid,
+                "tid": tids.get(device, _SCHEDULER_TID),
+                "name": f"recovery:{device}",
+                "cat": "recovery",
+                "s": "g",
+                "ts": t * _US,
+            }
+        )
     return events
 
 

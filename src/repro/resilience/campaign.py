@@ -1,0 +1,292 @@
+"""The chaos campaign runner.
+
+One campaign = a seeded grid of randomized fault schedules over
+scenario × policy combinations, executed through the parallel sweep
+engine in two phases:
+
+1. **Baselines** — every (scenario, policy, seed) combination runs
+   fault-free.  The baseline makespans both anchor the degradation
+   scores and set each run's fault-schedule horizon (fault times are
+   fractions of the fault-free makespan, so schedules stay meaningful
+   across applications and sizes).
+2. **Chaos** — the same runs re-execute under their generated fault
+   schedules with ``tolerate_errors`` on: a crash is scored as a lost
+   run, not a campaign abort.
+
+Every surviving run is checked against the work-conservation and
+fault-isolation invariants of :mod:`repro.resilience.invariants`; the
+result is a JSON-serialisable *scorecard* with per-run records and
+per-policy aggregates (survival rate, makespan degradation, recovery
+lag).  The whole campaign is a pure function of its config — rerunning
+with the same seed reproduces it bit-identically, and the sweep cache
+applies to baseline and chaos runs alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.parallel import PointSpec, SweepStats, run_sweep
+from repro.obs.events import EventLog
+from repro.obs.metrics import get_registry
+from repro.resilience.faults import fault_to_dict, generate_schedule
+from repro.resilience.invariants import check_makespan
+from repro.sim.random import RandomStreams
+from repro.util.logging import get_logger
+
+__all__ = ["ChaosConfig", "run_campaign"]
+
+_log = get_logger("resilience.campaign")
+_events = EventLog("resilience.campaign")
+
+#: chaos runs pin the scheduler-overhead charge so campaigns are
+#: bit-reproducible (measured host time would jitter the makespans)
+_FIXED_OVERHEAD_S = 0.002
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """What one chaos campaign runs.
+
+    ``runs`` fault schedules are dealt round-robin over the
+    scenario × policy grid: run ``i`` uses application
+    ``apps[i % len(apps)]``, policy ``policies[i % len(policies)]`` and
+    a per-run seed derived from ``seed``, so any two campaigns with the
+    same config are identical.
+    """
+
+    apps: tuple[str, ...] = ("matmul",)
+    sizes: tuple[int, ...] = (2048,)
+    machines: int = 2
+    policies: tuple[str, ...] = ("plb-hec", "greedy", "hdss", "gss")
+    runs: int = 16
+    seed: int = 0
+    noise_sigma: float = 0.005
+    max_faults: int = 2
+    anomaly_tolerance: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not self.apps or not self.sizes or not self.policies:
+            raise ConfigurationError(
+                "chaos campaign needs apps, sizes and policies"
+            )
+        if len(self.apps) != len(self.sizes):
+            raise ConfigurationError(
+                f"apps ({len(self.apps)}) and sizes ({len(self.sizes)}) "
+                "must pair up"
+            )
+        if self.runs < 1:
+            raise ConfigurationError(f"runs must be >= 1, got {self.runs}")
+        if self.machines < 1:
+            raise ConfigurationError(
+                f"machines must be >= 1, got {self.machines}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "apps": list(self.apps),
+            "sizes": list(self.sizes),
+            "machines": self.machines,
+            "policies": list(self.policies),
+            "runs": self.runs,
+            "seed": self.seed,
+            "noise_sigma": self.noise_sigma,
+            "max_faults": self.max_faults,
+            "anomaly_tolerance": self.anomaly_tolerance,
+        }
+
+
+@dataclass
+class _RunPlan:
+    """One campaign slot: its scenario, policy, and derived seed."""
+
+    index: int
+    app: str
+    size: int
+    policy: str
+    seed: int
+    faults: tuple = ()
+
+
+def _plan_runs(config: ChaosConfig) -> list[_RunPlan]:
+    return [
+        _RunPlan(
+            index=i,
+            app=config.apps[i % len(config.apps)],
+            size=config.sizes[i % len(config.sizes)],
+            policy=config.policies[i % len(config.policies)],
+            seed=config.seed * 1000 + i,
+        )
+        for i in range(config.runs)
+    ]
+
+
+def _point(plan: _RunPlan, config: ChaosConfig, faults: tuple) -> PointSpec:
+    return PointSpec(
+        app_name=plan.app,
+        size=plan.size,
+        num_machines=config.machines,
+        policies=(plan.policy,),
+        replications=1,
+        # PointSpec.expand derives run_seed = seed * 1000; distinct
+        # per-plan seeds keep every campaign slot on its own noise stream
+        seed=plan.seed,
+        noise_sigma=config.noise_sigma,
+        fixed_overhead_s=_FIXED_OVERHEAD_S,
+        faults=faults,
+        tolerate_errors=bool(faults),
+    )
+
+
+def run_campaign(
+    config: ChaosConfig,
+    *,
+    jobs: int | None = None,
+    device_ids: Sequence[str] | None = None,
+) -> dict:
+    """Execute one chaos campaign and return its scorecard.
+
+    ``device_ids`` overrides the fault-target pool (default: the
+    devices of the first scenario's cluster at ``config.machines``).
+    """
+    from repro.cluster import paper_cluster
+
+    plans = _plan_runs(config)
+    registry = get_registry()
+
+    # ---- phase 1: fault-free baselines -------------------------------
+    # A barrier is required: every fault schedule is scaled by its
+    # run's baseline makespan, so generation cannot start earlier.
+    baseline_stats = SweepStats()
+    run_sweep(
+        [_point(p, config, ()) for p in plans],
+        jobs=jobs,
+        stats=baseline_stats,
+    )
+    baselines = [p["makespan"] for p in baseline_stats.payloads]
+
+    # ---- generate the fault schedules --------------------------------
+    if device_ids is None:
+        device_ids = tuple(
+            d.device_id for d in paper_cluster(config.machines).devices()
+        )
+    streams = RandomStreams(config.seed)
+    for plan, baseline in zip(plans, baselines):
+        rng = streams.stream(f"chaos/run{plan.index}")
+        plan.faults = generate_schedule(
+            rng,
+            device_ids,
+            baseline,
+            max_faults=config.max_faults,
+        )
+
+    # ---- phase 2: the chaos runs -------------------------------------
+    chaos_stats = SweepStats()
+    run_sweep(
+        [_point(p, config, p.faults) for p in plans],
+        jobs=jobs,
+        stats=chaos_stats,
+    )
+
+    # ---- score -------------------------------------------------------
+    run_records: list[dict] = []
+    for plan, baseline, payload in zip(
+        plans, baselines, chaos_stats.payloads
+    ):
+        error = payload.get("error")
+        makespan = payload.get("makespan")
+        survived = error is None and makespan is not None
+        resilience = payload.get("resilience") or {}
+        violations = list(resilience.get("violations", []))
+        if survived:
+            violations += [
+                {"name": v.name, "message": v.message}
+                for v in check_makespan(
+                    makespan,
+                    baseline,
+                    anomaly_tolerance=config.anomaly_tolerance,
+                )
+            ]
+        record = {
+            "run": plan.index,
+            "app": plan.app,
+            "size": plan.size,
+            "policy": plan.policy,
+            "seed": plan.seed,
+            "faults": [fault_to_dict(f) for f in plan.faults],
+            "baseline_makespan": baseline,
+            "makespan": makespan,
+            "degradation": (
+                makespan / baseline if survived and baseline > 0 else None
+            ),
+            "survived": survived,
+            "error": error,
+            "violations": violations,
+            "recovery_lags": list(resilience.get("recovery_lags", [])),
+            "lost_units": resilience.get("lost_units", 0),
+            "retries": resilience.get("retries", 0),
+        }
+        run_records.append(record)
+
+    policies: dict[str, dict] = {}
+    for policy in config.policies:
+        rows = [r for r in run_records if r["policy"] == policy]
+        if not rows:
+            continue
+        survived_rows = [r for r in rows if r["survived"]]
+        degradations = [
+            r["degradation"]
+            for r in survived_rows
+            if r["degradation"] is not None
+        ]
+        lags = [lag for r in rows for lag in r["recovery_lags"]]
+        policies[policy] = {
+            "runs": len(rows),
+            "survived": len(survived_rows),
+            "survival_rate": len(survived_rows) / len(rows),
+            "mean_degradation": (
+                sum(degradations) / len(degradations) if degradations else None
+            ),
+            "max_degradation": max(degradations) if degradations else None,
+            "mean_recovery_lag": sum(lags) / len(lags) if lags else None,
+            "violations": sum(len(r["violations"]) for r in rows),
+        }
+
+    total_violations = sum(len(r["violations"]) for r in run_records)
+    survivors = sum(1 for r in run_records if r["survived"])
+    scorecard = {
+        "config": config.to_dict(),
+        "runs": run_records,
+        "policies": policies,
+        "total_runs": len(run_records),
+        "survived_runs": survivors,
+        "total_violations": total_violations,
+        "all_invariants_ok": total_violations == 0,
+    }
+    # cache-hit counts vary between cold and warm reruns, so they are
+    # telemetry, not scorecard content — the scorecard must be
+    # bit-identical for a given config
+    _log.info(
+        "chaos cache hits: baseline=%d chaos=%d",
+        baseline_stats.cache_hits,
+        chaos_stats.cache_hits,
+    )
+    registry.inc("chaos.campaigns")
+    registry.inc("chaos.runs", len(run_records))
+    registry.inc("chaos.violations", total_violations)
+    registry.inc("chaos.survived", survivors)
+    _events.instant(
+        "chaos.complete",
+        runs=len(run_records),
+        survived=survivors,
+        violations=total_violations,
+    )
+    _log.info(
+        "chaos campaign complete: %d/%d runs survived, %d violation(s)",
+        survivors,
+        len(run_records),
+        total_violations,
+    )
+    return scorecard

@@ -33,7 +33,13 @@ from repro.runtime.scheduler_api import (
     SchedulingContext,
     SchedulingPolicy,
 )
-from repro.runtime.sim_executor import SimulatedExecutor
+from repro.runtime.sim_executor import (
+    DeviceFailure,
+    Perturbation,
+    SimulatedExecutor,
+    TransferFault,
+    TransientFailure,
+)
 from repro.runtime.task import Task, TaskState
 
 __all__ = [
@@ -44,6 +50,10 @@ __all__ = [
     "DeviceInfo",
     "SchedulingContext",
     "SchedulingPolicy",
+    "Perturbation",
+    "DeviceFailure",
+    "TransientFailure",
+    "TransferFault",
     "SimulatedExecutor",
     "RealExecutor",
     "Runtime",

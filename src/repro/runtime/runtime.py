@@ -30,6 +30,8 @@ from repro.runtime.sim_executor import (
     DeviceFailure,
     Perturbation,
     SimulatedExecutor,
+    TransferFault,
+    TransientFailure,
 )
 from repro.sim.trace import ExecutionTrace
 
@@ -114,8 +116,11 @@ class Runtime:
         The application's codelet.
     backend:
         ``"sim"`` (virtual time, default) or ``"real"`` (host threads).
-    noise_sigma / seed / perturbations:
-        Simulation-backend knobs (ignored by the real backend).
+    noise_sigma / seed / perturbations / failures / transients /
+    transfer_faults:
+        Simulation-backend knobs (ignored by the real backend).  Fault
+        device ids are validated against the cluster up front; an
+        unknown id raises :class:`ConfigurationError` naming it.
     speed_factors:
         Real-backend heterogeneity emulation (ignored by sim).
     """
@@ -130,6 +135,8 @@ class Runtime:
         seed: int = 0,
         perturbations: tuple[Perturbation, ...] = (),
         failures: tuple[DeviceFailure, ...] = (),
+        transients: tuple[TransientFailure, ...] = (),
+        transfer_faults: tuple[TransferFault, ...] = (),
         speed_factors: dict[str, float] | None = None,
     ) -> None:
         if backend not in ("sim", "real"):
@@ -147,6 +154,8 @@ class Runtime:
                 seed=seed,
                 perturbations=perturbations,
                 failures=failures,
+                transients=transients,
+                transfer_faults=transfer_faults,
             )
         else:
             self._executor = RealExecutor(

@@ -160,6 +160,20 @@ class SchedulingPolicy(abc.ABC):
         sufficient for stateless self-schedulers like Greedy.
         """
 
+    def on_device_recovered(self, device_id: str, now: float) -> None:
+        """A transiently-failed device came back online.
+
+        Fired by :class:`~repro.runtime.sim_executor.TransientFailure`
+        at ``time + downtime``.  The runtime resumes polling the device
+        immediately after this hook; policies that dropped the device in
+        :meth:`on_device_failed` should fold it back into their
+        assignments here (PLB-HeC restores the device's profile and
+        re-solves the partition).  Default: no-op — the device then
+        competes for work under whatever the policy answers
+        ``next_block`` with, which is already correct for stateless
+        self-schedulers.
+        """
+
     def phase_label(self, worker_id: str) -> str:
         """Trace phase label for the next block of this worker."""
         return "exec"

@@ -20,7 +20,8 @@ from functools import partial
 
 from repro.cluster.perfmodel import GroundTruth, KernelCharacteristics
 from repro.cluster.topology import Cluster
-from repro.errors import SchedulingError, SimulationError
+from repro.errors import ConfigurationError, SchedulingError, SimulationError
+from repro.obs.metrics import get_registry
 from repro.obs.profiler import switch_phase
 from repro.runtime.data import BlockDomain
 from repro.runtime.scheduler_api import (
@@ -34,7 +35,13 @@ from repro.sim.random import RandomStreams
 from repro.sim.trace import ExecutionTrace, TaskRecord
 from repro.util.validation import check_positive, check_positive_int
 
-__all__ = ["Perturbation", "DeviceFailure", "SimulatedExecutor"]
+__all__ = [
+    "Perturbation",
+    "DeviceFailure",
+    "TransientFailure",
+    "TransferFault",
+    "SimulatedExecutor",
+]
 
 
 @dataclass(frozen=True)
@@ -74,6 +81,70 @@ class DeviceFailure:
         check_positive("time", self.time, strict=False)
 
 
+@dataclass(frozen=True)
+class TransientFailure:
+    """A device goes down at ``time`` and returns at ``time + downtime``.
+
+    The Sec. VI "machines may become unavailable" scenario without the
+    permanence: while down, the device behaves exactly like a failed one
+    (its in-flight block is lost, the policy's ``on_device_failed`` hook
+    fires, the runtime stops polling it).  At ``time + downtime`` the
+    policy's :meth:`~repro.runtime.scheduler_api.SchedulingPolicy.\
+on_device_recovered` hook fires and polling resumes.  A permanent
+    :class:`DeviceFailure` for the same device suppresses the recovery.
+    Overlapping transient windows on one device are not modelled: the
+    first recovery revives it.
+    """
+
+    device_id: str
+    time: float
+    downtime: float
+
+    def __post_init__(self) -> None:
+        check_positive("time", self.time, strict=False)
+        check_positive("downtime", self.downtime)
+
+
+@dataclass(frozen=True)
+class TransferFault:
+    """Transfers to one device fail during ``[time, time + duration)``.
+
+    A dispatch whose transfer would start inside the window stalls: the
+    runtime retries with a per-attempt timeout and capped exponential
+    backoff, charging the stall to the trace (the worker's busy interval
+    grows by ``retry_time``; ``TaskRecord.retries`` counts the
+    attempts).  When ``max_retries`` attempts all land inside the
+    window, the runtime gives up: the block is lost back to the pool
+    and the device is marked permanently failed — the same observable a
+    host sees when a PCIe link or NIC wedges for good.
+
+    Timeout and backoff are expressed as factors of the block's nominal
+    transfer time (attempt ``i`` costs ``timeout_factor + min(
+    backoff_factor * 2**i, backoff_cap_factor)`` transfer times), so the
+    fault scales with the workload instead of hard-coding seconds.
+    """
+
+    device_id: str
+    time: float
+    duration: float
+    max_retries: int = 4
+    timeout_factor: float = 2.0
+    backoff_factor: float = 1.0
+    backoff_cap_factor: float = 8.0
+
+    def __post_init__(self) -> None:
+        check_positive("time", self.time, strict=False)
+        check_positive("duration", self.duration)
+        check_positive_int("max_retries", self.max_retries)
+        check_positive("timeout_factor", self.timeout_factor)
+        check_positive("backoff_factor", self.backoff_factor)
+        if self.backoff_cap_factor < self.backoff_factor:
+            raise ConfigurationError(
+                f"backoff_cap_factor ({self.backoff_cap_factor}) must be >= "
+                f"backoff_factor ({self.backoff_factor})"
+            )
+
+
 class SimulatedExecutor:
     """Runs one policy over one workload on a simulated cluster.
 
@@ -90,6 +161,12 @@ class SimulatedExecutor:
         Root seed for all noise streams.
     perturbations:
         Optional mid-run device slowdowns.
+    failures:
+        Optional permanent device failures.
+    transients:
+        Optional transient device outages (down, then recovered).
+    transfer_faults:
+        Optional windows during which transfers to a device stall.
     """
 
     def __init__(
@@ -101,6 +178,8 @@ class SimulatedExecutor:
         seed: int = 0,
         perturbations: tuple[Perturbation, ...] = (),
         failures: tuple[DeviceFailure, ...] = (),
+        transients: tuple[TransientFailure, ...] = (),
+        transfer_faults: tuple[TransferFault, ...] = (),
     ) -> None:
         check_positive("noise_sigma", noise_sigma, strict=False)
         self.cluster = cluster
@@ -110,19 +189,24 @@ class SimulatedExecutor:
         self.ground_truth = GroundTruth(cluster, kernel)
         self.perturbations = tuple(perturbations)
         self.failures = tuple(failures)
+        self.transients = tuple(transients)
+        self.transfer_faults = tuple(transfer_faults)
         device_ids = {d.device_id for d in cluster.devices()}
-        for p in self.perturbations:
-            if p.device_id not in device_ids:
-                raise SchedulingError(
-                    f"perturbation targets unknown device {p.device_id!r}"
-                )
-        for f in self.failures:
-            if f.device_id not in device_ids:
-                raise SchedulingError(
-                    f"failure targets unknown device {f.device_id!r}"
-                )
-        if len({f.device_id for f in self.failures}) == len(device_ids) and failures:
-            raise SchedulingError("cannot fail every device in the cluster")
+        for kind, faults in (
+            ("perturbation", self.perturbations),
+            ("failure", self.failures),
+            ("transient failure", self.transients),
+            ("transfer fault", self.transfer_faults),
+        ):
+            for f in faults:
+                if f.device_id not in device_ids:
+                    raise ConfigurationError(
+                        f"{kind} targets unknown device {f.device_id!r}"
+                    )
+        if self.failures and len(
+            {f.device_id for f in self.failures}
+        ) == len(device_ids):
+            raise ConfigurationError("cannot fail every device in the cluster")
 
     def _slowdown(self, device_id: str, now: float) -> float:
         factor = 1.0
@@ -177,7 +261,12 @@ class SimulatedExecutor:
         noisy = self.noise_sigma > 0.0
         # data ranges lost to failed devices, awaiting reprocessing
         pending_retry: list[tuple[int, int]] = []
-        failure_events: list = []
+        fault_events: list = []
+        # devices that will never come back (DeviceFailure or transfer
+        # give-up), as opposed to `failed` which also holds transient downs
+        perm_failed: set[str] = set()
+        pending_recoveries = 0
+        registry = get_registry()
 
         def work_remaining() -> int:
             return domain.remaining + sum(u for _, u in pending_retry)
@@ -206,6 +295,47 @@ class SimulatedExecutor:
 
         def noise(key: str) -> float:
             return streams.lognormal_factor(key, self.noise_sigma)
+
+        def transfer_stall(
+            worker_id: str, begin: float, transfer: float, exec_s: float
+        ) -> tuple[float, int, bool]:
+            """Walk the retry timeline through any transfer-fault window.
+
+            Returns ``(retry_time, retries, gave_up)``.  The timeline is
+            deterministic: attempt ``i`` burns ``timeout_factor`` transfer
+            times waiting, then ``min(backoff * 2**i, cap)`` backing off;
+            the transfer succeeds at the first attempt that starts outside
+            every fault window, or the device gives up after
+            ``max_retries`` in-window attempts.
+            """
+            retry_time = 0.0
+            retries = 0
+            t = begin
+            while True:
+                fault = None
+                for tf in self.transfer_faults:
+                    if (
+                        tf.device_id == worker_id
+                        and tf.time <= t < tf.time + tf.duration
+                    ):
+                        fault = tf
+                        break
+                if fault is None:
+                    return retry_time, retries, False
+                # master-local devices have zero transfer time; scale the
+                # stall off the execution time so the fault still bites
+                base = transfer if transfer > 0.0 else 0.1 * exec_s
+                if base <= 0.0:
+                    return retry_time, retries, False
+                if retries >= fault.max_retries:
+                    return retry_time, retries, True
+                backoff = min(
+                    fault.backoff_factor * 2.0**retries,
+                    fault.backoff_cap_factor,
+                )
+                retry_time += (fault.timeout_factor + backoff) * base
+                retries += 1
+                t = begin + retry_time
 
         def dispatch_idle() -> None:
             nonlocal task_counter, last_phase
@@ -257,8 +387,26 @@ class SimulatedExecutor:
                 task.transfer_time = transfer
                 task.exec_time = exec_s
                 task.mark_running(begin)
+                if self.transfer_faults:
+                    retry_time, retries, gave_up = transfer_stall(
+                        worker_id, begin, transfer, exec_s
+                    )
+                    task.retries = retries
+                    task.retry_time = retry_time
+                    if retries:
+                        registry.inc("sim.transfer_retries", retries)
+                    if gave_up:
+                        registry.inc("sim.transfer_giveups")
+                        event = engine.schedule_at(
+                            begin + retry_time,
+                            partial(transfer_give_up, task),
+                            tag="giveup:" + worker_id,
+                            payload=task.task_id,
+                        )
+                        busy[worker_id] = (task, event)
+                        continue
                 event = engine.schedule_at(
-                    begin + transfer + exec_s,
+                    begin + task.retry_time + transfer + exec_s,
                     partial(complete, task),
                     tag=complete_tag[worker_id],
                     payload=task.task_id,
@@ -278,40 +426,96 @@ class SimulatedExecutor:
                 end_time=task.end_time,
                 phase=task.phase,
                 step=task.step,
+                start_unit=task.start_unit,
+                retries=task.retries,
+                retry_time=task.retry_time,
             )
             trace.add_record(record)
             policy.on_task_finished(record, work_remaining(), engine.now)
             charge_pending()
             dispatch_idle()
             if work_remaining() == 0 and not busy:
-                # the run is over: pending failure events must not extend
+                # the run is over: pending fault events must not extend
                 # the virtual clock past the last completion
-                for ev in failure_events:
+                for ev in fault_events:
                     engine.cancel(ev)
 
-        def fail_device(failure: DeviceFailure) -> None:
-            if failure.device_id in failed:
+        def record_lost(task: Task) -> None:
+            # the in-flight block is lost; its range returns to the pool
+            pending_retry.append((task.start_unit, task.units))
+            trace.record_lost_block(engine.now, task.worker_id, task.units)
+
+        def mark_down(device_id: str, *, permanent: bool) -> None:
+            if device_id in failed:
+                # already down (e.g. a permanent failure landing inside a
+                # transient window): upgrade to permanent without notifying
+                # the policy a second time
+                if permanent:
+                    perm_failed.add(device_id)
                 return
-            failed.add(failure.device_id)
-            trace.record_failure(engine.now, failure.device_id)
-            entry = busy.pop(failure.device_id, None)
+            failed.add(device_id)
+            if permanent:
+                perm_failed.add(device_id)
+            trace.record_failure(engine.now, device_id)
+            registry.inc("sim.device_failures")
+            entry = busy.pop(device_id, None)
             if entry is not None:
                 task, event = entry
                 engine.cancel(event)
-                # the in-flight block is lost; its range returns to the pool
-                pending_retry.append((task.start_unit, task.units))
-            if len(failed) == len(order):
+                record_lost(task)
+            if len(failed) == len(order) and pending_recoveries == 0:
                 raise SchedulingError("every device failed; cannot finish")
-            policy.on_device_failed(failure.device_id, engine.now)
+            policy.on_device_failed(device_id, engine.now)
+            charge_pending()
+            dispatch_idle()
+
+        def fail_device(failure: DeviceFailure) -> None:
+            mark_down(failure.device_id, permanent=True)
+
+        def transient_down(fault: TransientFailure) -> None:
+            mark_down(fault.device_id, permanent=False)
+
+        def transfer_give_up(task: Task) -> None:
+            # drop the stalled task before going down so mark_down does
+            # not try to cancel its (already-fired) give-up event
+            del busy[task.worker_id]
+            record_lost(task)
+            mark_down(task.worker_id, permanent=True)
+
+        def recover_device(fault: TransientFailure) -> None:
+            nonlocal pending_recoveries
+            pending_recoveries -= 1
+            if fault.device_id in perm_failed or fault.device_id not in failed:
+                return
+            failed.discard(fault.device_id)
+            trace.record_recovery(engine.now, fault.device_id)
+            registry.inc("sim.device_recoveries")
+            policy.on_device_recovered(fault.device_id, engine.now)
             charge_pending()
             dispatch_idle()
 
         for failure in self.failures:
-            failure_events.append(
+            fault_events.append(
                 engine.schedule_at(
                     failure.time,
                     lambda f=failure: fail_device(f),
                     tag=f"fail:{failure.device_id}",
+                )
+            )
+        for tr in self.transients:
+            pending_recoveries += 1
+            fault_events.append(
+                engine.schedule_at(
+                    tr.time,
+                    lambda f=tr: transient_down(f),
+                    tag=f"down:{tr.device_id}",
+                )
+            )
+            fault_events.append(
+                engine.schedule_at(
+                    tr.time + tr.downtime,
+                    lambda f=tr: recover_device(f),
+                    tag=f"recover:{tr.device_id}",
                 )
             )
 

@@ -46,6 +46,8 @@ class Task:
     end_time: float = 0.0
     transfer_time: float = 0.0
     exec_time: float = 0.0
+    retries: int = 0
+    retry_time: float = 0.0
     result: object = field(default=None, repr=False)
 
     def mark_running(self, now: float) -> None:

@@ -41,6 +41,14 @@ class TaskRecord:
         ``"exec"``, ...).
     step:
         Dispatch round index within the phase, policy-defined.
+    start_unit:
+        First unit of the block's contiguous data range, or -1 for
+        records predating range tracking (the work-conservation
+        invariants need the exact tiling, not just the totals).
+    retries / retry_time:
+        Transfer-retry attempts survived before the block ran, and the
+        seconds those attempts stalled the worker (part of the busy
+        interval but not of ``total_time`` — the retries moved no data).
     """
 
     worker_id: str
@@ -52,6 +60,9 @@ class TaskRecord:
     end_time: float
     phase: str = "exec"
     step: int = 0
+    start_unit: int = -1
+    retries: int = 0
+    retry_time: float = 0.0
 
     @property
     def total_time(self) -> float:
@@ -86,6 +97,8 @@ class ExecutionTrace:
         self.solver_overheads: list[float] = []
         self.solver_overhead_times: list[float] = []
         self.failures: list[tuple[float, str]] = []
+        self.recoveries: list[tuple[float, str]] = []
+        self.lost_blocks: list[tuple[float, str, int]] = []
         self.makespan: float = 0.0
 
     # ------------------------------------------------------------------
@@ -120,8 +133,26 @@ class ExecutionTrace:
         self.solver_overhead_times.append(time)
 
     def record_failure(self, time: float, device_id: str) -> None:
-        """Note that a device failed permanently at ``time``."""
+        """Note that a device went down at ``time``.
+
+        Permanent failures and transient downtimes both land here; a
+        later :meth:`record_recovery` for the same device marks the
+        downtime as transient.
+        """
         self.failures.append((time, device_id))
+
+    def record_recovery(self, time: float, device_id: str) -> None:
+        """Note that a transiently-failed device came back at ``time``."""
+        self.recoveries.append((time, device_id))
+
+    def record_lost_block(self, time: float, device_id: str, units: int) -> None:
+        """Note that ``units`` in flight on ``device_id`` were lost.
+
+        The range returns to the pool and is reprocessed elsewhere; the
+        resilience invariants reconcile these entries against the
+        completed records.
+        """
+        self.lost_blocks.append((time, device_id, int(units)))
 
     def finalize(self, end_time: float) -> None:
         """Set the run's final makespan (call once, at completion)."""
@@ -290,6 +321,9 @@ class ExecutionTrace:
                     "end_time": r.end_time,
                     "phase": r.phase,
                     "step": r.step,
+                    "start_unit": r.start_unit,
+                    "retries": r.retries,
+                    "retry_time": r.retry_time,
                 }
                 for r in self.records
             ],
@@ -298,6 +332,8 @@ class ExecutionTrace:
             "solver_overheads": list(self.solver_overheads),
             "solver_overhead_times": list(self.solver_overhead_times),
             "failures": [list(f) for f in self.failures],
+            "recoveries": [list(r) for r in self.recoveries],
+            "lost_blocks": [list(b) for b in self.lost_blocks],
         }
 
     @classmethod
@@ -307,7 +343,10 @@ class ExecutionTrace:
         The round trip is lossless: ``from_dict(t.to_dict()).to_dict()
         == t.to_dict()`` for every trace (verified by the test suite).
         ``solver_overhead_times`` is optional for compatibility with
-        traces serialised before it existed (charges default to t=0).
+        traces serialised before it existed (charges default to t=0);
+        so are ``recoveries``/``lost_blocks`` and the per-record
+        ``start_unit``/``retries``/``retry_time`` resilience fields
+        (defaulting to empty / untracked).
 
         Raises
         ------
@@ -333,6 +372,13 @@ class ExecutionTrace:
                     "solver_overhead_times length does not match solver_overheads"
                 )
             trace.failures = [(float(t), str(d)) for t, d in data["failures"]]
+            trace.recoveries = [
+                (float(t), str(d)) for t, d in data.get("recoveries", [])
+            ]
+            trace.lost_blocks = [
+                (float(t), str(d), int(u))
+                for t, d, u in data.get("lost_blocks", [])
+            ]
             trace.finalize(float(data["makespan"]))
         except KeyError as exc:
             raise ValueError(f"trace dict missing key: {exc}") from exc

@@ -141,6 +141,51 @@ class InteriorPointSolver:
         with profile_phase("solve"):
             return self._solve_impl(problem, x0)
 
+    def solve_with_retry(
+        self,
+        problem: NLPProblem,
+        x0: np.ndarray,
+        *,
+        max_attempts: int = 2,
+        perturb: float = 0.05,
+    ) -> IPMResult:
+        """Bounded-retry :meth:`solve`: perturb the start on failure.
+
+        Non-convergence is frequently a bad-starting-point artefact
+        (an x0 too close to a bound corner stalls the filter).  Each
+        retry nudges the previous start by ±``perturb`` on alternating
+        coordinates — deterministic, so runs stay reproducible — and
+        :meth:`solve` re-projects it strictly inside the bounds.  The
+        best result by KKT error is returned when every attempt fails
+        to converge; a raising attempt after at least one completed
+        attempt returns that attempt's result instead of propagating.
+        """
+        if max_attempts < 1:
+            raise SolverError(f"max_attempts must be >= 1, got {max_attempts}")
+        registry = get_registry()
+        best: IPMResult | None = None
+        x = np.asarray(x0, dtype=float)
+        signs = np.where(np.arange(x.size) % 2 == 0, 1.0, -1.0)
+        for attempt in range(max_attempts):
+            try:
+                result = self.solve(problem, x)
+            except SolverError:
+                if best is None and attempt == max_attempts - 1:
+                    raise
+                result = None
+            if result is not None:
+                if result.converged:
+                    if attempt > 0:
+                        registry.inc("ipm.retry_successes")
+                    return result
+                if best is None or result.kkt_error < best.kkt_error:
+                    best = result
+            if attempt < max_attempts - 1:
+                registry.inc("ipm.retries")
+                x = x * (1.0 + perturb * signs)
+        assert best is not None  # loop raised otherwise
+        return best
+
     def _solve_impl(self, problem: NLPProblem, x0: np.ndarray) -> IPMResult:
         opts = self.options
         t0 = time.perf_counter()

@@ -246,7 +246,7 @@ def solve_block_partition(
                 z0 = initial_partition_point(
                     sub_models, q_free, upper_units=sub_caps
                 )
-                result = InteriorPointSolver(opts).solve(nlp, z0)
+                result = InteriorPointSolver(opts).solve_with_retry(nlp, z0)
                 if result.converged:
                     sub_units = np.maximum(result.x[: len(free)], 0.0) * q_free
                     if sub_units.sum() > 0:

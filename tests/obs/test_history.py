@@ -10,6 +10,7 @@ from repro.obs.history import (
     HISTORY_SCHEMA,
     HistoryStore,
     bench_entry,
+    chaos_entry,
     fingerprint_hash,
     git_rev,
     host_fingerprint,
@@ -39,6 +40,28 @@ def make_run_report():
         "makespan": 1.25,
         "solver_overhead_s": 0.01,
         "rebalances": 2,
+    }
+
+
+def make_scorecard(seed=0, survived=7):
+    return {
+        "config": {
+            "apps": ["matmul"], "sizes": [2048], "machines": 2,
+            "policies": ["plb-hec", "greedy"], "runs": 8, "seed": seed,
+            "noise_sigma": 0.005, "max_faults": 2, "anomaly_tolerance": 0.25,
+        },
+        "runs": [],
+        "policies": {
+            "plb-hec": {
+                "runs": 4, "survived": 4, "survival_rate": 1.0,
+                "mean_degradation": 1.1, "max_degradation": 1.3,
+                "mean_recovery_lag": 0.002, "violations": 0,
+            },
+        },
+        "total_runs": 8,
+        "survived_runs": survived,
+        "total_violations": 0,
+        "all_invariants_ok": True,
     }
 
 
@@ -113,6 +136,25 @@ class TestEntryBuilders:
         assert entry["kind"] == "run"
         assert entry["samples"]["makespan"] == 1.25
         assert entry["samples"]["wall_s"] == 0.8
+
+    def test_chaos_entry_summarises_scorecard(self):
+        entry = chaos_entry(make_scorecard())
+        assert validate_entry(entry) == []
+        assert entry["kind"] == "chaos"
+        assert entry["chaos"] is True
+        assert entry["summary"]["survival_rate"] == 7 / 8
+        assert entry["summary"]["all_invariants_ok"] is True
+        assert entry["summary"]["policies"]["plb-hec"]["violations"] == 0
+
+    def test_chaos_config_hash_covers_seed(self):
+        a = chaos_entry(make_scorecard(seed=0))
+        b = chaos_entry(make_scorecard(seed=1))
+        assert a["config_hash"] != b["config_hash"]
+
+    def test_chaos_entry_needs_summary(self):
+        entry = chaos_entry(make_scorecard())
+        del entry["summary"]["survival_rate"]
+        assert any("survival_rate" in p for p in validate_entry(entry))
 
 
 class TestHistoryStore:
@@ -195,6 +237,21 @@ class TestHistoryStore:
         store.append(entry)
         assert store.makespan_samples(entry["config_hash"]) == [1.25]
 
+    def test_survival_samples(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        entry = store.append(chaos_entry(make_scorecard(survived=6)))
+        store.append(chaos_entry(make_scorecard(survived=8)))
+        assert store.survival_samples(entry["config_hash"]) == [0.75, 1.0]
+
+    def test_chaos_entries_never_feed_the_perf_gate(self, tmp_path):
+        """Campaign laps are kind='chaos'; the gate pools kind='bench'."""
+        store = HistoryStore(tmp_path)
+        store.append(bench_entry(make_bench_report(laps={"serial": 1.0})))
+        store.append(chaos_entry(make_scorecard()))
+        assert store.lap_samples("serial") == [1.0]
+        assert len(store.entries(kind="bench")) == 1
+        assert len(store.entries(kind="chaos")) == 1
+
 
 class TestFromEnv:
     def test_off_by_default(self, monkeypatch):
@@ -231,8 +288,8 @@ def make_profiled_report(shares=(0.3, 0.2), jobs=2):
 class TestProfiledEntries:
     """Schema 2: the profiled flag + hot-function table."""
 
-    def test_schema_version_is_two(self):
-        assert HISTORY_SCHEMA == 2
+    def test_schema_version_is_three(self):
+        assert HISTORY_SCHEMA == 3
 
     def test_unprofiled_entry_has_false_flag(self):
         entry = bench_entry(make_bench_report())

@@ -1,0 +1,109 @@
+"""The chaos campaign runner: scorecard shape, determinism, validation."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience import ChaosConfig, run_campaign
+
+#: Small but real: 4 runs over 2 policies at the 1024 scenario.  The
+#: wide anomaly tolerance absorbs a known legitimate Graham anomaly
+#: (losing the big GPU mid-probe can *help* this small run).
+SMALL = ChaosConfig(
+    apps=("matmul",),
+    sizes=(1024,),
+    policies=("plb-hec", "greedy"),
+    runs=4,
+    seed=0,
+    anomaly_tolerance=0.5,
+)
+
+
+@pytest.fixture(scope="module")
+def scorecard():
+    return run_campaign(SMALL, jobs=2)
+
+
+class TestScorecardShape:
+    def test_all_runs_survive_and_invariants_hold(self, scorecard):
+        assert scorecard["total_runs"] == 4
+        assert scorecard["survived_runs"] == 4
+        assert scorecard["total_violations"] == 0
+        assert scorecard["all_invariants_ok"] is True
+
+    def test_every_run_has_a_fault_schedule(self, scorecard):
+        for run in scorecard["runs"]:
+            assert run["faults"], "chaos runs must actually inject faults"
+            for fault in run["faults"]:
+                assert fault["type"] in (
+                    "failure", "transient", "perturbation", "transfer",
+                )
+
+    def test_runs_carry_degradation_vs_baseline(self, scorecard):
+        for run in scorecard["runs"]:
+            assert run["baseline_makespan"] > 0
+            assert run["degradation"] == pytest.approx(
+                run["makespan"] / run["baseline_makespan"]
+            )
+
+    def test_policies_aggregate_their_runs(self, scorecard):
+        per_policy = scorecard["policies"]
+        assert set(per_policy) == {"plb-hec", "greedy"}
+        for agg in per_policy.values():
+            assert agg["runs"] == 2
+            assert agg["survived"] == 2
+            assert agg["survival_rate"] == 1.0
+            assert agg["mean_degradation"] is not None
+
+    def test_round_robin_policy_assignment(self, scorecard):
+        assert [r["policy"] for r in scorecard["runs"]] == [
+            "plb-hec", "greedy", "plb-hec", "greedy",
+        ]
+
+    def test_scorecard_is_json_serialisable(self, scorecard):
+        assert json.loads(json.dumps(scorecard)) == json.loads(
+            json.dumps(scorecard)
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_is_bit_identical(self, scorecard):
+        again = run_campaign(SMALL, jobs=2)
+        assert json.dumps(again, sort_keys=True) == json.dumps(
+            scorecard, sort_keys=True
+        )
+
+    def test_different_seed_differs(self, scorecard):
+        other = run_campaign(
+            ChaosConfig(
+                apps=SMALL.apps,
+                sizes=SMALL.sizes,
+                policies=SMALL.policies,
+                runs=SMALL.runs,
+                seed=1,
+                anomaly_tolerance=SMALL.anomaly_tolerance,
+            ),
+            jobs=2,
+        )
+        assert [r["faults"] for r in other["runs"]] != [
+            r["faults"] for r in scorecard["runs"]
+        ]
+
+
+class TestConfigValidation:
+    def test_apps_sizes_must_pair(self):
+        with pytest.raises(ConfigurationError, match="pair up"):
+            ChaosConfig(apps=("matmul", "grn"), sizes=(1024,))
+
+    def test_runs_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="runs"):
+            ChaosConfig(runs=0)
+
+    def test_empty_policies_rejected(self):
+        with pytest.raises(ConfigurationError, match="policies"):
+            ChaosConfig(policies=())
+
+    def test_config_roundtrips_to_dict(self):
+        d = SMALL.to_dict()
+        assert d["seed"] == 0 and d["policies"] == ["plb-hec", "greedy"]

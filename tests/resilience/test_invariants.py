@@ -1,0 +1,163 @@
+"""Unit tests for the resilience invariant checkers."""
+
+from repro.resilience.invariants import (
+    Violation,
+    check_conservation,
+    check_fault_isolation,
+    check_makespan,
+    check_run,
+    recovery_lags,
+)
+from repro.sim.trace import ExecutionTrace, TaskRecord
+
+
+def record(worker, start_unit, units, dispatch, duration=0.1):
+    return TaskRecord(
+        worker_id=worker,
+        units=units,
+        dispatch_time=dispatch,
+        transfer_time=0.0,
+        exec_time=duration,
+        start_time=dispatch,
+        end_time=dispatch + duration,
+        start_unit=start_unit,
+    )
+
+
+def make_trace(records, *, failures=(), recoveries=(), lost=()):
+    trace = ExecutionTrace(["d0", "d1"])
+    for r in records:
+        trace.add_record(r)
+    for t, d in failures:
+        trace.record_failure(t, d)
+    for t, d in recoveries:
+        trace.record_recovery(t, d)
+    for t, d, u in lost:
+        trace.record_lost_block(t, d, u)
+    return trace
+
+
+class TestConservation:
+    def test_exact_tiling_passes(self):
+        trace = make_trace(
+            [record("d0", 0, 50, 0.0), record("d1", 50, 50, 0.0)]
+        )
+        assert check_conservation(trace, 100) == []
+
+    def test_out_of_order_tiling_passes(self):
+        trace = make_trace(
+            [record("d1", 60, 40, 0.3), record("d0", 0, 60, 0.0)]
+        )
+        assert check_conservation(trace, 100) == []
+
+    def test_gap_detected(self):
+        trace = make_trace(
+            [record("d0", 0, 40, 0.0), record("d1", 50, 50, 0.0)]
+        )
+        violations = check_conservation(trace, 100)
+        assert violations and "never completed" in violations[0].message
+
+    def test_overlap_detected(self):
+        trace = make_trace(
+            [record("d0", 0, 60, 0.0), record("d1", 50, 50, 0.0)]
+        )
+        violations = check_conservation(trace, 100)
+        assert violations and "overlaps" in violations[0].message
+
+    def test_short_domain_detected(self):
+        trace = make_trace([record("d0", 0, 60, 0.0)])
+        violations = check_conservation(trace, 100)
+        assert violations and "ends at 100" in violations[0].message
+
+    def test_empty_trace_is_violation(self):
+        assert check_conservation(make_trace([]), 100)
+
+    def test_legacy_records_fall_back_to_totals(self):
+        legacy = [record("d0", -1, 60, 0.0), record("d1", -1, 40, 0.0)]
+        assert check_conservation(make_trace(legacy), 100) == []
+        assert check_conservation(make_trace(legacy), 120)
+
+
+class TestFaultIsolation:
+    def test_clean_run_passes(self):
+        trace = make_trace(
+            [record("d0", 0, 100, 0.0)],
+            failures=[(0.5, "d1")],
+            lost=[(0.5, "d1", 10)],
+        )
+        assert check_fault_isolation(trace) == []
+
+    def test_dispatch_after_permanent_failure_flagged(self):
+        trace = make_trace(
+            [record("d1", 0, 10, 0.8)], failures=[(0.5, "d1")]
+        )
+        violations = check_fault_isolation(trace)
+        assert violations and "after its failure" in violations[0].message
+
+    def test_dispatch_inside_downtime_flagged(self):
+        trace = make_trace(
+            [record("d1", 0, 10, 0.6)],
+            failures=[(0.5, "d1")],
+            recoveries=[(0.7, "d1")],
+        )
+        violations = check_fault_isolation(trace)
+        assert violations and "downtime" in violations[0].message
+
+    def test_dispatch_after_recovery_allowed(self):
+        trace = make_trace(
+            [record("d1", 0, 10, 0.9)],
+            failures=[(0.5, "d1")],
+            recoveries=[(0.7, "d1")],
+        )
+        assert check_fault_isolation(trace) == []
+
+    def test_unexplained_lost_block_flagged(self):
+        trace = make_trace([record("d0", 0, 10, 0.0)], lost=[(0.4, "d1", 8)])
+        violations = check_fault_isolation(trace)
+        assert violations and "no down event" in violations[0].message
+
+
+class TestMakespanSanity:
+    def test_degraded_run_passes(self):
+        assert check_makespan(1.4, 1.0) == []
+
+    def test_small_speedup_is_a_scheduling_anomaly(self):
+        assert check_makespan(0.9, 1.0) == []
+
+    def test_implausible_speedup_flagged(self):
+        violations = check_makespan(0.5, 1.0)
+        assert violations and violations[0].name == "makespan"
+
+    def test_tolerance_is_configurable(self):
+        assert check_makespan(0.5, 1.0, anomaly_tolerance=0.6) == []
+
+
+class TestRecoveryLags:
+    def test_lag_is_first_dispatch_after_recovery(self):
+        trace = make_trace(
+            [record("d1", 0, 10, 0.2), record("d1", 10, 10, 0.85)],
+            failures=[(0.5, "d1")],
+            recoveries=[(0.7, "d1")],
+        )
+        lags = recovery_lags(trace)
+        assert len(lags) == 1
+        assert abs(lags[0] - 0.15) < 1e-12
+
+    def test_never_redispatched_contributes_no_lag(self):
+        trace = make_trace(
+            [record("d0", 0, 10, 0.0)],
+            failures=[(0.5, "d1")],
+            recoveries=[(0.7, "d1")],
+        )
+        assert recovery_lags(trace) == []
+
+
+class TestCheckRun:
+    def test_concatenates_all_families(self):
+        trace = make_trace(
+            [record("d1", 0, 60, 0.8)], failures=[(0.5, "d1")]
+        )
+        violations = check_run(trace, 100, makespan=0.4, baseline=1.0)
+        names = {v.name for v in violations}
+        assert names == {"conservation", "fault-isolation", "makespan"}
+        assert all(isinstance(v, Violation) for v in violations)

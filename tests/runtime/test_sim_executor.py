@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import SchedulingError
+from repro.errors import ConfigurationError, SchedulingError
 from repro.runtime.scheduler_api import SchedulingPolicy
 from repro.runtime.sim_executor import Perturbation, SimulatedExecutor
 from repro.sim.trace import TaskRecord
@@ -144,7 +144,7 @@ class TestSimulatedExecutor:
         assert slow_time == pytest.approx(3.0 * base_time, rel=1e-9)
 
     def test_perturbation_unknown_device_rejected(self, small_cluster, mm_kernel):
-        with pytest.raises(SchedulingError, match="unknown device"):
+        with pytest.raises(ConfigurationError, match="unknown device 'nope'"):
             SimulatedExecutor(
                 small_cluster,
                 mm_kernel,

@@ -61,6 +61,29 @@ class TestParser:
         args = build_parser().parse_args(["compare", "--trace-out", "c.json"])
         assert args.trace_out == "c.json"
 
+    def test_run_fault_flags_are_repeatable(self):
+        args = build_parser().parse_args(
+            ["run", "--fail", "A.gpu0@0.1", "--fail", "B.cpu@0.2",
+             "--perturb", "A.cpu@0.1:2.5", "--transient", "B.gpu0@0.1+0.05"]
+        )
+        assert args.fail == ["A.gpu0@0.1", "B.cpu@0.2"]
+        assert args.perturb == ["A.cpu@0.1:2.5"]
+        assert args.transient == ["B.gpu0@0.1+0.05"]
+
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.runs == 16
+        assert args.seed == 0
+        assert args.out == "chaos_scorecard.json"
+        assert args.quick is False
+        assert args.policies is None
+
+    def test_dashboard_scorecard_flag(self):
+        args = build_parser().parse_args(
+            ["dashboard", "--scorecard", "sc.json"]
+        )
+        assert args.scorecard == "sc.json"
+
 
 class TestCommands:
     def test_run(self, capsys):
@@ -477,3 +500,62 @@ class TestBenchProfileCommand:
         out = capsys.readouterr().out
         assert code == 0  # advisory: never changes the exit code
         assert "hot-path drift: mod.func0 grew" in out
+
+
+class TestFaultInjectionCommand:
+    def test_run_with_transient(self, capsys):
+        assert main(
+            ["run", "--app", "matmul", "--size", "2048", "--machines", "2",
+             "--transient", "B.gpu0@0.05+0.02"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "faults: 1 down event(s), 1 recovery(ies)" in out
+
+    def test_run_with_failure(self, capsys):
+        assert main(
+            ["run", "--app", "matmul", "--size", "2048", "--machines", "2",
+             "--policy", "greedy", "--fail", "A.gpu0@0.02"]
+        ) == 0
+        assert "down event" in capsys.readouterr().out
+
+    def test_unknown_device_named_in_error(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="'ghost'"):
+            main(["run", "--app", "matmul", "--size", "1024",
+                  "--fail", "ghost@0.1"])
+
+    def test_malformed_spec_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--transient wants"):
+            main(["run", "--transient", "A.gpu0@nope"])
+
+
+class TestChaosCommand:
+    def test_quick_campaign_green(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            ["chaos", "--runs", "2", "--quick", "--history", "hist",
+             "--dashboard", "dash.html"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "-> OK" in out
+        assert "plb-hec" in out and "greedy" in out
+
+        import json
+
+        scorecard = json.loads((tmp_path / "chaos_scorecard.json").read_text())
+        assert scorecard["total_runs"] == 2
+        assert scorecard["all_invariants_ok"] is True
+        assert all(r["faults"] for r in scorecard["runs"])
+
+        html = (tmp_path / "dash.html").read_text()
+        assert "<h2>Resilience</h2>" in html
+
+        from repro.obs.history import HistoryStore
+
+        entries = HistoryStore(tmp_path / "hist").entries(kind="chaos")
+        assert len(entries) == 1
+        assert entries[0]["summary"]["survival_rate"] == 1.0

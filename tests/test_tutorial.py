@@ -194,3 +194,33 @@ class TestTutorialProfiling:
         assert breakdown["execute"]["self_s"] > 0.0
         path = write_flamegraph(tmp_path / "p.svg", snap)
         assert path.read_text().startswith("<svg")
+
+
+class TestTutorialResilience:
+    def test_transient_snippet_runs(self, small_cluster):
+        """The §9 fault-model snippet, verbatim in structure."""
+        from repro.runtime.sim_executor import TransientFailure
+
+        app = RayBatch(100_000)
+        rt = Runtime(
+            small_cluster, app.codelet(), seed=3,
+            transients=(
+                TransientFailure("alpha.gpu0", time=0.05, downtime=0.03),
+            ),
+        )
+        result = rt.run(
+            PLBHeC(), app.total_units, app.default_initial_block_size()
+        )
+        assert result.trace.total_units() >= app.total_units
+        assert [d for _, d in result.trace.recoveries] == ["alpha.gpu0"]
+
+    def test_chaos_snippet_runs(self):
+        """The §9 campaign snippet, verbatim in structure."""
+        from repro.resilience import ChaosConfig, run_campaign
+
+        config = ChaosConfig(apps=("matmul",), sizes=(2048,),
+                             policies=("plb-hec", "greedy"), runs=4, seed=0,
+                             max_faults=1)
+        scorecard = run_campaign(config, jobs=2)
+        assert scorecard["all_invariants_ok"]
+        assert 0.0 <= scorecard["policies"]["plb-hec"]["survival_rate"] <= 1.0

@@ -5,11 +5,22 @@ Commands
 ``run``
     Run one workload under one policy and print the result summary.
     ``--trace-out trace.json`` additionally exports a Chrome
-    trace-event/Perfetto timeline; ``--metrics-out metrics.json``
-    writes the run's telemetry manifest (:class:`repro.obs.RunReport`).
-    Repeatable fault-injection flags: ``--fail DEV@T`` (permanent
-    failure), ``--perturb DEV@T:FACTOR`` (speed change), ``--transient
-    DEV@T+D`` (down at T, back after D).
+    trace-event/Perfetto timeline (with decision instant markers when
+    the policy keeps a ledger); ``--metrics-out metrics.json`` writes
+    the run's telemetry manifest (:class:`repro.obs.RunReport`), or the
+    metrics registry in Prometheus text exposition format with
+    ``--metrics-format prom``; ``--explain-out explain.jsonl`` writes
+    the scheduler decision ledger.  Repeatable fault-injection flags:
+    ``--fail DEV@T`` (permanent failure), ``--perturb DEV@T:FACTOR``
+    (speed change), ``--transient DEV@T+D`` (down at T, back after D).
+``explain``
+    Run one workload and explain every scheduler decision: trigger
+    (probe round / selection / rebalance / fault / recovery), solver
+    outcome (iterations, KKT error, fallback stage), allocation, and
+    how the per-device block-time predictions calibrated against what
+    actually executed (MAPE, signed bias, EWMA drift).  Accepts the
+    same fault-injection flags as ``run``; ``--out explain.jsonl``
+    writes the run-id-correlated ledger artifact.
 ``trace``
     Run one workload and write the Perfetto/Chrome timeline to
     ``--out`` (default ``trace.json``) — shorthand for
@@ -162,33 +173,36 @@ def build_parser() -> argparse.ArgumentParser:
             choices=[*PAPER_POLICIES, "hdss-async", "gss", "static", "oracle"],
         )
 
+    def add_fault_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--fail",
+            metavar="DEV@T",
+            action="append",
+            default=[],
+            help="permanently fail a device at virtual time T "
+            "(repeatable, e.g. --fail A.gpu0@0.05)",
+        )
+        p.add_argument(
+            "--perturb",
+            metavar="DEV@T:FACTOR",
+            action="append",
+            default=[],
+            help="multiply a device's execution times by FACTOR from time T "
+            "on (repeatable, e.g. --perturb A.cpu@0.1:2.5)",
+        )
+        p.add_argument(
+            "--transient",
+            metavar="DEV@T+D",
+            action="append",
+            default=[],
+            help="take a device down at time T and bring it back after D "
+            "seconds (repeatable, e.g. --transient B.gpu0@0.05+0.02)",
+        )
+
     p_run = sub.add_parser("run", help="run one workload under one policy")
     add_workload_args(p_run)
     add_policy_arg(p_run)
-    p_run.add_argument(
-        "--fail",
-        metavar="DEV@T",
-        action="append",
-        default=[],
-        help="permanently fail a device at virtual time T "
-        "(repeatable, e.g. --fail A.gpu0@0.05)",
-    )
-    p_run.add_argument(
-        "--perturb",
-        metavar="DEV@T:FACTOR",
-        action="append",
-        default=[],
-        help="multiply a device's execution times by FACTOR from time T "
-        "on (repeatable, e.g. --perturb A.cpu@0.1:2.5)",
-    )
-    p_run.add_argument(
-        "--transient",
-        metavar="DEV@T+D",
-        action="append",
-        default=[],
-        help="take a device down at time T and bring it back after D "
-        "seconds (repeatable, e.g. --transient B.gpu0@0.05+0.02)",
-    )
+    add_fault_args(p_run)
     p_run.add_argument(
         "--gantt", action="store_true", help="render an ASCII Gantt chart"
     )
@@ -196,19 +210,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         metavar="PATH",
         default=None,
-        help="also export a Chrome trace-event/Perfetto timeline",
+        help="also export a Chrome trace-event/Perfetto timeline "
+        "(with one instant marker per scheduler decision when the "
+        "policy keeps a ledger)",
     )
     p_run.add_argument(
         "--metrics-out",
         metavar="PATH",
         default=None,
-        help="also write the run's telemetry manifest (RunReport JSON)",
+        help="also write the run's telemetry (RunReport JSON, or "
+        "Prometheus text exposition with --metrics-format prom)",
+    )
+    p_run.add_argument(
+        "--metrics-format",
+        choices=["json", "prom"],
+        default="json",
+        help="format of --metrics-out: RunReport JSON (default) or "
+        "Prometheus text exposition of the metrics registry",
+    )
+    p_run.add_argument(
+        "--explain-out",
+        metavar="PATH",
+        default=None,
+        help="also write the scheduler decision ledger as explain.jsonl "
+        "(policies without a ledger skip this with a note)",
     )
     p_run.add_argument(
         "--profile",
         action="store_true",
         help="capture a phase-attributed CPU profile and print the "
         "per-phase breakdown and hot functions",
+    )
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="run one workload and explain every scheduler decision "
+        "(trigger, solver outcome, allocation, prediction calibration)",
+    )
+    add_workload_args(p_explain)
+    add_policy_arg(p_explain)
+    add_fault_args(p_explain)
+    p_explain.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also write the ledger as a run-id-correlated explain.jsonl",
     )
 
     p_trace = sub.add_parser(
@@ -606,35 +652,149 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     if prof_snapshot is not None:
         _print_profile_summary(prof_snapshot)
+    ledger_dict = result.ledger.to_dict() if result.ledger is not None else None
     if args.trace_out:
         doc = trace_to_chrome(
             result.trace,
             run_id=run_id,
             metadata=_run_config(args, policy.name),
             profile=prof_snapshot,
+            decisions=ledger_dict.get("decisions") if ledger_dict else None,
         )
         path = write_chrome_trace(doc, args.trace_out)
         print(f"trace written to {path}")
     if args.metrics_out:
-        report = RunReport.build(
-            config=_run_config(args, policy.name),
-            makespan=result.makespan,
-            rebalances=result.num_rebalances,
-            solver_overhead_s=result.solver_overhead_s,
-            phase_summary=result.trace.phase_summary(),
-            metrics=get_registry().snapshot(),
-            run_id=run_id,
-        )
-        Path(args.metrics_out).write_text(
-            json.dumps(report.to_dict(), indent=2, sort_keys=True),
-            encoding="utf-8",
-        )
-        print(f"metrics written to {args.metrics_out}")
+        if args.metrics_format == "prom":
+            Path(args.metrics_out).write_text(
+                get_registry().to_prometheus(), encoding="utf-8"
+            )
+        else:
+            report = RunReport.build(
+                config=_run_config(args, policy.name),
+                makespan=result.makespan,
+                rebalances=result.num_rebalances,
+                solver_overhead_s=result.solver_overhead_s,
+                phase_summary=result.trace.phase_summary(),
+                metrics=get_registry().snapshot(),
+                run_id=run_id,
+            )
+            Path(args.metrics_out).write_text(
+                json.dumps(report.to_dict(), indent=2, sort_keys=True),
+                encoding="utf-8",
+            )
+        print(f"metrics written to {args.metrics_out} ({args.metrics_format})")
+    if args.explain_out:
+        if result.ledger is None:
+            print(
+                f"no decision ledger: policy {policy.name!r} keeps none "
+                "(--explain-out skipped)"
+            )
+        else:
+            from repro.obs.ledger import write_explain
+
+            write_explain(ledger_dict, args.explain_out)
+            print(
+                f"explain ledger written to {args.explain_out} "
+                f"({len(ledger_dict['decisions'])} decision(s))"
+            )
     if args.gantt:
         from repro.util.gantt import render_gantt
 
         print()
         print(render_gantt(result.trace))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import decision_rows, write_explain
+
+    run_id = new_run_id(repr(sorted(_run_config(args, args.policy).items())))
+    with push_run_id(run_id):
+        policy, result = _simulate(args, args.policy)
+    if result.ledger is None:
+        print(
+            f"policy {policy.name!r} keeps no decision ledger; "
+            "nothing to explain (try --policy plb-hec)"
+        )
+        return 1
+    data = result.ledger.to_dict()
+
+    def fmt_opt(value, pattern: str) -> str:
+        return pattern.format(value) if value is not None else "-"
+
+    rows = []
+    for row in decision_rows(data):
+        method = row["method"]
+        if row["fallback_stage"]:
+            method = f"{method} [!]"
+        rows.append(
+            [
+                row["id"],
+                f"{row['t']:.4f}",
+                row["trigger"],
+                method,
+                row["iterations"],
+                fmt_opt(row["kkt_error"], "{:.1e}"),
+                fmt_opt(row["predicted_time"], "{:.4f}"),
+                row["devices"],
+                row["blocks"],
+                fmt_opt(row["mape"], "{:.1%}"),
+            ]
+        )
+    print(
+        format_table(
+            ["id", "t_s", "trigger", "method", "iters", "kkt", "pred_s",
+             "devices", "blocks", "mape"],
+            rows,
+            title=f"Scheduler decisions: {args.app} size={args.size} "
+            f"machines={args.machines} policy={policy.name} seed={args.seed}",
+        )
+    )
+    calibration = data.get("calibration", {})
+    if calibration:
+        print()
+        print(
+            format_table(
+                ["device", "scored", "skipped", "mape", "bias", "drift"],
+                [
+                    [
+                        device,
+                        c.get("blocks", 0),
+                        c.get("skipped", 0),
+                        fmt_opt(c.get("mape"), "{:.1%}"),
+                        fmt_opt(c.get("bias"), "{:+.1%}"),
+                        fmt_opt(c.get("drift"), "{:+.1%}"),
+                    ]
+                    for device, c in sorted(calibration.items())
+                ],
+                title="Prediction calibration (relative error vs observed)",
+            )
+        )
+    attribution = data.get("attribution", {})
+    attributed = int(attribution.get("attributed", 0) or 0)
+    total = attributed + int(attribution.get("unattributed", 0) or 0)
+    coverage = attributed / total if total else 0.0
+    # the ledger lists fired fallback stages in decision order
+    stage_counts: dict[str, int] = {}
+    for stage in data.get("fallback_stages", ()):
+        stage_counts[stage] = stage_counts.get(stage, 0) + 1
+    print(
+        f"\n{len(data.get('decisions', []))} decision(s), "
+        f"{attributed}/{total} executed block(s) attributed "
+        f"({coverage:.0%} coverage)"
+        + (
+            "; fallback stages used: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(stage_counts.items()))
+            if stage_counts
+            else ""
+        )
+    )
+    if args.out:
+        write_explain(data, args.out)
+        print(
+            f"explain ledger written to {args.out} "
+            f"({len(data.get('decisions', []))} decision(s))"
+        )
     return 0
 
 
@@ -972,13 +1132,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             fmt(agg["max_degradation"], suffix="x"),
             fmt(agg["mean_recovery_lag"], scale=1e3, suffix="ms", digits=1),
             agg["violations"],
+            agg.get("decisions_explained", 0),
+            ",".join(
+                f"{k}={v}"
+                for k, v in agg.get("fallback_stages_used", {}).items()
+            )
+            or "-",
         ]
         for name, agg in scorecard["policies"].items()
     ]
     print(
         format_table(
             ["policy", "survived", "rate", "mean_deg", "max_deg",
-             "recovery_lag", "violations"],
+             "recovery_lag", "violations", "decisions", "fallbacks"],
             rows,
             title=f"Chaos campaign: {args.app} size={args.size} "
             f"machines={args.machines} runs={args.runs} seed={args.seed}",
@@ -1015,6 +1181,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     configure_from_env(level=args.log_level, fmt=args.log_format)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "compare":

@@ -37,7 +37,8 @@ import numpy as np
 
 from repro.errors import ConfigurationError, FitError, SolverError
 from repro.modeling.perf_profile import DeviceModel, PerfProfile
-from repro.obs.events import EventLog
+from repro.obs.events import EventLog, current_run_id
+from repro.obs.ledger import DecisionLedger
 from repro.obs.metrics import get_registry
 from repro.obs.profiler import profile_phase
 from repro.runtime.scheduler_api import SchedulingContext, SchedulingPolicy
@@ -214,6 +215,13 @@ class PLBHeC(SchedulingPolicy):
         # state benched by transient failures, restored on recovery
         self._benched_profiles: dict[str, PerfProfile] = {}
         self._benched_models: dict[str, DeviceModel] = {}
+        # Decision ledger: one record per allocation change, with the
+        # live model objects snapshot per decision so completions of
+        # in-flight blocks score against the model that sized them even
+        # after a rebalance refit replaced `self._models`.
+        self.ledger = DecisionLedger(current_run_id() or "")
+        self._decision_models: dict[str, dict[str, DeviceModel]] = {}
+        self._vnow = 0.0
 
         # Warm start: a later phase over the same devices reuses the
         # previous phase's profiles and skips the probing rounds.
@@ -226,8 +234,10 @@ class PLBHeC(SchedulingPolicy):
             fits_ok, models = self._try_fit()
             if len(models) == len(ids):
                 self._models = models
-                self._enter_execution(ctx.total_units)
+                self._enter_execution(ctx.total_units, trigger="warm-start")
         self._retained_profiles = self._profiles
+        if self._phase == "modeling":
+            self._open_probe_decision()
 
     # ------------------------------------------------------------------
     # policy protocol
@@ -251,6 +261,7 @@ class PLBHeC(SchedulingPolicy):
         return size
 
     def on_block_dispatched(self, worker_id: str, granted: int, now: float) -> None:
+        self._vnow = now
         self._in_flight += 1
         self._outstanding[worker_id] = self._outstanding.get(worker_id, 0) + 1
         self._consumed += granted
@@ -259,10 +270,18 @@ class PLBHeC(SchedulingPolicy):
         else:
             self._pull_count[worker_id] += 1
 
+    def decision_tag(self, worker_id: str) -> str | None:
+        # Every dispatch is governed by the most recent decision: probe
+        # rounds, the selection and each rebalance all open one at the
+        # instant the sizes change.
+        return self.ledger.current_id
+
     def on_task_finished(self, record: TaskRecord, remaining: int, now: float) -> None:
+        self._vnow = now
         self._in_flight -= 1
         d = record.worker_id
         self._outstanding[d] = max(self._outstanding.get(d, 1) - 1, 0)
+        self._attribute(record)
         self._profiles[d].add(
             record.units,
             record.exec_time,
@@ -281,7 +300,14 @@ class PLBHeC(SchedulingPolicy):
             # task" provision exists to avoid.  The refit uses all
             # completed measurements; new sizes apply from the next pull.
             if remaining > 0:
-                self._rebalance(remaining)
+                self._rebalance(
+                    remaining,
+                    detail={
+                        "skew": float(self._monitor.last_skew),
+                        "threshold": self.rebalance_threshold,
+                        "step": self._monitor.last_skew_step,
+                    },
+                )
             self._rebalance_flag = False
             return
         # Only monitor full-size steps: the tail step's blocks are
@@ -302,6 +328,7 @@ class PLBHeC(SchedulingPolicy):
         assignments, and — when the execution phase is already running —
         the block sizes are re-solved over the remaining devices.
         """
+        self._vnow = now
         self._ids = tuple(d for d in self._ids if d != device_id)
         # bench (don't discard) the learned state: if the outage turns
         # out to be transient, on_device_recovered restores it so the
@@ -335,10 +362,15 @@ class PLBHeC(SchedulingPolicy):
                 self._round_requested = set()
                 self._round_dispatched = set()
                 self._round_times = {}
+                self._open_probe_decision(
+                    trigger="fault", detail={"device": device_id}
+                )
         else:
             remaining = self.ctx.total_units - self._consumed
             if remaining > 0 and self._models:
-                self._rebalance(remaining)
+                self._rebalance(
+                    remaining, trigger="fault", detail={"device": device_id}
+                )
         self._monitor.reset()
 
     def on_device_recovered(self, device_id: str, now: float) -> None:
@@ -353,6 +385,7 @@ class PLBHeC(SchedulingPolicy):
         """
         if device_id in self._ids:
             return
+        self._vnow = now
         get_registry().inc("plbhec.recoveries")
         _events.instant("plbhec.recover", device=device_id)
         self._ids = self._ids + (device_id,)
@@ -366,13 +399,18 @@ class PLBHeC(SchedulingPolicy):
             self._round_sizes = self._plan.sizes(self._round, self._round_rates)
             # let the device request a probe in the current round
             self._round_requested.discard(device_id)
+            self._open_probe_decision(
+                trigger="recovery", detail={"device": device_id}
+            )
         else:
             model = self._benched_models.pop(device_id, None)
             if model is not None:
                 self._models[device_id] = model
             remaining = self.ctx.total_units - self._consumed
             if remaining > 0 and self._models:
-                self._rebalance(remaining)
+                self._rebalance(
+                    remaining, trigger="recovery", detail={"device": device_id}
+                )
         self._monitor.reset()
 
     def phase_label(self, worker_id: str) -> str:
@@ -419,6 +457,7 @@ class PLBHeC(SchedulingPolicy):
         self._round_requested = set()
         self._round_dispatched = set()
         self._round_times = {}
+        self._open_probe_decision()
 
     def _deep_enough(self, remaining: int, consumed_frac: float) -> bool:
         """Has profiling explored block sizes near the execution scale?
@@ -479,7 +518,7 @@ class PLBHeC(SchedulingPolicy):
     # ------------------------------------------------------------------
     # selection phase (Sec. III.C)
     # ------------------------------------------------------------------
-    def _enter_execution(self, remaining: int) -> None:
+    def _enter_execution(self, remaining: int, *, trigger: str = "selection") -> None:
         _log.info(
             "modeling done after %d rounds (%d units consumed); "
             "entering execution with %d units remaining",
@@ -492,11 +531,20 @@ class PLBHeC(SchedulingPolicy):
         # distributes this much, so rebalances do not shrink the steps
         # geometrically and the tail is the only partial step.
         self._quantum = max(remaining / self.num_steps, 1.0)
-        self._solve(remaining)
+        self._solve(remaining, trigger=trigger)
 
-    def _solve(self, remaining: int) -> None:
+    def _solve(
+        self,
+        remaining: int,
+        *,
+        trigger: str = "selection",
+        detail: dict | None = None,
+    ) -> None:
         quantum = min(self._quantum, float(remaining))
         registry = get_registry()
+        restorations_before = registry.snapshot()["counters"].get(
+            "ipm.restorations", 0
+        )
         t0 = time.perf_counter()
         try:
             with _events.span("plbhec.solve", remaining=remaining):
@@ -506,7 +554,7 @@ class PLBHeC(SchedulingPolicy):
                     )
         except (SolverError, FitError, ConfigurationError) as exc:
             self._charge(time.perf_counter() - t0)
-            self._fallback(quantum, exc)
+            self._fallback(quantum, exc, trigger=trigger, detail=detail)
             return
         self._charge(time.perf_counter() - t0)
         registry.inc("plbhec.solves")
@@ -529,6 +577,28 @@ class PLBHeC(SchedulingPolicy):
             best = max(result.units_by_device, key=result.units_by_device.get)
             sizes[best] = 1
         self._block_sizes = sizes
+        restorations = (
+            registry.snapshot()["counters"].get("ipm.restorations", 0)
+            - restorations_before
+        )
+        self._open_partition_decision(
+            trigger=trigger,
+            sizes=sizes,
+            predicted_time=result.predicted_time,
+            solver={
+                "method": result.method,
+                "converged": bool(result.converged),
+                "iterations": int(result.iterations),
+                "kkt_error": float(result.kkt_error),
+                "restorations": int(restorations),
+                "solve_time_s": float(
+                    self.fixed_overhead_s
+                    if self.fixed_overhead_s is not None
+                    else result.solve_time_s
+                ),
+            },
+            detail=detail,
+        )
         self._monitor.reset()
 
     def _active_devices(self) -> int:
@@ -537,7 +607,14 @@ class PLBHeC(SchedulingPolicy):
     # ------------------------------------------------------------------
     # graceful degradation
     # ------------------------------------------------------------------
-    def _fallback(self, quantum: float, exc: Exception) -> None:
+    def _fallback(
+        self,
+        quantum: float,
+        exc: Exception,
+        *,
+        trigger: str = "selection",
+        detail: dict | None = None,
+    ) -> None:
         """Survive a failed fit/solve with a degraded-but-safe partition.
 
         The chain: reuse the last *good* (solver-produced) partition,
@@ -561,10 +638,16 @@ class PLBHeC(SchedulingPolicy):
             stage,
         )
         ids = tuple(sizes)
+        int_sizes = {d: max(int(round(sizes[d])), 1) for d in ids}
+        # The degraded split still has a prediction: the fitted models
+        # (if any survive) or the latest measured rates the split itself
+        # was derived from.  Propagating it keeps fallback decisions
+        # calibratable instead of scoring as NaN.
+        per_device_pred, predicted_time = self._fallback_prediction(int_sizes)
         result = PartitionResult(
             device_ids=ids,
             units=np.array([sizes[d] for d in ids], dtype=float),
-            predicted_time=math.nan,
+            predicted_time=predicted_time,
             method=f"fallback-{stage}",
             converged=False,
             iterations=0,
@@ -573,11 +656,57 @@ class PLBHeC(SchedulingPolicy):
         )
         self._partition = result
         self.selection_history.append(result)
-        int_sizes = {d: max(int(round(sizes[d])), 1) for d in ids}
         for d, v in int_sizes.items():
             registry.set_gauge("plbhec.block_size", v, device=d)
         self._block_sizes = int_sizes
+        self._open_partition_decision(
+            trigger=trigger,
+            sizes=int_sizes,
+            predicted_time=predicted_time,
+            predicted=per_device_pred,
+            solver={
+                "method": f"fallback-{stage}",
+                "fallback_stage": stage,
+                "converged": False,
+                "iterations": 0,
+                "kkt_error": math.nan,
+                "restorations": 0,
+                "solve_time_s": 0.0,
+                "error": f"{type(exc).__name__}: {exc}",
+            },
+            detail=detail,
+        )
         self._monitor.reset()
+
+    def _fallback_prediction(
+        self, sizes: dict[str, int]
+    ) -> tuple[dict[str, float], float]:
+        """Predicted per-device seconds for a fallback allocation.
+
+        Prefers the fitted models; devices without one fall back to
+        their latest measured rate (the same measurement the
+        speed-ratio split used).  Devices with neither stay
+        unpredicted; with no prediction at all the common time is NaN.
+        """
+        per_device: dict[str, float] = {}
+        for d, u in sizes.items():
+            if u <= 0:
+                continue
+            model = self._models.get(d)
+            if model is not None:
+                t = float(model.E(u))
+                if math.isfinite(t) and t > 0.0:
+                    per_device[d] = t
+                    continue
+            profile = self._profiles.get(d)
+            if profile is not None and profile.points:
+                p = profile.points[-1]
+                elapsed = p.exec_s + p.transfer_s
+                if elapsed > 0.0 and p.units > 0:
+                    per_device[d] = float(u) * elapsed / p.units
+        if not per_device:
+            return {}, math.nan
+        return per_device, max(per_device.values())
 
     def _fallback_sizes(self, quantum: float) -> tuple[str, dict[str, float]]:
         live = list(self._ids)
@@ -620,7 +749,13 @@ class PLBHeC(SchedulingPolicy):
     # ------------------------------------------------------------------
     # rebalancing (Sec. III.D)
     # ------------------------------------------------------------------
-    def _rebalance(self, remaining: int) -> None:
+    def _rebalance(
+        self,
+        remaining: int,
+        *,
+        trigger: str = "rebalance",
+        detail: dict | None = None,
+    ) -> None:
         """Re-fit with accumulated execution times and re-solve."""
         self.rebalance_count += 1
         self.ctx.note_rebalance()
@@ -640,7 +775,7 @@ class PLBHeC(SchedulingPolicy):
         self._charge(time.perf_counter() - t0)
         if models:
             self._models = models
-        self._solve(remaining)
+        self._solve(remaining, trigger=trigger, detail=detail)
 
     # ------------------------------------------------------------------
     def _charge(self, seconds: float) -> None:
@@ -648,6 +783,94 @@ class PLBHeC(SchedulingPolicy):
             seconds = self.fixed_overhead_s
         if self.overhead_scale > 0.0 and seconds > 0.0:
             self.ctx.charge_overhead(seconds * self.overhead_scale, "plb-hec")
+
+    # ------------------------------------------------------------------
+    # decision ledger
+    # ------------------------------------------------------------------
+    def _open_probe_decision(
+        self, *, trigger: str = "probe-round", detail: dict | None = None
+    ) -> None:
+        """Ledger a probe round: allocation known, predictions not yet."""
+        did = self.ledger.open_decision(
+            trigger=trigger,
+            t=self._vnow,
+            phase="modeling",
+            allocation={d: int(s) for d, s in self._round_sizes.items()},
+            solver={"method": "probe"},
+            detail={"round": self._round, **(detail or {})},
+        )
+        self._decision_models[did] = {}
+        get_registry().inc("plbhec.decisions")
+        _events.instant("plbhec.decision", id=did, trigger=trigger, method="probe")
+
+    def _open_partition_decision(
+        self,
+        *,
+        trigger: str,
+        sizes: dict[str, int],
+        predicted_time: float,
+        solver: dict,
+        detail: dict | None = None,
+        predicted: dict[str, float] | None = None,
+    ) -> None:
+        """Ledger a solve/fallback outcome with its model state."""
+        if predicted is None:
+            predicted = {}
+            for d, s in sizes.items():
+                model = self._models.get(d)
+                if model is not None and s > 0:
+                    t = float(model.E(s))
+                    if math.isfinite(t):
+                        predicted[d] = t
+        did = self.ledger.open_decision(
+            trigger=trigger,
+            t=self._vnow,
+            phase="execution",
+            allocation=dict(sizes),
+            predicted=predicted,
+            predicted_time=float(predicted_time),
+            solver=solver,
+            models={d: m.state_summary() for d, m in self._models.items()},
+            detail=detail,
+        )
+        # live model objects per decision: completions of blocks still in
+        # flight across a refit score against the model that sized them
+        self._decision_models[did] = dict(self._models)
+        get_registry().inc("plbhec.decisions")
+        _events.instant(
+            "plbhec.decision",
+            id=did,
+            trigger=trigger,
+            method=solver.get("method", ""),
+        )
+
+    def _attribute(self, record: TaskRecord) -> None:
+        """Close the loop: score a completed block against its decision."""
+        d = record.worker_id
+        predicted = None
+        models = self._decision_models.get(record.decision)
+        if models:
+            model = models.get(d)
+            if model is not None:
+                # evaluate at the *granted* size — tail blocks shrink
+                # below the decision's allocation, and the model curve,
+                # not a linear rescale, is the honest prediction there
+                t = float(model.E(record.units))
+                if math.isfinite(t) and t > 0.0:
+                    predicted = t
+        self.ledger.attribute(
+            record.decision,
+            d,
+            units=record.units,
+            predicted_s=predicted,
+            observed_s=record.total_time,
+        )
+        cal = self.ledger.device_calibration(d)
+        if cal is not None and cal.count:
+            registry = get_registry()
+            registry.set_gauge("plbhec.calibration.mape", cal.mape, device=d)
+            registry.set_gauge("plbhec.calibration.bias", cal.bias, device=d)
+            registry.set_gauge("plbhec.calibration.drift", cal.drift, device=d)
 
     # ------------------------------------------------------------------
     # introspection for experiments

@@ -33,6 +33,12 @@ class SkewMonitor:
         # step -> {device: (end_time, duration)}
         self._steps: dict[int, dict[str, tuple[float, float]]] = {}
         self._expected: dict[int, int] = {}
+        #: relative duration spread of the last *completed* step —
+        #: decision-ledger context for why a rebalance fired (NaN until
+        #: a multi-device step completes)
+        self.last_skew: float = float("nan")
+        #: step index the last completed skew measurement belongs to
+        self.last_skew_step: int = -1
 
     def expect(self, step: int, num_devices: int) -> None:
         """Declare how many tasks step ``step`` will comprise."""
@@ -69,6 +75,8 @@ class SkewMonitor:
             self._cleanup(step)
             return False
         skew = max(durations) - min(durations)
+        self.last_skew = skew / mean_duration
+        self.last_skew_step = step
         tripped = skew > self.threshold * mean_duration
         self._cleanup(step)
         return tripped

@@ -56,7 +56,13 @@ class _ForcedSelectionPLB(PLBHeC):
             raise ConfigurationError(f"unknown forced method {forced_method!r}")
         self.forced_method = forced_method
 
-    def _solve(self, remaining: int) -> None:  # noqa: D102 - see base
+    def _solve(
+        self,
+        remaining: int,
+        *,
+        trigger: str = "selection",
+        detail: dict | None = None,
+    ) -> None:  # noqa: D102 - see base
         quantum = min(self._quantum, float(remaining))
         import time as _time
 
@@ -92,6 +98,23 @@ class _ForcedSelectionPLB(PLBHeC):
             best = max(result.units_by_device, key=result.units_by_device.get)
             sizes[best] = 1
         self._block_sizes = sizes
+        self._open_partition_decision(
+            trigger=trigger,
+            sizes=sizes,
+            predicted_time=result.predicted_time,
+            solver={
+                "method": result.method,
+                "converged": True,
+                "iterations": 0,
+                "kkt_error": result.kkt_error,
+                "solve_time_s": float(
+                    self.fixed_overhead_s
+                    if self.fixed_overhead_s is not None
+                    else result.solve_time_s
+                ),
+            },
+            detail=detail,
+        )
         self._monitor.reset()
 
 

@@ -78,8 +78,11 @@ __all__ = [
 #: stale cached results can never leak across algorithm versions.
 #: ("2": payload gained the per-run RunReport manifest and wall clock.
 #: "3": the partition solver retries non-converged IPM attempts from a
-#: perturbed start, and faulted runs carry a resilience section.)
-ALGORITHM_VERSION = "3"
+#: perturbed start, and faulted runs carry a resilience section.
+#: "4": payloads of ledger-keeping policies carry the scheduler
+#: decision ledger, and the fallback partition propagates an analytic
+#: predicted time instead of NaN.)
+ALGORITHM_VERSION = "4"
 
 _log = get_logger("experiments.parallel")
 _events = EventLog("experiments.parallel")
@@ -298,6 +301,10 @@ def _execute_run(
         "wall_s": time.perf_counter() - wall0,
         "report": report.to_dict(),
     }
+    if result.ledger is not None:
+        # deterministic content only (virtual times + solver numerics),
+        # so cached payloads replay byte-identical ledgers
+        payload["ledger"] = result.ledger.to_dict()
     if prof_snapshot is not None:
         payload["profile"] = prof_snapshot
     if spec.faults:
@@ -633,7 +640,11 @@ def run_sweep(
     # history is telemetry: failure to write it must not fail the sweep.
     if fresh:
         try:
-            from repro.obs.history import HistoryStore, run_entry
+            from repro.obs.history import (
+                HistoryStore,
+                calibration_entry,
+                run_entry,
+            )
 
             history = HistoryStore.from_env()
             if history is not None:
@@ -643,6 +654,9 @@ def run_sweep(
                         history.append(
                             run_entry(report, wall_s=payload.get("wall_s"))
                         )
+                        ledger = payload.get("ledger")
+                        if ledger and ledger.get("calibration"):
+                            history.append(calibration_entry(report, ledger))
         except Exception:
             _log.warning("failed to record sweep history", exc_info=True)
 

@@ -146,6 +146,29 @@ class DeviceModel:
             f"{self.transfer_fit.describe()}"
         )
 
+    def state_summary(self) -> dict:
+        """Plain-data snapshot of the model for the decision ledger.
+
+        Captures what the scheduler knew when it used this model: the
+        basis ``model_select`` chose, the fitted coefficients, both fit
+        qualities and how many observations supported them.
+        """
+        return {
+            "basis": list(self.exec_fit.names),
+            "coefficients": [float(c) for c in self.exec_fit.coefficients],
+            "x_scale": float(self.exec_fit.x_scale),
+            "r2": float(self.r2),
+            "exec_r2": float(self.exec_fit.r2),
+            "rel_rmse": float(self.exec_fit.rel_rmse),
+            "n_points": int(self.exec_fit.n_points),
+            "x_max": float(self.x_max),
+            "transfer": {
+                "slope": float(self.transfer_fit.slope),
+                "intercept": float(self.transfer_fit.intercept),
+                "r2": float(self.transfer_fit.r2),
+            },
+        }
+
 
 class PerfProfile:
     """Accumulates one device's observations and fits its model.

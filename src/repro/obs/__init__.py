@@ -22,25 +22,55 @@ The legs every experiment stands on:
 * :mod:`repro.obs.regress` — the statistical perf-regression gate
   (``repro bench --check``), built-in anomaly detectors, and the
   hot-path drift detector over recorded profiles;
+* :mod:`repro.obs.ledger` — the scheduler decision ledger: one record
+  per partition decision (trigger, model state, solver outcome,
+  allocation, predictions) with per-block attribution, serialized as
+  the ``explain.jsonl`` artifact behind ``repro explain``;
+* :mod:`repro.obs.calibration` — pure predicted-vs-observed math
+  (MAPE, signed bias, EWMA drift) the ledger accumulates per device;
 * :mod:`repro.obs.dashboard` — the self-contained HTML dashboard
   (``repro dashboard``).
 """
 
+from repro.obs.calibration import (
+    DeviceCalibration,
+    ewma_drift,
+    mape,
+    relative_errors,
+    signed_bias,
+    summarize_calibration,
+)
 from repro.obs.dashboard import (
     DashboardData,
     collect_dashboard_data,
     render_dashboard,
     write_dashboard,
 )
-from repro.obs.events import EventLog, current_run_id, new_run_id, push_run_id
+from repro.obs.events import (
+    EventLog,
+    attach_jsonl_sink,
+    current_run_id,
+    detach_sink,
+    new_run_id,
+    push_run_id,
+)
 from repro.obs.history import (
     HistoryStore,
     bench_entry,
+    calibration_entry,
     fingerprint_hash,
     git_rev,
     host_fingerprint,
     run_entry,
     validate_entry,
+)
+from repro.obs.ledger import (
+    DecisionLedger,
+    DecisionRecord,
+    decision_rows,
+    read_explain,
+    validate_explain,
+    write_explain,
 )
 from repro.obs.metrics import (
     Counter,
@@ -52,6 +82,7 @@ from repro.obs.metrics import (
     merge_snapshots,
     reset_registry,
     set_registry,
+    snapshot_to_prometheus,
 )
 from repro.obs.profiler import (
     PROFILE_PHASES,
@@ -95,6 +126,9 @@ __all__ = [
     "Comparison",
     "Counter",
     "DashboardData",
+    "DecisionLedger",
+    "DecisionRecord",
+    "DeviceCalibration",
     "EventLog",
     "Gauge",
     "Histogram",
@@ -104,23 +138,29 @@ __all__ = [
     "PhaseProfiler",
     "RunReport",
     "active_profiler",
+    "attach_jsonl_sink",
     "bench_entry",
+    "calibration_entry",
     "check_bench_report",
     "collapsed_stacks",
     "collect_dashboard_data",
     "compare_samples",
     "config_hash",
     "current_run_id",
+    "decision_rows",
+    "detach_sink",
     "detect_anomalies",
     "detect_hot_path_drift",
     "detect_report_anomalies",
     "diff_snapshots",
+    "ewma_drift",
     "fingerprint_hash",
     "get_registry",
     "git_rev",
     "hot_functions",
     "host_fingerprint",
     "mann_whitney_u",
+    "mape",
     "merge_profiles",
     "merge_snapshots",
     "new_run_id",
@@ -130,17 +170,25 @@ __all__ = [
     "profile_to_events",
     "profiling",
     "push_run_id",
+    "read_explain",
+    "relative_errors",
     "render_dashboard",
     "render_flamegraph_svg",
     "reset_registry",
     "run_entry",
     "set_registry",
+    "signed_bias",
+    "snapshot_to_prometheus",
+    "summarize_calibration",
     "switch_phase",
     "trace_to_chrome",
     "trace_to_events",
+    "validate_chrome_trace",
     "validate_entry",
+    "validate_explain",
     "write_chrome_trace",
     "write_collapsed",
     "write_dashboard",
+    "write_explain",
     "write_flamegraph",
 ]

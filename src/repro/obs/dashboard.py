@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Any, Mapping, Sequence
 from xml.sax.saxutils import escape
 
 from repro.obs.history import HistoryStore, git_rev, host_fingerprint
+from repro.obs.ledger import decision_rows
 from repro.obs.regress import Anomaly
 
 if TYPE_CHECKING:  # the render stack is imported lazily: repro.obs is
@@ -146,6 +147,8 @@ class DashboardData:
     profile: dict = field(default_factory=dict)
     #: chaos-campaign scorecard (``repro chaos`` output); empty = none
     resilience: dict = field(default_factory=dict)
+    #: decision ledger of the live run (``DecisionLedger.to_dict`` form)
+    ledger: dict = field(default_factory=dict)
 
 
 def collect_dashboard_data(
@@ -225,6 +228,8 @@ def collect_dashboard_data(
     data.profile = prof.snapshot()
     delta = diff_snapshots(before, registry.snapshot())
     data.trace = result.trace
+    if result.ledger is not None:
+        data.ledger = result.ledger.to_dict()
     data.anomalies = detect_anomalies(
         phase_summary=result.trace.phase_summary(),
         metrics=delta,
@@ -489,6 +494,72 @@ def _line_chart(
     return "".join(parts)
 
 
+def _scatter_chart(
+    series: Sequence[tuple[str, str, Sequence[tuple[float, float]]]],
+    *,
+    width: int = 860,
+    height: int = 240,
+    unit: str = "s",
+) -> str:
+    """Predicted-vs-observed scatter with an identity diagonal.
+
+    Points on the dashed ``y = x`` line are perfect predictions; above
+    it the model over-predicted, below it under-predicted.
+    """
+    series = [
+        (n, c, [(x, y) for x, y in pts if x == x and y == y])
+        for n, c, pts in series
+    ]
+    series = [(n, c, pts) for n, c, pts in series if pts]
+    if not series:
+        return "<p class='empty'>(no scored predictions)</p>"
+    margin_l, margin_r, margin_b, margin_t = 64, 16, 30, 10
+    plot_w, plot_h = width - margin_l - margin_r, height - margin_b - margin_t
+    values = [v for _, _, pts in series for p in pts for v in p]
+    lo, hi = 0.0, max(values) * 1.05 or 1.0
+    ticks = _nice_ticks(lo, hi)
+    hi = ticks[-1]
+
+    def sx(v: float) -> float:
+        return margin_l + (v - lo) / (hi - lo) * plot_w
+
+    def sy(v: float) -> float:
+        return margin_t + plot_h * (1.0 - (v - lo) / (hi - lo))
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="100%" role="img" '
+        f'xmlns="http://www.w3.org/2000/svg">'
+    ]
+    for t in ticks:
+        parts.append(
+            f'<line x1="{margin_l}" y1="{sy(t):.1f}" x2="{width - margin_r}" '
+            f'y2="{sy(t):.1f}" class="gridline"/>'
+            f'<text x="{margin_l - 6}" y="{sy(t) + 4:.1f}" text-anchor="end" '
+            f'class="axis-label">{_fmt_value(t)}{unit}</text>'
+            f'<text x="{sx(t):.1f}" y="{height - 12}" text-anchor="middle" '
+            f'class="axis-label">{_fmt_value(t)}{unit}</text>'
+        )
+    parts.append(
+        f'<line x1="{sx(lo):.1f}" y1="{sy(lo):.1f}" x2="{sx(hi):.1f}" '
+        f'y2="{sy(hi):.1f}" class="axis-line" stroke-dasharray="4 4">'
+        "<title>perfect prediction (y = x)</title></line>"
+    )
+    for name, color, pts in series:
+        for obs, pred in pts:
+            parts.append(
+                f'<circle cx="{sx(obs):.1f}" cy="{sy(pred):.1f}" r="4" '
+                f'fill="{color}" fill-opacity="0.75">'
+                f"<title>{escape(name)}: predicted {pred:.4g}{unit}, "
+                f"observed {obs:.4g}{unit}</title></circle>"
+            )
+    parts.append(
+        f'<line x1="{margin_l}" y1="{margin_t + plot_h}" '
+        f'x2="{width - margin_r}" y2="{margin_t + plot_h}" class="axis-line"/>'
+        "</svg>"
+    )
+    return "".join(parts)
+
+
 def _legend(entries: Sequence[tuple[str, str]]) -> str:
     keys = "".join(
         f'<span class="key"><span class="swatch" style="background:{color}">'
@@ -746,6 +817,149 @@ def _section_anomalies(anomalies: Sequence[Anomaly]) -> str:
     )
 
 
+def _section_decisions(ledger: Mapping[str, Any]) -> str:
+    if not ledger or not ledger.get("decisions"):
+        return (
+            "<section><h2>Scheduler decisions</h2><p class='empty'>no "
+            "decision ledger (policy keeps none, or the run predates "
+            "<code>repro explain</code>)</p></section>"
+        )
+    decisions = list(decision_rows(dict(ledger)))
+    attribution = dict(ledger.get("attribution", {}))
+    attributed = int(attribution.get("attributed", 0) or 0)
+    unattributed = int(attribution.get("unattributed", 0) or 0)
+    total_blocks = attributed + unattributed
+    coverage = attributed / total_blocks if total_blocks else 0.0
+    # the ledger lists fired fallback stages in decision order
+    fallback_stages: dict[str, int] = {}
+    for stage in ledger.get("fallback_stages", ()):
+        fallback_stages[stage] = fallback_stages.get(stage, 0) + 1
+    tiles = (
+        ("decisions", str(len(decisions)), ""),
+        (
+            "blocks attributed",
+            f"{coverage * 100:.0f}%",
+            f"{attributed}/{total_blocks}",
+        ),
+        (
+            "fallback decisions",
+            str(sum(fallback_stages.values())),
+            ", ".join(sorted(fallback_stages)) if fallback_stages else "none",
+        ),
+    )
+    tiles_html = "".join(
+        f'<div class="tile"><div class="label">{escape(label)}</div>'
+        f'<div class="value">{escape(value)}</div>'
+        f'<div class="hint">{escape(hint)}</div></div>'
+        for label, value, hint in tiles
+    )
+
+    calibration = dict(ledger.get("calibration", {}))
+    devices = sorted(calibration)
+    device_colors = {
+        d: f"var({_SERIES_VARS[i % len(_SERIES_VARS)]})"
+        for i, d in enumerate(devices)
+    }
+    # calibration scatter: per-device mean predicted vs mean observed
+    # block time of each decision the device executed under
+    scatter_series = []
+    for device in devices:
+        pts = []
+        for d in ledger.get("decisions", []):
+            o = (d.get("observed") or {}).get(device) or {}
+            pred, obs = o.get("mean_predicted_s"), o.get("mean_observed_s")
+            if pred is not None and obs is not None:
+                pts.append((float(obs), float(pred)))
+        scatter_series.append((device, device_colors[device], pts))
+
+    drift_series = [
+        (
+            device,
+            device_colors[device],
+            [
+                (float(i), float(e))
+                for i, e in enumerate(calibration[device].get("series", []))
+            ],
+        )
+        for device in devices
+    ]
+
+    head = (
+        "<tr><th>id</th><th>trigger</th><th>method</th>"
+        "<th class=num>iterations</th><th class=num>KKT error</th>"
+        "<th class=num>t (s)</th><th class=num>predicted (s)</th>"
+        "<th class=num>blocks</th><th class=num>MAPE</th></tr>"
+    )
+    body_rows = []
+    for row in decisions:
+        method = escape(str(row["method"]))
+        if row["fallback_stage"]:
+            method += (
+                f' <span class="badge warning">fallback: '
+                f"{escape(str(row['fallback_stage']))}</span>"
+            )
+        kkt = row["kkt_error"]
+        pred = row["predicted_time"]
+        mape_v = row["mape"]
+        body_rows.append(
+            f"<tr><td>{escape(str(row['id']))}</td>"
+            f"<td>{escape(str(row['trigger']))}</td>"
+            f"<td>{method}</td>"
+            f"<td class=num>{int(row['iterations'])}</td>"
+            f"<td class=num>{f'{kkt:.2e}' if isinstance(kkt, float) else '—'}</td>"
+            f"<td class=num>{float(row['t']):.4f}</td>"
+            f"<td class=num>{f'{pred:.4f}' if isinstance(pred, float) else '—'}</td>"
+            f"<td class=num>{int(row['blocks'])}</td>"
+            f"<td class=num>{f'{mape_v * 100:.1f}%' if mape_v is not None else '—'}</td>"
+            "</tr>"
+        )
+    table = (
+        f"<table><thead>{head}</thead><tbody>{''.join(body_rows)}</tbody></table>"
+    )
+
+    cal_rows = [
+        [
+            device,
+            int(calibration[device].get("blocks") or 0),
+            int(calibration[device].get("skipped") or 0),
+            f"{calibration[device]['mape'] * 100:.1f}%"
+            if calibration[device].get("mape") is not None
+            else "—",
+            f"{calibration[device]['bias'] * 100:+.1f}%"
+            if calibration[device].get("bias") is not None
+            else "—",
+            f"{calibration[device]['drift'] * 100:+.1f}%"
+            if calibration[device].get("drift") is not None
+            else "—",
+        ]
+        for device in devices
+    ]
+    cal_table = _table(
+        ["device", "scored blocks", "skipped", "MAPE", "bias", "drift (EWMA)"],
+        cal_rows,
+    )
+    return (
+        "<section><h2>Scheduler decisions</h2>"
+        "<p class='sub'>the decision ledger of the live PLB-HeC run above "
+        "— every partition the scheduler committed to, what the solver "
+        "reported, and how its block-time predictions calibrated against "
+        "execution (<code>repro explain</code>)</p>"
+        f'<div class="tiles">{tiles_html}</div>'
+        + table
+        + "<h2 style='margin-top:18px'>Prediction calibration</h2>"
+        "<p class='sub'>per-device mean predicted vs observed block time "
+        "per decision; the dashed diagonal is a perfect prediction</p>"
+        + _legend([(d, device_colors[d]) for d in devices])
+        + _scatter_chart(scatter_series)
+        + "<h2 style='margin-top:18px'>Calibration drift</h2>"
+        "<p class='sub'>signed relative error of each scored block in "
+        "completion order — a trend away from zero is model drift</p>"
+        + _line_chart(drift_series, x_label="scored block (completion order)")
+        + cal_table
+        + "</section>"
+    )
+
+
 def _section_resilience(scorecard: Mapping[str, Any]) -> str:
     if not scorecard:
         return (
@@ -841,6 +1055,7 @@ def render_dashboard(data: DashboardData) -> str:
         _section_trend(data.bench_trend),
         _section_convergence(data.convergence, data.convergence_history),
         _section_gantt(data.trace, data.trace_policy),
+        _section_decisions(data.ledger),
         _section_profile(data.profile),
         _section_resilience(data.resilience),
         _section_anomalies(data.anomalies),

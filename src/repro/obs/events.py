@@ -30,16 +30,21 @@ import contextvars
 import hashlib
 import itertools
 import logging
+import logging.handlers
+import os
 import time
 from typing import Any, Iterator
 
-from repro.util.logging import get_logger
+from repro.errors import ConfigurationError
+from repro.util.logging import JsonFormatter, get_logger
 
 __all__ = [
     "EventLog",
     "current_run_id",
     "push_run_id",
     "new_run_id",
+    "attach_jsonl_sink",
+    "detach_sink",
 ]
 
 _run_id_var: contextvars.ContextVar[str | None] = contextvars.ContextVar(
@@ -74,6 +79,62 @@ def push_run_id(run_id: str) -> Iterator[str]:
         yield run_id
     finally:
         _run_id_var.reset(token)
+
+
+def attach_jsonl_sink(
+    path: str,
+    *,
+    max_bytes: int | None = None,
+    backup_count: int = 1,
+    level: int = logging.INFO,
+) -> logging.Handler:
+    """Attach a JSON-lines file sink to the ``repro`` logger hierarchy.
+
+    Every record (structured events included) is appended to ``path``
+    as one JSON object per line, independent of any console handler.
+    With ``max_bytes`` set, the file rotates once it would exceed that
+    size, keeping ``backup_count`` old files (``path.1`` .. ``path.N``)
+    — long chaos campaigns get bounded disk use.  With ``max_bytes``
+    unset (the default) the file grows without limit, exactly as a
+    plain append sink: default behaviour is unchanged.
+
+    Returns the handler; pass it to :func:`detach_sink` to stop and
+    close it.  The root logger level is lowered to ``level`` if it is
+    currently stricter, so sink records are not filtered out by a
+    console configuration.
+    """
+    if max_bytes is not None and max_bytes <= 0:
+        raise ConfigurationError(
+            f"max_bytes must be positive when set, got {max_bytes}"
+        )
+    if backup_count < 0:
+        raise ConfigurationError(
+            f"backup_count must be >= 0, got {backup_count}"
+        )
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    if max_bytes is None:
+        handler: logging.Handler = logging.FileHandler(path, encoding="utf-8")
+    else:
+        handler = logging.handlers.RotatingFileHandler(
+            path,
+            maxBytes=int(max_bytes),
+            backupCount=int(backup_count),
+            encoding="utf-8",
+        )
+    handler.setFormatter(JsonFormatter())
+    handler.setLevel(level)
+    root = get_logger("repro")
+    root.addHandler(handler)
+    if root.level == logging.NOTSET or root.level > level:
+        root.setLevel(level)
+    return handler
+
+
+def detach_sink(handler: logging.Handler) -> None:
+    """Remove and close a sink previously attached by this module."""
+    get_logger("repro").removeHandler(handler)
+    handler.close()
 
 
 class EventLog:

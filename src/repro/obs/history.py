@@ -47,6 +47,7 @@ __all__ = [
     "bench_entry",
     "run_entry",
     "chaos_entry",
+    "calibration_entry",
     "host_fingerprint",
     "fingerprint_hash",
     "git_rev",
@@ -59,14 +60,17 @@ _log = get_logger("obs.history")
 #: ("2": bench entries gained the ``profiled`` flag and the optional
 #: ``hot_functions`` table; schema-1 entries read back as unprofiled.
 #: "3": the ``chaos`` kind records campaign scorecards; the perf gate
-#: pools bench laps only, so chaos entries are excluded by construction.)
-HISTORY_SCHEMA = 3
+#: pools bench laps only, so chaos entries are excluded by construction.
+#: "4": the ``calibration`` kind records per-device prediction-accuracy
+#: summaries from scheduler decision ledgers; like chaos entries they
+#: carry an explicit marker and are excluded from the perf gate.)
+HISTORY_SCHEMA = 4
 
 #: Default store location, relative to the working directory.
 DEFAULT_HISTORY_DIR = ".repro_history"
 
 #: Entry kinds the store understands.
-_KINDS = ("bench", "run", "chaos")
+_KINDS = ("bench", "run", "chaos", "calibration")
 
 #: Keys every entry must carry to be usable by the regression gate.
 _REQUIRED_KEYS = ("schema", "kind", "recorded_at", "host", "host_hash", "config_hash")
@@ -139,6 +143,19 @@ def validate_entry(entry: Mapping[str, Any]) -> list[str]:
             problems.append(
                 "chaos entry needs a 'summary' dict with 'survival_rate'"
             )
+    if entry["kind"] == "calibration":
+        devices = entry.get("devices")
+        if not isinstance(devices, dict) or not devices:
+            problems.append(
+                "calibration entry needs a non-empty 'devices' dict"
+            )
+        else:
+            for device, summary in devices.items():
+                if not isinstance(summary, dict) or "mape" not in summary:
+                    problems.append(
+                        f"calibration device {device!r} needs a dict with 'mape'"
+                    )
+                    break
     # Schema-2 additions: both optional so schema-1 lines (and minimal
     # hand-written entries) stay readable, but malformed when present.
     if not isinstance(entry.get("profiled", False), bool):
@@ -259,6 +276,52 @@ def chaos_entry(scorecard: Mapping[str, Any]) -> dict[str, Any]:
             "total_violations": int(scorecard.get("total_violations", 0) or 0),
             "all_invariants_ok": bool(scorecard.get("all_invariants_ok")),
             "policies": policies,
+        },
+    }
+    return _stamp(entry)
+
+
+def calibration_entry(
+    report: Mapping[str, Any], ledger: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Build a history entry from a run's decision-ledger calibration.
+
+    ``report`` is the RunReport dict the ledger belongs to (supplies the
+    config/config-hash/run-id identity); ``ledger`` is the ledger's
+    ``to_dict`` form.  Mirroring the chaos pattern, the
+    ``calibration: true`` marker sits *outside* the config hash: the
+    perf-regression gate pools bench laps only, and the explicit marker
+    keeps that exclusion assertable instead of incidental.
+    """
+    devices = {
+        device: {
+            "mape": summary.get("mape"),
+            "bias": summary.get("bias"),
+            "drift": summary.get("drift"),
+            "blocks": summary.get("blocks"),
+            "skipped": summary.get("skipped"),
+        }
+        for device, summary in dict(ledger.get("calibration", {})).items()
+    }
+    attribution = dict(ledger.get("attribution", {}))
+    # the ledger lists fired stages in decision order; the history
+    # entry stores the per-stage counts (the chaos scorecard's shape)
+    stages: dict[str, int] = {}
+    for stage in ledger.get("fallback_stages", ()):
+        stages[stage] = stages.get(stage, 0) + 1
+    entry: dict[str, Any] = {
+        "kind": "calibration",
+        "calibration": True,
+        "run_id": report.get("run_id") or ledger.get("run_id"),
+        "config": dict(report.get("config", {})),
+        "config_hash": report["config_hash"],
+        "devices": devices,
+        "summary": {
+            "decisions": len(ledger.get("decisions", ())),
+            "attributed": attribution.get("attributed"),
+            "unattributed": attribution.get("unattributed"),
+            "triggers": dict(ledger.get("triggers", {})),
+            "fallback_stages": stages,
         },
     }
     return _stamp(entry)

@@ -54,6 +54,7 @@ __all__ = [
     "reset_registry",
     "diff_snapshots",
     "merge_snapshots",
+    "snapshot_to_prometheus",
 ]
 
 _log = get_logger("obs.metrics")
@@ -277,6 +278,13 @@ class MetricsRegistry:
                 "histograms": {k: h.summary() for k, h in self._histograms.items()},
             }
 
+    def to_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format.
+
+        See :func:`snapshot_to_prometheus` for the mapping rules.
+        """
+        return snapshot_to_prometheus(self.snapshot())
+
     def reset(self) -> None:
         """Drop every series (used by tests and per-run isolation)."""
         with self._lock:
@@ -350,6 +358,119 @@ def merge_snapshots(into: dict, other: dict) -> dict:
             merged["mean"] = merged["sum"] / merged["count"]
         into["histograms"][key] = merged
     return into
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+_PROM_QUANTILES = (("p50", "0.5"), ("p90", "0.9"), ("p99", "0.99"))
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a metric name to ``[a-zA-Z_:][a-zA-Z0-9_:]*``."""
+    out = []
+    for i, ch in enumerate(name):
+        if ch.isascii() and (ch.isalpha() or ch in "_:" or (ch.isdigit() and i > 0)):
+            out.append(ch)
+        else:
+            out.append("_")
+    return "".join(out) or "_"
+
+
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the exposition-format rules."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_split(key: str) -> tuple[str, list[tuple[str, str]]]:
+    """Split a ``name{k=v,...}`` series key into name and label pairs."""
+    brace = key.find("{")
+    if brace < 0:
+        return key, []
+    name = key[:brace]
+    labels = []
+    body = key[brace + 1 :].rstrip("}")
+    for pair in body.split(","):
+        if "=" in pair:
+            k, v = pair.split("=", 1)
+            labels.append((k, v))
+    return name, labels
+
+
+def _prom_series(key: str, extra: list[tuple[str, str]] | None = None) -> str:
+    """Render one series reference: sanitized name plus label braces."""
+    name, labels = _prom_split(key)
+    labels = labels + (extra or [])
+    rendered = _prom_name(name)
+    if labels:
+        body = ",".join(
+            f'{_prom_name(k)}="{_prom_escape(v)}"' for k, v in labels
+        )
+        rendered += "{" + body + "}"
+    return rendered
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def snapshot_to_prometheus(snapshot: dict) -> str:
+    """A registry snapshot in Prometheus text exposition format.
+
+    Mapping rules: counters and gauges become ``counter``/``gauge``
+    families; histogram summaries become ``summary`` families with
+    ``quantile="0.5"/"0.9"/"0.99"`` series (from p50/p90/p99) plus the
+    conventional ``_sum``/``_count`` lines.  Metric names are sanitized
+    (dots become underscores); label values are escaped.  Families are
+    emitted sorted by name, each preceded by a ``# TYPE`` comment, and
+    the output ends with a newline (as scrapers expect).
+    """
+    lines: list[str] = []
+
+    def families(section: dict) -> dict[str, list[str]]:
+        by_name: dict[str, list[str]] = {}
+        for key in sorted(section):
+            name, _ = _prom_split(key)
+            by_name.setdefault(_prom_name(name), []).append(key)
+        return by_name
+
+    for family, keys in sorted(families(snapshot.get("counters", {})).items()):
+        lines.append(f"# TYPE {family} counter")
+        for key in keys:
+            value = snapshot["counters"][key]
+            lines.append(f"{_prom_series(key)} {_prom_value(value)}")
+    for family, keys in sorted(families(snapshot.get("gauges", {})).items()):
+        lines.append(f"# TYPE {family} gauge")
+        for key in keys:
+            value = snapshot["gauges"][key]
+            lines.append(f"{_prom_series(key)} {_prom_value(value)}")
+    for family, keys in sorted(families(snapshot.get("histograms", {})).items()):
+        lines.append(f"# TYPE {family} summary")
+        for key in keys:
+            summ = snapshot["histograms"][key]
+            name, labels = _prom_split(key)
+            for stat, quantile in _PROM_QUANTILES:
+                if stat in summ:
+                    lines.append(
+                        f"{_prom_series(key, [('quantile', quantile)])} "
+                        f"{_prom_value(summ[stat])}"
+                    )
+            base = _prom_name(name)
+            suffix = ""
+            if labels:
+                body = ",".join(
+                    f'{_prom_name(k)}="{_prom_escape(v)}"' for k, v in labels
+                )
+                suffix = "{" + body + "}"
+            lines.append(f"{base}_sum{suffix} {_prom_value(summ.get('sum', 0.0))}")
+            lines.append(f"{base}_count{suffix} {_prom_value(summ.get('count', 0))}")
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 # ----------------------------------------------------------------------

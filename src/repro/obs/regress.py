@@ -419,6 +419,15 @@ IMBALANCE_THRESHOLD = 0.25
 #: numerically struggling solver.
 RESTORATION_RATE_THRESHOLD = 1.0
 
+#: A per-device signed prediction bias beyond this magnitude means the
+#: model systematically mis-sizes blocks for that device.
+CALIBRATION_BIAS_THRESHOLD = 0.15
+
+#: Per-device mean absolute prediction error beyond this means the
+#: equal-finish-time partition is built on predictions that are wrong
+#: by a quarter on average.
+CALIBRATION_MAPE_THRESHOLD = 0.25
+
 
 def _gauge_by_device(metrics: Mapping[str, Any], name: str) -> dict[str, float]:
     """Collect ``name{device=...}`` gauges into ``{device: value}``."""
@@ -442,6 +451,8 @@ def detect_anomalies(
     r2_threshold: float = R2_THRESHOLD,
     imbalance_threshold: float = IMBALANCE_THRESHOLD,
     restoration_rate_threshold: float = RESTORATION_RATE_THRESHOLD,
+    calibration_bias_threshold: float = CALIBRATION_BIAS_THRESHOLD,
+    calibration_mape_threshold: float = CALIBRATION_MAPE_THRESHOLD,
     emit: bool = True,
 ) -> list[Anomaly]:
     """Run every built-in detector over one run's telemetry.
@@ -530,6 +541,49 @@ def detect_anomalies(
                     threshold=restoration_rate_threshold,
                 )
             )
+
+    bias = _gauge_by_device(metrics, "plbhec.calibration.bias")
+    biased = {d: v for d, v in bias.items() if abs(v) > calibration_bias_threshold}
+    if biased:
+        worst_dev = max(biased, key=lambda d: abs(biased[d]))
+        direction = "over" if biased[worst_dev] > 0 else "under"
+        findings.append(
+            Anomaly(
+                name="calibration-bias",
+                severity="warning",
+                message=(
+                    f"{len(biased)} device model(s) with systematic prediction "
+                    f"bias beyond ±{calibration_bias_threshold:.0%} (worst: "
+                    f"{worst_dev} {direction}-predicts by "
+                    f"{abs(biased[worst_dev]):.1%}); block sizes for these "
+                    "devices are consistently mis-targeted"
+                ),
+                value=biased[worst_dev],
+                threshold=calibration_bias_threshold,
+                context={"devices": dict(sorted(biased.items()))},
+            )
+        )
+
+    mape = _gauge_by_device(metrics, "plbhec.calibration.mape")
+    noisy = {d: v for d, v in mape.items() if v > calibration_mape_threshold}
+    if noisy:
+        worst_dev = max(noisy, key=noisy.get)
+        findings.append(
+            Anomaly(
+                name="calibration-mape",
+                severity="warning",
+                message=(
+                    f"{len(noisy)} device model(s) with mean absolute "
+                    f"prediction error beyond {calibration_mape_threshold:.0%} "
+                    f"(worst: {worst_dev} at {noisy[worst_dev]:.1%}); the "
+                    "equal-finish-time partition rests on unreliable "
+                    "predictions for these devices"
+                ),
+                value=noisy[worst_dev],
+                threshold=calibration_mape_threshold,
+                context={"devices": dict(sorted(noisy.items()))},
+            )
+        )
 
     if emit:
         for finding in findings:

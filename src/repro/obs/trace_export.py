@@ -63,12 +63,16 @@ def trace_to_events(
     pid: int = 1,
     process_name: str = "simulation",
     run_id: str | None = None,
+    decisions: list[dict] | None = None,
 ) -> list[dict]:
     """Flatten one trace into trace-event dicts under one process id.
 
     ``pid``/``process_name`` allow several runs (e.g. one per policy in
     a comparison) to coexist in a single document as separate process
-    groups.
+    groups.  ``decisions`` (decision dicts from a
+    :meth:`~repro.obs.ledger.DecisionLedger.to_dict`) adds one instant
+    marker per scheduler decision on the scheduler track, linking the
+    timeline back to ``repro explain`` ids.
     """
     events: list[dict] = [_meta(pid, "process_name", process_name)]
     if run_id:
@@ -144,6 +148,27 @@ def trace_to_events(
                 "cat": "phase",
                 "s": "p",
                 "ts": t * _US,
+            }
+        )
+    for d in decisions or []:
+        solver = d.get("solver") or {}
+        ts = float(d.get("t") or 0.0)
+        events.append(
+            {
+                "ph": "i",
+                "pid": pid,
+                "tid": _SCHEDULER_TID,
+                "name": f"decision:{d.get('id', '?')}",
+                "cat": "decision",
+                "s": "p",
+                "ts": max(ts, 0.0) * _US,
+                "args": {
+                    "id": d.get("id"),
+                    "trigger": d.get("trigger"),
+                    "method": solver.get("method"),
+                    "fallback_stage": solver.get("fallback_stage"),
+                    "predicted_time_s": d.get("predicted_time"),
+                },
             }
         )
 
@@ -273,6 +298,7 @@ def trace_to_chrome(
     run_id: str | None = None,
     metadata: dict | None = None,
     profile: dict | None = None,
+    decisions: list[dict] | None = None,
 ) -> dict:
     """Build a complete Chrome trace-event document.
 
@@ -289,6 +315,11 @@ def trace_to_chrome(
         dedicated process group *after* every simulation process (pid
         ``len(traces) + 1``), so host-time profile slices never mix
         with virtual-time simulation tracks.
+    decisions:
+        Optional decision dicts (from a decision ledger's ``to_dict``)
+        rendered as instant markers on the *first* trace's scheduler
+        track — the ``repro run`` path exports one trace, which is the
+        one the ledger belongs to.
     """
     if isinstance(traces, ExecutionTrace):
         traces = [("simulation", traces)]
@@ -297,7 +328,13 @@ def trace_to_chrome(
     events: list[dict] = []
     for index, (label, trace) in enumerate(traces):
         events.extend(
-            trace_to_events(trace, pid=index + 1, process_name=label, run_id=run_id)
+            trace_to_events(
+                trace,
+                pid=index + 1,
+                process_name=label,
+                run_id=run_id,
+                decisions=decisions if index == 0 else None,
+            )
         )
     if profile is not None:
         events.extend(profile_to_events(profile, pid=len(traces) + 1))

@@ -209,6 +209,12 @@ def run_campaign(
                     anomaly_tolerance=config.anomaly_tolerance,
                 )
             ]
+        ledger = payload.get("ledger") or {}
+        # the ledger lists fired fallback stages in decision order;
+        # the scorecard stores per-stage counts so policies aggregate
+        stage_counts: dict[str, int] = {}
+        for stage in ledger.get("fallback_stages", ()):
+            stage_counts[stage] = stage_counts.get(stage, 0) + 1
         record = {
             "run": plan.index,
             "app": plan.app,
@@ -227,6 +233,8 @@ def run_campaign(
             "recovery_lags": list(resilience.get("recovery_lags", [])),
             "lost_units": resilience.get("lost_units", 0),
             "retries": resilience.get("retries", 0),
+            "decisions": len(ledger.get("decisions", ())),
+            "fallback_stages": stage_counts,
         }
         run_records.append(record)
 
@@ -242,6 +250,10 @@ def run_campaign(
             if r["degradation"] is not None
         ]
         lags = [lag for r in rows for lag in r["recovery_lags"]]
+        fallback_stages: dict[str, int] = {}
+        for r in rows:
+            for stage, count in r.get("fallback_stages", {}).items():
+                fallback_stages[stage] = fallback_stages.get(stage, 0) + count
         policies[policy] = {
             "runs": len(rows),
             "survived": len(survived_rows),
@@ -252,6 +264,8 @@ def run_campaign(
             "max_degradation": max(degradations) if degradations else None,
             "mean_recovery_lag": sum(lags) / len(lags) if lags else None,
             "violations": sum(len(r["violations"]) for r in rows),
+            "decisions_explained": sum(r.get("decisions", 0) for r in rows),
+            "fallback_stages_used": dict(sorted(fallback_stages.items())),
         }
 
     total_violations = sum(len(r["violations"]) for r in run_records)

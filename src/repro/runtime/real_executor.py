@@ -158,6 +158,7 @@ class RealExecutor:
                     busy_count += 1
                     phase = policy.phase_label(worker_id)
                     step = policy.step_index(worker_id)
+                    decision = policy.decision_tag(worker_id) or ""
                     dispatch_t = now()
 
                 start_unit, granted = grant
@@ -182,6 +183,7 @@ class RealExecutor:
                         end_time=end,
                         phase=phase,
                         step=step,
+                        decision=decision,
                     )
                     trace.add_record(record)
                     results.append((start_unit, granted, value))

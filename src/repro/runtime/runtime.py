@@ -62,6 +62,10 @@ class RunResult:
         Correlation id structured log events of this run carry (the
         ambient :func:`repro.obs.events.current_run_id` if one was
         pushed, else a fresh id minted by :meth:`Runtime.run`).
+    ledger:
+        The policy's :class:`~repro.obs.ledger.DecisionLedger` (None
+        for policies that keep none) — the input to ``repro explain``
+        and the calibration exports.
     """
 
     policy_name: str
@@ -74,6 +78,7 @@ class RunResult:
         default=None, repr=False
     )
     run_id: str = ""
+    ledger: "object | None" = field(default=None, repr=False)
 
     @property
     def idle_fractions(self) -> dict[str, float]:
@@ -214,4 +219,5 @@ class Runtime:
             wall_time_s=time.perf_counter() - t0,
             results=results,
             run_id=run_id or "",
+            ledger=getattr(policy, "ledger", None),
         )

@@ -174,6 +174,18 @@ class SchedulingPolicy(abc.ABC):
         self-schedulers.
         """
 
+    def decision_tag(self, worker_id: str) -> str | None:
+        """Ledger id of the decision governing this worker's next block.
+
+        Called by the executor at dispatch time, right after
+        :meth:`on_block_dispatched`; the id is stamped onto the task and
+        travels into its completion :class:`~repro.sim.trace.TaskRecord`
+        so the policy can attribute the observed block time back to the
+        decision that sized it — even if the governing decision changed
+        while the block was in flight.  Default: None (no ledger).
+        """
+        return None
+
     def phase_label(self, worker_id: str) -> str:
         """Trace phase label for the next block of this worker."""
         return "exec"

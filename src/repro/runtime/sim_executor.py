@@ -375,6 +375,7 @@ class SimulatedExecutor:
                     phase=phase,
                     step=policy.step_index(worker_id),
                     dispatch_time=engine.now,
+                    decision=policy.decision_tag(worker_id) or "",
                 )
                 begin = max(engine.now, stall_until)
                 slow = self._slowdown(worker_id, begin)
@@ -429,6 +430,7 @@ class SimulatedExecutor:
                 start_unit=task.start_unit,
                 retries=task.retries,
                 retry_time=task.retry_time,
+                decision=task.decision,
             )
             trace.add_record(record)
             policy.on_task_finished(record, work_remaining(), engine.now)

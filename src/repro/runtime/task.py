@@ -48,6 +48,9 @@ class Task:
     exec_time: float = 0.0
     retries: int = 0
     retry_time: float = 0.0
+    #: ledger id of the scheduler decision that placed this block (see
+    #: :mod:`repro.obs.ledger`); empty for policies that keep no ledger
+    decision: str = ""
     result: object = field(default=None, repr=False)
 
     def mark_running(self, now: float) -> None:

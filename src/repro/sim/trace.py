@@ -49,6 +49,12 @@ class TaskRecord:
         Transfer-retry attempts survived before the block ran, and the
         seconds those attempts stalled the worker (part of the busy
         interval but not of ``total_time`` — the retries moved no data).
+    decision:
+        Ledger id of the scheduler decision that placed this block
+        (:mod:`repro.obs.ledger`); empty when the policy keeps no
+        ledger.  Stamped at dispatch time by the executor, so a block
+        completing after a later rebalance still attributes to the
+        decision that actually sized it.
     """
 
     worker_id: str
@@ -63,6 +69,7 @@ class TaskRecord:
     start_unit: int = -1
     retries: int = 0
     retry_time: float = 0.0
+    decision: str = ""
 
     @property
     def total_time(self) -> float:

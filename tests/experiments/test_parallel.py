@@ -480,3 +480,51 @@ class TestProfiledSweeps:
         plain = run_sweep([SMALL], jobs=1, cache=None)
         profiled = run_sweep([SMALL], jobs=1, cache=None, profile=True)
         assert_points_identical(plain, profiled)
+
+
+class TestLedgerPayloads:
+    """The decision ledger rides in sweep payloads (schema v4)."""
+
+    def ledgers(self, stats):
+        return [
+            (p["report"]["config"]["policy"], p["ledger"])
+            for p in stats.payloads
+            if "ledger" in p
+        ]
+
+    def test_only_ledger_keeping_policies_carry_one(self):
+        stats = SweepStats()
+        run_sweep([SMALL], jobs=1, cache=None, stats=stats)
+        policies = {name for name, _ in self.ledgers(stats)}
+        assert policies == {"plb-hec"}
+
+    def test_serial_and_parallel_ledgers_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        serial = SweepStats()
+        run_sweep([SMALL], cache=None, stats=serial)
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        parallel = SweepStats()
+        run_sweep([SMALL], cache=None, stats=parallel)
+        a, b = self.ledgers(serial), self.ledgers(parallel)
+        assert a and json.dumps(a, sort_keys=True) == json.dumps(
+            b, sort_keys=True
+        )
+
+    def test_warm_cache_replays_byte_identical_ledgers(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = SweepStats()
+        run_sweep([SMALL], jobs=1, cache=cache, stats=cold)
+        warm = SweepStats()
+        run_sweep([SMALL], jobs=1, cache=cache, stats=warm)
+        assert warm.cache_hits == 6
+        assert json.dumps(self.ledgers(cold), sort_keys=True) == json.dumps(
+            self.ledgers(warm), sort_keys=True
+        )
+
+    def test_ledger_attribution_is_complete(self):
+        stats = SweepStats()
+        run_sweep([SMALL], jobs=1, cache=None, stats=stats)
+        for _, ledger in self.ledgers(stats):
+            attribution = ledger["attribution"]
+            assert attribution["attributed"] > 0
+            assert attribution["unattributed"] == 0

@@ -1,0 +1,129 @@
+"""Tests for repro.obs.calibration (MAPE, bias, EWMA drift)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.calibration import (
+    DRIFT_ALPHA,
+    DeviceCalibration,
+    ewma_drift,
+    mape,
+    relative_errors,
+    signed_bias,
+    summarize_calibration,
+)
+
+
+class TestRelativeErrors:
+    def test_golden_values(self):
+        # (p - o) / o: (1.1 - 1.0) = +10%, (0.8 - 1.0) = -20%
+        errors = relative_errors([1.1, 0.8], [1.0, 1.0])
+        assert errors == pytest.approx([0.1, -0.2])
+
+    def test_invalid_pairs_skipped_not_propagated(self):
+        errors = relative_errors(
+            [float("nan"), 1.0, 2.0, -1.0, 1.5],
+            [1.0, 0.0, float("inf"), 1.0, 1.0],
+        )
+        assert errors == pytest.approx([0.5])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_errors([1.0], [1.0, 2.0])
+
+
+class TestMapeAndBias:
+    def test_golden_mape(self):
+        # |+10%| and |-20%| average to 15%
+        assert mape([1.1, 0.8], [1.0, 1.0]) == pytest.approx(0.15)
+
+    def test_golden_bias_is_signed(self):
+        # +10% and -20% average to -5% (net under-prediction)
+        assert signed_bias([1.1, 0.8], [1.0, 1.0]) == pytest.approx(-0.05)
+
+    def test_over_prediction_is_positive(self):
+        assert signed_bias([2.0], [1.0]) == pytest.approx(1.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(mape([], []))
+        assert math.isnan(signed_bias([], []))
+
+    def test_all_invalid_is_nan(self):
+        assert math.isnan(mape([float("nan")], [1.0]))
+
+
+class TestEwmaDrift:
+    def test_seeded_with_first_error(self):
+        assert ewma_drift([0.4]) == pytest.approx(0.4)
+
+    def test_golden_recurrence(self):
+        # drift = 0.3*0.0 + 0.7*(0.3*0.0 + 0.7*1.0) with alpha=0.3
+        expected = (1.0 - DRIFT_ALPHA) * (1.0 - DRIFT_ALPHA) * 1.0
+        assert ewma_drift([1.0, 0.0, 0.0]) == pytest.approx(expected)
+
+    def test_recent_errors_dominate(self):
+        steady = ewma_drift([0.0] * 10)
+        shifted = ewma_drift([0.0] * 10 + [0.5, 0.5, 0.5])
+        assert steady == pytest.approx(0.0)
+        assert shifted > 0.3  # tail moved even though most errors are zero
+
+    def test_non_finite_entries_skipped(self):
+        assert ewma_drift([float("nan"), 0.2]) == pytest.approx(0.2)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(ewma_drift([]))
+
+    def test_alpha_validated(self):
+        with pytest.raises(ConfigurationError):
+            ewma_drift([0.1], alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            ewma_drift([0.1], alpha=1.5)
+
+
+class TestDeviceCalibration:
+    def test_streaming_matches_batch_functions(self):
+        predicted = [1.1, 0.8, 1.3, 0.95]
+        observed = [1.0, 1.0, 1.0, 1.0]
+        cal = DeviceCalibration("gpu0")
+        for p, o in zip(predicted, observed):
+            cal.observe(p, o)
+        assert cal.mape == pytest.approx(mape(predicted, observed))
+        assert cal.bias == pytest.approx(signed_bias(predicted, observed))
+        assert cal.drift == pytest.approx(
+            ewma_drift(relative_errors(predicted, observed))
+        )
+        assert cal.series == pytest.approx(
+            relative_errors(predicted, observed)
+        )
+
+    def test_invalid_pairs_counted_as_skipped(self):
+        cal = DeviceCalibration("cpu")
+        assert cal.observe(float("nan"), 1.0) is None
+        assert cal.observe(1.0, 0.0) is None
+        assert cal.observe(1.2, 1.0) == pytest.approx(0.2)
+        assert cal.skipped == 2
+        assert cal.count == 1
+        assert cal.mape == pytest.approx(0.2)
+
+    def test_empty_statistics_are_nan(self):
+        cal = DeviceCalibration("cpu")
+        assert math.isnan(cal.mape)
+        assert math.isnan(cal.bias)
+        assert math.isnan(cal.drift)
+
+    def test_to_dict_cleans_nan_to_none(self):
+        empty = DeviceCalibration("cpu").to_dict()
+        assert empty["mape"] is None
+        assert empty["bias"] is None
+        assert empty["drift"] is None
+        assert empty["blocks"] == 0
+
+    def test_summarize_keys_by_device(self):
+        a, b = DeviceCalibration("a"), DeviceCalibration("b")
+        a.observe(1.1, 1.0)
+        summary = summarize_calibration([a, b])
+        assert list(summary) == ["a", "b"]
+        assert summary["a"]["mape"] == pytest.approx(0.1)
+        assert summary["b"]["mape"] is None

@@ -267,3 +267,79 @@ class TestProfileSection:
         assert sum(d["share"] for d in breakdown.values()) == pytest.approx(1.0)
         html = render_dashboard(data)
         assert "no profile captured" not in html
+
+
+def make_ledger_dict():
+    from repro.obs.ledger import DecisionLedger
+
+    ledger = DecisionLedger("run-dash")
+    ledger.open_decision(
+        trigger="probe-round", t=0.0, phase="modeling",
+        allocation={"A.cpu": 8, "A.gpu0": 8},
+        solver={"method": "probe"},
+    )
+    did = ledger.open_decision(
+        trigger="selection", t=0.5, phase="execution",
+        allocation={"A.cpu": 10, "A.gpu0": 90},
+        predicted={"A.cpu": 1.0, "A.gpu0": 1.0},
+        predicted_time=1.0,
+        solver={"method": "ipm", "iterations": 11, "kkt_error": 2e-10},
+    )
+    fb = ledger.open_decision(
+        trigger="rebalance", t=1.5, phase="execution",
+        allocation={"A.cpu": 12, "A.gpu0": 88},
+        predicted={"A.cpu": 1.1, "A.gpu0": 0.9},
+        predicted_time=1.1,
+        solver={
+            "method": "fallback-last-good", "fallback_stage": "last-good",
+            "converged": False, "iterations": 0,
+        },
+    )
+    for decision in (did, fb):
+        ledger.attribute(
+            decision, "A.cpu", units=10, predicted_s=1.0, observed_s=1.1
+        )
+        ledger.attribute(
+            decision, "A.gpu0", units=90, predicted_s=1.0, observed_s=0.8
+        )
+    return ledger.to_dict()
+
+
+class TestDecisionsSection:
+    def test_section_title_present(self):
+        html = render_dashboard(make_data(ledger=make_ledger_dict()))
+        assert "Scheduler decisions" in html
+
+    def test_empty_ledger_placeholder(self):
+        html = render_dashboard(make_data())
+        assert "Scheduler decisions" in html
+        assert "no decision ledger" in html
+
+    def test_tiles_report_coverage_and_fallbacks(self):
+        html = render_dashboard(make_data(ledger=make_ledger_dict()))
+        assert "blocks attributed" in html
+        assert "100%" in html  # 4/4 blocks attributed
+        assert "fallback decisions" in html
+        assert "last-good" in html
+
+    def test_decision_table_with_fallback_badge(self):
+        html = render_dashboard(make_data(ledger=make_ledger_dict()))
+        assert "d0001" in html and "d0002" in html
+        assert re.search(r'class="badge warning">\s*fallback: last-good', html)
+
+    def test_calibration_scatter_and_drift_sparkline(self):
+        html = render_dashboard(make_data(ledger=make_ledger_dict()))
+        assert "perfect prediction" in html  # the y=x diagonal
+        assert "scored block (completion order)" in html
+
+    def test_calibration_table_per_device(self):
+        html = render_dashboard(make_data(ledger=make_ledger_dict()))
+        assert "Prediction calibration" in html
+        assert "A.cpu" in html and "A.gpu0" in html
+
+    def test_still_self_contained(self):
+        html = render_dashboard(make_data(ledger=make_ledger_dict()))
+        assert "<script" not in html and "<img" not in html
+        # the only protocol occurrences are SVG xmlns identifiers
+        for m in re.finditer(r"https?://", html):
+            assert "xmlns" in html[max(0, m.start() - 30):m.start()]

@@ -2,6 +2,7 @@
 
 import json
 import logging
+import logging.handlers
 
 import pytest
 
@@ -90,3 +91,77 @@ class TestEventLog:
         assert doc["count"] == 1
         assert doc["run_id"] == "run-fmt"
         assert doc["logger"] == "repro.obs.events"
+
+
+class TestJsonlSink:
+    def test_events_land_in_file_as_json_lines(self, tmp_path):
+        from repro.obs.events import attach_jsonl_sink, detach_sink
+
+        path = tmp_path / "events.jsonl"
+        handler = attach_jsonl_sink(str(path))
+        try:
+            EventLog("sink.test").instant("hello", n=7)
+        finally:
+            detach_sink(handler)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        hit = [l for l in lines if l.get("name") == "hello"]
+        assert hit and hit[0]["n"] == 7
+        assert hit[0]["logger"] == "repro.sink.test"
+
+    def test_rotation_bounds_file_size(self, tmp_path):
+        from repro.obs.events import attach_jsonl_sink, detach_sink
+
+        path = tmp_path / "events.jsonl"
+        handler = attach_jsonl_sink(
+            str(path), max_bytes=2048, backup_count=2
+        )
+        try:
+            log = EventLog("sink.rotate")
+            for i in range(200):
+                log.instant("tick", i=i, pad="x" * 64)
+        finally:
+            detach_sink(handler)
+        assert path.stat().st_size <= 4096  # one record of slack
+        backups = sorted(tmp_path.glob("events.jsonl.*"))
+        assert backups, "rotation must have produced backup files"
+        assert len(backups) <= 2
+        # every surviving line is still valid JSON
+        for p in [path, *backups]:
+            for line in p.read_text().splitlines():
+                json.loads(line)
+
+    def test_no_max_bytes_never_rotates(self, tmp_path):
+        from repro.obs.events import attach_jsonl_sink, detach_sink
+
+        path = tmp_path / "events.jsonl"
+        handler = attach_jsonl_sink(str(path))
+        assert not isinstance(handler, logging.handlers.RotatingFileHandler)
+        try:
+            log = EventLog("sink.plain")
+            for i in range(50):
+                log.instant("tick", i=i, pad="x" * 64)
+        finally:
+            detach_sink(handler)
+        assert list(tmp_path.glob("events.jsonl.*")) == []
+
+    def test_invalid_arguments_rejected(self, tmp_path):
+        from repro.errors import ConfigurationError
+        from repro.obs.events import attach_jsonl_sink
+
+        with pytest.raises(ConfigurationError):
+            attach_jsonl_sink(str(tmp_path / "e.jsonl"), max_bytes=0)
+        with pytest.raises(ConfigurationError):
+            attach_jsonl_sink(str(tmp_path / "e.jsonl"), backup_count=-1)
+
+    def test_detach_closes_and_removes(self, tmp_path):
+        import logging as _logging
+
+        from repro.obs.events import attach_jsonl_sink, detach_sink
+        from repro.util.logging import get_logger
+
+        path = tmp_path / "events.jsonl"
+        handler = attach_jsonl_sink(str(path))
+        root = get_logger("repro")
+        assert handler in root.handlers
+        detach_sink(handler)
+        assert handler not in root.handlers

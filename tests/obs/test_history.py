@@ -288,8 +288,9 @@ def make_profiled_report(shares=(0.3, 0.2), jobs=2):
 class TestProfiledEntries:
     """Schema 2: the profiled flag + hot-function table."""
 
-    def test_schema_version_is_three(self):
-        assert HISTORY_SCHEMA == 3
+    def test_schema_version_is_four(self):
+        # 2: profiled flag, 3: chaos kind, 4: calibration kind
+        assert HISTORY_SCHEMA == 4
 
     def test_unprofiled_entry_has_false_flag(self):
         entry = bench_entry(make_bench_report())
@@ -354,3 +355,82 @@ class TestProfiledEntries:
         store.append(bench_entry(make_profiled_report(jobs=2)))
         target = bench_entry(make_profiled_report(jobs=1))["config_hash"]
         assert len(store.hot_function_shares(config_hash=target)) == 1
+
+
+def make_ledger_dict(mape=0.05):
+    return {
+        "schema": 1,
+        "run_id": "run-led",
+        "decisions": [
+            {"id": "d0000", "trigger": "selection"},
+            {"id": "d0001", "trigger": "rebalance"},
+        ],
+        "calibration": {
+            "A.gpu0": {
+                "device": "A.gpu0", "blocks": 9, "skipped": 2,
+                "mape": mape, "bias": -0.01, "drift": 0.02,
+                "series": [0.01, -0.03],
+            },
+        },
+        "attribution": {"attributed": 11, "unattributed": 0},
+        "triggers": {"selection": 1, "rebalance": 1},
+        "fallback_stages": ["last-good"],
+    }
+
+
+class TestCalibrationEntries:
+    def test_builder_summarises_ledger(self):
+        from repro.obs.history import calibration_entry
+
+        entry = calibration_entry(make_run_report(), make_ledger_dict())
+        assert validate_entry(entry) == []
+        assert entry["kind"] == "calibration"
+        assert entry["calibration"] is True
+        assert entry["schema"] == HISTORY_SCHEMA
+        assert entry["devices"]["A.gpu0"]["mape"] == 0.05
+        assert entry["devices"]["A.gpu0"]["blocks"] == 9
+        assert entry["summary"]["decisions"] == 2
+        assert entry["summary"]["attributed"] == 11
+        assert entry["summary"]["fallback_stages"] == {"last-good": 1}
+
+    def test_config_hash_excludes_calibration_marker(self):
+        """Same config ⇒ same hash as the run entry: the kinds join."""
+        from repro.obs.history import calibration_entry
+
+        cal = calibration_entry(make_run_report(), make_ledger_dict())
+        run = run_entry(make_run_report(), wall_s=1.0)
+        assert cal["config_hash"] == run["config_hash"]
+
+    def test_validate_requires_device_mape(self):
+        from repro.obs.history import calibration_entry
+
+        entry = calibration_entry(make_run_report(), make_ledger_dict())
+        del entry["devices"]["A.gpu0"]["mape"]
+        assert any("mape" in p for p in validate_entry(entry))
+
+    def test_validate_rejects_empty_devices(self):
+        from repro.obs.history import calibration_entry
+
+        entry = calibration_entry(make_run_report(), make_ledger_dict())
+        entry["devices"] = {}
+        assert validate_entry(entry)
+
+    def test_calibration_entries_never_feed_the_perf_gate(self, tmp_path):
+        from repro.obs.history import calibration_entry
+
+        store = HistoryStore(tmp_path)
+        store.append(bench_entry(make_bench_report(laps={"serial": 1.0})))
+        store.append(calibration_entry(make_run_report(), make_ledger_dict()))
+        assert store.lap_samples("serial") == [1.0]
+        assert len(store.entries(kind="bench")) == 1
+        assert len(store.entries(kind="calibration")) == 1
+
+    def test_fallback_stages_counted_from_list(self):
+        from repro.obs.history import calibration_entry
+
+        ledger = make_ledger_dict()
+        ledger["fallback_stages"] = ["last-good", "last-good", "fair-share"]
+        entry = calibration_entry(make_run_report(), ledger)
+        assert entry["summary"]["fallback_stages"] == {
+            "last-good": 2, "fair-share": 1,
+        }

@@ -1,6 +1,7 @@
 """Tests for repro.obs.metrics (registry, snapshots, cardinality)."""
 
 import json
+import re
 import threading
 
 import pytest
@@ -226,3 +227,59 @@ class TestDefaultRegistry:
             assert get_registry().snapshot()["counters"] == {}
         finally:
             set_registry(previous)
+
+
+class TestPrometheusExport:
+    def test_counter_and_gauge_families(self):
+        reg = MetricsRegistry()
+        reg.inc("sweep.runs", 3)
+        reg.set_gauge("plbhec.block_size", 42.0, device="A.gpu0")
+        text = reg.to_prometheus()
+        assert "# TYPE sweep_runs counter\nsweep_runs 3.0\n" in text
+        assert "# TYPE plbhec_block_size gauge" in text
+        assert 'plbhec_block_size{device="A.gpu0"} 42.0' in text
+
+    def test_histogram_becomes_summary_with_quantiles(self):
+        reg = MetricsRegistry()
+        for v in range(1, 101):
+            reg.observe("solve.ms", float(v))
+        text = reg.to_prometheus()
+        assert "# TYPE solve_ms summary" in text
+        assert 'solve_ms{quantile="0.5"}' in text
+        assert 'solve_ms{quantile="0.9"}' in text
+        assert 'solve_ms{quantile="0.99"}' in text
+        assert "solve_ms_sum 5050.0" in text
+        assert "solve_ms_count 100.0" in text
+
+    def test_names_sanitized_labels_escaped(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("weird-name.1", 1.0, path='a"b\\c')
+        text = reg.to_prometheus()
+        assert "weird_name_1" in text
+        assert 'path="a\\"b\\\\c"' in text
+
+    def test_snapshot_function_matches_method(self):
+        from repro.obs.metrics import snapshot_to_prometheus
+
+        reg = MetricsRegistry()
+        reg.inc("x")
+        assert snapshot_to_prometheus(reg.snapshot()) == reg.to_prometheus()
+
+    def test_empty_registry_is_empty_string(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_output_parses_line_by_line(self):
+        """Every non-comment line is `series value` with a float value."""
+        reg = MetricsRegistry()
+        reg.inc("a.b", 2)
+        reg.set_gauge("c", 1.5, k="v")
+        reg.observe("h", 1.0)
+        text = reg.to_prometheus()
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("#"):
+                assert line.startswith("# TYPE ")
+                continue
+            series, value = line.rsplit(" ", 1)
+            float(value)
+            assert re.match(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})?$", series)

@@ -406,3 +406,65 @@ class TestHotPathDrift:
         findings = detect_hot_path_drift(regressed, shares, emit=False)
         assert len(findings) == 1
         assert findings[0].value == pytest.approx(30.0)
+
+
+class TestCalibrationAnomalies:
+    def test_bias_beyond_threshold_flagged(self):
+        findings = detect_anomalies(
+            metrics={
+                "gauges": {
+                    "plbhec.calibration.bias{device=a}": 0.30,
+                    "plbhec.calibration.bias{device=b}": -0.02,
+                }
+            },
+            emit=False,
+        )
+        assert [f.name for f in findings] == ["calibration-bias"]
+        assert findings[0].severity == "warning"
+        assert findings[0].context["devices"] == {"a": 0.30}
+        assert "over-predict" in findings[0].message
+
+    def test_negative_bias_magnitude_counts(self):
+        findings = detect_anomalies(
+            metrics={"gauges": {"plbhec.calibration.bias{device=a}": -0.40}},
+            emit=False,
+        )
+        assert [f.name for f in findings] == ["calibration-bias"]
+        assert "under-predict" in findings[0].message
+
+    def test_mape_beyond_threshold_flagged(self):
+        findings = detect_anomalies(
+            metrics={"gauges": {"plbhec.calibration.mape{device=a}": 0.50}},
+            emit=False,
+        )
+        assert [f.name for f in findings] == ["calibration-mape"]
+        assert findings[0].context["devices"] == {"a": 0.50}
+
+    def test_calibrated_run_is_clear(self):
+        findings = detect_anomalies(
+            metrics={
+                "gauges": {
+                    "plbhec.calibration.bias{device=a}": 0.05,
+                    "plbhec.calibration.mape{device=a}": 0.10,
+                }
+            },
+            emit=False,
+        )
+        assert findings == []
+
+    def test_thresholds_adjustable(self):
+        findings = detect_anomalies(
+            metrics={"gauges": {"plbhec.calibration.mape{device=a}": 0.10}},
+            calibration_mape_threshold=0.05,
+            emit=False,
+        )
+        assert [f.name for f in findings] == ["calibration-mape"]
+
+    def test_defaults_are_the_issue_thresholds(self):
+        from repro.obs.regress import (
+            CALIBRATION_BIAS_THRESHOLD,
+            CALIBRATION_MAPE_THRESHOLD,
+        )
+
+        assert CALIBRATION_BIAS_THRESHOLD == 0.15
+        assert CALIBRATION_MAPE_THRESHOLD == 0.25

@@ -315,3 +315,77 @@ class TestProfileGroup:
         }
         assert {"profile:probe", "profile:fit", "profile:solve",
                 "profile:execute"} <= phase_names
+
+
+def make_decisions():
+    return [
+        {
+            "id": "d0000", "trigger": "probe-round", "t": 0.0,
+            "solver": {"method": "probe"}, "predicted_time": None,
+        },
+        {
+            "id": "d0001", "trigger": "selection", "t": 1.0,
+            "solver": {"method": "ipm", "iterations": 9},
+            "predicted_time": 0.5,
+        },
+        {
+            "id": "d0002", "trigger": "rebalance", "t": 1.5,
+            "solver": {
+                "method": "fallback-last-good",
+                "fallback_stage": "last-good",
+            },
+            "predicted_time": 0.4,
+        },
+    ]
+
+
+class TestDecisionInstants:
+    def test_instants_on_scheduler_track(self):
+        events = trace_to_events(make_trace(), decisions=make_decisions())
+        marks = [e for e in events if e.get("cat") == "decision"]
+        assert [m["name"] for m in marks] == [
+            "decision:d0000", "decision:d0001", "decision:d0002",
+        ]
+        for mark in marks:
+            assert mark["ph"] == "i"
+            assert mark["tid"] == 0  # the scheduler track
+        # virtual seconds become Chrome microseconds
+        assert [m["ts"] for m in marks] == [0.0, 1.0e6, 1.5e6]
+
+    def test_args_carry_trigger_method_and_fallback(self):
+        events = trace_to_events(make_trace(), decisions=make_decisions())
+        by_id = {
+            e["args"]["id"]: e["args"]
+            for e in events
+            if e.get("cat") == "decision"
+        }
+        assert by_id["d0001"]["method"] == "ipm"
+        assert by_id["d0001"]["fallback_stage"] is None
+        assert by_id["d0002"]["fallback_stage"] == "last-good"
+        assert by_id["d0000"]["trigger"] == "probe-round"
+
+    def test_no_decisions_no_markers(self):
+        events = trace_to_events(make_trace())
+        assert [e for e in events if e.get("cat") == "decision"] == []
+
+    def test_chrome_document_attaches_to_first_trace_only(self):
+        doc = trace_to_chrome(
+            [("run", make_trace()), ("baseline", make_trace())],
+            decisions=make_decisions(),
+        )
+        marks = [
+            e for e in doc["traceEvents"] if e.get("cat") == "decision"
+        ]
+        assert len(marks) == 3
+        assert {m["pid"] for m in marks} == {1}
+        validate_chrome_trace(doc)
+
+    def test_round_trip_with_decisions(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(make_trace(), str(path), decisions=make_decisions())
+        doc = json.loads(path.read_text())
+        assert [
+            e["name"]
+            for e in doc["traceEvents"]
+            if e.get("cat") == "decision"
+        ] == ["decision:d0000", "decision:d0001", "decision:d0002"]

@@ -107,3 +107,36 @@ class TestConfigValidation:
     def test_config_roundtrips_to_dict(self):
         d = SMALL.to_dict()
         assert d["seed"] == 0 and d["policies"] == ["plb-hec", "greedy"]
+
+
+class TestDecisionColumns:
+    """Schema v4 scorecards surface the decision ledger per run/policy."""
+
+    def test_runs_carry_decision_counts(self, scorecard):
+        for run in scorecard["runs"]:
+            assert "decisions" in run
+            assert "fallback_stages" in run
+            if run["policy"] == "plb-hec" and run["survived"]:
+                assert run["decisions"] > 0
+            if run["policy"] == "greedy":
+                # greedy keeps no ledger: zero decisions, no stages
+                assert run["decisions"] == 0
+                assert run["fallback_stages"] == {}
+
+    def test_policies_aggregate_decisions_explained(self, scorecard):
+        per_policy = scorecard["policies"]
+        for policy, agg in per_policy.items():
+            assert agg["decisions_explained"] == sum(
+                r["decisions"]
+                for r in scorecard["runs"]
+                if r["policy"] == policy
+            )
+            assert isinstance(agg["fallback_stages_used"], dict)
+        assert per_policy["plb-hec"]["decisions_explained"] > 0
+        assert per_policy["greedy"]["decisions_explained"] == 0
+
+    def test_fallback_stage_counts_are_ints(self, scorecard):
+        for run in scorecard["runs"]:
+            for stage, count in run["fallback_stages"].items():
+                assert isinstance(stage, str)
+                assert isinstance(count, int) and count >= 1

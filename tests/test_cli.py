@@ -559,3 +559,114 @@ class TestChaosCommand:
         entries = HistoryStore(tmp_path / "hist").entries(kind="chaos")
         assert len(entries) == 1
         assert entries[0]["summary"]["survival_rate"] == 1.0
+
+
+class TestExplainParser:
+    def test_explain_defaults(self):
+        args = build_parser().parse_args(["explain"])
+        assert args.app == "matmul"
+        assert args.policy == "plb-hec"
+        assert args.out is None
+
+    def test_explain_accepts_fault_flags(self):
+        args = build_parser().parse_args(
+            ["explain", "--fail", "A.gpu0@0.5", "--out", "e.jsonl"]
+        )
+        assert args.fail == ["A.gpu0@0.5"]
+        assert args.out == "e.jsonl"
+
+    def test_run_explain_out_and_metrics_format(self):
+        args = build_parser().parse_args(
+            ["run", "--explain-out", "e.jsonl", "--metrics-format", "prom"]
+        )
+        assert args.explain_out == "e.jsonl"
+        assert args.metrics_format == "prom"
+        assert build_parser().parse_args(["run"]).metrics_format == "json"
+
+    def test_bad_metrics_format_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--metrics-format", "xml"])
+
+
+class TestExplainCommand:
+    def test_explain_prints_decisions_and_calibration(self, capsys):
+        assert main(
+            ["explain", "--app", "matmul", "--size", "2048", "--machines", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trigger" in out
+        assert "probe-round" in out
+        assert "selection" in out
+        assert "coverage" in out
+        assert "Prediction calibration" in out
+
+    def test_explain_writes_valid_artifact(self, capsys, tmp_path):
+        from repro.obs.ledger import read_explain
+
+        path = tmp_path / "explain.jsonl"
+        assert main(
+            ["explain", "--app", "matmul", "--size", "2048",
+             "--machines", "2", "--out", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "explain ledger written to" in out
+        parsed = read_explain(str(path))
+        # 100% attribution: every executed block maps to a decision
+        assert parsed["header"]["attribution"]["unattributed"] == 0
+        assert parsed["header"]["attribution"]["attributed"] > 0
+        assert parsed["header"]["decisions"] == len(parsed["decisions"])
+        # the printed count is the decision count, not the line count
+        assert f"({parsed['header']['decisions']} decision(s))" in out
+
+    def test_explain_ledgerless_policy_fails_cleanly(self, capsys):
+        assert main(
+            ["explain", "--app", "matmul", "--size", "2048",
+             "--machines", "2", "--policy", "greedy"]
+        ) == 1
+        assert "no decision ledger" in capsys.readouterr().out
+
+    def test_run_explain_out(self, capsys, tmp_path):
+        from repro.obs.ledger import read_explain
+
+        path = tmp_path / "explain.jsonl"
+        assert main(
+            ["run", "--app", "matmul", "--size", "2048", "--machines", "2",
+             "--explain-out", str(path)]
+        ) == 0
+        assert "explain ledger written to" in capsys.readouterr().out
+        read_explain(str(path))
+
+    def test_run_metrics_prom_format(self, capsys, tmp_path):
+        path = tmp_path / "metrics.prom"
+        assert main(
+            ["run", "--app", "matmul", "--size", "2048", "--machines", "2",
+             "--metrics-out", str(path), "--metrics-format", "prom"]
+        ) == 0
+        assert "(prom)" in capsys.readouterr().out
+        text = path.read_text()
+        assert "# TYPE" in text
+        assert "plbhec_probe_rounds" in text
+
+    def test_run_trace_out_carries_decision_instants(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(
+            ["run", "--app", "matmul", "--size", "2048", "--machines", "2",
+             "--trace-out", str(path)]
+        ) == 0
+        doc = json.loads(path.read_text())
+        marks = [e for e in doc["traceEvents"] if e.get("cat") == "decision"]
+        assert marks, "plb-hec runs must export decision instants"
+        assert all(m["ph"] == "i" for m in marks)
+
+    def test_chaos_table_has_decision_columns(self, capsys, tmp_path):
+        assert main(
+            ["chaos", "--app", "matmul", "--size", "1024",
+             "--machines", "2", "--runs", "2", "--seed", "0",
+             "--policies", "plb-hec,greedy",
+             "--out", str(tmp_path / "scorecard.json")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "decisions" in out
+        assert "fallbacks" in out

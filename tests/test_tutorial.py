@@ -224,3 +224,28 @@ class TestTutorialResilience:
         scorecard = run_campaign(config, jobs=2)
         assert scorecard["all_invariants_ok"]
         assert 0.0 <= scorecard["policies"]["plb-hec"]["survival_rate"] <= 1.0
+
+
+class TestTutorialExplain:
+    def test_ledger_snippet_runs(self, small_cluster):
+        """The §10 decision-ledger snippet, verbatim in structure."""
+        from repro.apps import MatMul
+
+        app = MatMul(n=4096)
+        rt = Runtime(small_cluster, app.codelet(), seed=7, noise_sigma=0.02)
+        result = rt.run(
+            PLBHeC(fixed_overhead_s=0.01),
+            app.total_units,
+            app.default_initial_block_size(),
+        )
+        ledger = result.ledger
+        data = ledger.to_dict()
+        assert data["attribution"]["unattributed"] == 0  # 100% coverage
+        assert {d.trigger for d in ledger.decisions} >= {
+            "probe-round", "selection",
+        }
+        cal = ledger.device_calibration("alpha.gpu0")
+        assert cal.count > 0
+        # the tutorial formats these; they must be finite to format
+        for value in (cal.mape, cal.bias, cal.drift):
+            assert value == value  # not NaN

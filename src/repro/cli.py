@@ -13,6 +13,18 @@ Commands
     the scheduler decision ledger.  Repeatable fault-injection flags:
     ``--fail DEV@T`` (permanent failure), ``--perturb DEV@T:FACTOR``
     (speed change), ``--transient DEV@T+D`` (down at T, back after D).
+    ``--sample-interval S`` attaches the virtual-time cluster sampler
+    (``0`` picks ~makespan/128 automatically); ``--series-out
+    series.jsonl`` records the sampled telemetry; ``--slo FILE``
+    evaluates a declarative SLO spec (``default`` for the built-in one)
+    against the series, stamps ``alert.slo.*`` instants into the trace,
+    writes ``--slo-report-out`` and exits 2 when an objective fails.
+``top``
+    Render a recorded ``series.jsonl`` as a terminal cluster view
+    (per-device utilization sparklines, backlog/goodput strips,
+    fairness, optional SLO verdicts from ``--slo-report``).  ``--once``
+    prints a single frame for CI; without it the view follows the file,
+    refreshing every ``--interval`` seconds.
 ``explain``
     Run one workload and explain every scheduler decision: trigger
     (probe round / selection / rebalance / fault / recovery), solver
@@ -240,6 +252,77 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="capture a phase-attributed CPU profile and print the "
         "per-phase breakdown and hot functions",
+    )
+    p_run.add_argument(
+        "--sample-interval",
+        type=float,
+        metavar="S",
+        default=None,
+        help="attach the virtual-time telemetry sampler, one sample "
+        "every S virtual seconds (0: auto, ~makespan/128; sampling "
+        "never changes the schedule)",
+    )
+    p_run.add_argument(
+        "--series-out",
+        metavar="PATH",
+        default=None,
+        help="write the sampled telemetry as series.jsonl "
+        "(implies --sample-interval 0 when not given)",
+    )
+    p_run.add_argument(
+        "--slo",
+        metavar="FILE",
+        default=None,
+        help="evaluate an SLO spec (JSON; the literal 'default' uses "
+        "the built-in objectives) against the sampled series; failing "
+        "objectives print, alert, and exit 2",
+    )
+    p_run.add_argument(
+        "--slo-report-out",
+        metavar="PATH",
+        default=None,
+        help="write the SLO evaluation as slo_report.json "
+        "(requires --slo)",
+    )
+
+    p_top = sub.add_parser(
+        "top",
+        help="terminal cluster view of a recorded telemetry series",
+    )
+    p_top.add_argument(
+        "--series",
+        metavar="PATH",
+        default="series.jsonl",
+        help="series.jsonl to render (default: series.jsonl)",
+    )
+    p_top.add_argument(
+        "--slo-report",
+        metavar="PATH",
+        default=None,
+        help="slo_report.json whose verdicts to show under the series",
+    )
+    p_top.add_argument(
+        "--once",
+        action="store_true",
+        help="render one frame and exit (CI-friendly)",
+    )
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="refresh period in seconds in follow mode (default 2)",
+    )
+    p_top.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        help="stop after this many refreshes (default: until Ctrl-C)",
+    )
+    p_top.add_argument(
+        "--width",
+        type=int,
+        default=40,
+        help="sparkline width in characters (default 40)",
     )
 
     p_explain = sub.add_parser(
@@ -542,7 +625,13 @@ def _parse_fault_flags(args: argparse.Namespace):
     return tuple(perturbations), tuple(failures), tuple(transients)
 
 
-def _simulate(args: argparse.Namespace, policy_name: str, *, seed: int | None = None):
+def _simulate(
+    args: argparse.Namespace,
+    policy_name: str,
+    *,
+    seed: int | None = None,
+    sampler=None,
+):
     """Run one workload/policy pair; returns ``(policy, result)``."""
     app = make_application(args.app, args.size)
     cluster = paper_cluster(args.machines)
@@ -559,7 +648,8 @@ def _simulate(args: argparse.Namespace, policy_name: str, *, seed: int | None = 
         transients=transients,
     )
     result = runtime.run(
-        policy, app.total_units, app.default_initial_block_size()
+        policy, app.total_units, app.default_initial_block_size(),
+        sampler=sampler,
     )
     return policy, result
 
@@ -621,15 +711,26 @@ def _print_profile_summary(snapshot: dict, *, top: int = 10) -> None:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.obs.profiler import profiling
 
+    if args.slo_report_out and not args.slo:
+        raise ConfigurationError("--slo-report-out requires --slo")
+    sampler = None
+    if (
+        args.sample_interval is not None
+        or args.series_out
+        or args.slo
+    ):
+        from repro.obs.timeseries import ClusterSampler
+
+        sampler = ClusterSampler(args.sample_interval)
     run_id = new_run_id(repr(sorted(_run_config(args, args.policy).items())))
     prof_snapshot = None
     with push_run_id(run_id):
         if args.profile:
             with profiling() as prof:
-                policy, result = _simulate(args, args.policy)
+                policy, result = _simulate(args, args.policy, sampler=sampler)
             prof_snapshot = prof.snapshot()
         else:
-            policy, result = _simulate(args, args.policy)
+            policy, result = _simulate(args, args.policy, sampler=sampler)
     idle = result.idle_fractions
     print(
         format_table(
@@ -653,6 +754,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if prof_snapshot is not None:
         _print_profile_summary(prof_snapshot)
     ledger_dict = result.ledger.to_dict() if result.ledger is not None else None
+    exit_code = 0
+    alerts = None
+    if sampler is not None:
+        exit_code, alerts = _run_telemetry(args, sampler, run_id, policy.name)
     if args.trace_out:
         doc = trace_to_chrome(
             result.trace,
@@ -660,6 +765,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             metadata=_run_config(args, policy.name),
             profile=prof_snapshot,
             decisions=ledger_dict.get("decisions") if ledger_dict else None,
+            alerts=alerts,
         )
         path = write_chrome_trace(doc, args.trace_out)
         print(f"trace written to {path}")
@@ -702,6 +808,125 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         print()
         print(render_gantt(result.trace))
+    return exit_code
+
+
+def _run_telemetry(
+    args: argparse.Namespace, sampler, run_id: str, policy_name: str
+) -> tuple[int, list[dict] | None]:
+    """``run``'s post-run telemetry: series artifact, SLO gate, alerts.
+
+    Returns ``(exit_code, alerts)`` where ``exit_code`` is 2 when an
+    SLO objective failed (the regression gate's code) and ``alerts``
+    are the instant markers to stamp into a ``--trace-out`` timeline.
+    """
+    from repro.obs.timeseries import publish_windowed_gauges, write_series
+
+    if args.series_out:
+        path = write_series(
+            args.series_out,
+            sampler.store,
+            run_id=run_id,
+            interval=sampler.interval or 0.0,
+            meta=_run_config(args, policy_name),
+        )
+        print(
+            f"series written to {path} ({sampler.samples_taken} samples, "
+            f"interval {sampler.interval or 0.0:.3g}s virtual)"
+        )
+    # Windowed ts.* gauges land in the registry before --metrics-out
+    # renders it, so the Prometheus exposition carries the aggregates.
+    publish_windowed_gauges(sampler.store)
+    if not args.slo:
+        return 0, None
+    from repro.obs.regress import EXIT_CODES, detect_slo_anomalies
+    from repro.obs.slo import (
+        DEFAULT_SLO_SPEC,
+        emit_slo_alerts,
+        evaluate_slo,
+        load_slo_spec,
+        slo_alerts,
+        write_slo_report,
+    )
+
+    spec = (
+        DEFAULT_SLO_SPEC if args.slo == "default" else load_slo_spec(args.slo)
+    )
+    report = evaluate_slo(spec, sampler.store, run_id=run_id)
+    emit_slo_alerts(report)
+    detect_slo_anomalies(report)
+
+    def fmt_opt(value, pattern: str) -> str:
+        return pattern.format(value) if value is not None else "-"
+
+    print(
+        format_table(
+            ["objective", "expr", "verdict", "measured", "burn", "severity"],
+            [
+                [
+                    row["name"],
+                    row["expr"],
+                    row["verdict"],
+                    fmt_opt(row["measured"], "{:.4g}"),
+                    fmt_opt(row["burn_rate"], "{:.2f}x"),
+                    row["severity"],
+                ]
+                for row in report["objectives"]
+            ],
+            title=f"SLO evaluation: {spec.name}",
+        )
+    )
+    print(
+        f"slo: {'OK' if report['ok'] else 'FAIL'} "
+        f"({report['violations']} violated, {report['no_data']} no-data "
+        f"of {report['evaluated']} objective(s))"
+    )
+    if args.slo_report_out:
+        path = write_slo_report(args.slo_report_out, report)
+        print(f"slo report written to {path}")
+    return (
+        0 if report["ok"] else EXIT_CODES["regressed"],
+        slo_alerts(report) or None,
+    )
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.timeseries import read_series, render_top
+
+    def frame() -> str:
+        header, store = read_series(args.series)
+        slo_report = None
+        if args.slo_report:
+            slo_report = json.loads(
+                Path(args.slo_report).read_text(encoding="utf-8")
+            )
+        return render_top(
+            header, store, width=args.width, slo_report=slo_report
+        )
+
+    if not Path(args.series).exists():
+        print(
+            f"top: no series at {args.series} — record one with "
+            "'repro run --series-out'",
+            file=sys.stderr,
+        )
+        return 1
+    if args.once:
+        print(frame())
+        return 0
+    shown = 0
+    try:
+        while args.frames is None or shown < args.frames:
+            # \x1b[H\x1b[2J: cursor home + clear, the classic top refresh.
+            print("\x1b[H\x1b[2J" + frame(), flush=True)
+            shown += 1
+            if args.frames is not None and shown >= args.frames:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -1132,6 +1357,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             fmt(agg["max_degradation"], suffix="x"),
             fmt(agg["mean_recovery_lag"], scale=1e3, suffix="ms", digits=1),
             agg["violations"],
+            agg.get("slo_violations", 0),
             agg.get("decisions_explained", 0),
             ",".join(
                 f"{k}={v}"
@@ -1144,7 +1370,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(
         format_table(
             ["policy", "survived", "rate", "mean_deg", "max_deg",
-             "recovery_lag", "violations", "decisions", "fallbacks"],
+             "recovery_lag", "violations", "slo_viol", "decisions",
+             "fallbacks"],
             rows,
             title=f"Chaos campaign: {args.app} size={args.size} "
             f"machines={args.machines} runs={args.runs} seed={args.seed}",
@@ -1181,6 +1408,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     configure_from_env(level=args.log_level, fmt=args.log_format)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "explain":
         return _cmd_explain(args)
     if args.command == "trace":

@@ -81,8 +81,10 @@ __all__ = [
 #: perturbed start, and faulted runs carry a resilience section.
 #: "4": payloads of ledger-keeping policies carry the scheduler
 #: decision ledger, and the fallback partition propagates an analytic
-#: predicted time instead of NaN.)
-ALGORITHM_VERSION = "4"
+#: predicted time instead of NaN.
+#: "5": sampled runs carry a ``"series"`` time-series payload; the
+#: sample interval joins the cache key when sampling is enabled.)
+ALGORITHM_VERSION = "5"
 
 _log = get_logger("experiments.parallel")
 _events = EventLog("experiments.parallel")
@@ -99,6 +101,13 @@ class RunSpec:
     mid-run :class:`~repro.errors.ReproError` into an error payload
     instead of poisoning the whole sweep — chaos campaigns score
     survival, so a crash is a data point, not an abort.
+
+    ``sample_interval`` attaches a virtual-time
+    :class:`~repro.obs.timeseries.ClusterSampler` to the run (``0.0``:
+    auto interval, ~makespan/128; ``None``: no sampling) and the
+    payload gains a ``"series"`` section.  Samples are deterministic
+    functions of the seeded simulation, so sampled payloads are
+    cache-compatible like everything else.
     """
 
     app_name: str
@@ -110,6 +119,7 @@ class RunSpec:
     fixed_overhead_s: float | None = None
     faults: tuple = ()
     tolerate_errors: bool = False
+    sample_interval: float | None = None
 
 
 @dataclass(frozen=True)
@@ -132,6 +142,7 @@ class PointSpec:
     cluster_factory: Callable[[int], Cluster] = paper_cluster
     faults: tuple = ()
     tolerate_errors: bool = False
+    sample_interval: float | None = None
 
     def __post_init__(self) -> None:
         if self.replications < 1:
@@ -152,6 +163,7 @@ class PointSpec:
                 fixed_overhead_s=self.fixed_overhead_s,
                 faults=self.faults,
                 tolerate_errors=self.tolerate_errors,
+                sample_interval=self.sample_interval,
             )
             for policy in self.policies
             for rep in range(self.replications)
@@ -253,6 +265,11 @@ def _execute_run(
         noise_sigma=spec.noise_sigma,
         **fault_kwargs,
     )
+    sampler = None
+    if spec.sample_interval is not None:
+        from repro.obs.timeseries import ClusterSampler
+
+        sampler = ClusterSampler(spec.sample_interval)
     prof_snapshot = None
     try:
         with push_run_id(run_id):
@@ -262,11 +279,13 @@ def _execute_run(
                         policy,
                         app.total_units,
                         app.default_initial_block_size(),
+                        sampler=sampler,
                     )
                 prof_snapshot = prof.snapshot()
             else:
                 result = runtime.run(
-                    policy, app.total_units, app.default_initial_block_size()
+                    policy, app.total_units, app.default_initial_block_size(),
+                    sampler=sampler,
                 )
     except ReproError as exc:
         if not spec.tolerate_errors:
@@ -305,6 +324,14 @@ def _execute_run(
         # deterministic content only (virtual times + solver numerics),
         # so cached payloads replay byte-identical ledgers
         payload["ledger"] = result.ledger.to_dict()
+    if sampler is not None:
+        # samples are pure functions of the seeded simulation, so the
+        # series replays byte-identical from a warm cache too
+        payload["series"] = {
+            "interval": sampler.interval or 0.0,
+            "samples": sampler.samples_taken,
+            "store": sampler.store.to_payload(),
+        }
     if prof_snapshot is not None:
         payload["profile"] = prof_snapshot
     if spec.faults:
@@ -379,6 +406,8 @@ class ResultCache:
             entry["faults"] = [fault_to_dict(f) for f in spec.faults]
         if spec.tolerate_errors:
             entry["tolerate_errors"] = True
+        if spec.sample_interval is not None:
+            entry["sample_interval"] = spec.sample_interval
         blob = json.dumps(entry, sort_keys=True)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

@@ -28,6 +28,12 @@ The legs every experiment stands on:
   the ``explain.jsonl`` artifact behind ``repro explain``;
 * :mod:`repro.obs.calibration` — pure predicted-vs-observed math
   (MAPE, signed bias, EWMA drift) the ledger accumulates per device;
+* :mod:`repro.obs.timeseries` — the virtual-time cluster sampler and
+  bounded time-series store behind ``series.jsonl`` and ``repro top``
+  (per-device utilization, backlog, imbalance, Jain's fairness);
+* :mod:`repro.obs.slo` — declarative service-level objectives over the
+  recorded series (``p95(device_idle_frac) < 0.2``), error budgets with
+  burn rates, and the ``alert.slo.*`` alert rules (``repro run --slo``);
 * :mod:`repro.obs.dashboard` — the self-contained HTML dashboard
   (``repro dashboard``).
 """
@@ -108,10 +114,37 @@ from repro.obs.regress import (
     detect_anomalies,
     detect_hot_path_drift,
     detect_report_anomalies,
+    detect_slo_anomalies,
     mann_whitney_u,
     overall_verdict,
 )
 from repro.obs.report import RunReport, config_hash
+from repro.obs.slo import (
+    DEFAULT_SLO_SPEC,
+    SLO_REPORT_SCHEMA,
+    SLOObjective,
+    SLOSpec,
+    emit_slo_alerts,
+    evaluate_slo,
+    load_slo_spec,
+    slo_alerts,
+    spec_from_dict,
+    validate_slo_report,
+    write_slo_report,
+)
+from repro.obs.timeseries import (
+    SERIES_SCHEMA,
+    ClusterSampler,
+    TimeSeriesStore,
+    jain_fairness,
+    publish_windowed_gauges,
+    read_series,
+    render_top,
+    sparkline,
+    store_from_payload,
+    validate_series,
+    write_series,
+)
 from repro.obs.trace_export import (
     profile_to_events,
     trace_to_chrome,
@@ -123,8 +156,10 @@ from repro.obs.trace_export import (
 __all__ = [
     "Anomaly",
     "BenchCheck",
+    "ClusterSampler",
     "Comparison",
     "Counter",
+    "DEFAULT_SLO_SPEC",
     "DashboardData",
     "DecisionLedger",
     "DecisionRecord",
@@ -137,6 +172,11 @@ __all__ = [
     "PROFILE_PHASES",
     "PhaseProfiler",
     "RunReport",
+    "SERIES_SCHEMA",
+    "SLOObjective",
+    "SLOSpec",
+    "SLO_REPORT_SCHEMA",
+    "TimeSeriesStore",
     "active_profiler",
     "attach_jsonl_sink",
     "bench_entry",
@@ -152,13 +192,18 @@ __all__ = [
     "detect_anomalies",
     "detect_hot_path_drift",
     "detect_report_anomalies",
+    "detect_slo_anomalies",
     "diff_snapshots",
+    "emit_slo_alerts",
+    "evaluate_slo",
     "ewma_drift",
     "fingerprint_hash",
     "get_registry",
     "git_rev",
     "hot_functions",
     "host_fingerprint",
+    "jain_fairness",
+    "load_slo_spec",
     "mann_whitney_u",
     "mape",
     "merge_profiles",
@@ -169,16 +214,23 @@ __all__ = [
     "profile_phase",
     "profile_to_events",
     "profiling",
+    "publish_windowed_gauges",
     "push_run_id",
     "read_explain",
+    "read_series",
     "relative_errors",
     "render_dashboard",
     "render_flamegraph_svg",
+    "render_top",
     "reset_registry",
     "run_entry",
     "set_registry",
     "signed_bias",
+    "slo_alerts",
     "snapshot_to_prometheus",
+    "sparkline",
+    "spec_from_dict",
+    "store_from_payload",
     "summarize_calibration",
     "switch_phase",
     "trace_to_chrome",
@@ -186,9 +238,13 @@ __all__ = [
     "validate_chrome_trace",
     "validate_entry",
     "validate_explain",
+    "validate_series",
+    "validate_slo_report",
     "write_chrome_trace",
     "write_collapsed",
     "write_dashboard",
     "write_explain",
     "write_flamegraph",
+    "write_series",
+    "write_slo_report",
 ]

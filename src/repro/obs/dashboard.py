@@ -149,6 +149,11 @@ class DashboardData:
     resilience: dict = field(default_factory=dict)
     #: decision ledger of the live run (``DecisionLedger.to_dict`` form)
     ledger: dict = field(default_factory=dict)
+    #: virtual-time telemetry of the live run (``interval``, ``samples``,
+    #: and a ``TimeSeriesStore.to_payload`` store); empty = not sampled
+    series: dict = field(default_factory=dict)
+    #: SLO evaluation (``repro.obs.slo.evaluate_slo`` report) over it
+    slo: dict = field(default_factory=dict)
 
 
 def collect_dashboard_data(
@@ -219,22 +224,35 @@ def collect_dashboard_data(
     runtime = Runtime(
         paper_cluster(machines), application.codelet(), seed=seed, noise_sigma=noise
     )
+    from repro.obs.regress import detect_slo_anomalies
+    from repro.obs.slo import DEFAULT_SLO_SPEC, evaluate_slo
+    from repro.obs.timeseries import ClusterSampler
+
+    sampler = ClusterSampler(0.0)  # auto interval, ~makespan/128
     with profiling() as prof:
         result = runtime.run(
             make_policy("plb-hec"),
             application.total_units,
             application.default_initial_block_size(),
+            sampler=sampler,
         )
     data.profile = prof.snapshot()
     delta = diff_snapshots(before, registry.snapshot())
     data.trace = result.trace
     if result.ledger is not None:
         data.ledger = result.ledger.to_dict()
+    data.series = {
+        "interval": sampler.interval or 0.0,
+        "samples": sampler.samples_taken,
+        "store": sampler.store.to_payload(),
+    }
+    data.slo = evaluate_slo(DEFAULT_SLO_SPEC, sampler.store, run_id=result.run_id)
     data.anomalies = detect_anomalies(
         phase_summary=result.trace.phase_summary(),
         metrics=delta,
         idle_fractions=result.idle_fractions,
     )
+    data.anomalies += detect_slo_anomalies(data.slo)
 
     # One recorded solve for the convergence section.
     models = list(
@@ -960,6 +978,135 @@ def _section_decisions(ledger: Mapping[str, Any]) -> str:
     )
 
 
+def _spark_svg(
+    values: Sequence[float],
+    *,
+    color: str = "var(--series-1)",
+    width: int = 240,
+    height: int = 32,
+    lo: float | None = None,
+    hi: float | None = None,
+    title: str = "",
+) -> str:
+    """A small inline-SVG sparkline (polyline, no axes)."""
+    if not values:
+        return "<span class='empty'>(no samples)</span>"
+    vlo = min(values) if lo is None else lo
+    vhi = max(values) if hi is None else hi
+    if vhi <= vlo:
+        vhi = vlo + 1.0
+    n = len(values)
+    pts = " ".join(
+        f"{(i / max(n - 1, 1)) * (width - 4) + 2:.1f},"
+        f"{(1.0 - (v - vlo) / (vhi - vlo)) * (height - 6) + 3:.1f}"
+        for i, v in enumerate(values)
+    )
+    hover = f"<title>{escape(title)}</title>" if title else ""
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" xmlns="http://www.w3.org/2000/svg">'
+        f'<polyline points="{pts}" fill="none" stroke="{color}" '
+        f'stroke-width="1.5" stroke-linejoin="round" '
+        f'stroke-linecap="round"/>{hover}</svg>'
+    )
+
+
+def _section_telemetry(series: Mapping[str, Any], slo: Mapping[str, Any]) -> str:
+    header = "<section><h2>Cluster telemetry</h2>"
+    if not series or not series.get("store"):
+        return (
+            header + "<p class='empty'>no sampled series (attach the "
+            "virtual-time sampler with <code>repro run "
+            "--sample-interval 0</code>)</p></section>"
+        )
+    from repro.obs.timeseries import store_from_payload
+
+    store = store_from_payload(series["store"])
+    utils = store.matching("device_util")
+    rows = []
+    for key in sorted(utils):
+        device = key.split("device=", 1)[-1].rstrip("}")
+        values = [v for _, v in utils[key]]
+        mean_util = sum(values) / len(values) if values else 0.0
+        rows.append(
+            f"<tr><td>{escape(device)}</td>"
+            f"<td>{_spark_svg(values, lo=0.0, hi=1.0, title=f'{device} utilization')}</td>"
+            f"<td class=num>{mean_util * 100:.1f}%</td></tr>"
+        )
+    cluster_rows = []
+    for name, color in (
+        ("backlog_units", "var(--series-2)"),
+        ("goodput_units_per_s", "var(--series-3)"),
+        ("fairness", "var(--series-4)"),
+    ):
+        values = [v for _, v in store.points(name)]
+        if not values:
+            continue
+        lo, hi = (0.0, 1.0) if name == "fairness" else (0.0, None)
+        cluster_rows.append(
+            f"<tr><td>{escape(name)}</td>"
+            f"<td>{_spark_svg(values, color=color, lo=lo, hi=hi, title=name)}</td>"
+            f"<td class=num>{_fmt_value(values[-1])}</td></tr>"
+        )
+    tables = (
+        "<table><thead><tr><th>device</th><th>utilization</th>"
+        "<th class=num>mean</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+        "<table><thead><tr><th>series</th><th>timeline</th>"
+        "<th class=num>last</th></tr></thead>"
+        f"<tbody>{''.join(cluster_rows)}</tbody></table>"
+    )
+    slo_html = ""
+    if slo:
+        tiles = []
+        for row in slo.get("objectives", []):
+            verdict = row.get("verdict", "-")
+            badge = {
+                "pass": "<span class='allclear'>&#10003; pass</span>",
+                "fail": "<span class='badge critical'>&#10007; fail</span>",
+                "no-data": "<span class='empty'>no data</span>",
+            }.get(verdict, escape(verdict))
+            burn = row.get("burn_rate")
+            hint = f"burn {burn:.2f}&#215;" if burn is not None else escape(
+                str(row.get("expr", ""))
+            )
+            measured = row.get("measured")
+            shown = (
+                _fmt_value(float(measured)) if measured is not None else "—"
+            )
+            tiles.append(
+                f'<div class="tile"><div class="label">'
+                f"{escape(str(row.get('name')))}</div>"
+                f'<div class="value">{shown}</div>'
+                f'<div class="hint">{hint} {badge}</div></div>'
+            )
+        status = (
+            '<p class="allclear">&#10003; all objectives met</p>'
+            if slo.get("ok")
+            else (
+                f"<p class='sub'>{int(slo.get('violations', 0))} "
+                "objective(s) violated</p>"
+            )
+        )
+        slo_html = (
+            "<h2 style='margin-top:18px'>SLO burn-down</h2>"
+            f"<p class='sub'>spec <code>{escape(str(slo.get('spec', '-')))}"
+            "</code> evaluated over the recorded series</p>"
+            + status
+            + f'<div class="tiles">{"".join(tiles)}</div>'
+        )
+    return (
+        header
+        + f"<p class='sub'>{int(series.get('samples', 0))} virtual-time "
+        f"samples at {series.get('interval', 0.0):.3g}s interval from the "
+        "live PLB-HeC run — per-device utilization and cluster health "
+        "(<code>repro top</code> shows the same series in a terminal)</p>"
+        + tables
+        + slo_html
+        + "</section>"
+    )
+
+
 def _section_resilience(scorecard: Mapping[str, Any]) -> str:
     if not scorecard:
         return (
@@ -1055,6 +1202,7 @@ def render_dashboard(data: DashboardData) -> str:
         _section_trend(data.bench_trend),
         _section_convergence(data.convergence, data.convergence_history),
         _section_gantt(data.trace, data.trace_policy),
+        _section_telemetry(data.series, data.slo),
         _section_decisions(data.ledger),
         _section_profile(data.profile),
         _section_resilience(data.resilience),

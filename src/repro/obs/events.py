@@ -81,6 +81,23 @@ def push_run_id(run_id: str) -> Iterator[str]:
         _run_id_var.reset(token)
 
 
+class _TruncatingFileHandler(logging.handlers.RotatingFileHandler):
+    """A size-capped sink with no backup generations.
+
+    With ``backupCount=0`` the stdlib handler's rollover reopens the
+    file in append mode — i.e. it never actually sheds bytes.  This
+    variant truncates on rollover so ``max_bytes`` stays a real bound.
+    """
+
+    def doRollover(self) -> None:
+        if self.stream:
+            self.stream.close()
+            self.stream = None
+        self.stream = open(  # noqa: SIM115 - logging owns the handle
+            self.baseFilename, "w", encoding=self.encoding
+        )
+
+
 def attach_jsonl_sink(
     path: str,
     *,
@@ -94,7 +111,9 @@ def attach_jsonl_sink(
     as one JSON object per line, independent of any console handler.
     With ``max_bytes`` set, the file rotates once it would exceed that
     size, keeping ``backup_count`` old files (``path.1`` .. ``path.N``)
-    — long chaos campaigns get bounded disk use.  With ``max_bytes``
+    — long chaos campaigns get bounded disk use.  ``backup_count=0``
+    keeps no history at all: the file is truncated in place once it
+    reaches the cap.  With ``max_bytes``
     unset (the default) the file grows without limit, exactly as a
     plain append sink: default behaviour is unchanged.
 
@@ -115,6 +134,13 @@ def attach_jsonl_sink(
     os.makedirs(parent, exist_ok=True)
     if max_bytes is None:
         handler: logging.Handler = logging.FileHandler(path, encoding="utf-8")
+    elif backup_count == 0:
+        # stdlib RotatingFileHandler quietly keeps appending when
+        # backupCount is 0, which would break the bounded-disk promise;
+        # truncate in place instead.
+        handler = _TruncatingFileHandler(
+            path, maxBytes=int(max_bytes), encoding="utf-8"
+        )
     else:
         handler = logging.handlers.RotatingFileHandler(
             path,

@@ -382,6 +382,31 @@ def _prom_escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _prom_unescape(value: str) -> str:
+    """Invert :func:`_prom_escape` (label values round-trip exactly)."""
+    out = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+    return "".join(out)
+
+
+def _prom_help(family: str, kind: str) -> str:
+    """The ``# HELP`` line of one family.
+
+    HELP text escapes only backslash and newline (the exposition format
+    does not quote it); family names are already sanitized, so this is
+    belt and braces.
+    """
+    text = f"repro {kind} metric {family}"
+    text = text.replace("\\", "\\\\").replace("\n", "\\n")
+    return f"# HELP {family} {text}"
+
+
 def _prom_split(key: str) -> tuple[str, list[tuple[str, str]]]:
     """Split a ``name{k=v,...}`` series key into name and label pairs."""
     brace = key.find("{")
@@ -427,9 +452,11 @@ def snapshot_to_prometheus(snapshot: dict) -> str:
     families; histogram summaries become ``summary`` families with
     ``quantile="0.5"/"0.9"/"0.99"`` series (from p50/p90/p99) plus the
     conventional ``_sum``/``_count`` lines.  Metric names are sanitized
-    (dots become underscores); label values are escaped.  Families are
-    emitted sorted by name, each preceded by a ``# TYPE`` comment, and
-    the output ends with a newline (as scrapers expect).
+    (dots become underscores); label values are escaped (and round-trip
+    through :func:`_prom_unescape`).  Families are emitted sorted by
+    name, each preceded by ``# HELP`` and ``# TYPE`` comments, and the
+    output ends with a newline (as scrapers expect).  An empty snapshot
+    yields the empty string — a valid (empty) exposition.
     """
     lines: list[str] = []
 
@@ -441,16 +468,19 @@ def snapshot_to_prometheus(snapshot: dict) -> str:
         return by_name
 
     for family, keys in sorted(families(snapshot.get("counters", {})).items()):
+        lines.append(_prom_help(family, "counter"))
         lines.append(f"# TYPE {family} counter")
         for key in keys:
             value = snapshot["counters"][key]
             lines.append(f"{_prom_series(key)} {_prom_value(value)}")
     for family, keys in sorted(families(snapshot.get("gauges", {})).items()):
+        lines.append(_prom_help(family, "gauge"))
         lines.append(f"# TYPE {family} gauge")
         for key in keys:
             value = snapshot["gauges"][key]
             lines.append(f"{_prom_series(key)} {_prom_value(value)}")
     for family, keys in sorted(families(snapshot.get("histograms", {})).items()):
+        lines.append(_prom_help(family, "summary"))
         lines.append(f"# TYPE {family} summary")
         for key in keys:
             summ = snapshot["histograms"][key]

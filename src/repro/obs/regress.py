@@ -60,6 +60,7 @@ __all__ = [
     "detect_anomalies",
     "detect_hot_path_drift",
     "detect_report_anomalies",
+    "detect_slo_anomalies",
 ]
 
 _events = EventLog("obs.regress", level=logging.WARNING)
@@ -690,3 +691,64 @@ def detect_report_anomalies(report: Mapping[str, Any], **kwargs: Any) -> list[An
         metrics=report.get("metrics", {}),
         **kwargs,
     )
+
+
+def detect_slo_anomalies(
+    report: Mapping[str, Any], *, emit: bool = True
+) -> list[Anomaly]:
+    """Convert failing SLO objectives into :class:`Anomaly` findings.
+
+    ``report`` is the plain dict produced by
+    :func:`repro.obs.slo.evaluate_slo` (taken as a mapping here so this
+    module stays import-cycle-free).  Each ``"fail"`` row becomes one
+    finding named ``slo.<objective>`` carrying the objective's own
+    severity; ``"no-data"`` rows are skipped — absence of telemetry is
+    surfaced by the SLO report itself, not escalated as an anomaly.
+    Findings are emitted as ``anomaly.slo.<objective>`` instants unless
+    ``emit=False``, matching the other detectors.
+    """
+    findings: list[Anomaly] = []
+    for row in report.get("objectives", []):
+        if row.get("verdict") != "fail":
+            continue
+        name = str(row.get("name", "objective"))
+        measured = row.get("measured")
+        threshold = float(row.get("threshold", 0.0))
+        budget = row.get("budget")
+        if budget is not None:
+            detail = (
+                f"violating fraction "
+                f"{float(row.get('violating_fraction') or 0.0):.1%} exceeds "
+                f"error budget {float(budget):.1%}"
+            )
+        else:
+            detail = (
+                f"measured {measured} violates "
+                f"{row.get('agg')}({row.get('series')}) "
+                f"{row.get('op')} {threshold}"
+            )
+        findings.append(
+            Anomaly(
+                name=f"slo.{name}",
+                severity=str(row.get("severity", "critical")),
+                message=f"SLO {name} failed: {row.get('expr')} — {detail}",
+                value=float(measured) if measured is not None else 0.0,
+                threshold=threshold,
+                context={
+                    "expr": row.get("expr"),
+                    "budget": budget,
+                    "burn_rate": row.get("burn_rate"),
+                    "first_violation_t": row.get("first_violation_t"),
+                },
+            )
+        )
+    if emit:
+        for finding in findings:
+            _events.instant(
+                f"anomaly.{finding.name}",
+                severity=finding.severity,
+                value=round(finding.value, 6),
+                threshold=finding.threshold,
+                message=finding.message,
+            )
+    return findings

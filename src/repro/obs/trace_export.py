@@ -64,6 +64,7 @@ def trace_to_events(
     process_name: str = "simulation",
     run_id: str | None = None,
     decisions: list[dict] | None = None,
+    alerts: list[dict] | None = None,
 ) -> list[dict]:
     """Flatten one trace into trace-event dicts under one process id.
 
@@ -72,7 +73,10 @@ def trace_to_events(
     groups.  ``decisions`` (decision dicts from a
     :meth:`~repro.obs.ledger.DecisionLedger.to_dict`) adds one instant
     marker per scheduler decision on the scheduler track, linking the
-    timeline back to ``repro explain`` ids.
+    timeline back to ``repro explain`` ids.  ``alerts`` (SLO alert
+    dicts from :func:`repro.obs.slo.slo_alerts`) adds one global
+    instant per violated objective at its first violating sample, so a
+    breached SLO is visible right on the timeline.
     """
     events: list[dict] = [_meta(pid, "process_name", process_name)]
     if run_id:
@@ -168,6 +172,26 @@ def trace_to_events(
                     "method": solver.get("method"),
                     "fallback_stage": solver.get("fallback_stage"),
                     "predicted_time_s": d.get("predicted_time"),
+                },
+            }
+        )
+
+    for alert in alerts or []:
+        events.append(
+            {
+                "ph": "i",
+                "pid": pid,
+                "tid": _SCHEDULER_TID,
+                "name": str(alert.get("name", "alert")),
+                "cat": "alert",
+                "s": "g",
+                "ts": max(float(alert.get("t", 0.0)), 0.0) * _US,
+                "args": {
+                    "objective": alert.get("objective"),
+                    "severity": alert.get("severity"),
+                    "expr": alert.get("expr"),
+                    "measured": alert.get("measured"),
+                    "threshold": alert.get("threshold"),
                 },
             }
         )
@@ -299,6 +323,7 @@ def trace_to_chrome(
     metadata: dict | None = None,
     profile: dict | None = None,
     decisions: list[dict] | None = None,
+    alerts: list[dict] | None = None,
 ) -> dict:
     """Build a complete Chrome trace-event document.
 
@@ -320,6 +345,9 @@ def trace_to_chrome(
         rendered as instant markers on the *first* trace's scheduler
         track — the ``repro run`` path exports one trace, which is the
         one the ledger belongs to.
+    alerts:
+        Optional SLO alert dicts (:func:`repro.obs.slo.slo_alerts`),
+        stamped as global instants on the first trace like decisions.
     """
     if isinstance(traces, ExecutionTrace):
         traces = [("simulation", traces)]
@@ -334,6 +362,7 @@ def trace_to_chrome(
                 process_name=label,
                 run_id=run_id,
                 decisions=decisions if index == 0 else None,
+                alerts=alerts if index == 0 else None,
             )
         )
     if profile is not None:

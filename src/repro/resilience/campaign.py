@@ -137,6 +137,9 @@ def _point(plan: _RunPlan, config: ChaosConfig, faults: tuple) -> PointSpec:
         fixed_overhead_s=_FIXED_OVERHEAD_S,
         faults=faults,
         tolerate_errors=bool(faults),
+        # auto-interval telemetry: deterministic (ground-truth derived),
+        # so the scorecard's SLO column stays bit-identical per config
+        sample_interval=0.0,
     )
 
 
@@ -215,6 +218,18 @@ def run_campaign(
         stage_counts: dict[str, int] = {}
         for stage in ledger.get("fallback_stages", ()):
             stage_counts[stage] = stage_counts.get(stage, 0) + 1
+        # SLO health of the (sampled) chaos run: deterministic series →
+        # deterministic verdicts, so this column is reproducible too
+        slo_violations = 0
+        series = payload.get("series")
+        if series:
+            from repro.obs.slo import DEFAULT_SLO_SPEC, evaluate_slo
+            from repro.obs.timeseries import store_from_payload
+
+            slo_report = evaluate_slo(
+                DEFAULT_SLO_SPEC, store_from_payload(series["store"])
+            )
+            slo_violations = int(slo_report["violations"])
         record = {
             "run": plan.index,
             "app": plan.app,
@@ -235,6 +250,7 @@ def run_campaign(
             "retries": resilience.get("retries", 0),
             "decisions": len(ledger.get("decisions", ())),
             "fallback_stages": stage_counts,
+            "slo_violations": slo_violations,
         }
         run_records.append(record)
 
@@ -266,6 +282,7 @@ def run_campaign(
             "violations": sum(len(r["violations"]) for r in rows),
             "decisions_explained": sum(r.get("decisions", 0) for r in rows),
             "fallback_stages_used": dict(sorted(fallback_stages.items())),
+            "slo_violations": sum(r.get("slo_violations", 0) for r in rows),
         }
 
     total_violations = sum(len(r["violations"]) for r in run_records)

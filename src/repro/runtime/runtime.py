@@ -172,15 +172,28 @@ class Runtime:
         policy: SchedulingPolicy,
         total_units: int,
         initial_block_size: int | None = None,
+        *,
+        sampler=None,
     ) -> RunResult:
         """Process ``total_units`` under ``policy`` and return the result.
 
         ``initial_block_size`` defaults to ~1 % of the domain (clamped to
         at least one unit); experiments normally pass the application's
         own heuristic instead.
+
+        ``sampler`` attaches a single-use
+        :class:`~repro.obs.timeseries.ClusterSampler` that records
+        virtual-time telemetry (per-device utilization, backlog,
+        fairness) while the run executes.  Simulation-only: the real
+        backend has no virtual clock to sample and rejects it.
         """
         if initial_block_size is None:
             initial_block_size = max(1, total_units // 100)
+        if sampler is not None and self.backend != "sim":
+            raise ConfigurationError(
+                "telemetry sampling requires the simulated backend "
+                f"(got backend={self.backend!r})"
+            )
         t0 = time.perf_counter()
         results = None
         run_id = current_run_id()
@@ -203,7 +216,8 @@ class Runtime:
                 with profile_phase("execute"):
                     if self.backend == "sim":
                         trace, makespan = self._executor.run(
-                            policy, total_units, initial_block_size
+                            policy, total_units, initial_block_size,
+                            sampler=sampler,
                         )
                     else:
                         trace, makespan, results = self._executor.run(

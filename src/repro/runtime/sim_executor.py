@@ -215,15 +215,45 @@ class SimulatedExecutor:
                 factor *= p.factor
         return factor
 
+    def suggest_sample_interval(self, total_units: int) -> float:
+        """A deterministic telemetry interval: ~1/128th of the predicted run.
+
+        Uses the ground truth's noise-free per-device throughput on a
+        ~1 % block to estimate the makespan — a pure function of the
+        cluster and workload, so auto-interval sampling stays
+        cache-compatible across sweep replays.
+        """
+        check_positive_int("total_units", total_units)
+        block = max(int(total_units) // 100, 1)
+        rate = 0.0
+        for device in self.cluster.devices():
+            seconds = self.ground_truth.transfer_time(
+                device.device_id, block
+            ) + self.ground_truth.exec_time(device.device_id, block)
+            if seconds > 0.0:
+                rate += block / seconds
+        if rate <= 0.0:  # pragma: no cover - degenerate ground truth
+            return 1e-3
+        return max(int(total_units) / rate / 128.0, 1e-9)
+
     def run(
         self,
         policy: SchedulingPolicy,
         total_units: int,
         initial_block_size: int,
+        *,
+        sampler=None,
     ) -> tuple[ExecutionTrace, float]:
         """Execute the whole domain under ``policy``.
 
         Returns ``(trace, makespan_seconds)``.
+
+        ``sampler`` (a single-use
+        :class:`~repro.obs.timeseries.ClusterSampler`) records periodic
+        virtual-time telemetry; it only observes, so the schedule is
+        byte-identical with or without one.  A sampler with an
+        unresolved (auto) interval gets
+        :meth:`suggest_sample_interval` substituted.
 
         Raises
         ------
@@ -405,18 +435,27 @@ class SimulatedExecutor:
                             payload=task.task_id,
                         )
                         busy[worker_id] = (task, event)
+                        if sampler is not None:
+                            sampler.on_dispatch(
+                                worker_id, begin, begin + retry_time, granted
+                            )
                         continue
+                end = begin + task.retry_time + transfer + exec_s
                 event = engine.schedule_at(
-                    begin + task.retry_time + transfer + exec_s,
+                    end,
                     partial(complete, task),
                     tag=complete_tag[worker_id],
                     payload=task.task_id,
                 )
                 busy[worker_id] = (task, event)
+                if sampler is not None:
+                    sampler.on_dispatch(worker_id, begin, end, granted)
 
         def complete(task: Task) -> None:
             task.mark_done(engine.now)
             del busy[task.worker_id]
+            if sampler is not None:
+                sampler.on_complete(task.worker_id, task.units)
             record = TaskRecord(
                 worker_id=task.worker_id,
                 units=task.units,
@@ -437,15 +476,20 @@ class SimulatedExecutor:
             charge_pending()
             dispatch_idle()
             if work_remaining() == 0 and not busy:
-                # the run is over: pending fault events must not extend
-                # the virtual clock past the last completion
+                # the run is over: pending fault events (and the
+                # sampler's next tick) must not extend the virtual
+                # clock past the last completion
                 for ev in fault_events:
                     engine.cancel(ev)
+                if sampler is not None:
+                    sampler.stop()
 
         def record_lost(task: Task) -> None:
             # the in-flight block is lost; its range returns to the pool
             pending_retry.append((task.start_unit, task.units))
             trace.record_lost_block(engine.now, task.worker_id, task.units)
+            if sampler is not None:
+                sampler.on_lost(task.worker_id, engine.now)
 
         def mark_down(device_id: str, *, permanent: bool) -> None:
             if device_id in failed:
@@ -527,6 +571,18 @@ class SimulatedExecutor:
                 f"policy {policy.name!r} parked every worker at t=0 with "
                 f"{work_remaining()} units unprocessed"
             )
+        if sampler is not None:
+            # started after the parked-at-t=0 check so an empty queue
+            # still means "no work was dispatched", and the sampler's
+            # first tick can never outlive the run it observes
+            if not sampler.interval:
+                sampler.interval = self.suggest_sample_interval(total_units)
+            sampler.start(
+                engine,
+                devices=order,
+                total_units=int(total_units),
+                work_remaining=work_remaining,
+            )
         engine.run()
 
         if work_remaining() > 0:
@@ -539,4 +595,8 @@ class SimulatedExecutor:
                 f"engine drained with busy workers: {sorted(busy)}"
             )
         trace.finalize(max((r.end_time for r in trace.records), default=engine.now))
+        if sampler is not None:
+            # the closing sample lands exactly on the makespan, so the
+            # per-device utilization integral matches the trace's busy time
+            sampler.finish(trace.makespan)
         return trace, trace.makespan

@@ -15,7 +15,56 @@ from repro.obs.metrics import get_registry
 from repro.sim.clock import VirtualClock
 from repro.sim.events import Event, EventQueue
 
-__all__ = ["Engine"]
+__all__ = ["Engine", "PeriodicTask"]
+
+
+class PeriodicTask:
+    """A self-rescheduling engine event (see :meth:`Engine.schedule_periodic`).
+
+    Wraps the schedule/fire/reschedule cycle so observers (e.g. the
+    telemetry sampler) don't each reimplement it.  The action receives
+    the current virtual time; after it returns, the task reschedules
+    itself ``interval`` seconds later while ``continue_while()`` (if
+    given) is truthy.  :meth:`cancel` stops it — crucially, a pending
+    tick must never be the last event alive, or it would drag the
+    virtual clock past the real end of the run.
+    """
+
+    __slots__ = ("_engine", "interval", "_action", "_tag", "_continue", "_event")
+
+    def __init__(self, engine, interval, action, tag, continue_while) -> None:
+        if interval <= 0.0:
+            raise SimulationError(
+                f"periodic interval must be > 0, got {interval}"
+            )
+        self._engine = engine
+        self.interval = float(interval)
+        self._action = action
+        self._tag = tag
+        self._continue = continue_while
+        self._event = engine.schedule_at(
+            engine.clock.now + self.interval, self._fire, tag=tag
+        )
+
+    @property
+    def active(self) -> bool:
+        """True while a next tick is scheduled."""
+        return self._event is not None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._action(self._engine.clock.now)
+        if self._continue is None or self._continue():
+            self._event = self._engine.schedule_at(
+                self._engine.clock.now + self.interval, self._fire, tag=self._tag
+            )
+
+    def cancel(self) -> bool:
+        """Cancel the pending tick; returns False if none was scheduled."""
+        event, self._event = self._event, None
+        if event is None:
+            return False
+        return self._engine.cancel(event)
 
 
 class Engine:
@@ -80,6 +129,24 @@ class Engine:
         if delay < 0.0:
             raise SimulationError(f"delay must be non-negative, got {delay}")
         return self.schedule_at(self.clock.now + delay, action, tag=tag, payload=payload)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        action: Callable[[float], None],
+        *,
+        tag: str = "",
+        continue_while: Callable[[], bool] | None = None,
+    ) -> PeriodicTask:
+        """Run ``action(now)`` every ``interval`` virtual seconds.
+
+        The first tick fires at ``now + interval``.  After each tick the
+        task reschedules itself while ``continue_while()`` (if given)
+        returns True; callers that cannot express the stop condition as
+        a predicate must :meth:`PeriodicTask.cancel` explicitly before
+        the queue drains, or the ticks themselves keep the run alive.
+        """
+        return PeriodicTask(self, interval, action, tag, continue_while)
 
     def cancel(self, event: Event) -> bool:
         """Cancel a pending event (see :meth:`EventQueue.cancel`)."""

@@ -482,6 +482,82 @@ class TestProfiledSweeps:
         assert_points_identical(plain, profiled)
 
 
+class TestSeriesPayloads:
+    """Sampled runs carry telemetry series in payloads (schema v5)."""
+
+    SAMPLED = PointSpec(
+        app_name="matmul",
+        size=2048,
+        num_machines=2,
+        policies=("greedy", "plb-hec"),
+        replications=2,
+        seed=3,
+        fixed_overhead_s=0.01,
+        sample_interval=0.0,  # auto
+    )
+
+    def series(self, stats):
+        return [p.get("series") for p in stats.payloads]
+
+    def test_sampled_payloads_carry_series(self):
+        from repro.obs.timeseries import store_from_payload
+
+        stats = SweepStats()
+        run_sweep([self.SAMPLED], jobs=1, cache=None, stats=stats)
+        for payload in stats.payloads:
+            series = payload["series"]
+            assert series["interval"] > 0.0  # auto resolved
+            assert series["samples"] > 0
+            store = store_from_payload(series["store"])
+            assert store.values("completed_units")[-1] > 0
+
+    def test_unsampled_payloads_have_no_series(self):
+        stats = SweepStats()
+        run_sweep([SMALL], jobs=1, cache=None, stats=stats)
+        assert all("series" not in p for p in stats.payloads)
+
+    def test_parallel_sweep_series_match_serial(self, monkeypatch):
+        """Satellite: REPRO_JOBS=2 merges series identical to serial."""
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        serial = SweepStats()
+        run_sweep([self.SAMPLED], cache=None, stats=serial)
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        parallel = SweepStats()
+        run_sweep([self.SAMPLED], cache=None, stats=parallel)
+        assert not parallel.fell_back_serial
+        a, b = self.series(serial), self.series(parallel)
+        assert a and None not in a
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_warm_cache_replays_series(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = SweepStats()
+        run_sweep([self.SAMPLED], jobs=1, cache=cache, stats=cold)
+        warm = SweepStats()
+        run_sweep([self.SAMPLED], jobs=1, cache=cache, stats=warm)
+        assert warm.cache_hits == 4
+        assert json.dumps(self.series(cold), sort_keys=True) == json.dumps(
+            self.series(warm), sort_keys=True
+        )
+
+    def test_cache_key_isolates_sampling(self):
+        base = RunSpec("matmul", 2048, 2, "greedy", 3000, 0.005, 0.01)
+        sampled = RunSpec(
+            "matmul", 2048, 2, "greedy", 3000, 0.005, 0.01,
+            sample_interval=0.5,
+        )
+        auto = RunSpec(
+            "matmul", 2048, 2, "greedy", 3000, 0.005, 0.01,
+            sample_interval=0.0,
+        )
+        keys = {
+            ResultCache.key(base, "tag"),
+            ResultCache.key(sampled, "tag"),
+            ResultCache.key(auto, "tag"),
+        }
+        assert len(keys) == 3
+
+
 class TestLedgerPayloads:
     """The decision ledger rides in sweep payloads (schema v4)."""
 

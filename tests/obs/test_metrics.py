@@ -268,6 +268,38 @@ class TestPrometheusExport:
     def test_empty_registry_is_empty_string(self):
         assert MetricsRegistry().to_prometheus() == ""
 
+    def test_newline_and_backslash_labels_round_trip(self):
+        from repro.obs.metrics import _prom_escape, _prom_unescape
+
+        for raw in ('a\nb', 'back\\slash', 'quo"te', '\\n literal', 'mix\\"\n'):
+            escaped = _prom_escape(raw)
+            assert "\n" not in escaped  # stays on one exposition line
+            assert _prom_unescape(escaped) == raw
+
+    def test_escaped_labels_render_on_one_line(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 1.0, path="a\nb\\c")
+        text = reg.to_prometheus()
+        (sample,) = [
+            l for l in text.splitlines() if not l.startswith("#")
+        ]
+        assert 'path="a\\nb\\\\c"' in sample
+
+    def test_help_line_per_family(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 1)
+        reg.set_gauge("g", 2.0)
+        reg.observe("h", 3.0)
+        lines = reg.to_prometheus().splitlines()
+        assert "# HELP c repro counter metric c" in lines
+        assert "# HELP g repro gauge metric g" in lines
+        assert "# HELP h repro summary metric h" in lines
+        # exactly one HELP immediately preceding each TYPE
+        for i, line in enumerate(lines):
+            if line.startswith("# TYPE "):
+                family = line.split()[2]
+                assert lines[i - 1].startswith(f"# HELP {family} ")
+
     def test_output_parses_line_by_line(self):
         """Every non-comment line is `series value` with a float value."""
         reg = MetricsRegistry()
@@ -278,7 +310,7 @@ class TestPrometheusExport:
         assert text.endswith("\n")
         for line in text.splitlines():
             if line.startswith("#"):
-                assert line.startswith("# TYPE ")
+                assert line.startswith(("# TYPE ", "# HELP "))
                 continue
             series, value = line.rsplit(" ", 1)
             float(value)

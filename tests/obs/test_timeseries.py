@@ -1,0 +1,402 @@
+"""Tests for repro.obs.timeseries (sampler, store, series.jsonl, top)."""
+
+import json
+
+import pytest
+
+from repro import PLBHeC, Runtime
+from repro.apps import MatMul
+from repro.errors import ConfigurationError, SimulationError
+from repro.obs.metrics import MetricsRegistry, _series_key
+from repro.obs.timeseries import (
+    CLUSTER_SERIES,
+    DEVICE_SERIES,
+    SERIES_SCHEMA,
+    ClusterSampler,
+    TimeSeriesStore,
+    jain_fairness,
+    publish_windowed_gauges,
+    read_series,
+    render_top,
+    sparkline,
+    store_from_payload,
+    validate_series,
+    write_series,
+)
+from repro.sim.engine import Engine, PeriodicTask
+
+
+class TestJainFairness:
+    def test_equal_shares_are_perfectly_fair(self):
+        assert jain_fairness([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_active_device_floors_at_one_over_n(self):
+        assert jain_fairness([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_all_zero_are_vacuously_fair(self):
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+
+class TestTimeSeriesStore:
+    def test_record_and_read_back(self):
+        store = TimeSeriesStore()
+        store.record("util", 0.1, 0.5, device="a")
+        store.record("util", 0.2, 0.7, device="a")
+        (key,) = store.keys()
+        assert key == _series_key("util", {"device": "a"})
+        assert store.points(key) == [(0.1, 0.5), (0.2, 0.7)]
+
+    def test_ring_buffer_bounds_points_per_series(self):
+        store = TimeSeriesStore(max_points=8)
+        for i in range(100):
+            store.record("x", float(i), float(i))
+        pts = store.points("x")
+        assert len(pts) == 8
+        assert pts[0] == (92.0, 92.0)  # oldest samples dropped
+
+    def test_matching_and_values_merge_labelled_series(self):
+        store = TimeSeriesStore()
+        store.record("util", 0.2, 0.2, device="b")
+        store.record("util", 0.1, 0.1, device="a")
+        assert len(store.matching("util")) == 2
+        assert store.values("util") == [0.1, 0.2]  # time-ordered merge
+
+    def test_aggregate_windows(self):
+        store = TimeSeriesStore()
+        for i in range(10):
+            store.record("x", float(i), float(i))
+        agg = store.aggregate("x")
+        assert agg["count"] == 10
+        assert agg["mean"] == pytest.approx(4.5)
+        assert agg["min"] == 0.0 and agg["max"] == 9.0 and agg["last"] == 9.0
+        windowed = store.aggregate("x", t_min=5.0)
+        assert windowed["count"] == 5
+        assert windowed["min"] == 5.0
+        assert store.aggregate("missing") == {"count": 0}
+
+    def test_payload_round_trip(self):
+        store = TimeSeriesStore(max_points=4)
+        store.record("a", 0.0, 1.0)
+        store.record("b", 0.5, 2.0, device="x")
+        clone = store_from_payload(store.to_payload())
+        assert clone.keys() == store.keys()
+        for key in store.keys():
+            assert clone.points(key) == store.points(key)
+
+    def test_len_and_bool(self):
+        store = TimeSeriesStore()
+        assert not store and len(store) == 0
+        store.record("x", 0.0, 1.0)
+        assert store and len(store) == 1
+
+
+class TestSparkline:
+    def test_width_and_extremes(self):
+        line = sparkline([0.0, 1.0], width=2)
+        assert len(line) == 2
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_resamples_long_series(self):
+        assert len(sparkline(list(range(1000)), width=40)) == 40
+
+    def test_empty_is_empty(self):
+        assert sparkline([], width=10) == ""
+
+
+class TestEnginePeriodicTask:
+    def test_fires_at_fixed_interval(self):
+        engine = Engine()
+        ticks = []
+        engine.schedule_periodic(0.5, ticks.append, continue_while=lambda: len(ticks) < 4)
+        engine.run()
+        assert ticks == [0.5, 1.0, 1.5, 2.0]
+
+    def test_cancel_stops_pending_tick(self):
+        engine = Engine()
+        ticks = []
+        task = engine.schedule_periodic(0.5, ticks.append)
+        assert isinstance(task, PeriodicTask) and task.active
+        task.cancel()
+        assert not task.active
+        engine.run()
+        assert ticks == []
+
+    def test_continue_while_false_drains_engine(self):
+        """The predicate is the deadlock guard: once false, no reschedule."""
+        engine = Engine()
+        ticks = []
+        engine.schedule_periodic(0.1, ticks.append, continue_while=lambda: False)
+        engine.run()
+        assert ticks == [0.1]  # the already-scheduled tick still fires
+
+    def test_non_positive_interval_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule_periodic(0.0, lambda t: None)
+
+
+def _sampled_run(
+    cluster, *, interval=None, seed=17, n=4096, overhead=0.002, noise=0.02
+):
+    app = MatMul(n=n)
+    sampler = ClusterSampler(interval)
+    rt = Runtime(cluster, app.codelet(), seed=seed, noise_sigma=noise)
+    result = rt.run(
+        PLBHeC(fixed_overhead_s=overhead),
+        app.total_units,
+        app.default_initial_block_size(),
+        sampler=sampler,
+    )
+    return sampler, result
+
+
+class TestClusterSampler:
+    def test_auto_interval_resolves_and_samples(self, small_cluster):
+        sampler, _ = _sampled_run(small_cluster, interval=0.0)
+        assert sampler.interval is not None and sampler.interval > 0
+        assert sampler.samples_taken > 10
+        assert set(sampler.store.matching("device_util")) == {
+            _series_key("device_util", {"device": d.device_id})
+            for d in small_cluster.devices()
+        }
+
+    def test_records_every_declared_series(self, small_cluster):
+        sampler, _ = _sampled_run(small_cluster, interval=0.0)
+        names = {key.split("{", 1)[0] for key in sampler.store.keys()}
+        assert names == set(CLUSTER_SERIES) | set(DEVICE_SERIES)
+
+    def test_utilization_integrates_to_trace_busy_time(self, small_cluster):
+        """Σ util·dt per device equals the trace's busy time exactly."""
+        sampler, result = _sampled_run(small_cluster, interval=0.0)
+        busy_by_device = {}
+        for record in result.trace.records:
+            busy_by_device[record.worker_id] = busy_by_device.get(
+                record.worker_id, 0.0
+            ) + (record.end_time - record.start_time)
+        for device, expected in busy_by_device.items():
+            pts = sampler.store.points(
+                _series_key("device_util", {"device": device})
+            )
+            integral, prev_t = 0.0, 0.0
+            for t, util in pts:
+                integral += util * (t - prev_t)
+                prev_t = t
+            assert integral == pytest.approx(expected, rel=1e-9), device
+            # the running busy counter agrees with the integral too
+            busy_pts = sampler.store.points(
+                _series_key("device_busy_s", {"device": device})
+            )
+            assert busy_pts[-1][1] == pytest.approx(expected, rel=1e-12)
+
+    def test_sampling_leaves_schedule_byte_identical(self, small_cluster):
+        """The acceptance property: sampler on/off, same virtual history."""
+        app = MatMul(n=4096)
+
+        def run(sampler):
+            rt = Runtime(
+                small_cluster, app.codelet(), seed=17, noise_sigma=0.02
+            )
+            result = rt.run(
+                PLBHeC(fixed_overhead_s=0.002),
+                app.total_units,
+                app.default_initial_block_size(),
+                sampler=sampler,
+            )
+            return result.makespan, [
+                (r.worker_id, r.units, r.start_time, r.end_time)
+                for r in result.trace.records
+            ]
+
+        plain = run(None)
+        sampled = run(ClusterSampler(0.0))
+        assert plain == sampled
+
+    def test_completion_accounting_balances(self, small_cluster):
+        sampler, result = _sampled_run(small_cluster, interval=0.0)
+        completed = sampler.store.points("completed_units")
+        backlog = sampler.store.points("backlog_units")
+        outstanding = sampler.store.points("outstanding_units")
+        total = MatMul(n=4096).total_units
+        assert completed[-1][1] == total
+        assert backlog[-1][1] == 0
+        assert outstanding[-1][1] == 0
+        # conservation holds at every tick
+        for (_, c), (_, b), (_, o) in zip(completed, backlog, outstanding):
+            assert c + b + o == pytest.approx(total)
+
+    def test_fairness_and_imbalance_recorded(self, small_cluster):
+        sampler, _ = _sampled_run(small_cluster, interval=0.0)
+        fairness = [v for _, v in sampler.store.points("fairness")]
+        assert all(0.0 < v <= 1.0 for v in fairness)
+        imbalance = [v for _, v in sampler.store.points("imbalance")]
+        assert all(v == 0.0 or v >= 1.0 for v in imbalance)
+
+    def test_sampler_is_single_use(self, small_cluster):
+        sampler, _ = _sampled_run(small_cluster, interval=0.0)
+        app = MatMul(n=256)
+        rt = Runtime(small_cluster, app.codelet(), seed=1)
+        with pytest.raises(ConfigurationError, match="single-use"):
+            rt.run(
+                PLBHeC(fixed_overhead_s=0.002),
+                app.total_units,
+                8,
+                sampler=sampler,
+            )
+
+    def test_real_backend_rejects_sampler(self, small_cluster):
+        app = MatMul(n=256)
+        rt = Runtime(small_cluster, app.codelet(), backend="real")
+        with pytest.raises(ConfigurationError, match="simulated backend"):
+            rt.run(
+                PLBHeC(num_steps=2),
+                app.total_units,
+                16,
+                sampler=ClusterSampler(0.1),
+            )
+
+    def test_unresolved_interval_rejected_at_start(self):
+        engine = Engine()
+        sampler = ClusterSampler()  # auto, but nothing resolved it
+        with pytest.raises(ConfigurationError):
+            sampler.start(
+                engine, devices=["a"], total_units=10, work_remaining=lambda: 0
+            )
+
+
+class TestSeriesFile:
+    def _store(self):
+        store = TimeSeriesStore()
+        store.record("fairness", 0.1, 0.9)
+        store.record("fairness", 0.2, 0.95)
+        store.record("device_util", 0.1, 0.4, device="a")
+        return store
+
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "series.jsonl"
+        store = self._store()
+        write_series(
+            path, store, run_id="run-x", interval=0.1, meta={"app": "t"}
+        )
+        header, clone = read_series(path)
+        assert header["schema"] == SERIES_SCHEMA
+        assert header["run_id"] == "run-x"
+        assert header["interval"] == 0.1
+        assert header["samples"] == 3
+        assert header["meta"] == {"app": "t"}
+        for key in store.keys():
+            assert clone.points(key) == store.points(key)
+
+    def test_written_file_validates(self, tmp_path):
+        path = tmp_path / "series.jsonl"
+        write_series(path, self._store(), run_id="r", interval=0.1, meta={})
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert validate_series(lines) == []
+
+    def test_validator_rejects_bad_documents(self):
+        assert validate_series([])  # empty
+        assert validate_series(["not json"])
+        header = json.dumps(
+            {
+                "kind": "header",
+                "schema": SERIES_SCHEMA,
+                "run_id": "r",
+                "interval": 0.1,
+                "series": ["a"],
+                "samples": 1,
+                "meta": {},
+            }
+        )
+        undeclared = json.dumps(
+            {"kind": "sample", "series": "b", "labels": {}, "t": 0.0, "v": 1.0}
+        )
+        assert any(
+            "undeclared" in p for p in validate_series([header, undeclared])
+        )
+        # json.loads accepts NaN; the validator must still reject it
+        nan = '{"kind": "sample", "series": "a", "labels": {}, "t": 0.0, "v": NaN}'
+        assert any("finite" in p for p in validate_series([header, nan]))
+
+    def test_validator_enforces_time_monotonicity(self):
+        header = json.dumps(
+            {
+                "kind": "header",
+                "schema": SERIES_SCHEMA,
+                "run_id": "r",
+                "interval": 0.1,
+                "series": ["a"],
+                "samples": 2,
+                "meta": {},
+            }
+        )
+        fwd = json.dumps(
+            {"kind": "sample", "series": "a", "labels": {}, "t": 1.0, "v": 0.0}
+        )
+        back = json.dumps(
+            {"kind": "sample", "series": "a", "labels": {}, "t": 0.5, "v": 0.0}
+        )
+        problems = validate_series([header, fwd, back])
+        assert any("backwards" in p for p in problems)
+
+
+class TestWindowedGauges:
+    def test_publishes_aggregates_with_labels(self):
+        store = TimeSeriesStore()
+        for i in range(20):
+            store.record("device_util", i * 0.1, i / 20.0, device="a")
+        registry = MetricsRegistry()
+        count = publish_windowed_gauges(store, registry)
+        assert count > 0
+        snapshot = registry.snapshot()
+        key = _series_key("ts.device_util.mean", {"device": "a"})
+        assert snapshot["gauges"][key] == pytest.approx(0.475)
+        assert _series_key("ts.device_util.p95", {"device": "a"}) in snapshot[
+            "gauges"
+        ]
+
+
+class TestRenderTop:
+    def _header_and_store(self, small_cluster):
+        sampler, _ = _sampled_run(small_cluster, interval=0.0)
+        header = {
+            "run_id": "run-t",
+            "interval": sampler.interval,
+            "samples": sampler.samples_taken,
+        }
+        return header, sampler.store
+
+    def test_frame_contains_devices_and_summary(self, small_cluster):
+        header, store = self._header_and_store(small_cluster)
+        frame = render_top(header, store)
+        assert "repro top" in frame
+        for device in (d.device_id for d in small_cluster.devices()):
+            assert device in frame
+        assert "fairness" in frame and "units left" in frame
+        assert "100% done" in frame
+
+    def test_slo_report_verdicts_render(self, small_cluster):
+        header, store = self._header_and_store(small_cluster)
+        report = {
+            "spec": "default",
+            "objectives": [
+                {
+                    "name": "done",
+                    "expr": "last(backlog_units) <= 0",
+                    "verdict": "pass",
+                    "measured": 0.0,
+                },
+                {
+                    "name": "oops",
+                    "expr": "mean(fairness) > 2",
+                    "verdict": "fail",
+                    "measured": 0.9,
+                },
+            ],
+        }
+        frame = render_top(header, store, slo_report=report)
+        assert "SLO: default" in frame
+        assert "FAIL" in frame and "ok" in frame
+
+    def test_empty_store_renders_empty_state(self):
+        frame = render_top({"run_id": "r", "interval": 0.1}, TimeSeriesStore())
+        assert "no device_util samples" in frame

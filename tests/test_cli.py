@@ -670,3 +670,125 @@ class TestExplainCommand:
         out = capsys.readouterr().out
         assert "decisions" in out
         assert "fallbacks" in out
+
+
+class TestTelemetryParser:
+    def test_run_telemetry_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.sample_interval is None
+        assert args.series_out is None
+        assert args.slo is None
+        assert args.slo_report_out is None
+
+    def test_run_telemetry_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--sample-interval", "0", "--series-out", "s.jsonl",
+             "--slo", "default", "--slo-report-out", "r.json"]
+        )
+        assert args.sample_interval == 0.0
+        assert args.series_out == "s.jsonl"
+        assert args.slo == "default"
+        assert args.slo_report_out == "r.json"
+
+    def test_top_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.series == "series.jsonl"
+        assert args.once is False
+        assert args.interval == 2.0
+        assert args.width == 40
+        assert args.slo_report is None
+
+
+class TestTelemetryCommands:
+    RUN = ["run", "--app", "matmul", "--size", "2048", "--machines", "2"]
+
+    def test_series_out_validates_and_reports(self, capsys, tmp_path):
+        from repro.obs.timeseries import read_series, validate_series
+
+        path = tmp_path / "series.jsonl"
+        assert main(self.RUN + ["--series-out", str(path)]) == 0
+        assert "series written to" in capsys.readouterr().out
+        lines = path.read_text().splitlines()
+        assert validate_series(lines) == []
+        header, store = read_series(path)
+        assert header["interval"] > 0  # auto interval resolved
+        assert store.values("completed_units")[-1] > 0
+
+    def test_default_slo_passes_healthy_run(self, capsys, tmp_path):
+        report_path = tmp_path / "slo_report.json"
+        assert main(
+            self.RUN + ["--slo", "default",
+                        "--slo-report-out", str(report_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SLO evaluation: default" in out
+        assert "slo: OK" in out
+        import json as _json
+
+        report = _json.loads(report_path.read_text())
+        assert report["ok"] is True
+
+    def test_violated_slo_exits_2_and_stamps_trace(self, capsys, tmp_path):
+        import json as _json
+
+        spec_path = tmp_path / "impossible.slo.json"
+        spec_path.write_text(
+            _json.dumps(
+                {
+                    "name": "impossible",
+                    "objectives": [
+                        {"name": "no-goodput",
+                         "expr": "max(goodput_units_per_s) < 0"}
+                    ],
+                }
+            )
+        )
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            self.RUN + ["--slo", str(spec_path),
+                        "--trace-out", str(trace_path)]
+        )
+        assert code == 2
+        assert "slo: FAIL" in capsys.readouterr().out
+        doc = _json.loads(trace_path.read_text())
+        alerts = [e for e in doc["traceEvents"] if e.get("cat") == "alert"]
+        assert alerts, "SLO violations must stamp alert instants"
+        assert any("no-goodput" in a.get("name", "") for a in alerts)
+
+    def test_slo_report_out_requires_slo(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(self.RUN + ["--slo-report-out", "r.json"])
+
+    def test_top_once_renders_frame(self, capsys, tmp_path):
+        series = tmp_path / "series.jsonl"
+        report = tmp_path / "slo_report.json"
+        assert main(
+            self.RUN + ["--series-out", str(series), "--slo", "default",
+                        "--slo-report-out", str(report)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["top", "--once", "--series", str(series),
+             "--slo-report", str(report)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "units left" in out
+        assert "SLO: default" in out
+
+    def test_top_missing_series_exits_1(self, capsys, tmp_path):
+        assert main(
+            ["top", "--once", "--series", str(tmp_path / "absent.jsonl")]
+        ) == 1
+        assert "repro run --series-out" in capsys.readouterr().err
+
+    def test_chaos_table_has_slo_column(self, capsys, tmp_path):
+        assert main(
+            ["chaos", "--app", "matmul", "--size", "1024",
+             "--machines", "2", "--runs", "2", "--seed", "0",
+             "--policies", "plb-hec,greedy",
+             "--out", str(tmp_path / "scorecard.json")]
+        ) == 0
+        assert "slo_viol" in capsys.readouterr().out

@@ -249,3 +249,78 @@ class TestTutorialExplain:
         # the tutorial formats these; they must be finite to format
         for value in (cal.mape, cal.bias, cal.drift):
             assert value == value  # not NaN
+
+
+class TestTutorialTelemetry:
+    """§11: the sampler/SLO snippets, verbatim in structure."""
+
+    def _sampled_result(self, small_cluster):
+        from repro.obs import ClusterSampler
+
+        app = RayBatch(100_000)
+        sampler = ClusterSampler()  # auto interval
+        rt = Runtime(small_cluster, app.codelet(), seed=7, noise_sigma=0.02)
+        result = rt.run(
+            PLBHeC(fixed_overhead_s=0.01),
+            app.total_units,
+            app.default_initial_block_size(),
+            sampler=sampler,
+        )
+        return sampler, result
+
+    def test_sampler_snippet_runs(self, small_cluster):
+        sampler, _ = self._sampled_result(small_cluster)
+        store = sampler.store
+        util = store.aggregate("device_util{device=alpha.gpu0}")
+        assert util["count"] > 0
+        assert 0.0 <= util["mean"] <= 1.0
+        assert util["p95"] >= util["p50"] >= util["min"]
+        assert store.values("fairness")[-1] > 0.0
+
+    def test_slo_snippet_runs(self, small_cluster):
+        from repro.obs import DEFAULT_SLO_SPEC, evaluate_slo
+
+        sampler, result = self._sampled_result(small_cluster)
+        report = evaluate_slo(
+            DEFAULT_SLO_SPEC, sampler.store, run_id=result.run_id
+        )
+        assert report["ok"]
+        for row in report["objectives"]:
+            assert row["verdict"] in ("pass", "fail", "no-data")
+
+    def test_spec_file_snippet_loads(self, tmp_path):
+        import json
+
+        from repro.obs import load_slo_spec
+
+        doc = {
+            "name": "ci",
+            "objectives": [
+                {"name": "device-idle",
+                 "expr": "mean(device_idle_frac) < 0.9",
+                 "severity": "warning"},
+                {"name": "completion", "expr": "last(backlog_units) <= 0"},
+                {"name": "goodput", "expr": "max(goodput_units_per_s) > 0",
+                 "budget": 0.05, "window": 0.5},
+            ],
+        }
+        path = tmp_path / "ci.slo.json"
+        path.write_text(json.dumps(doc))
+        spec = load_slo_spec(path)
+        assert [o.name for o in spec.objectives] == [
+            "device-idle", "completion", "goodput",
+        ]
+        assert spec.objectives[2].budget == 0.05
+
+    def test_sweep_series_snippet_runs(self):
+        from repro.experiments import PointSpec, SweepStats, run_sweep
+
+        stats = SweepStats()
+        run_sweep(
+            [PointSpec("matmul", 2048, num_machines=2,
+                       policies=("plb-hec",), replications=1,
+                       fixed_overhead_s=0.01, sample_interval=0.0)],
+            jobs=1, cache=None, stats=stats,
+        )
+        (payload,) = stats.payloads
+        assert payload["series"]["samples"] > 0

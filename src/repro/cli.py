@@ -37,6 +37,19 @@ Commands
     Run one workload and write the Perfetto/Chrome timeline to
     ``--out`` (default ``trace.json``) — shorthand for
     ``run --trace-out``.
+``why``
+    Run one workload and explain its *makespan*: extract the critical
+    path from the execution trace and attribute 100 % of the end-to-end
+    time into compute / transfer / idle / solver / retries /
+    fault-recovery / rework, with what-if lower bounds (zero-transfer,
+    zero-scheduler, perfect-balance, per-device k×-faster sensitivity)
+    and a decision-blame join against the scheduler ledger.  Accepts
+    the same fault-injection flags as ``run``; writes the
+    schema-validated ``critpath.json`` artifact (``--out``, ``-`` to
+    skip).  ``--assert-bound`` turns the attribution guarantees into a
+    gate: exit 2 unless the categories sum to the makespan, every
+    bound is ≤ the observed makespan, the path is non-empty, and the
+    busy-interval invariant holds.
 ``compare``
     Run all four paper policies on one workload and print the
     comparison table.  ``--trace-out`` re-runs each policy once at the
@@ -95,6 +108,7 @@ Examples
 
     python -m repro run --app matmul --size 16384 --policy plb-hec
     python -m repro run --app matmul --size 4096 --trace-out trace.json
+    python -m repro why --app matmul --size 4096 --out critpath.json
     python -m repro trace --app grn --size 2048 --out grn.json
     python -m repro --log-format json compare --app blackscholes --size 500000
     python -m repro fig4 --app matmul --fast
@@ -143,7 +157,30 @@ from repro.runtime import Runtime
 from repro.util.logging import configure_from_env
 from repro.util.tables import format_table
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_CODE_TABLE"]
+
+#: The one authoritative exit-code contract, rendered into ``repro
+#: --help`` (epilog) and mirrored by the README table (a test asserts
+#: the two agree).  Codes follow the regression gate's convention:
+#: 2 is :data:`repro.obs.regress.EXIT_CODES`'s ``"regressed"``.
+EXIT_CODE_TABLE: tuple[tuple[int, str, str], ...] = (
+    (0, "ok", "command completed and every gate it ran passed"),
+    (1, "error", "usage or data error: bad configuration, missing "
+     "artifact (top without a series), policy without a ledger (explain)"),
+    (2, "regressed", "a gate failed: bench --check regression, "
+     "run --slo objective violation, or why --assert-bound breach "
+     "(attribution != makespan, bound > makespan, empty path, "
+     "busy-overlap)"),
+    (3, "chaos", "chaos campaign finished with invariant violations"),
+)
+
+
+def _exit_code_epilog() -> str:
+    """The ``repro --help`` epilog rendered from :data:`EXIT_CODE_TABLE`."""
+    lines = ["exit codes:"]
+    for code, name, meaning in EXIT_CODE_TABLE:
+        lines.append(f"  {code}  {name:<10} {meaning}")
+    return "\n".join(lines)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -152,6 +189,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="PLB-HeC reproduction: run workloads and regenerate "
         "the paper's tables and figures.",
+        epilog=_exit_code_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "--log-level",
@@ -350,6 +389,45 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default="trace.json",
         help="trace output path (default: trace.json)",
+    )
+
+    p_why = sub.add_parser(
+        "why",
+        help="explain a run's makespan: critical path, 100%% attribution, "
+        "what-if headroom bounds",
+    )
+    add_workload_args(p_why)
+    add_policy_arg(p_why)
+    add_fault_args(p_why)
+    p_why.add_argument(
+        "--out",
+        metavar="PATH",
+        default="critpath.json",
+        help="schema-validated analysis artifact "
+        "(default: critpath.json, '-' to skip)",
+    )
+    p_why.add_argument(
+        "--speedup-factor",
+        type=float,
+        default=2.0,
+        metavar="K",
+        help="k for the per-device 'if X were k× faster' sensitivity "
+        "bounds (default 2)",
+    )
+    p_why.add_argument(
+        "--assert-bound",
+        action="store_true",
+        help="exit 2 unless the attribution is exact (categories sum to "
+        "the makespan), every bound is <= the observed makespan, the "
+        "critical path is non-empty, and per-worker busy intervals "
+        "never overlap",
+    )
+    p_why.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="also export the Perfetto timeline with critical-path "
+        "slices recolored and chained by flow arrows",
     )
 
     def add_jobs_arg(p: argparse.ArgumentParser) -> None:
@@ -745,7 +823,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     trace = result.trace
     if trace.failures or trace.recoveries or trace.lost_blocks:
-        lost = sum(units for _, _, units in trace.lost_blocks)
+        lost = sum(units for _, _, units, _ in trace.lost_blocks)
         print(
             f"faults: {len(trace.failures)} down event(s), "
             f"{len(trace.recoveries)} recovery(ies), "
@@ -1042,6 +1120,117 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_why(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.obs.critpath import (
+        CATEGORIES,
+        analyze_trace,
+        category_shares,
+        validate_critpath,
+        write_critpath,
+    )
+    from repro.resilience.invariants import check_busy_overlap
+
+    run_id = new_run_id(repr(sorted(_run_config(args, args.policy).items())))
+    with push_run_id(run_id):
+        policy, result = _simulate(args, args.policy)
+    analysis = analyze_trace(
+        result.trace, speedup_factor=args.speedup_factor
+    )
+    overlaps = check_busy_overlap(result.trace)
+    makespan = analysis["makespan"]
+    shares = category_shares(analysis)
+    print(
+        format_table(
+            ["category", "seconds", "share"],
+            [
+                [cat, analysis["categories"][cat], f"{shares[cat]:.1%}"]
+                for cat in CATEGORIES
+            ],
+            title=f"Makespan attribution: {args.app} size={args.size} "
+            f"machines={args.machines} policy={policy.name} seed={args.seed}",
+        )
+    )
+    residual = abs(
+        math.fsum(analysis["categories"].values()) - makespan
+    )
+    print(
+        f"makespan {makespan:.4f}s fully attributed "
+        f"(residual {residual:.1e}); critical path: "
+        f"{analysis['path_tasks']} task(s) over "
+        f"{len(analysis['devices_on_path'])} device(s)"
+    )
+    bottleneck = analysis["bottleneck"]
+    if bottleneck:
+        print(
+            f"bottleneck: {bottleneck['device']} carries "
+            f"{bottleneck['busy_s']:.4f}s of the path "
+            f"({bottleneck['share']:.0%} of the makespan, "
+            f"{bottleneck['tasks']} task(s), {bottleneck['units']} unit(s))"
+        )
+    bounds = analysis["bounds"]
+    rows = [
+        ["zero-transfer", bounds["zero_transfer"]],
+        ["zero-scheduler", bounds["zero_scheduler"]],
+        ["perfect-balance", bounds["perfect_balance"]],
+    ] + [
+        [f"{device} {args.speedup_factor:g}x faster", bound]
+        for device, bound in sorted(bounds["device_speedup"].items())
+    ]
+    print()
+    print(
+        format_table(
+            ["what-if", "bound_s", "headroom"],
+            [
+                [
+                    name,
+                    bound,
+                    f"{(makespan - bound) / makespan:.1%}"
+                    if makespan > 0
+                    else "-",
+                ]
+                for name, bound in rows
+            ],
+            title="What-if lower bounds (headroom vs observed makespan)",
+        )
+    )
+    if analysis["decisions"]:
+        top = analysis["decisions"][:5]
+        blamed = ", ".join(
+            f"{d['id']} ({d['busy_s']:.4f}s over {d['tasks']} task(s))"
+            for d in top
+        )
+        print(f"decisions on the critical path: {blamed}")
+    problems = validate_critpath(analysis)
+    problems += [f"busy-overlap: {v.message}" for v in overlaps]
+    for problem in problems:
+        print(f"why: {problem}", file=sys.stderr)
+    if args.out and args.out != "-":
+        if validate_critpath(analysis):
+            print(
+                f"why: not writing {args.out} (analysis failed validation)",
+                file=sys.stderr,
+            )
+        else:
+            path = write_critpath(args.out, analysis)
+            print(f"critpath written to {path}")
+    if args.trace_out:
+        doc = trace_to_chrome(
+            result.trace,
+            run_id=run_id,
+            metadata=_run_config(args, policy.name),
+            critpath=analysis,
+        )
+        path = write_chrome_trace(doc, args.trace_out)
+        print(f"trace written to {path}")
+    if args.assert_bound and problems:
+        from repro.obs.regress import EXIT_CODES
+
+        return EXIT_CODES["regressed"]
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.experiments.parallel import SweepStats
 
@@ -1057,6 +1246,25 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         profile=args.profile or None,
         stats=stats,
     )
+    # per-policy makespan attribution, averaged over the replications'
+    # critpath payloads (ridden along in the sweep payloads)
+    attribution: dict[str, list[dict]] = {}
+    for payload in stats.payloads:
+        critpath = (payload or {}).get("critpath")
+        config = ((payload or {}).get("report") or {}).get("config") or {}
+        if critpath and config.get("policy"):
+            attribution.setdefault(config["policy"], []).append(critpath)
+
+    def mean_share(name: str, category: str) -> str:
+        from repro.obs.critpath import category_shares
+
+        samples = [
+            category_shares(c)[category] for c in attribution.get(name, [])
+        ]
+        if not samples:
+            return "-"
+        return f"{sum(samples) / len(samples):.1%}"
+
     rows = []
     for name, outcome in point.outcomes.items():
         rows.append(
@@ -1065,11 +1273,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 outcome.mean_makespan,
                 outcome.std_makespan,
                 point.speedup_vs("greedy", name),
+                mean_share(name, "compute"),
+                mean_share(name, "transfer"),
+                mean_share(name, "idle"),
+                mean_share(name, "solver"),
             ]
         )
     print(
         format_table(
-            ["policy", "time_s", "std_s", "speedup_vs_greedy"],
+            ["policy", "time_s", "std_s", "speedup_vs_greedy",
+             "compute", "transfer", "idle", "solver"],
             rows,
             title=f"{args.app} size={args.size} machines={args.machines}",
         )
@@ -1348,6 +1561,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             return "-"
         return f"{value * scale:.{digits}f}{suffix}"
 
+    def share(agg, category):
+        attribution = agg.get("mean_attribution") or {}
+        if category not in attribution:
+            return "-"
+        return f"{attribution[category] * 100:.1f}%"
+
     rows = [
         [
             name,
@@ -1359,6 +1578,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             agg["violations"],
             agg.get("slo_violations", 0),
             agg.get("decisions_explained", 0),
+            share(agg, "fault_recovery"),
+            share(agg, "rework"),
+            share(agg, "idle"),
             ",".join(
                 f"{k}={v}"
                 for k, v in agg.get("fallback_stages_used", {}).items()
@@ -1371,6 +1593,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         format_table(
             ["policy", "survived", "rate", "mean_deg", "max_deg",
              "recovery_lag", "violations", "slo_viol", "decisions",
+             "fault_rec", "rework", "idle",
              "fallbacks"],
             rows,
             title=f"Chaos campaign: {args.app} size={args.size} "
@@ -1414,6 +1637,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_explain(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "why":
+        return _cmd_why(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "profile":

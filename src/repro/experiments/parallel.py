@@ -83,8 +83,11 @@ __all__ = [
 #: decision ledger, and the fallback partition propagates an analytic
 #: predicted time instead of NaN.
 #: "5": sampled runs carry a ``"series"`` time-series payload; the
-#: sample interval joins the cache key when sampling is enabled.)
-ALGORITHM_VERSION = "5"
+#: sample interval joins the cache key when sampling is enabled.
+#: "6": every successful payload carries a ``"critpath"`` makespan
+#: attribution, lost-block entries gained the range ``start_unit``, and
+#: chaos runs check the busy-overlap invariant.)
+ALGORITHM_VERSION = "6"
 
 _log = get_logger("experiments.parallel")
 _events = EventLog("experiments.parallel")
@@ -324,6 +327,11 @@ def _execute_run(
         # deterministic content only (virtual times + solver numerics),
         # so cached payloads replay byte-identical ledgers
         payload["ledger"] = result.ledger.to_dict()
+    from repro.obs.critpath import analyze_trace, payload_from_analysis
+
+    # the attribution is a pure function of the (deterministic) trace,
+    # so warm-cache and parallel replays stay byte-identical
+    payload["critpath"] = payload_from_analysis(analyze_trace(result.trace))
     if sampler is not None:
         # samples are pure functions of the seeded simulation, so the
         # series replays byte-identical from a warm cache too
@@ -336,6 +344,7 @@ def _execute_run(
         payload["profile"] = prof_snapshot
     if spec.faults:
         from repro.resilience.invariants import (
+            check_busy_overlap,
             check_conservation,
             check_fault_isolation,
             recovery_lags,
@@ -344,14 +353,15 @@ def _execute_run(
         trace = result.trace
         violations = check_conservation(trace, app.total_units)
         violations += check_fault_isolation(trace)
+        violations += check_busy_overlap(trace)
         payload["resilience"] = {
             "violations": [
                 {"name": v.name, "message": v.message} for v in violations
             ],
             "failures": [[t, d] for t, d in trace.failures],
             "recoveries": [[t, d] for t, d in trace.recoveries],
-            "lost_blocks": [[t, d, u] for t, d, u in trace.lost_blocks],
-            "lost_units": sum(u for _, _, u in trace.lost_blocks),
+            "lost_blocks": [[t, d, u, s] for t, d, u, s in trace.lost_blocks],
+            "lost_units": sum(u for _, _, u, _ in trace.lost_blocks),
             "completed_units": sum(r.units for r in trace.records),
             "retries": sum(r.retries for r in trace.records),
             "recovery_lags": recovery_lags(trace),

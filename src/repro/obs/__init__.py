@@ -34,6 +34,9 @@ The legs every experiment stands on:
 * :mod:`repro.obs.slo` — declarative service-level objectives over the
   recorded series (``p95(device_idle_frac) < 0.2``), error budgets with
   burn rates, and the ``alert.slo.*`` alert rules (``repro run --slo``);
+* :mod:`repro.obs.critpath` — critical-path extraction and 100 %
+  makespan attribution with what-if lower bounds (``repro why``,
+  ``critpath.json``);
 * :mod:`repro.obs.dashboard` — the self-contained HTML dashboard
   (``repro dashboard``).
 """
@@ -45,6 +48,15 @@ from repro.obs.calibration import (
     relative_errors,
     signed_bias,
     summarize_calibration,
+)
+from repro.obs.critpath import (
+    CATEGORIES,
+    CRITPATH_SCHEMA,
+    analyze_trace,
+    category_shares,
+    payload_from_analysis,
+    validate_critpath,
+    write_critpath,
 )
 from repro.obs.dashboard import (
     DashboardData,
@@ -112,6 +124,7 @@ from repro.obs.regress import (
     check_bench_report,
     compare_samples,
     detect_anomalies,
+    detect_critpath_anomalies,
     detect_hot_path_drift,
     detect_report_anomalies,
     detect_slo_anomalies,
@@ -156,6 +169,8 @@ from repro.obs.trace_export import (
 __all__ = [
     "Anomaly",
     "BenchCheck",
+    "CATEGORIES",
+    "CRITPATH_SCHEMA",
     "ClusterSampler",
     "Comparison",
     "Counter",
@@ -178,9 +193,11 @@ __all__ = [
     "SLO_REPORT_SCHEMA",
     "TimeSeriesStore",
     "active_profiler",
+    "analyze_trace",
     "attach_jsonl_sink",
     "bench_entry",
     "calibration_entry",
+    "category_shares",
     "check_bench_report",
     "collapsed_stacks",
     "collect_dashboard_data",
@@ -190,6 +207,7 @@ __all__ = [
     "decision_rows",
     "detach_sink",
     "detect_anomalies",
+    "detect_critpath_anomalies",
     "detect_hot_path_drift",
     "detect_report_anomalies",
     "detect_slo_anomalies",
@@ -210,6 +228,7 @@ __all__ = [
     "merge_snapshots",
     "new_run_id",
     "overall_verdict",
+    "payload_from_analysis",
     "phase_breakdown",
     "profile_phase",
     "profile_to_events",
@@ -236,12 +255,14 @@ __all__ = [
     "trace_to_chrome",
     "trace_to_events",
     "validate_chrome_trace",
+    "validate_critpath",
     "validate_entry",
     "validate_explain",
     "validate_series",
     "validate_slo_report",
     "write_chrome_trace",
     "write_collapsed",
+    "write_critpath",
     "write_dashboard",
     "write_explain",
     "write_flamegraph",

@@ -154,6 +154,9 @@ class DashboardData:
     series: dict = field(default_factory=dict)
     #: SLO evaluation (``repro.obs.slo.evaluate_slo`` report) over it
     slo: dict = field(default_factory=dict)
+    #: critical-path analysis of the live run
+    #: (``repro.obs.critpath.analyze_trace`` document); empty = no trace
+    critpath: dict = field(default_factory=dict)
 
 
 def collect_dashboard_data(
@@ -253,6 +256,12 @@ def collect_dashboard_data(
         idle_fractions=result.idle_fractions,
     )
     data.anomalies += detect_slo_anomalies(data.slo)
+
+    from repro.obs.critpath import analyze_trace
+    from repro.obs.regress import detect_critpath_anomalies
+
+    data.critpath = analyze_trace(result.trace)
+    data.anomalies += detect_critpath_anomalies(data.critpath)
 
     # One recorded solve for the convergence section.
     models = list(
@@ -766,6 +775,126 @@ def _section_gantt(trace: ExecutionTrace | None, policy: str) -> str:
     )
 
 
+#: Fixed category palette for the makespan-attribution bars (status
+#: colors carry the fault/retry buckets so they read as trouble).
+_CRITPATH_COLORS = {
+    "compute": "var(--series-1)",
+    "transfer": "var(--series-2)",
+    "idle": "var(--series-4)",
+    "solver": "var(--series-3)",
+    "retries": "var(--status-warning)",
+    "fault_recovery": "var(--status-critical)",
+    "rework": "var(--status-serious)",
+}
+
+
+def _section_critpath(critpath: Mapping[str, Any]) -> str:
+    if not critpath or not critpath.get("path"):
+        return (
+            "<section><h2>Critical path</h2><p class='empty'>no "
+            "critical-path analysis (run <code>repro why</code> for a "
+            "standalone report)</p></section>"
+        )
+    from repro.obs.critpath import CATEGORIES, category_shares
+
+    makespan = float(critpath.get("makespan", 0.0))
+    shares = category_shares(critpath)
+    categories = dict(critpath.get("categories", {}))
+    bars = [
+        (cat, float(categories.get(cat, 0.0)), _CRITPATH_COLORS[cat])
+        for cat in CATEGORIES
+        if float(categories.get(cat, 0.0)) > 0.0
+    ]
+
+    bounds = dict(critpath.get("bounds", {}))
+
+    def headroom(bound: float) -> str:
+        if makespan <= 0.0:
+            return "—"
+        return f"-{max(0.0, makespan - bound) / makespan * 100:.1f}%"
+
+    tiles = [
+        ("makespan", f"{makespan:.4f}s", "100% attributed"),
+        (
+            "zero transfer",
+            f"{float(bounds.get('zero_transfer', 0.0)):.4f}s",
+            f"{headroom(float(bounds.get('zero_transfer', 0.0)))} headroom",
+        ),
+        (
+            "zero scheduler",
+            f"{float(bounds.get('zero_scheduler', 0.0)):.4f}s",
+            f"{headroom(float(bounds.get('zero_scheduler', 0.0)))} headroom",
+        ),
+        (
+            "perfect balance",
+            f"{float(bounds.get('perfect_balance', 0.0)):.4f}s",
+            f"{headroom(float(bounds.get('perfect_balance', 0.0)))} headroom",
+        ),
+    ]
+    tiles_html = "".join(
+        f'<div class="tile"><div class="label">{escape(label)}</div>'
+        f'<div class="value">{escape(value)}</div>'
+        f'<div class="hint">{escape(hint)}</div></div>'
+        for label, value, hint in tiles
+    )
+
+    bottleneck = dict(critpath.get("bottleneck", {}))
+    speedup = dict(bounds.get("device_speedup", {}))
+    factor = float(bounds.get("speedup_factor", 0.0)) or 2.0
+    devices_on_path = dict(critpath.get("devices_on_path", {}))
+    device_rows = [
+        [
+            device
+            # a literal star: _table escapes cells, so an entity would
+            # render as text
+            + (" ★" if device == bottleneck.get("device") else ""),
+            busy_s,
+            f"{busy_s / makespan * 100:.1f}%" if makespan > 0 else "—",
+            float(speedup.get(device, makespan)),
+            headroom(float(speedup.get(device, makespan))),
+        ]
+        for device, busy_s in sorted(
+            devices_on_path.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+    ]
+    device_table = _table(
+        [
+            "device",
+            "on-path busy (s)",
+            "share",
+            f"makespan if {factor:g}&#215; faster (s)",
+            "headroom",
+        ],
+        device_rows,
+    )
+    blame = list(critpath.get("decisions", []))
+    blame_html = ""
+    if blame:
+        blame_html = _table(
+            ["decision", "on-path tasks", "on-path busy (s)"],
+            [[d["id"], d["tasks"], d["busy_s"]] for d in blame[:8]],
+        )
+    return (
+        "<section><h2>Critical path</h2>"
+        f"<p class='sub'>every makespan second attributed to one bucket "
+        f"by a backward walk over the causality chain — "
+        f"{int(critpath.get('path_tasks', 0))} task(s) on the path, "
+        f"compute {shares['compute'] * 100:.1f}%, idle "
+        f"{shares['idle'] * 100:.1f}%, solver "
+        f"{shares['solver'] * 100:.1f}% (<code>repro why</code>)</p>"
+        + _legend([(c, _CRITPATH_COLORS[c]) for c, _v, _col in bars])
+        + _hbar_chart(bars, unit="s")
+        + "<h2 style='margin-top:18px'>What-if lower bounds</h2>"
+        "<p class='sub'>provable floors on this run's makespan under "
+        "idealized conditions — how much a perfect interconnect, a free "
+        "scheduler, or the &#931;work/&#931;speed oracle could save</p>"
+        f'<div class="tiles">{tiles_html}</div>'
+        + device_table
+        + blame_html
+        + "</section>"
+    )
+
+
 def _section_profile(profile: Mapping[str, Any]) -> str:
     if not profile or not profile.get("phases"):
         return (
@@ -1139,6 +1268,12 @@ def _section_resilience(scorecard: Mapping[str, Any]) -> str:
         mean_deg = agg.get("mean_degradation")
         max_deg = agg.get("max_degradation")
         lag = agg.get("mean_recovery_lag")
+        attribution = agg.get("mean_attribution") or {}
+
+        def share(category: str) -> str:
+            value = attribution.get(category)
+            return f"{value * 100:.1f}%" if value is not None else "—"
+
         rows.append(
             [
                 name,
@@ -1148,6 +1283,9 @@ def _section_resilience(scorecard: Mapping[str, Any]) -> str:
                 f"{max_deg:.3f}&#215;" if max_deg is not None else "—",
                 f"{lag * 1e3:.1f}ms" if lag is not None else "—",
                 agg.get("violations", 0),
+                share("fault_recovery"),
+                share("rework"),
+                share("idle"),
             ]
         )
     table = _table(
@@ -1159,6 +1297,9 @@ def _section_resilience(scorecard: Mapping[str, Any]) -> str:
             "max degradation",
             "mean recovery lag",
             "violations",
+            "fault recovery",
+            "rework",
+            "idle",
         ],
         rows,
     )
@@ -1202,6 +1343,7 @@ def render_dashboard(data: DashboardData) -> str:
         _section_trend(data.bench_trend),
         _section_convergence(data.convergence, data.convergence_history),
         _section_gantt(data.trace, data.trace_policy),
+        _section_critpath(data.critpath),
         _section_telemetry(data.series, data.slo),
         _section_decisions(data.ledger),
         _section_profile(data.profile),

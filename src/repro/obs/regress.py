@@ -61,6 +61,7 @@ __all__ = [
     "detect_hot_path_drift",
     "detect_report_anomalies",
     "detect_slo_anomalies",
+    "detect_critpath_anomalies",
 ]
 
 _events = EventLog("obs.regress", level=logging.WARNING)
@@ -742,6 +743,143 @@ def detect_slo_anomalies(
                 },
             )
         )
+    if emit:
+        for finding in findings:
+            _events.instant(
+                f"anomaly.{finding.name}",
+                severity=finding.severity,
+                value=round(finding.value, 6),
+                threshold=finding.threshold,
+                message=finding.message,
+            )
+    return findings
+
+
+#: Device idle beyond this share of the critical path means the
+#: bottleneck device repeatedly waits for nothing in particular — a
+#: balanced PLB-HeC run keeps its slowest device saturated, so a large
+#: idle share signals the partition (not the hardware) is the problem.
+CRITPATH_IDLE_SHARE_THRESHOLD = 0.20
+
+#: Solver stalls beyond this share of the critical path mean the
+#: scheduler charges more than it saves; the paper's overhead-honesty
+#: argument only holds while solve time stays a small tax on compute.
+CRITPATH_SOLVER_SHARE_THRESHOLD = 0.25
+
+#: A critical-path category share moving by more than this many
+#: percentage points against matched history is drift worth flagging
+#: (same rationale as HOT_PATH_DRIFT_PP: jitter stays in single
+#: digits, structural shifts — a new barrier, a lost overlap — don't).
+CRITPATH_DRIFT_PP = 5.0
+
+
+def detect_critpath_anomalies(
+    analysis: Mapping[str, Any],
+    baseline_shares: Sequence[Mapping[str, float]] = (),
+    *,
+    idle_share_threshold: float = CRITPATH_IDLE_SHARE_THRESHOLD,
+    solver_share_threshold: float = CRITPATH_SOLVER_SHARE_THRESHOLD,
+    drift_pp: float = CRITPATH_DRIFT_PP,
+    min_samples: int = MIN_BASELINE_SAMPLES,
+    emit: bool = True,
+) -> list[Anomaly]:
+    """Flag makespan-attribution pathologies in a critical-path analysis.
+
+    ``analysis`` is the dict produced by
+    :func:`repro.obs.critpath.analyze_trace` (or its cached
+    ``payload_from_analysis`` form — only ``makespan`` and
+    ``categories`` are read, so either works; taken as a mapping to
+    keep this module import-cycle-free).
+
+    Two absolute checks fire without any history: device idle share
+    above ``idle_share_threshold`` (``critpath.idle-share``) and solver
+    share above ``solver_share_threshold`` (``critpath.solver-share``).
+    When ``baseline_shares`` carries at least ``min_samples`` prior
+    ``{category: share}`` maps, every category whose share moved more
+    than ``drift_pp`` percentage points off the baseline median is
+    flagged as ``critpath.drift`` — the same neutral-below-min-samples,
+    median-compare contract as :func:`detect_hot_path_drift`.
+
+    Findings are advisory (``severity="warning"``): attribution tells
+    you *where* the makespan went, the wall-clock gate decides whether
+    that is a regression.
+    """
+    findings: list[Anomaly] = []
+    makespan = float(analysis.get("makespan", 0.0))
+    categories = dict(analysis.get("categories", {}))
+    if makespan <= 0.0:
+        return findings
+    shares = {k: float(v) / makespan for k, v in categories.items()}
+
+    idle_share = shares.get("idle", 0.0)
+    if idle_share > idle_share_threshold:
+        findings.append(
+            Anomaly(
+                name="critpath.idle-share",
+                severity="warning",
+                message=(
+                    f"device idle is {idle_share:.1%} of the critical "
+                    f"path (threshold {idle_share_threshold:.0%}); the "
+                    "bottleneck device starves — the partition leaves "
+                    "headroom the solver should have claimed"
+                ),
+                value=idle_share,
+                threshold=idle_share_threshold,
+                context={"categories": {k: round(v, 6) for k, v in shares.items()}},
+            )
+        )
+
+    solver_share = shares.get("solver", 0.0)
+    if solver_share > solver_share_threshold:
+        findings.append(
+            Anomaly(
+                name="critpath.solver-share",
+                severity="warning",
+                message=(
+                    f"solver stalls are {solver_share:.1%} of the "
+                    f"critical path (threshold "
+                    f"{solver_share_threshold:.0%}); scheduling overhead "
+                    "is eating the balance it buys — consider a larger "
+                    "block size or fewer rebalances"
+                ),
+                value=solver_share,
+                threshold=solver_share_threshold,
+                context={"categories": {k: round(v, 6) for k, v in shares.items()}},
+            )
+        )
+
+    if len(baseline_shares) >= min_samples:
+        for category in sorted(shares):
+            current = shares[category]
+            history = sorted(
+                float(s.get(category, 0.0)) for s in baseline_shares
+            )
+            base = _median(history)
+            delta_pp = (current - base) * 100.0
+            if abs(delta_pp) > drift_pp:
+                direction = "grew" if delta_pp > 0 else "shrank"
+                findings.append(
+                    Anomaly(
+                        name="critpath.drift",
+                        severity="warning",
+                        message=(
+                            f"critical-path {category} {direction} from "
+                            f"{base:.1%} to {current:.1%} of makespan "
+                            f"({delta_pp:+.1f}pp, threshold "
+                            f"±{drift_pp:.1f}pp over "
+                            f"{len(baseline_shares)} matched runs)"
+                        ),
+                        value=delta_pp,
+                        threshold=drift_pp,
+                        context={
+                            "category": category,
+                            "current_share": current,
+                            "baseline_median": base,
+                            "samples": len(baseline_shares),
+                        },
+                    )
+                )
+
     if emit:
         for finding in findings:
             _events.instant(

@@ -12,14 +12,18 @@ Gantt art:
 * a ``scheduler`` track with one slice per charged solver/fit overhead
   (the paper's "master thinking time") and instant markers for phase
   transitions;
-* global instant markers for rebalances and device failures.
+* global instant markers for rebalances and device failures;
+* optionally, the critical path from a :mod:`repro.obs.critpath`
+  analysis: on-path execution slices are recolored and chained by flow
+  arrows (``s``/``t``/``f`` events), so the device chain that bounded
+  the makespan reads straight off the timeline.
 
 Virtual seconds are exported as microseconds (the format's native
 unit), so a 3.2 s simulated makespan reads as 3.2 s on the UI ruler.
 
 The format reference is the "Trace Event Format" document (Google,
-2016); only ``X`` (complete), ``i`` (instant) and ``M`` (metadata)
-events are emitted, which every viewer supports.
+2016); ``X`` (complete), ``i`` (instant), ``M`` (metadata) and the
+``s``/``t``/``f`` flow events are emitted, which every viewer supports.
 """
 
 from __future__ import annotations
@@ -46,6 +50,8 @@ PHASE_CNAMES = {
     "exec": "thread_state_running",
 }
 _TRANSFER_CNAME = "rail_load"
+#: chrome://tracing reserved colour for slices on the critical path.
+_CRITPATH_CNAME = "terrible"
 _SCHEDULER_TID = 0
 _US = 1e6  # seconds -> microseconds
 
@@ -65,6 +71,7 @@ def trace_to_events(
     run_id: str | None = None,
     decisions: list[dict] | None = None,
     alerts: list[dict] | None = None,
+    critpath: dict | None = None,
 ) -> list[dict]:
     """Flatten one trace into trace-event dicts under one process id.
 
@@ -76,8 +83,17 @@ def trace_to_events(
     timeline back to ``repro explain`` ids.  ``alerts`` (SLO alert
     dicts from :func:`repro.obs.slo.slo_alerts`) adds one global
     instant per violated objective at its first violating sample, so a
-    breached SLO is visible right on the timeline.
+    breached SLO is visible right on the timeline.  ``critpath`` (an
+    analysis from :func:`repro.obs.critpath.analyze_trace` of this
+    trace) recolors on-path execution slices, tags them with
+    ``args.critpath``, and chains them with one flow-arrow sequence.
     """
+    # (worker, start, end) identity of the critical path's task nodes;
+    # floats come from the same records, so exact equality matches
+    on_path: set[tuple[str, float, float]] = set()
+    for node in (critpath or {}).get("path", []):
+        if node.get("kind") == "task":
+            on_path.add((node["worker"], node["start"], node["end"]))
     events: list[dict] = [_meta(pid, "process_name", process_name)]
     if run_id:
         events.append(
@@ -95,9 +111,13 @@ def trace_to_events(
     for worker, tid in tids.items():
         events.append(_meta(pid, "thread_name", worker, tid))
 
+    flow_anchors: list[tuple[float, int, str]] = []  # (ts, tid, worker)
     for r in trace.records:
         tid = tids[r.worker_id]
+        flagged = (r.worker_id, r.start_time, r.end_time) in on_path
         args = {"units": r.units, "step": r.step, "phase": r.phase}
+        if flagged:
+            args = dict(args, critpath=True)
         if r.transfer_time > 0.0:
             events.append(
                 {
@@ -122,10 +142,32 @@ def trace_to_events(
             "dur": r.exec_time * _US,
             "args": args,
         }
-        cname = PHASE_CNAMES.get(r.phase)
+        cname = _CRITPATH_CNAME if flagged else PHASE_CNAMES.get(r.phase)
         if cname:
             exec_event["cname"] = cname
         events.append(exec_event)
+        if flagged:
+            flow_anchors.append((exec_event["ts"], tid, r.worker_id))
+
+    # one flow-arrow chain threading the on-path slices in time order
+    # (anchored at each slice's start so viewers bind them correctly)
+    flow_anchors.sort()
+    if len(flow_anchors) >= 2:
+        for i, (ts, tid, worker) in enumerate(flow_anchors):
+            ph = "s" if i == 0 else ("f" if i == len(flow_anchors) - 1 else "t")
+            event = {
+                "ph": ph,
+                "pid": pid,
+                "tid": tid,
+                "name": "critical-path",
+                "cat": "critpath",
+                "id": pid,
+                "ts": ts,
+                "args": {"worker": worker, "hop": i},
+            }
+            if ph == "f":
+                event["bp"] = "e"
+            events.append(event)
 
     # --- scheduler track: solver overhead spans + phase marks ----------
     for start, seconds in zip(trace.solver_overhead_times, trace.solver_overheads):
@@ -324,6 +366,7 @@ def trace_to_chrome(
     profile: dict | None = None,
     decisions: list[dict] | None = None,
     alerts: list[dict] | None = None,
+    critpath: dict | None = None,
 ) -> dict:
     """Build a complete Chrome trace-event document.
 
@@ -348,6 +391,10 @@ def trace_to_chrome(
     alerts:
         Optional SLO alert dicts (:func:`repro.obs.slo.slo_alerts`),
         stamped as global instants on the first trace like decisions.
+    critpath:
+        Optional :func:`repro.obs.critpath.analyze_trace` analysis of
+        the first trace; its on-path slices are recolored and chained
+        with flow arrows (first trace only, like decisions).
     """
     if isinstance(traces, ExecutionTrace):
         traces = [("simulation", traces)]
@@ -363,6 +410,7 @@ def trace_to_chrome(
                 run_id=run_id,
                 decisions=decisions if index == 0 else None,
                 alerts=alerts if index == 0 else None,
+                critpath=critpath if index == 0 else None,
             )
         )
     if profile is not None:

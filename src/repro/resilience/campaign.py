@@ -230,6 +230,14 @@ def run_campaign(
                 DEFAULT_SLO_SPEC, store_from_payload(series["store"])
             )
             slo_violations = int(slo_report["violations"])
+        # makespan attribution of the chaos run: where the degradation
+        # actually went (fault recovery? rework? idle?), per category
+        critpath = payload.get("critpath") or {}
+        attribution = {}
+        if critpath:
+            from repro.obs.critpath import category_shares
+
+            attribution = category_shares(critpath)
         record = {
             "run": plan.index,
             "app": plan.app,
@@ -251,6 +259,7 @@ def run_campaign(
             "decisions": len(ledger.get("decisions", ())),
             "fallback_stages": stage_counts,
             "slo_violations": slo_violations,
+            "attribution": attribution,
         }
         run_records.append(record)
 
@@ -270,6 +279,15 @@ def run_campaign(
         for r in rows:
             for stage, count in r.get("fallback_stages", {}).items():
                 fallback_stages[stage] = fallback_stages.get(stage, 0) + count
+        # mean makespan-attribution shares over the surviving runs, so
+        # the scorecard says *where* each policy's time went under chaos
+        attributed = [r["attribution"] for r in survived_rows if r["attribution"]]
+        mean_attribution = {}
+        if attributed:
+            for category in sorted(attributed[0]):
+                mean_attribution[category] = sum(
+                    a.get(category, 0.0) for a in attributed
+                ) / len(attributed)
         policies[policy] = {
             "runs": len(rows),
             "survived": len(survived_rows),
@@ -283,6 +301,7 @@ def run_campaign(
             "decisions_explained": sum(r.get("decisions", 0) for r in rows),
             "fallback_stages_used": dict(sorted(fallback_stages.items())),
             "slo_violations": sum(r.get("slo_violations", 0) for r in rows),
+            "mean_attribution": mean_attribution,
         }
 
     total_violations = sum(len(r["violations"]) for r in run_records)

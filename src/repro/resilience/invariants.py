@@ -9,6 +9,10 @@ survived.  These predicates operate on a completed
   reprocessed), completed exactly once;
 * **fault isolation** — no block is dispatched to a device while it is
   down, and every lost block corresponds to a recorded down event;
+* **busy exclusivity** — a worker processes one block at a time: its
+  recorded busy intervals never overlap (the critical-path analysis in
+  :mod:`repro.obs.critpath` walks per-worker busy chains and silently
+  mis-attributes on overlap, so ``repro why`` runs this check too);
 * **makespan sanity** — a faulted run should not beat its fault-free
   baseline by more than a scheduling-anomaly tolerance (losing a slow
   device *can* legitimately help — Graham's timing anomalies — so the
@@ -23,6 +27,7 @@ from repro.sim.trace import ExecutionTrace
 
 __all__ = [
     "Violation",
+    "check_busy_overlap",
     "check_conservation",
     "check_fault_isolation",
     "check_makespan",
@@ -135,7 +140,7 @@ def check_fault_isolation(trace: ExecutionTrace) -> list[Violation]:
                     )
                 )
     down_events = {(t, d) for t, d in trace.failures}
-    for t, device, units in trace.lost_blocks:
+    for t, device, units, _start_unit in trace.lost_blocks:
         if (t, device) not in down_events:
             violations.append(
                 Violation(
@@ -144,6 +149,33 @@ def check_fault_isolation(trace: ExecutionTrace) -> list[Violation]:
                     "down event recorded there",
                 )
             )
+    return violations
+
+
+def check_busy_overlap(trace: ExecutionTrace) -> list[Violation]:
+    """Per-worker busy intervals must never overlap.
+
+    A worker is one processing unit: two blocks cannot be in flight on
+    it at once, so the half-open intervals ``[start_time, end_time)`` of
+    its records must be disjoint.  Back-to-back intervals (one ending
+    exactly where the next starts) are fine.  Reports at most one
+    violation per worker — the first overlap in start order — so a
+    systematically broken trace yields a readable list.
+    """
+    violations: list[Violation] = []
+    for worker in trace.worker_ids:
+        intervals = trace.busy_intervals(worker)
+        for prev, cur in zip(intervals, intervals[1:]):
+            if cur.start < prev.end:
+                violations.append(
+                    Violation(
+                        "busy-overlap",
+                        f"{worker} busy [{cur.start:.4f}, {cur.end:.4f}) "
+                        f"overlaps prior busy "
+                        f"[{prev.start:.4f}, {prev.end:.4f})",
+                    )
+                )
+                break
     return violations
 
 
@@ -202,6 +234,7 @@ def check_run(
     """All invariants of one faulted run, concatenated."""
     violations = check_conservation(trace, total_units)
     violations += check_fault_isolation(trace)
+    violations += check_busy_overlap(trace)
     violations += check_makespan(
         makespan, baseline, anomaly_tolerance=anomaly_tolerance
     )

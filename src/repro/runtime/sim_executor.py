@@ -487,7 +487,9 @@ class SimulatedExecutor:
         def record_lost(task: Task) -> None:
             # the in-flight block is lost; its range returns to the pool
             pending_retry.append((task.start_unit, task.units))
-            trace.record_lost_block(engine.now, task.worker_id, task.units)
+            trace.record_lost_block(
+                engine.now, task.worker_id, task.units, task.start_unit
+            )
             if sampler is not None:
                 sampler.on_lost(task.worker_id, engine.now)
 

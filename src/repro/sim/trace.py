@@ -105,7 +105,7 @@ class ExecutionTrace:
         self.solver_overhead_times: list[float] = []
         self.failures: list[tuple[float, str]] = []
         self.recoveries: list[tuple[float, str]] = []
-        self.lost_blocks: list[tuple[float, str, int]] = []
+        self.lost_blocks: list[tuple[float, str, int, int]] = []
         self.makespan: float = 0.0
 
     # ------------------------------------------------------------------
@@ -152,14 +152,19 @@ class ExecutionTrace:
         """Note that a transiently-failed device came back at ``time``."""
         self.recoveries.append((time, device_id))
 
-    def record_lost_block(self, time: float, device_id: str, units: int) -> None:
+    def record_lost_block(
+        self, time: float, device_id: str, units: int, start_unit: int = -1
+    ) -> None:
         """Note that ``units`` in flight on ``device_id`` were lost.
 
         The range returns to the pool and is reprocessed elsewhere; the
         resilience invariants reconcile these entries against the
-        completed records.
+        completed records.  ``start_unit`` pins the lost contiguous
+        range so the critical-path analysis can classify the later
+        re-execution of those exact units as rework (-1 when the caller
+        does not track ranges).
         """
-        self.lost_blocks.append((time, device_id, int(units)))
+        self.lost_blocks.append((time, device_id, int(units), int(start_unit)))
 
     def finalize(self, end_time: float) -> None:
         """Set the run's final makespan (call once, at completion)."""
@@ -331,6 +336,7 @@ class ExecutionTrace:
                     "start_unit": r.start_unit,
                     "retries": r.retries,
                     "retry_time": r.retry_time,
+                    "decision": r.decision,
                 }
                 for r in self.records
             ],
@@ -352,8 +358,10 @@ class ExecutionTrace:
         ``solver_overhead_times`` is optional for compatibility with
         traces serialised before it existed (charges default to t=0);
         so are ``recoveries``/``lost_blocks`` and the per-record
-        ``start_unit``/``retries``/``retry_time`` resilience fields
-        (defaulting to empty / untracked).
+        ``start_unit``/``retries``/``retry_time``/``decision`` fields
+        (defaulting to empty / untracked).  ``lost_blocks`` entries may
+        be 3-wide (pre-range-tracking: ``start_unit`` reads back as -1)
+        or 4-wide.
 
         Raises
         ------
@@ -383,8 +391,8 @@ class ExecutionTrace:
                 (float(t), str(d)) for t, d in data.get("recoveries", [])
             ]
             trace.lost_blocks = [
-                (float(t), str(d), int(u))
-                for t, d, u in data.get("lost_blocks", [])
+                (float(b[0]), str(b[1]), int(b[2]), int(b[3]) if len(b) > 3 else -1)
+                for b in data.get("lost_blocks", [])
             ]
             trace.finalize(float(data["makespan"]))
         except KeyError as exc:

@@ -604,3 +604,51 @@ class TestLedgerPayloads:
             attribution = ledger["attribution"]
             assert attribution["attributed"] > 0
             assert attribution["unattributed"] == 0
+
+
+class TestCritpathPayload:
+    def test_payload_carries_exact_attribution(self):
+        import math
+
+        from repro.experiments.parallel import _execute_run
+        from repro.obs.critpath import CATEGORIES, CRITPATH_SCHEMA
+
+        spec = RunSpec("matmul", 1024, 1, "plb-hec", 3000, 0.005, 0.01)
+        critpath = _execute_run(spec, paper_cluster)["critpath"]
+        assert critpath["schema"] == CRITPATH_SCHEMA
+        assert set(critpath["categories"]) == set(CATEGORIES)
+        total = math.fsum(critpath["categories"].values())
+        assert abs(total - critpath["makespan"]) < 1e-9
+        for name in ("zero_transfer", "zero_scheduler", "perfect_balance"):
+            assert critpath["bounds"][name] <= critpath["makespan"] + 1e-9
+
+    def test_serial_parallel_byte_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "-")
+        serial_stats = SweepStats()
+        run_sweep([SMALL], jobs=1, cache=None, stats=serial_stats)
+        parallel_stats = SweepStats()
+        run_sweep([SMALL], jobs=4, cache=None, stats=parallel_stats)
+        serial = [json.dumps(p["critpath"], sort_keys=True)
+                  for p in serial_stats.payloads]
+        parallel = [json.dumps(p["critpath"], sort_keys=True)
+                    for p in parallel_stats.payloads]
+        assert serial == parallel
+
+    def test_warm_cache_byte_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold_stats = SweepStats()
+        run_sweep([SMALL], jobs=1, cache=cache, stats=cold_stats)
+        warm_stats = SweepStats()
+        run_sweep([SMALL], jobs=1, cache=cache, stats=warm_stats)
+        assert warm_stats.cache_hits == warm_stats.total_runs
+        cold = [json.dumps(p["critpath"], sort_keys=True)
+                for p in cold_stats.payloads]
+        warm = [json.dumps(p["critpath"], sort_keys=True)
+                for p in warm_stats.payloads]
+        assert cold == warm
+
+    def test_cache_version_bumped_for_critpath(self):
+        from repro.experiments.parallel import ALGORITHM_VERSION
+
+        # stale pre-attribution cache entries must never replay
+        assert int(ALGORITHM_VERSION) >= 6

@@ -21,6 +21,7 @@ SECTIONS = (
     "Benchmark trend",
     "Solver convergence",
     "Execution timeline",
+    "Critical path",
     "CPU profile",
     "Anomalies",
 )
@@ -207,6 +208,7 @@ class TestCollectDashboardData:
         )
         assert data.point is not None and "plb-hec" in data.point.outcomes
         assert data.trace is not None and data.trace.makespan > 0
+        assert data.critpath and data.critpath["path"]
         assert data.convergence is not None and data.convergence.iterations > 0
         assert data.convergence_history
         assert len(data.bench_trend) == 1
@@ -343,3 +345,73 @@ class TestDecisionsSection:
         # the only protocol occurrences are SVG xmlns identifiers
         for m in re.finditer(r"https?://", html):
             assert "xmlns" in html[max(0, m.start() - 30):m.start()]
+
+
+class TestCritpathSection:
+    def analyzed(self):
+        from repro.obs.critpath import analyze_trace
+
+        return make_data(critpath=analyze_trace(make_trace()))
+
+    def test_empty_state_points_at_repro_why(self):
+        html = render_dashboard(make_data())
+        assert "Critical path" in html
+        assert "repro why" in html
+
+    def test_attribution_bars_and_headroom_tiles(self):
+        html = render_dashboard(self.analyzed())
+        assert "Critical path" in html
+        assert "compute" in html
+        assert "makespan" in html
+        assert "zero transfer" in html
+        assert "zero scheduler" in html
+        assert "perfect balance" in html
+
+    def test_bottleneck_device_starred(self):
+        html = render_dashboard(self.analyzed())
+        assert "★" in html  # the bottleneck row is starred
+        assert "A.gpu0" in html
+
+    def test_still_self_contained(self):
+        html = render_dashboard(self.analyzed())
+        for banned in ("<script", "<link", "<img", "url(", "@import"):
+            assert banned not in html
+
+
+class TestResilienceAttributionColumns:
+    def scorecard(self):
+        return {
+            "total_runs": 2,
+            "survived_runs": 2,
+            "total_violations": 0,
+            "all_invariants_ok": True,
+            "policies": {
+                "plb-hec": {
+                    "runs": 2, "survived": 2, "survival_rate": 1.0,
+                    "mean_degradation": 1.1, "max_degradation": 1.2,
+                    "mean_recovery_lag": 0.01, "violations": 0,
+                    "mean_attribution": {
+                        "compute": 0.7, "transfer": 0.05, "idle": 0.1,
+                        "solver": 0.05, "retries": 0.0,
+                        "fault_recovery": 0.06, "rework": 0.04,
+                    },
+                },
+                "greedy": {
+                    "runs": 2, "survived": 2, "survival_rate": 1.0,
+                    "mean_degradation": 1.3, "max_degradation": 1.5,
+                    "mean_recovery_lag": None, "violations": 0,
+                    "mean_attribution": {},
+                },
+            },
+        }
+
+    def test_attribution_columns_rendered(self):
+        html = render_dashboard(make_data(resilience=self.scorecard()))
+        assert "fault recovery" in html
+        assert "rework" in html
+        assert "6.0%" in html  # plb-hec fault_recovery share
+        assert "4.0%" in html  # plb-hec rework share
+
+    def test_missing_attribution_degrades_to_dash(self):
+        html = render_dashboard(make_data(resilience=self.scorecard()))
+        assert "&#8212;" in html or "—" in html  # greedy has no shares

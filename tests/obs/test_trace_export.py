@@ -389,3 +389,87 @@ class TestDecisionInstants:
             for e in doc["traceEvents"]
             if e.get("cat") == "decision"
         ] == ["decision:d0000", "decision:d0001", "decision:d0002"]
+
+
+class TestCritpathFlags:
+    def chain_trace(self):
+        # a two-hop chain: gpu0 hands off to cpu0 at t=1.0, so the
+        # critical path crosses workers and the flow arrows have >= 2
+        # anchors to bind
+        tr = ExecutionTrace(["gpu0", "cpu0"])
+        tr.add_record(
+            TaskRecord(
+                worker_id="gpu0", units=50, dispatch_time=0.0,
+                transfer_time=0.2, exec_time=0.8, start_time=0.0,
+                end_time=1.0, phase="exec", step=1,
+            )
+        )
+        tr.add_record(
+            TaskRecord(
+                worker_id="cpu0", units=30, dispatch_time=1.0,
+                transfer_time=0.0, exec_time=1.0, start_time=1.0,
+                end_time=2.0, phase="exec", step=2,
+            )
+        )
+        tr.finalize(2.0)
+        return tr
+
+    def analyzed(self):
+        from repro.obs.critpath import analyze_trace
+
+        trace = self.chain_trace()
+        return trace, analyze_trace(trace)
+
+    def test_on_path_slices_flagged_and_recolored(self):
+        trace, analysis = self.analyzed()
+        events = trace_to_events(trace, critpath=analysis)
+        flagged = [e for e in events if e.get("args", {}).get("critpath")]
+        assert flagged, "no slice flagged on the critical path"
+        # the exec slice is recolored; a flagged record's transfer slice
+        # keeps the transfer palette
+        assert all(
+            e["cname"] == "terrible"
+            for e in flagged if e["cat"] != "transfer"
+        )
+        on_path = {(n["worker"], n["start"], n["end"])
+                   for n in analysis["path"] if n["kind"] == "task"}
+        assert len({(e["ts"]) for e in flagged}) <= 2 * len(on_path)
+
+    def test_flow_chain_links_consecutive_path_tasks(self):
+        trace, analysis = self.analyzed()
+        events = trace_to_events(trace, critpath=analysis)
+        flows = [e for e in events if e.get("cat") == "critpath"]
+        assert flows, "no critical-path flow events"
+        assert {e["ph"] for e in flows} <= {"s", "t", "f"}
+        assert all(e["name"] == "critical-path" for e in flows)
+        starts = [e for e in flows if e["ph"] == "s"]
+        finishes = [e for e in flows if e["ph"] == "f"]
+        assert len(starts) == 1 and len(finishes) == 1
+        assert all(e.get("bp") == "e" for e in finishes)
+        ids = {e["id"] for e in flows}
+        assert len(ids) == 1  # one chain, one id
+
+    def test_without_critpath_no_flags(self):
+        events = trace_to_events(make_trace())
+        assert not [e for e in events if e.get("args", {}).get("critpath")]
+        assert not [e for e in events if e.get("cat") == "critpath"]
+
+    def test_chrome_document_validates_with_critpath(self):
+        trace, analysis = self.analyzed()
+        doc = trace_to_chrome(trace, critpath=analysis)
+        assert validate_chrome_trace(doc) == []
+        flagged = [e for e in doc["traceEvents"]
+                   if e.get("args", {}).get("critpath")]
+        assert flagged
+
+    def test_multi_trace_flags_first_only(self):
+        trace, analysis = self.analyzed()
+        doc = trace_to_chrome(
+            [("a", trace), ("b", self.chain_trace())], critpath=analysis
+        )
+        assert validate_chrome_trace(doc) == []
+        by_pid = {}
+        for e in doc["traceEvents"]:
+            if e.get("cat") == "critpath":
+                by_pid.setdefault(e["pid"], []).append(e)
+        assert len(by_pid) == 1  # only the first trace carries the chain

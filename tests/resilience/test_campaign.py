@@ -140,3 +140,36 @@ class TestDecisionColumns:
             for stage, count in run["fallback_stages"].items():
                 assert isinstance(stage, str)
                 assert isinstance(count, int) and count >= 1
+
+
+class TestAttributionColumns:
+    """Chaos runs carry the critical-path attribution, satellite of the
+    makespan-attribution work: degradation decomposes into categories."""
+
+    def test_runs_carry_attribution_shares(self, scorecard):
+        from repro.obs.critpath import CATEGORIES
+
+        for run in scorecard["runs"]:
+            if not run["survived"]:
+                continue
+            attribution = run["attribution"]
+            assert set(attribution) <= set(CATEGORIES)
+            assert attribution, "survived runs must be attributed"
+            for share in attribution.values():
+                assert 0.0 <= share <= 1.0
+            assert abs(sum(attribution.values()) - 1.0) < 1e-9
+
+    def test_policies_aggregate_mean_attribution(self, scorecard):
+        for agg in scorecard["policies"].values():
+            if not agg["survived"]:
+                continue
+            mean_attribution = agg["mean_attribution"]
+            assert mean_attribution
+            for share in mean_attribution.values():
+                assert 0.0 <= share <= 1.0
+            assert abs(sum(mean_attribution.values()) - 1.0) < 1e-6
+
+    def test_attribution_survives_json(self, scorecard):
+        rebuilt = json.loads(json.dumps(scorecard))
+        first = rebuilt["runs"][0]["attribution"]
+        assert first == scorecard["runs"][0]["attribution"]

@@ -178,7 +178,7 @@ class TestTransferFaultRuntime:
             small_cluster, app.codelet(), seed=5, transfer_faults=(fault,)
         ).run(Greedy(), app.total_units, app.default_initial_block_size())
         assert "alpha.gpu0" in {d for _, d in res.trace.failures}
-        assert any(d == "alpha.gpu0" for _, d, _ in res.trace.lost_blocks)
+        assert any(d == "alpha.gpu0" for _, d, _, _ in res.trace.lost_blocks)
         assert res.trace.total_units() >= app.total_units
 
     def test_fault_free_runs_unaffected_by_code_path(self, small_cluster):

@@ -2,6 +2,7 @@
 
 from repro.resilience.invariants import (
     Violation,
+    check_busy_overlap,
     check_conservation,
     check_fault_isolation,
     check_makespan,
@@ -115,6 +116,48 @@ class TestFaultIsolation:
         trace = make_trace([record("d0", 0, 10, 0.0)], lost=[(0.4, "d1", 8)])
         violations = check_fault_isolation(trace)
         assert violations and "no down event" in violations[0].message
+
+
+class TestBusyOverlap:
+    def test_sequential_intervals_pass(self):
+        trace = make_trace(
+            [record("d0", 0, 50, 0.0), record("d0", 50, 50, 0.1)]
+        )
+        assert check_busy_overlap(trace) == []
+
+    def test_touching_intervals_pass(self):
+        # half-open intervals: [0, 0.1) then [0.1, 0.2) do not overlap
+        trace = make_trace(
+            [record("d0", 0, 50, 0.0, duration=0.1),
+             record("d0", 50, 50, 0.1, duration=0.1)]
+        )
+        assert check_busy_overlap(trace) == []
+
+    def test_overlapping_intervals_flagged(self):
+        trace = make_trace(
+            [record("d0", 0, 50, 0.0, duration=0.2),
+             record("d0", 50, 50, 0.1, duration=0.2)]
+        )
+        violations = check_busy_overlap(trace)
+        assert violations and violations[0].name == "busy-overlap"
+        assert "d0" in violations[0].message
+
+    def test_overlap_on_other_worker_does_not_hide(self):
+        trace = make_trace(
+            [record("d0", 0, 50, 0.0),
+             record("d1", 50, 25, 0.0, duration=0.2),
+             record("d1", 75, 25, 0.1, duration=0.2)]
+        )
+        violations = check_busy_overlap(trace)
+        assert len(violations) == 1 and "d1" in violations[0].message
+
+    def test_check_run_includes_busy_overlap(self):
+        trace = make_trace(
+            [record("d0", 0, 50, 0.0, duration=0.2),
+             record("d0", 50, 50, 0.1, duration=0.2)]
+        )
+        names = {v.name for v in check_run(trace, 100, makespan=1.0, baseline=1.0)}
+        assert "busy-overlap" in names
 
 
 class TestMakespanSanity:

@@ -215,10 +215,19 @@ class TestTraceSerialisation:
         tr = ExecutionTrace(["a", "b"])
         tr.add_record(record("a", 0.0, 1.5, units=7, phase="probe", step=1))
         tr.add_record(record("b", 0.5, 3.0, units=9, transfer=0.25))
+        # one record exercising every optional field the executor stamps
+        tr.add_record(TaskRecord(
+            worker_id="a", units=4, dispatch_time=1.5, transfer_time=0.1,
+            exec_time=0.8, start_time=1.6, end_time=2.7, phase="exec",
+            step=2, start_unit=16, retries=2, retry_time=0.2,
+            decision="d0003",
+        ))
         tr.mark_phase(0.0, "modeling")
         tr.record_rebalance(2.0)
         tr.record_solver_overhead(0.01, time=0.75)
         tr.record_failure(2.5, "b")
+        tr.record_recovery(2.9, "b")
+        tr.record_lost_block(2.5, "b", 5, start_unit=20)
         tr.finalize(3.5)
         return tr
 
@@ -231,14 +240,74 @@ class TestTraceSerialisation:
         assert rebuilt.total_solver_overhead == original.total_solver_overhead
         assert rebuilt.solver_overhead_times == original.solver_overhead_times
         assert rebuilt.failures == original.failures
+        assert rebuilt.recoveries == original.recoveries
+        assert rebuilt.lost_blocks == original.lost_blocks
         assert len(rebuilt.records) == len(original.records)
-        assert rebuilt.records[0] == original.records[0]
+        assert rebuilt.records == original.records
         assert rebuilt.idle_fractions() == original.idle_fractions()
 
     def test_roundtrip_is_lossless_by_dict_equality(self):
         original = self.make_trace()
         data = original.to_dict()
         assert ExecutionTrace.from_dict(data).to_dict() == data
+
+    def test_roundtrip_lossless_for_generated_traces(self):
+        """Property-style: random traces survive the round trip exactly.
+
+        Seeded exhaustively over the optional fields (decision ids,
+        retry charges, range tracking, fault events) that historically
+        leaked out of ``to_dict`` — a regression here means a field was
+        added to ``TaskRecord`` or the trace without serialising it.
+        """
+        import random
+
+        rng = random.Random(1234)
+        for case in range(25):
+            workers = [f"w{i}" for i in range(rng.randint(1, 4))]
+            tr = ExecutionTrace(workers)
+            cursor = {w: 0.0 for w in workers}
+            unit = 0
+            for _ in range(rng.randint(0, 12)):
+                w = rng.choice(workers)
+                units = rng.randint(1, 50)
+                dispatch = cursor[w]
+                start = dispatch + rng.choice([0.0, rng.random() * 0.1])
+                duration = 0.05 + rng.random()
+                retries = rng.randint(0, 2)
+                tr.add_record(TaskRecord(
+                    worker_id=w, units=units, dispatch_time=dispatch,
+                    transfer_time=rng.random() * 0.02,
+                    exec_time=duration, start_time=start,
+                    end_time=start + duration, phase=rng.choice(["probe", "exec"]),
+                    step=rng.randint(0, 5),
+                    start_unit=rng.choice([-1, unit]),
+                    retries=retries,
+                    retry_time=0.01 * retries,
+                    decision=rng.choice(["", f"d{case:04d}"]),
+                ))
+                cursor[w] = start + duration
+                unit += units
+            if rng.random() < 0.5:
+                tr.record_failure(rng.random(), rng.choice(workers))
+                tr.record_recovery(1.0 + rng.random(), rng.choice(workers))
+                tr.record_lost_block(
+                    rng.random(), rng.choice(workers), rng.randint(1, 9),
+                    start_unit=rng.choice([-1, rng.randint(0, unit + 1)]),
+                )
+            if rng.random() < 0.5:
+                tr.mark_phase(0.0, "modeling")
+                tr.record_rebalance(rng.random())
+                tr.record_solver_overhead(rng.random() * 0.01, time=rng.random())
+            tr.finalize(max(cursor.values(), default=0.0) + rng.random())
+            data = tr.to_dict()
+            assert ExecutionTrace.from_dict(data).to_dict() == data
+
+    def test_legacy_three_wide_lost_blocks_accepted(self):
+        data = self.make_trace().to_dict()
+        data["lost_blocks"] = [b[:3] for b in data["lost_blocks"]]
+        rebuilt = ExecutionTrace.from_dict(data)
+        # pre-range-tracking entries read back with start_unit = -1
+        assert rebuilt.lost_blocks == [(2.5, "b", 5, -1)]
 
     def test_legacy_payload_without_overhead_times_accepted(self):
         data = self.make_trace().to_dict()
@@ -259,7 +328,7 @@ class TestTraceSerialisation:
 
         payload = json.dumps(self.make_trace().to_dict())
         rebuilt = ExecutionTrace.from_dict(json.loads(payload))
-        assert rebuilt.total_units() == 16
+        assert rebuilt.total_units() == 20
 
     def test_missing_key_rejected(self):
         data = self.make_trace().to_dict()

@@ -107,6 +107,9 @@ class TestCommands:
         assert "speedup_vs_greedy" in out
         for policy in ("greedy", "acosta", "hdss", "plb-hec"):
             assert policy in out
+        # per-policy makespan-attribution columns ride the table
+        for column in ("compute", "transfer", "idle", "solver"):
+            assert column in out
 
     def test_table1(self, capsys):
         assert main(["table1"]) == 0
@@ -543,6 +546,8 @@ class TestChaosCommand:
         assert code == 0
         assert "-> OK" in out
         assert "plb-hec" in out and "greedy" in out
+        # per-policy mean-attribution columns on the chaos table
+        assert "fault_rec" in out and "rework" in out
 
         import json
 
@@ -792,3 +797,128 @@ class TestTelemetryCommands:
              "--out", str(tmp_path / "scorecard.json")]
         ) == 0
         assert "slo_viol" in capsys.readouterr().out
+
+
+class TestExitCodeContract:
+    """The exit-code table exists in exactly one place (EXIT_CODE_TABLE);
+    README and --help must be renderings of it, never forks."""
+
+    def readme_rows(self):
+        import pathlib
+
+        from repro import cli
+
+        readme = (
+            pathlib.Path(cli.__file__).parents[2] / "README.md"
+        ).read_text()
+        _, _, section = readme.partition("### Exit codes")
+        assert section, "README lost its '### Exit codes' section"
+        rows = []
+        for line in section.splitlines():
+            cells = [c.strip() for c in line.strip().strip("|").split("|")]
+            if len(cells) != 3 or not cells[0].isdigit():
+                continue
+            rows.append((int(cells[0]), cells[1], cells[2]))
+        return rows
+
+    def test_readme_table_matches_code(self):
+        from repro.cli import EXIT_CODE_TABLE
+
+        assert self.readme_rows() == list(EXIT_CODE_TABLE)
+
+    def test_help_epilog_matches_code(self):
+        from repro.cli import EXIT_CODE_TABLE
+
+        text = build_parser().format_help()
+        assert "exit codes:" in text
+        for code, name, meaning in EXIT_CODE_TABLE:
+            assert f"{code}" in text and name in text
+            # argparse re-wraps nothing in a RawDescription epilog, so
+            # the full meaning must appear verbatim
+            assert meaning in text
+
+    def test_table_covers_exit_codes_in_use(self):
+        from repro.cli import EXIT_CODE_TABLE
+        from repro.obs.regress import EXIT_CODES
+
+        codes = {code for code, _, _ in EXIT_CODE_TABLE}
+        assert {0, 1, 3} <= codes
+        assert EXIT_CODES["regressed"] in codes
+
+
+class TestWhyParser:
+    def test_why_defaults(self):
+        args = build_parser().parse_args(["why"])
+        assert args.app == "matmul"
+        assert args.policy == "plb-hec"
+        assert args.out == "critpath.json"
+        assert args.speedup_factor == 2.0
+        assert args.assert_bound is False
+        assert args.trace_out is None
+
+    def test_why_flags(self):
+        args = build_parser().parse_args(
+            ["why", "--out", "-", "--speedup-factor", "4",
+             "--assert-bound", "--trace-out", "t.json",
+             "--transient", "B.gpu0@0.05+0.02"]
+        )
+        assert args.out == "-"
+        assert args.speedup_factor == 4.0
+        assert args.assert_bound is True
+        assert args.trace_out == "t.json"
+        assert args.transient == ["B.gpu0@0.05+0.02"]
+
+
+class TestWhyCommand:
+    RUN = ["why", "--app", "matmul", "--size", "2048", "--machines", "2"]
+
+    def test_writes_valid_artifact_and_reports(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.critpath import validate_critpath
+
+        path = tmp_path / "critpath.json"
+        assert main(self.RUN + ["--out", str(path), "--assert-bound"]) == 0
+        out = capsys.readouterr().out
+        assert "Makespan attribution" in out
+        assert "fully attributed" in out
+        assert "What-if lower bounds" in out
+        assert "bottleneck:" in out
+        assert "decisions on the critical path" in out
+        assert "critpath written to" in out
+        doc = json.loads(path.read_text())
+        assert validate_critpath(doc) == []
+
+    def test_out_dash_skips_artifact(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(self.RUN + ["--out", "-"]) == 0
+        assert "critpath written" not in capsys.readouterr().out
+        assert not (tmp_path / "critpath.json").exists()
+
+    def test_trace_out_flags_critical_path(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.trace_export import validate_chrome_trace
+
+        trace_path = tmp_path / "why_trace.json"
+        assert main(
+            self.RUN + ["--out", "-", "--trace-out", str(trace_path)]
+        ) == 0
+        doc = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(doc) == []
+        flagged = [e for e in doc["traceEvents"]
+                   if e.get("args", {}).get("critpath")]
+        flows = [e for e in doc["traceEvents"] if e.get("cat") == "critpath"]
+        assert flagged and flows
+
+    def test_faulted_run_attributes_recovery(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "critpath.json"
+        assert main(
+            self.RUN + ["--out", str(path), "--assert-bound",
+                        "--transient", "B.gpu0@0.02+0.05"]
+        ) == 0
+        doc = json.loads(path.read_text())
+        categories = doc["categories"]
+        assert abs(sum(categories.values()) - doc["makespan"]) < 1e-9

@@ -324,3 +324,42 @@ class TestTutorialTelemetry:
         )
         (payload,) = stats.payloads
         assert payload["series"]["samples"] > 0
+
+
+class TestTutorialCritpath:
+    """Section 12: critical path & makespan attribution (repro why)."""
+
+    def _analysis(self, small_cluster):
+        from repro.apps import MatMul
+        from repro.obs import analyze_trace
+
+        app = MatMul(n=4096)
+        rt = Runtime(small_cluster, app.codelet(), seed=7, noise_sigma=0.02)
+        result = rt.run(
+            PLBHeC(fixed_overhead_s=0.01),
+            app.total_units, app.default_initial_block_size(),
+        )
+        return analyze_trace(result.trace)
+
+    def test_attribution_snippet_runs(self, small_cluster):
+        from repro.obs import category_shares, validate_critpath
+
+        analysis = self._analysis(small_cluster)
+        assert validate_critpath(analysis) == []          # schema + invariants
+        assert abs(sum(analysis["categories"].values())
+                   - analysis["makespan"]) < 1e-9         # 100% attributed
+        shares = category_shares(analysis)
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+        assert analysis["bottleneck"]["device"] in {
+            d.device_id for d in small_cluster.devices()
+        }
+
+    def test_bounds_snippet_runs(self, small_cluster):
+        analysis = self._analysis(small_cluster)
+        bounds = analysis["bounds"]
+        assert bounds["perfect_balance"] <= analysis["makespan"] + 1e-9
+        for name in ("zero_transfer", "zero_scheduler"):
+            assert bounds[name] <= analysis["makespan"] + 1e-9
+        assert set(bounds["device_speedup"]) <= {
+            d.device_id for d in small_cluster.devices()
+        }

@@ -29,7 +29,7 @@ def test_bench_wallclock(tmp_path):
     timings = report["timings_s"]
     meta = report["meta"]
     print()
-    for phase in ("serial", "parallel", "cache_cold", "cache_warm"):
+    for phase in ("serial", "parallel", "cache_cold", "cache_warm", "serve"):
         print(f"  {phase:11s} {timings[phase]:8.3f}s")
     speedup = meta["parallel_speedup"]
     speedup_text = (
@@ -47,6 +47,9 @@ def test_bench_wallclock(tmp_path):
     assert meta["warm_matches_cold"], "cache replay diverged from cold run"
     assert meta["warm_cache_hits"] == meta["runs_per_sweep"]
     assert timings["cache_warm"] < 0.10 * timings["cache_cold"]
+    assert meta["serve_invariants_ok"], "serve lap violated service invariants"
+    assert meta["serve_jobs_completed"] > 0
+    assert meta["serve_jobs_per_wall_s"] > 0
     assert os.path.exists(BENCH_PATH)
     if (os.cpu_count() or 1) >= 4 and not meta["parallel_fell_back_serial"]:
         assert meta["parallel_speedup"] >= 2.0

@@ -80,7 +80,21 @@ Commands
     work-conservation and fault-isolation invariants on every run, and
     write the resilience scorecard JSON.  Exits non-zero when any
     invariant is violated.  Same seed → bit-identical scorecard; see
-    docs/TUTORIAL.md §9.
+    docs/TUTORIAL.md §9.  ``--serve`` runs the campaign against
+    *service episodes* instead of batch runs: the same seeded fault
+    schedules are injected while the cluster keeps admitting, shedding
+    and completing jobs; see docs/TUTORIAL.md §13.
+``serve``
+    Host the cluster as an online service: seeded open-loop Poisson
+    arrivals (``--pattern constant|diurnal|bursty``) flow through a
+    bounded admission queue (``--queue-limit``, ``--shed-policy``)
+    into a continuous PLB-HeC balancing loop, guarded by per-job
+    deadlines (``--deadline-factor``), per-tenant retry budgets and
+    per-device circuit breakers.  Accepts the same fault-injection
+    flags as ``run``; writes the serving scorecard
+    (``--scorecard-out``) and the sampled ``serve_*`` telemetry
+    (``--series-out``), and gates on an SLO spec (``--slo``, exit 2
+    on violation).  Equal seeds produce byte-identical scorecards.
 ``profile``
     Run one workload under the deterministic phase-attributed CPU
     profiler and write a flamegraph SVG (``--flame``), a collapsed-stack
@@ -168,10 +182,12 @@ EXIT_CODE_TABLE: tuple[tuple[int, str, str], ...] = (
     (1, "error", "usage or data error: bad configuration, missing "
      "artifact (top without a series), policy without a ledger (explain)"),
     (2, "regressed", "a gate failed: bench --check regression, "
-     "run --slo objective violation, or why --assert-bound breach "
+     "run/serve --slo objective violation, or why --assert-bound breach "
      "(attribution != makespan, bound > makespan, empty path, "
      "busy-overlap)"),
-    (3, "chaos", "chaos campaign finished with invariant violations"),
+    (3, "chaos", "chaos campaign (batch or --serve) finished with "
+     "invariant violations, or a serve episode produced scorecard "
+     "invariant errors"),
 )
 
 
@@ -634,6 +650,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="CI smoke grid: two policies, one fault per run",
     )
     p_chaos.add_argument(
+        "--serve",
+        action="store_true",
+        help="chaos against the living cluster: inject the fault "
+        "schedules into service episodes (repro serve) instead of "
+        "batch runs; --app/--size are ignored, --policies takes "
+        "balancer flavors (plb-hec,fair,greedy)",
+    )
+    p_chaos.add_argument(
+        "--rate",
+        type=float,
+        default=3.0,
+        help="--serve only: arrival rate in jobs per virtual second "
+        "(default 3.0)",
+    )
+    p_chaos.add_argument(
+        "--duration",
+        type=float,
+        default=12.0,
+        help="--serve only: arrival horizon in virtual seconds "
+        "(default 12.0)",
+    )
+    p_chaos.add_argument(
         "--out",
         metavar="PATH",
         default="chaos_scorecard.json",
@@ -653,6 +691,129 @@ def build_parser() -> argparse.ArgumentParser:
         "('-' disables; default: REPRO_HISTORY, else .repro_history/)",
     )
     add_jobs_arg(p_chaos)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="host the cluster as an online service under seeded "
+        "open-loop arrivals and write the serving scorecard",
+    )
+    p_serve.add_argument(
+        "--rate",
+        type=float,
+        default=2.0,
+        help="base arrival rate in jobs per virtual second (default 2.0)",
+    )
+    p_serve.add_argument(
+        "--duration",
+        type=float,
+        default=30.0,
+        help="arrival horizon in virtual seconds; the service keeps "
+        "running until admitted jobs drain (default 30.0)",
+    )
+    p_serve.add_argument(
+        "--pattern",
+        choices=["constant", "diurnal", "bursty"],
+        default="constant",
+        help="arrival-rate modulation (default constant)",
+    )
+    p_serve.add_argument(
+        "--tenants",
+        type=int,
+        default=2,
+        help="number of tenants sharing the service (default 2)",
+    )
+    p_serve.add_argument(
+        "--machines", type=int, default=2, choices=[1, 2, 3, 4]
+    )
+    p_serve.add_argument(
+        "--policy",
+        choices=["plb-hec", "fair", "greedy"],
+        default="plb-hec",
+        help="continuous balancer flavor (default plb-hec)",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        help="admission queue bound; arrivals beyond it are shed "
+        "(default 16)",
+    )
+    p_serve.add_argument(
+        "--shed-policy",
+        choices=["reject", "drop-oldest", "priority-shed"],
+        default="reject",
+        help="what to shed when the admission queue is full "
+        "(default reject)",
+    )
+    p_serve.add_argument(
+        "--max-active",
+        type=int,
+        default=4,
+        help="jobs served concurrently (default 4)",
+    )
+    p_serve.add_argument(
+        "--deadline-factor",
+        type=float,
+        default=0.0,
+        help="per-job deadline as a multiple of the template's ideal "
+        "service time; 0 disables deadlines (default 0)",
+    )
+    p_serve.add_argument(
+        "--retry-budget",
+        type=int,
+        default=2,
+        help="lost-block retries each tenant may consume before its "
+        "jobs fail hard (default 2)",
+    )
+    p_serve.add_argument(
+        "--rebalance-interval",
+        type=float,
+        default=0.5,
+        help="collect-calculate-rebalance cycle period in virtual "
+        "seconds (default 0.5)",
+    )
+    p_serve.add_argument(
+        "--sample-interval",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="telemetry sample period in virtual seconds "
+        "(0: one sample per rebalance cycle)",
+    )
+    p_serve.add_argument(
+        "--noise",
+        type=float,
+        default=0.0,
+        help="lognormal sigma on block execution times (default 0)",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    add_fault_args(p_serve)
+    p_serve.add_argument(
+        "--slo",
+        metavar="FILE",
+        default=None,
+        help="evaluate an SLO spec (JSON) against the serve_* series; "
+        "failing objectives print, alert, and exit 2",
+    )
+    p_serve.add_argument(
+        "--slo-report-out",
+        metavar="PATH",
+        default=None,
+        help="write the SLO evaluation as slo_report.json "
+        "(requires --slo)",
+    )
+    p_serve.add_argument(
+        "--scorecard-out",
+        metavar="PATH",
+        default="serve_scorecard.json",
+        help="serving scorecard JSON path ('-' to skip writing)",
+    )
+    p_serve.add_argument(
+        "--series-out",
+        metavar="PATH",
+        default=None,
+        help="write the sampled serve_* telemetry as series.jsonl",
+    )
     return parser
 
 
@@ -917,6 +1078,18 @@ def _run_telemetry(
     publish_windowed_gauges(sampler.store)
     if not args.slo:
         return 0, None
+    return _slo_gate(args.slo, sampler.store, run_id, args.slo_report_out)
+
+
+def _slo_gate(
+    slo: str, store, run_id: str, report_out: str | None
+) -> tuple[int, list[dict] | None]:
+    """Evaluate an SLO spec against a recorded series store and gate.
+
+    Shared by ``run`` (batch telemetry) and ``serve`` (service
+    telemetry): prints the verdict table, emits alerts, optionally
+    writes the report, and returns exit 2 when an objective failed.
+    """
     from repro.obs.regress import EXIT_CODES, detect_slo_anomalies
     from repro.obs.slo import (
         DEFAULT_SLO_SPEC,
@@ -927,10 +1100,8 @@ def _run_telemetry(
         write_slo_report,
     )
 
-    spec = (
-        DEFAULT_SLO_SPEC if args.slo == "default" else load_slo_spec(args.slo)
-    )
-    report = evaluate_slo(spec, sampler.store, run_id=run_id)
+    spec = DEFAULT_SLO_SPEC if slo == "default" else load_slo_spec(slo)
+    report = evaluate_slo(spec, store, run_id=run_id)
     emit_slo_alerts(report)
     detect_slo_anomalies(report)
 
@@ -959,8 +1130,8 @@ def _run_telemetry(
         f"({report['violations']} violated, {report['no_data']} no-data "
         f"of {report['evaluated']} objective(s))"
     )
-    if args.slo_report_out:
-        path = write_slo_report(args.slo_report_out, report)
+    if report_out:
+        path = write_slo_report(report_out, report)
         print(f"slo report written to {path}")
     return (
         0 if report["ok"] else EXIT_CODES["regressed"],
@@ -1530,10 +1701,185 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import (
+        ArrivalSpec,
+        ClusterService,
+        ServiceConfig,
+        validate_scorecard,
+        write_scorecard,
+    )
+
+    perturbations, failures, transients = _parse_fault_flags(args)
+    config = ServiceConfig(
+        arrivals=ArrivalSpec(
+            rate=args.rate,
+            duration=args.duration,
+            pattern=args.pattern,
+            tenants=args.tenants,
+        ),
+        machines=args.machines,
+        policy=args.policy,
+        queue_limit=args.queue_limit,
+        shed_policy=args.shed_policy,
+        max_active=args.max_active,
+        deadline_factor=args.deadline_factor,
+        retry_budget=args.retry_budget,
+        rebalance_interval=args.rebalance_interval,
+        sample_interval=args.sample_interval,
+        noise_sigma=args.noise,
+        seed=args.seed,
+        faults=(*failures, *transients, *perturbations),
+    )
+    service = ClusterService(config)
+    card = service.run()
+    run_id = f"serve-{config.policy}-seed{config.seed}"
+
+    def fmt(value, digits=3, suffix=""):
+        if value is None:
+            return "-"
+        return f"{value:.{digits}f}{suffix}"
+
+    jobs = card["jobs"]
+    lat = card["latency_s"]
+    print(
+        format_table(
+            ["submitted", "completed", "rejected", "shed", "timeout",
+             "failed", "p50", "p95", "p99", "goodput"],
+            [[
+                jobs["submitted"],
+                jobs["completed"],
+                jobs["rejected"],
+                jobs["shed"],
+                jobs["timeout"],
+                jobs["failed"],
+                fmt(lat["p50"], suffix="s"),
+                fmt(lat["p95"], suffix="s"),
+                fmt(lat["p99"], suffix="s"),
+                fmt(card["goodput"]["jobs_per_s"], suffix=" jobs/s"),
+            ]],
+            title=f"Service episode: policy={config.policy} "
+            f"rate={config.arrivals.rate:g}/s "
+            f"pattern={config.arrivals.pattern} "
+            f"duration={config.arrivals.duration:g}s "
+            f"machines={config.machines} seed={config.seed}",
+        )
+    )
+    fallbacks = card["balancer"]["fallback_counts"]
+    opens = sum(b["opens"] for b in card["breakers"].values())
+    print(
+        f"drained at t={card['duration_s']:.3f}s virtual, "
+        f"{card['balancer']['rebalances']} rebalance cycle(s) "
+        f"({', '.join(f'{k}={v}' for k, v in fallbacks.items() if v)}), "
+        f"{opens} breaker open(s), "
+        f"fairness {fmt(card['fairness']['jain_tenants'])}"
+    )
+    problems = validate_scorecard(card) + list(card["invariant_errors"])
+    for problem in problems:
+        print(f"invariant: {problem}")
+    if args.scorecard_out != "-":
+        path = write_scorecard(args.scorecard_out, card)
+        print(f"scorecard written to {path}")
+    if args.series_out:
+        from repro.obs.timeseries import write_series
+
+        path = write_series(
+            args.series_out,
+            service.store,
+            run_id=run_id,
+            interval=config.sample_interval or config.rebalance_interval,
+            meta=config.to_dict(),
+        )
+        print(
+            f"series written to {path} ({service.samples_taken} samples)"
+        )
+    exit_code = 0
+    if args.slo:
+        exit_code, _ = _slo_gate(
+            args.slo, service.store, run_id, args.slo_report_out
+        )
+    if problems:
+        print(f"{len(problems)} invariant violation(s) -> FAIL")
+        return 3
+    return exit_code
+
+
+def _cmd_serve_chaos(args: argparse.Namespace) -> int:
+    from repro.service.campaign import ServeChaosConfig, run_serve_campaign
+
+    if args.policies:
+        policies = tuple(
+            p.strip() for p in args.policies.split(",") if p.strip()
+        )
+    elif args.quick:
+        policies = ("plb-hec", "greedy")
+    else:
+        policies = ("plb-hec", "greedy", "fair")
+    max_faults = args.max_faults
+    if max_faults is None:
+        max_faults = 1 if args.quick else 2
+    runs = min(args.runs, 4) if args.quick else args.runs
+    config = ServeChaosConfig(
+        policies=policies,
+        runs=runs,
+        seed=args.seed,
+        rate=args.rate,
+        duration=args.duration,
+        machines=args.machines,
+        max_faults=max_faults,
+    )
+    scorecard = run_serve_campaign(config, jobs=args.jobs)
+
+    def fmt(value, digits=2, suffix=""):
+        if value is None:
+            return "-"
+        return f"{value:.{digits}f}{suffix}"
+
+    rows = [
+        [
+            name,
+            f"{agg['survived']}/{agg['runs']}",
+            f"{agg['survival_rate'] * 100:.0f}%",
+            fmt(agg["mean_goodput_ratio"], suffix="x"),
+            agg["violations"],
+            agg["shed"],
+            agg["timeout"],
+            agg["failed"],
+            agg["breaker_opens"],
+        ]
+        for name, agg in scorecard["policies"].items()
+    ]
+    print(
+        format_table(
+            ["policy", "survived", "rate", "goodput_ratio", "violations",
+             "shed", "timeout", "failed", "breaker_opens"],
+            rows,
+            title=f"Serve chaos campaign: rate={config.rate:g}/s "
+            f"duration={config.duration:g}s machines={config.machines} "
+            f"runs={config.runs} seed={config.seed}",
+        )
+    )
+    ok = scorecard["all_invariants_ok"]
+    print(
+        f"{scorecard['survived_runs']}/{scorecard['total_runs']} runs "
+        f"survived, {scorecard['total_violations']} invariant violation(s) "
+        f"-> {'OK' if ok else 'FAIL'}"
+    )
+    if args.out != "-":
+        Path(args.out).write_text(
+            json.dumps(scorecard, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"scorecard written to {args.out}")
+    return 0 if ok else 3
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.obs.history import chaos_entry
     from repro.resilience import ChaosConfig, run_campaign
 
+    if args.serve:
+        return _cmd_serve_chaos(args)
     if args.policies:
         policies = tuple(
             p.strip() for p in args.policies.split(",") if p.strip()
@@ -1696,6 +2042,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_dashboard(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "overhead":
         stats = run_solver_overhead(repetitions=args.repetitions)
         print(

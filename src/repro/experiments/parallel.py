@@ -86,8 +86,11 @@ __all__ = [
 #: sample interval joins the cache key when sampling is enabled.
 #: "6": every successful payload carries a ``"critpath"`` makespan
 #: attribution, lost-block entries gained the range ``start_unit``, and
-#: chaos runs check the busy-overlap invariant.)
-ALGORITHM_VERSION = "6"
+#: chaos runs check the busy-overlap invariant.
+#: "7": service-mode runs (``service_json`` specs) flow through the
+#: sweep with ``"serve"`` scorecard payloads, and ``TransferFault``
+#: grew the seeded backoff-jitter knob.)
+ALGORITHM_VERSION = "7"
 
 _log = get_logger("experiments.parallel")
 _events = EventLog("experiments.parallel")
@@ -111,6 +114,14 @@ class RunSpec:
     payload gains a ``"series"`` section.  Samples are deterministic
     functions of the seeded simulation, so sampled payloads are
     cache-compatible like everything else.
+
+    ``service_json`` switches the run to service mode: instead of one
+    batch application, the worker plays a whole
+    :class:`~repro.service.server.ClusterService` episode from the
+    canonical-JSON config (seeded by ``run_seed``) and the payload
+    carries the ``"serve"`` scorecard plus the service time series.
+    The episode is a pure function of (config, seed), so service runs
+    cache exactly like batch runs.
     """
 
     app_name: str
@@ -123,6 +134,7 @@ class RunSpec:
     faults: tuple = ()
     tolerate_errors: bool = False
     sample_interval: float | None = None
+    service_json: str | None = None
 
 
 @dataclass(frozen=True)
@@ -146,6 +158,7 @@ class PointSpec:
     faults: tuple = ()
     tolerate_errors: bool = False
     sample_interval: float | None = None
+    service_json: str | None = None
 
     def __post_init__(self) -> None:
         if self.replications < 1:
@@ -167,6 +180,7 @@ class PointSpec:
                 faults=self.faults,
                 tolerate_errors=self.tolerate_errors,
                 sample_interval=self.sample_interval,
+                service_json=self.service_json,
             )
             for policy in self.policies
             for rep in range(self.replications)
@@ -187,6 +201,80 @@ def _factory_tag(factory: Callable[[int], Cluster]) -> str | None:
     if "<lambda>" in qualname or "<locals>" in qualname:
         return None
     return f"{module}.{qualname}"
+
+
+def _execute_service_run(
+    spec: RunSpec,
+    cluster_factory: Callable[[int], Cluster],
+) -> dict:
+    """Worker body for a service-mode run (``spec.service_json`` set).
+
+    The payload keeps the batch-run column shape (``makespan`` is the
+    episode's virtual end time, ``rebalances`` the balancer cycles) so
+    SweepPoint aggregation and campaign plumbing work unchanged, and
+    adds the ``"serve"`` scorecard plus the service time series.
+    """
+    from repro.errors import ReproError
+    from repro.service.server import ClusterService, ServiceConfig
+
+    wall0 = time.perf_counter()
+    metrics_before = get_registry().snapshot()
+    service_dict = json.loads(spec.service_json)
+    config = {
+        "kind": "serve",
+        "machines": spec.num_machines,
+        "policy": spec.policy_name,
+        "seed": spec.run_seed,
+        "service": service_dict,
+    }
+    run_id = f"run-{config_hash(config)[:12]}"
+    service_config = ServiceConfig.from_dict(service_dict, seed=spec.run_seed)
+    try:
+        with push_run_id(run_id):
+            service = ClusterService(
+                service_config, cluster_factory=cluster_factory
+            )
+            card = service.run()
+    except ReproError as exc:
+        if not spec.tolerate_errors:
+            raise
+        return {
+            "makespan": None,
+            "idle_fractions": {},
+            "distribution": {},
+            "overhead": 0.0,
+            "rebalances": 0,
+            "wall_s": time.perf_counter() - wall0,
+            "report": None,
+            "error": {"type": type(exc).__name__, "message": str(exc)},
+        }
+    report = RunReport.build(
+        config=config,
+        makespan=card["duration_s"],
+        rebalances=card["balancer"]["rebalances"],
+        solver_overhead_s=0.0,
+        phase_summary={},
+        metrics=diff_snapshots(metrics_before, get_registry().snapshot()),
+        run_id=run_id,
+    )
+    interval = (
+        service_config.sample_interval or service_config.rebalance_interval
+    )
+    return {
+        "makespan": card["duration_s"],
+        "idle_fractions": {},
+        "distribution": {},
+        "overhead": 0.0,
+        "rebalances": card["balancer"]["rebalances"],
+        "wall_s": time.perf_counter() - wall0,
+        "report": report.to_dict(),
+        "serve": card,
+        "series": {
+            "interval": interval,
+            "samples": card["samples"],
+            "store": service.store.to_payload(),
+        },
+    }
 
 
 def _execute_run(
@@ -220,6 +308,8 @@ def _execute_run(
     )
     from repro.runtime import Runtime
 
+    if spec.service_json is not None:
+        return _execute_service_run(spec, cluster_factory)
     wall0 = time.perf_counter()
     metrics_before = get_registry().snapshot()
     config = {
@@ -418,6 +508,9 @@ class ResultCache:
             entry["tolerate_errors"] = True
         if spec.sample_interval is not None:
             entry["sample_interval"] = spec.sample_interval
+        if spec.service_json is not None:
+            # the canonical JSON string is the service config's identity
+            entry["service"] = spec.service_json
         blob = json.dumps(entry, sort_keys=True)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

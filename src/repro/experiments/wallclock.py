@@ -1,7 +1,9 @@
 """Wall-clock benchmark of the sweep engine itself.
 
 Times the Fig. 4 MatMul fast grid four ways — serial, parallel, cold
-cache, warm cache — and writes the numbers to ``BENCH_wallclock.json``
+cache, warm cache — plus one pinned service-mode episode (the
+``serve`` lap, with its jobs/sec in the meta), and writes the numbers
+to ``BENCH_wallclock.json``
 (via :func:`repro.util.timing.perf_report`), so the repo's performance
 trajectory is recorded in-tree instead of anecdotally.  Runs use a
 pinned scheduler-overhead charge (``fixed_overhead_s``), which makes
@@ -107,6 +109,25 @@ def parallel_speedup_meta(
     return meta
 
 
+def _serve_config():
+    """The pinned service episode the ``serve`` lap times.
+
+    Mildly overloaded (rate 6/s on two machines) so the admission and
+    shedding paths are exercised, seeded so every benchmark run plays
+    the identical episode.
+    """
+    from repro.service import ArrivalSpec, ServiceConfig
+
+    return ServiceConfig(
+        arrivals=ArrivalSpec(rate=6.0, duration=10.0),
+        machines=2,
+        queue_limit=8,
+        shed_policy="drop-oldest",
+        deadline_factor=30.0,
+        seed=0,
+    )
+
+
 def _grid(replications: int) -> list[PointSpec]:
     return [
         PointSpec(
@@ -194,6 +215,16 @@ def run_wallclock_bench(
         if own_tmp is not None:
             own_tmp.cleanup()
 
+    # one fixed seeded service episode: the serving loop's wall cost
+    # (and its jobs/sec throughput) ride the same report and history
+    # series as the sweep laps, so they are gate-eligible like any lap
+    from repro.service import ClusterService
+
+    with sw.lap("serve"):
+        serve_card = ClusterService(_serve_config()).run()
+    serve_wall = sw.laps["serve"]
+    serve_jobs = serve_card["jobs"]["completed"]
+
     laps = sw.laps
     warm_fraction = (
         laps["cache_warm"] / laps["cache_cold"] if laps["cache_cold"] > 0 else 0.0
@@ -214,6 +245,11 @@ def run_wallclock_bench(
         "warm_cache_hits": warm_stats.cache_hits,
         "warm_over_cold_fraction": warm_fraction,
         "parallel_fell_back_serial": par_stats.fell_back_serial,
+        "serve_jobs_completed": serve_jobs,
+        "serve_jobs_per_wall_s": (
+            serve_jobs / serve_wall if serve_wall > 0 else None
+        ),
+        "serve_invariants_ok": not serve_card["invariant_errors"],
         **parallel_speedup_meta(laps, jobs),
     }
     if profile:

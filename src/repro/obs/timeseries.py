@@ -612,6 +612,14 @@ def render_top(
     """
     lines: list[str] = []
     utils = store.matching("device_util")
+    serve_mode = False
+    if not utils:
+        # service episodes record serve_device_busy{device=} 0/1 flags
+        # instead of batch device_util fractions
+        serve_utils = store.matching("serve_device_busy")
+        if serve_utils:
+            utils = serve_utils
+            serve_mode = True
     t_now = 0.0
     for pts in utils.values():
         if pts:
@@ -627,20 +635,61 @@ def render_top(
         lines.append("(no device_util samples in this series file)")
         return "\n".join(lines)
     name_w = max(len(k.split("device=", 1)[-1].rstrip("}")) for k in utils)
-    lines.append(f"{'device'.ljust(name_w)}  util  {'timeline'.ljust(width)}  busy_s")
+    busy_col = "busy" if serve_mode else "busy_s"
+    lines.append(
+        f"{'device'.ljust(name_w)}  util  {'timeline'.ljust(width)}  {busy_col}"
+    )
     for key in sorted(utils):
         device = key.split("device=", 1)[-1].rstrip("}")
         pts = utils[key]
         values = [v for _, v in pts]
         current = values[-1] if values else 0.0
-        busy_pts = store.points(_series_key("device_busy_s", {"device": device}))
-        busy = busy_pts[-1][1] if busy_pts else 0.0
+        if serve_mode:
+            share = sum(values) / len(values) if values else 0.0
+            busy_cell = f"{share:.0%} of samples"
+        else:
+            busy_pts = store.points(
+                _series_key("device_busy_s", {"device": device})
+            )
+            busy = busy_pts[-1][1] if busy_pts else 0.0
+            busy_cell = f"{busy:.4f}"
         lines.append(
             f"{device.ljust(name_w)}  {current:>4.0%}  "
             f"{sparkline(values, width=width, lo=0.0, hi=1.0).ljust(width)}  "
-            f"{busy:.4f}"
+            f"{busy_cell}"
         )
     lines.append("")
+    if serve_mode:
+        backlog = [v for _, v in store.points("serve_backlog_jobs")]
+        completed = [v for _, v in store.points("serve_completed_total")]
+        done = completed[-1] if completed else 0.0
+        in_flight = backlog[-1] if backlog else 0.0
+        total = done + in_flight
+        pct = done / total if total else 0.0
+        lines.append(
+            f"backlog   {sparkline(backlog, width=width, lo=0.0).ljust(width)}  "
+            f"{int(in_flight)} jobs in flight ({pct:.0%} done)"
+        )
+        goodput = [v for _, v in store.points("serve_goodput_jobs_per_s")]
+        if goodput:
+            lines.append(
+                f"goodput   "
+                f"{sparkline(goodput, width=width, lo=0.0).ljust(width)}  "
+                f"{goodput[-1]:,.2f} jobs/s"
+            )
+        fairness = [v for _, v in store.points("serve_tenant_fairness")]
+        queue = [v for _, v in store.points("serve_queue_depth")]
+        shed = [v for _, v in store.points("serve_shed_total")]
+        summary = []
+        if fairness:
+            summary.append(f"tenant-fairness {fairness[-1]:.3f}")
+        if queue:
+            summary.append(f"queue {int(queue[-1])}")
+        if shed:
+            summary.append(f"shed {int(shed[-1])}")
+        if summary:
+            lines.append("  ".join(summary))
+        return _render_top_slo(lines, slo_report)
     backlog = [v for _, v in store.points("backlog_units")]
     completed = [v for _, v in store.points("completed_units")]
     outstanding = [v for _, v in store.points("outstanding_units")]
@@ -676,6 +725,12 @@ def render_top(
         summary.append(f"queue {int(queue[-1])}")
     if summary:
         lines.append("  ".join(summary))
+    return _render_top_slo(lines, slo_report)
+
+
+def _render_top_slo(
+    lines: list[str], slo_report: Mapping[str, Any] | None
+) -> str:
     if slo_report:
         lines.append("")
         lines.append(f"SLO: {slo_report.get('spec', '-')}")

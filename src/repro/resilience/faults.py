@@ -58,6 +58,7 @@ def fault_to_dict(fault: Fault) -> dict:
             "timeout_factor": float(fault.timeout_factor),
             "backoff_factor": float(fault.backoff_factor),
             "backoff_cap_factor": float(fault.backoff_cap_factor),
+            "jitter": float(fault.jitter),
         }
     raise ConfigurationError(f"unknown fault object {fault!r}")
 
@@ -86,6 +87,8 @@ def fault_from_dict(data: dict) -> Fault:
             timeout_factor=float(data.get("timeout_factor", 2.0)),
             backoff_factor=float(data.get("backoff_factor", 1.0)),
             backoff_cap_factor=float(data.get("backoff_cap_factor", 8.0)),
+            # absent in schedules serialized before the knob existed
+            jitter=float(data.get("jitter", 0.0)),
         )
     raise ConfigurationError(f"unknown fault type {kind!r}")
 

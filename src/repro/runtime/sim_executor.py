@@ -122,6 +122,15 @@ class TransferFault:
     transfer time (attempt ``i`` costs ``timeout_factor + min(
     backoff_factor * 2**i, backoff_cap_factor)`` transfer times), so the
     fault scales with the workload instead of hard-coding seconds.
+
+    ``jitter`` spreads each backoff by a seeded multiplicative factor in
+    ``[1 - jitter, 1 + jitter]``: blocks that fail together stop
+    retrying in lock-step, so a wide fault window no longer produces a
+    synchronized retry storm the instant it lifts.  The draw is keyed by
+    (device, dispatch time, attempt) off the run's root seed, so retry
+    timelines stay bit-reproducible — and ``jitter == 0`` (the default)
+    consumes no randomness at all, leaving jitter-free runs
+    byte-identical to before the knob existed.
     """
 
     device_id: str
@@ -131,6 +140,7 @@ class TransferFault:
     timeout_factor: float = 2.0
     backoff_factor: float = 1.0
     backoff_cap_factor: float = 8.0
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         check_positive("time", self.time, strict=False)
@@ -142,6 +152,10 @@ class TransferFault:
             raise ConfigurationError(
                 f"backoff_cap_factor ({self.backoff_cap_factor}) must be >= "
                 f"backoff_factor ({self.backoff_factor})"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1), got {self.jitter}"
             )
 
 
@@ -363,6 +377,14 @@ class SimulatedExecutor:
                     fault.backoff_factor * 2.0**retries,
                     fault.backoff_cap_factor,
                 )
+                if fault.jitter > 0.0:
+                    # keyed per (device, dispatch, attempt): concurrent
+                    # failures desynchronize, identical seeds replay the
+                    # exact same spread
+                    spread = streams.stream(
+                        f"{worker_id}/transfer_backoff/{begin!r}/{retries}"
+                    ).uniform(-1.0, 1.0)
+                    backoff *= 1.0 + fault.jitter * float(spread)
                 retry_time += (fault.timeout_factor + backoff) * base
                 retries += 1
                 t = begin + retry_time

@@ -1,0 +1,44 @@
+"""Online service mode: a virtual-time serving loop over the cluster.
+
+Batch experiments answer "how fast does one application finish?"; the
+service answers "does the cluster stay healthy when applications keep
+arriving?".  :class:`~repro.service.server.ClusterService` hosts a
+seeded open-loop arrival stream on one DES engine, runs PLB-HeC as a
+*continuous* balancer on a periodic collect→calculate→rebalance cycle,
+and wraps the loop in the overload-robustness layer this package is
+really about: bounded admission with deterministic load shedding,
+per-job deadlines with in-flight reclamation, per-tenant retry budgets
+and per-device circuit breakers.
+
+Everything is a pure function of the config seed: equal seeds produce
+byte-identical scorecards, so service runs cache like any other sweep
+payload.
+"""
+
+from repro.service.admission import AdmissionQueue
+from repro.service.arrivals import ArrivalSpec, generate_arrivals
+from repro.service.breakers import CircuitBreaker
+from repro.service.balancer import ContinuousBalancer
+from repro.service.jobs import Job, JobStatus
+from repro.service.scorecard import (
+    SERVE_SCHEMA,
+    validate_scorecard,
+    write_scorecard,
+)
+from repro.service.server import ClusterService, ServiceConfig, run_service
+
+__all__ = [
+    "AdmissionQueue",
+    "ArrivalSpec",
+    "CircuitBreaker",
+    "ClusterService",
+    "ContinuousBalancer",
+    "Job",
+    "JobStatus",
+    "SERVE_SCHEMA",
+    "ServiceConfig",
+    "generate_arrivals",
+    "run_service",
+    "validate_scorecard",
+    "write_scorecard",
+]

@@ -1,0 +1,103 @@
+"""Bounded admission queue with deterministic load shedding.
+
+The queue is the service's backpressure point: when it is full, the
+configured shed policy decides *which* job pays — the newcomer
+(``reject``), the oldest waiter (``drop-oldest``), or the lowest-value
+waiter (``priority-shed``).  All three are deterministic functions of
+the queue state, so overload behaviour replays bit-identically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigurationError
+from repro.service.jobs import Job, JobStatus
+
+__all__ = ["AdmissionQueue", "SHED_POLICIES"]
+
+SHED_POLICIES = ("reject", "drop-oldest", "priority-shed")
+
+
+class AdmissionQueue:
+    """FIFO queue of admitted-but-not-yet-running jobs, bounded.
+
+    ``offer`` returns the list of jobs that *lost* — newcomer or
+    evictees — already stamped with their terminal status; the caller
+    only has to count them.  An eviction can only happen when the queue
+    is full, which the serve campaign checks as the shed-only-when-full
+    invariant.
+    """
+
+    def __init__(self, limit: int, policy: str = "reject") -> None:
+        if limit < 1:
+            raise ConfigurationError(f"queue limit must be >= 1, got {limit}")
+        if policy not in SHED_POLICIES:
+            raise ConfigurationError(
+                f"shed policy must be one of {SHED_POLICIES}, got {policy!r}"
+            )
+        self.limit = int(limit)
+        self.policy = policy
+        self._queue: deque[Job] = deque()
+        self.admitted = 0
+        self.rejected = 0
+        self.shed = 0
+        self.max_depth = 0
+        #: shed-only-when-full violations (must stay empty)
+        self.violations: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.limit
+
+    def offer(self, job: Job, now: float) -> list[Job]:
+        """Try to enqueue ``job``; return the jobs turned away."""
+        losers: list[Job] = []
+        if self.full:
+            victim = self._pick_victim(job)
+            if victim is None:
+                job.status = JobStatus.REJECTED
+                job.finished_at = now
+                self.rejected += 1
+                return [job]
+            if not self.full:
+                # _pick_victim only inspects; reaching here with space
+                # free would mean shedding without pressure
+                self.violations.append(
+                    f"shed job {victim.job_id} while queue not full"
+                )
+            self._queue.remove(victim)
+            victim.status = JobStatus.SHED
+            victim.finished_at = now
+            self.shed += 1
+            losers.append(victim)
+        self._queue.append(job)
+        self.admitted += 1
+        self.max_depth = max(self.max_depth, len(self._queue))
+        return losers
+
+    def _pick_victim(self, newcomer: Job) -> Job | None:
+        """Which queued job to evict for ``newcomer`` (None: reject it)."""
+        if self.policy == "reject":
+            return None
+        if self.policy == "drop-oldest":
+            return self._queue[0]
+        # priority-shed: evict the lowest-priority waiter, oldest first,
+        # but only when the newcomer genuinely outranks it
+        victim = min(self._queue, key=lambda j: (j.priority, j.arrival))
+        if victim.priority < newcomer.priority:
+            return victim
+        return None
+
+    def pop(self) -> Job:
+        """Dequeue the job that has waited longest."""
+        return self._queue.popleft()
+
+    def depth(self) -> int:
+        return len(self._queue)

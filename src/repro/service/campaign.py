@@ -1,0 +1,258 @@
+"""Chaos against the living cluster: fault campaigns over service episodes.
+
+The batch chaos campaign (:mod:`repro.resilience.campaign`) injects
+faults into single application runs; this one injects them into a
+*serving loop* that must keep admitting, shedding and completing jobs
+while devices die under it.  Two phases, both through the parallel
+sweep engine (service payloads cache like batch payloads):
+
+1. **Baselines** — every (policy, seed) slot runs its arrival trace
+   fault-free; the baseline goodput anchors each run's degradation.
+2. **Chaos** — the same episodes re-run under seeded randomized fault
+   schedules scaled to the arrival horizon, with ``tolerate_errors``
+   on: a crashed episode is a lost run, not a campaign abort.
+
+Each surviving run must hold the service invariants — every submitted
+job in exactly one terminal state, shedding only under pressure, no
+block completing on a downed device — which the scorecard carries in
+``invariant_errors``.  The campaign is a pure function of its config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.experiments.parallel import PointSpec, SweepStats, run_sweep
+from repro.obs.metrics import get_registry
+from repro.resilience.faults import fault_to_dict, generate_schedule
+from repro.service.arrivals import ArrivalSpec
+from repro.service.balancer import BALANCER_FLAVORS
+from repro.service.scorecard import validate_scorecard
+from repro.service.server import ServiceConfig
+from repro.sim.random import RandomStreams
+from repro.util.logging import get_logger
+
+__all__ = ["ServeChaosConfig", "run_serve_campaign"]
+
+_log = get_logger("service.campaign")
+
+
+@dataclass(frozen=True)
+class ServeChaosConfig:
+    """One serve chaos campaign: a seeded grid of faulted episodes.
+
+    ``runs`` episodes are dealt round-robin over ``policies`` with
+    per-run derived seeds, exactly like the batch campaign, so two
+    campaigns with equal configs are identical.
+    """
+
+    policies: tuple[str, ...] = ("plb-hec", "greedy", "fair")
+    runs: int = 6
+    seed: int = 0
+    rate: float = 3.0
+    duration: float = 12.0
+    machines: int = 2
+    queue_limit: int = 8
+    shed_policy: str = "drop-oldest"
+    max_active: int = 4
+    deadline_factor: float = 30.0
+    retry_budget: int = 4
+    max_faults: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.policies:
+            raise ConfigurationError("serve campaign needs policies")
+        for policy in self.policies:
+            if policy not in BALANCER_FLAVORS:
+                raise ConfigurationError(
+                    f"unknown balancer flavor {policy!r}; "
+                    f"choose from {BALANCER_FLAVORS}"
+                )
+        if self.runs < 1:
+            raise ConfigurationError(f"runs must be >= 1, got {self.runs}")
+
+    def to_dict(self) -> dict:
+        return {
+            "policies": list(self.policies),
+            "runs": int(self.runs),
+            "seed": int(self.seed),
+            "rate": float(self.rate),
+            "duration": float(self.duration),
+            "machines": int(self.machines),
+            "queue_limit": int(self.queue_limit),
+            "shed_policy": self.shed_policy,
+            "max_active": int(self.max_active),
+            "deadline_factor": float(self.deadline_factor),
+            "retry_budget": int(self.retry_budget),
+            "max_faults": int(self.max_faults),
+        }
+
+    def service_config(self, policy: str, faults: tuple = ()) -> ServiceConfig:
+        """The episode config one campaign slot runs."""
+        return ServiceConfig(
+            arrivals=ArrivalSpec(rate=self.rate, duration=self.duration),
+            machines=self.machines,
+            policy=policy,
+            queue_limit=self.queue_limit,
+            shed_policy=self.shed_policy,
+            max_active=self.max_active,
+            deadline_factor=self.deadline_factor,
+            retry_budget=self.retry_budget,
+            faults=faults,
+        )
+
+
+def _point(config: ServeChaosConfig, policy: str, seed: int, faults: tuple) -> PointSpec:
+    service = config.service_config(policy, faults)
+    return PointSpec(
+        app_name="serve",
+        size=0,
+        num_machines=config.machines,
+        policies=(policy,),
+        replications=1,
+        seed=seed,
+        noise_sigma=0.0,
+        tolerate_errors=bool(faults),
+        service_json=service.to_sweep_json(),
+    )
+
+
+def run_serve_campaign(
+    config: ServeChaosConfig, *, jobs: int | None = None
+) -> dict:
+    """Execute one serve chaos campaign and return its scorecard."""
+    from repro.cluster import paper_cluster
+
+    plans = [
+        {
+            "index": i,
+            "policy": config.policies[i % len(config.policies)],
+            "seed": config.seed * 1000 + i,
+        }
+        for i in range(config.runs)
+    ]
+
+    # ---- phase 1: fault-free baselines -------------------------------
+    baseline_stats = SweepStats()
+    run_sweep(
+        [_point(config, p["policy"], p["seed"], ()) for p in plans],
+        jobs=jobs,
+        stats=baseline_stats,
+    )
+
+    # ---- seeded fault schedules over the arrival horizon -------------
+    device_ids = tuple(
+        d.device_id for d in paper_cluster(config.machines).devices()
+    )
+    streams = RandomStreams(config.seed)
+    for plan in plans:
+        rng = streams.stream(f"serve-chaos/run{plan['index']}")
+        plan["faults"] = generate_schedule(
+            rng, device_ids, config.duration, max_faults=config.max_faults
+        )
+
+    # ---- phase 2: chaos ----------------------------------------------
+    chaos_stats = SweepStats()
+    run_sweep(
+        [
+            _point(config, p["policy"], p["seed"], p["faults"])
+            for p in plans
+        ],
+        jobs=jobs,
+        stats=chaos_stats,
+    )
+
+    # ---- score -------------------------------------------------------
+    run_records = []
+    for plan, base_payload, chaos_payload in zip(
+        plans, baseline_stats.payloads, chaos_stats.payloads
+    ):
+        error = chaos_payload.get("error")
+        card = chaos_payload.get("serve")
+        base_card = base_payload.get("serve") or {}
+        survived = error is None and card is not None
+        violations: list[str] = []
+        if survived:
+            violations += validate_scorecard(card)
+            violations += list(card.get("invariant_errors", ()))
+        base_goodput = (base_card.get("goodput") or {}).get("jobs_per_s")
+        chaos_goodput = (
+            (card.get("goodput") or {}).get("jobs_per_s") if card else None
+        )
+        goodput_ratio = None
+        if base_goodput and chaos_goodput is not None:
+            goodput_ratio = chaos_goodput / base_goodput
+        jobs_row = (card or {}).get("jobs", {})
+        run_records.append(
+            {
+                "run": plan["index"],
+                "policy": plan["policy"],
+                "seed": plan["seed"],
+                "faults": [fault_to_dict(f) for f in plan["faults"]],
+                "survived": survived,
+                "error": error,
+                "violations": violations,
+                "baseline_goodput": base_goodput,
+                "goodput": chaos_goodput,
+                "goodput_ratio": goodput_ratio,
+                "completed": jobs_row.get("completed"),
+                "shed": jobs_row.get("shed"),
+                "timeout": jobs_row.get("timeout"),
+                "failed": jobs_row.get("failed"),
+                "breaker_opens": sum(
+                    b["opens"] for b in (card or {}).get("breakers", {}).values()
+                ),
+                "fallback_counts": (
+                    ((card or {}).get("balancer") or {}).get("fallback_counts")
+                ),
+            }
+        )
+
+    policies = {}
+    for policy in config.policies:
+        rows = [r for r in run_records if r["policy"] == policy]
+        if not rows:
+            continue
+        survived_rows = [r for r in rows if r["survived"]]
+        ratios = [
+            r["goodput_ratio"]
+            for r in survived_rows
+            if r["goodput_ratio"] is not None
+        ]
+        policies[policy] = {
+            "runs": len(rows),
+            "survived": len(survived_rows),
+            "survival_rate": len(survived_rows) / len(rows),
+            "mean_goodput_ratio": (
+                sum(ratios) / len(ratios) if ratios else None
+            ),
+            "violations": sum(len(r["violations"]) for r in rows),
+            "shed": sum(r["shed"] or 0 for r in survived_rows),
+            "timeout": sum(r["timeout"] or 0 for r in survived_rows),
+            "failed": sum(r["failed"] or 0 for r in survived_rows),
+            "breaker_opens": sum(r["breaker_opens"] for r in survived_rows),
+        }
+
+    total_violations = sum(len(r["violations"]) for r in run_records)
+    survivors = sum(1 for r in run_records if r["survived"])
+    scorecard = {
+        "config": config.to_dict(),
+        "runs": run_records,
+        "policies": policies,
+        "total_runs": len(run_records),
+        "survived_runs": survivors,
+        "total_violations": total_violations,
+        "all_invariants_ok": total_violations == 0,
+    }
+    registry = get_registry()
+    registry.inc("serve.chaos_campaigns")
+    registry.inc("serve.chaos_runs", len(run_records))
+    registry.inc("serve.chaos_violations", total_violations)
+    _log.info(
+        "serve chaos campaign complete: %d/%d survived, %d violation(s)",
+        survivors,
+        len(run_records),
+        total_violations,
+    )
+    return scorecard

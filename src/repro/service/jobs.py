@@ -1,0 +1,80 @@
+"""Job lifecycle state for the serving loop.
+
+A job is one application instance submitted by a tenant; the service
+tracks it from arrival to one of the terminal states below.  Every
+submitted job ends in exactly one terminal state — the conservation
+invariant the serve chaos campaign checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["Job", "JobStatus", "TERMINAL_STATES"]
+
+
+class JobStatus(str, Enum):
+    """Where a job is in its lifecycle."""
+
+    QUEUED = "queued"          # admitted, waiting for an active slot
+    RUNNING = "running"        # blocks being dispatched
+    COMPLETED = "completed"    # all units served before the deadline
+    REJECTED = "rejected"      # bounced at admission (queue full)
+    SHED = "shed"              # evicted from the queue by load shedding
+    TIMEOUT = "timeout"        # deadline fired; in-flight blocks reclaimed
+    FAILED = "failed"          # lost work exceeded the tenant retry budget
+
+
+#: states a job can never leave
+TERMINAL_STATES = frozenset(
+    {
+        JobStatus.COMPLETED,
+        JobStatus.REJECTED,
+        JobStatus.SHED,
+        JobStatus.TIMEOUT,
+        JobStatus.FAILED,
+    }
+)
+
+
+@dataclass
+class Job:
+    """One submitted application instance.
+
+    ``template`` indexes the arrival spec's app templates — jobs of the
+    same template share a ground-truth cost model, which is how the
+    service prices blocks without instantiating an application per job.
+    """
+
+    job_id: int
+    tenant: int
+    template: int
+    priority: int
+    arrival: float
+    units: int
+    status: JobStatus = JobStatus.QUEUED
+    remaining: int = 0
+    served_units: int = 0
+    lost_units: int = 0
+    retries: int = 0
+    started_at: float | None = None
+    finished_at: float | None = None
+    deadline: float | None = None
+    #: in-flight blocks: device_id -> (completion Event, units)
+    in_flight: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.remaining == 0:
+            self.remaining = self.units
+
+    @property
+    def done(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    @property
+    def latency(self) -> float | None:
+        """Arrival-to-completion seconds (completed jobs only)."""
+        if self.status is not JobStatus.COMPLETED or self.finished_at is None:
+            return None
+        return self.finished_at - self.arrival

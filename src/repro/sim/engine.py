@@ -28,9 +28,22 @@ class PeriodicTask:
     given) is truthy.  :meth:`cancel` stops it — crucially, a pending
     tick must never be the last event alive, or it would drag the
     virtual clock past the real end of the run.
+
+    Cancellation is final and safe at any point, including from inside
+    the action itself (or another event firing at the same instant): a
+    cancelled task never re-arms, even when :meth:`cancel` lands between
+    the tick firing and the reschedule.
     """
 
-    __slots__ = ("_engine", "interval", "_action", "_tag", "_continue", "_event")
+    __slots__ = (
+        "_engine",
+        "interval",
+        "_action",
+        "_tag",
+        "_continue",
+        "_event",
+        "_cancelled",
+    )
 
     def __init__(self, engine, interval, action, tag, continue_while) -> None:
         if interval <= 0.0:
@@ -42,6 +55,7 @@ class PeriodicTask:
         self._action = action
         self._tag = tag
         self._continue = continue_while
+        self._cancelled = False
         self._event = engine.schedule_at(
             engine.clock.now + self.interval, self._fire, tag=tag
         )
@@ -54,13 +68,23 @@ class PeriodicTask:
     def _fire(self) -> None:
         self._event = None
         self._action(self._engine.clock.now)
+        # the action (or anything it triggered) may have cancelled us:
+        # a cancelled task must never re-arm, or teardown paths racing
+        # with their own tick would leave a stray event in the queue
+        if self._cancelled:
+            return
         if self._continue is None or self._continue():
             self._event = self._engine.schedule_at(
                 self._engine.clock.now + self.interval, self._fire, tag=self._tag
             )
 
     def cancel(self) -> bool:
-        """Cancel the pending tick; returns False if none was scheduled."""
+        """Stop the task for good; returns False if no tick was pending.
+
+        Safe mid-fire: calling this from inside the action (when the
+        tick's event has already popped) still prevents the reschedule.
+        """
+        self._cancelled = True
         event, self._event = self._event, None
         if event is None:
             return False

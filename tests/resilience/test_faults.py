@@ -189,3 +189,86 @@ class TestTransferFaultRuntime:
             small_cluster, app.codelet(), seed=5, transfer_faults=()
         ).run(Greedy(), app.total_units, app.default_initial_block_size())
         assert plain.trace.to_dict() == wired.trace.to_dict()
+
+
+class TestTransferJitter:
+    """Seeded jitter on transfer-retry backoff (de-synchronised storms)."""
+
+    def _run(self, small_cluster, app, fault):
+        return Runtime(
+            small_cluster, app.codelet(), seed=5, transfer_faults=(fault,)
+        ).run(Greedy(), app.total_units, app.default_initial_block_size())
+
+    def _window(self, small_cluster, app):
+        base = Runtime(small_cluster, app.codelet(), seed=5).run(
+            Greedy(), app.total_units, app.default_initial_block_size()
+        )
+        candidates = [
+            r
+            for r in base.trace.records
+            if r.worker_id == "alpha.gpu0"
+            and r.dispatch_time > base.makespan * 0.3
+            and r.transfer_time > 0.0
+        ]
+        assert candidates, "scenario must have a mid-run GPU transfer"
+        victim = min(candidates, key=lambda r: r.dispatch_time)
+        return victim.dispatch_time - 1e-9, victim.transfer_time * 2.0
+
+    def test_roundtrip_preserves_jitter(self):
+        fault = TransferFault("d1", 0.3, 0.05, jitter=0.25)
+        assert fault_from_dict(fault_to_dict(fault)) == fault
+
+    def test_legacy_dicts_default_to_zero_jitter(self):
+        restored = fault_from_dict(
+            {"type": "transfer", "device_id": "d0", "time": 0.1,
+             "duration": 0.05}
+        )
+        assert restored.jitter == 0.0
+
+    def test_jitter_validation(self):
+        with pytest.raises(ConfigurationError):
+            TransferFault("d0", 0.1, 0.05, jitter=-0.1)
+        with pytest.raises(ConfigurationError):
+            TransferFault("d0", 0.1, 0.05, jitter=1.0)
+
+    def test_zero_jitter_is_deterministic(self, small_cluster):
+        app = MatMul(n=8192)
+        when, width = self._window(small_cluster, app)
+        fault = TransferFault("alpha.gpu0", when, width, jitter=0.0)
+        one = self._run(small_cluster, app, fault)
+        two = self._run(small_cluster, app, fault)
+        assert one.trace.to_dict() == two.trace.to_dict()
+        assert any(r.retries > 0 for r in one.trace.records)
+
+    def test_jitter_spreads_within_bounds(self, small_cluster):
+        """Jittered stalls deviate from unjittered ones, but never by
+        more than the jitter fraction of the stall itself (only the
+        backoff term is jittered; the timeout term never is)."""
+        app = MatMul(n=8192)
+        when, width = self._window(small_cluster, app)
+        plain = self._run(
+            small_cluster, app,
+            TransferFault("alpha.gpu0", when, width, jitter=0.0),
+        )
+        jit = 0.4
+        shaken = self._run(
+            small_cluster, app,
+            TransferFault("alpha.gpu0", when, width, jitter=jit),
+        )
+        base_stall = sum(
+            r.retry_time for r in plain.trace.records if r.retries > 0
+        )
+        shaken_stall = sum(
+            r.retry_time for r in shaken.trace.records if r.retries > 0
+        )
+        assert base_stall > 0.0 and shaken_stall > 0.0
+        assert shaken_stall != base_stall, "jitter never engaged"
+        assert abs(shaken_stall - base_stall) <= jit * base_stall + 1e-12
+
+    def test_jitter_is_seeded(self, small_cluster):
+        app = MatMul(n=8192)
+        when, width = self._window(small_cluster, app)
+        fault = TransferFault("alpha.gpu0", when, width, jitter=0.4)
+        one = self._run(small_cluster, app, fault)
+        two = self._run(small_cluster, app, fault)
+        assert one.trace.to_dict() == two.trace.to_dict()

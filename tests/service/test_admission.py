@@ -1,0 +1,82 @@
+"""Bounded admission queue and its three shed policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.admission import AdmissionQueue
+from repro.service.jobs import Job, JobStatus
+
+
+def job(job_id, *, priority=0, arrival=None):
+    return Job(
+        job_id=job_id,
+        tenant=0,
+        template=0,
+        priority=priority,
+        arrival=float(job_id) if arrival is None else arrival,
+        units=100,
+    )
+
+
+class TestAdmissionQueue:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(0)
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(4, "coin-flip")
+
+    def test_admits_until_full(self):
+        q = AdmissionQueue(2)
+        assert q.offer(job(0), 0.0) == []
+        assert q.offer(job(1), 0.1) == []
+        assert q.full and q.depth() == 2 and q.max_depth == 2
+        assert q.admitted == 2
+
+    def test_reject_bounces_the_newcomer(self):
+        q = AdmissionQueue(1, "reject")
+        q.offer(job(0), 0.0)
+        loser = job(1)
+        assert q.offer(loser, 0.5) == [loser]
+        assert loser.status is JobStatus.REJECTED
+        assert loser.finished_at == 0.5
+        assert q.rejected == 1 and q.shed == 0
+        assert q.pop().job_id == 0
+
+    def test_drop_oldest_evicts_the_head(self):
+        q = AdmissionQueue(2, "drop-oldest")
+        q.offer(job(0), 0.0)
+        q.offer(job(1), 0.1)
+        losers = q.offer(job(2), 0.2)
+        assert [j.job_id for j in losers] == [0]
+        assert losers[0].status is JobStatus.SHED
+        assert q.shed == 1 and q.rejected == 0
+        assert [q.pop().job_id, q.pop().job_id] == [1, 2]
+
+    def test_priority_shed_evicts_only_when_outranked(self):
+        q = AdmissionQueue(2, "priority-shed")
+        q.offer(job(0, priority=1), 0.0)
+        q.offer(job(1, priority=2), 0.1)
+        # equal-or-lower priority newcomer is rejected, queue untouched
+        bounced = q.offer(job(2, priority=1), 0.2)
+        assert bounced[0].job_id == 2
+        assert bounced[0].status is JobStatus.REJECTED
+        # an outranking newcomer evicts the lowest-priority waiter
+        losers = q.offer(job(3, priority=2), 0.3)
+        assert [j.job_id for j in losers] == [0]
+        assert losers[0].status is JobStatus.SHED
+        assert [q.pop().job_id, q.pop().job_id] == [1, 3]
+
+    def test_priority_shed_breaks_ties_by_age(self):
+        q = AdmissionQueue(2, "priority-shed")
+        q.offer(job(0, priority=0, arrival=0.0), 0.0)
+        q.offer(job(1, priority=0, arrival=0.1), 0.1)
+        losers = q.offer(job(2, priority=1), 0.2)
+        assert [j.job_id for j in losers] == [0]
+
+    def test_shed_only_when_full_invariant_clean_in_normal_use(self):
+        q = AdmissionQueue(3, "drop-oldest")
+        for i in range(10):
+            q.offer(job(i), float(i))
+        assert q.violations == []
+        assert q.shed == 7
+        assert q.depth() == 3

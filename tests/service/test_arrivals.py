@@ -1,0 +1,74 @@
+"""Seeded open-loop arrival generation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.arrivals import ArrivalSpec, generate_arrivals
+from repro.sim.random import RandomStreams
+
+
+class TestArrivalSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ArrivalSpec(rate=0.0)
+        with pytest.raises(ConfigurationError):
+            ArrivalSpec(duration=0.0)
+        with pytest.raises(ConfigurationError):
+            ArrivalSpec(pattern="tidal")
+        with pytest.raises(ConfigurationError):
+            ArrivalSpec(tenants=0)
+        with pytest.raises(ConfigurationError):
+            ArrivalSpec(templates=())
+        with pytest.raises(ConfigurationError):
+            ArrivalSpec(priority_levels=0)
+
+    def test_dict_roundtrip(self):
+        spec = ArrivalSpec(rate=3.0, duration=8.0, pattern="bursty", tenants=4)
+        assert ArrivalSpec.from_dict(spec.to_dict()) == spec
+
+    def test_rate_modulation(self):
+        diurnal = ArrivalSpec(rate=2.0, duration=10.0, pattern="diurnal")
+        rates = [diurnal.rate_at(t) for t in (0.0, 2.5, 7.5)]
+        assert rates[1] > rates[0] > rates[2]
+        bursty = ArrivalSpec(rate=2.0, duration=8.0, pattern="bursty")
+        # period = 1s, 25% on at 3x, off at 0.5x
+        assert bursty.rate_at(0.1) == pytest.approx(6.0)
+        assert bursty.rate_at(0.9) == pytest.approx(1.0)
+        constant = ArrivalSpec(rate=2.0, duration=8.0)
+        assert constant.rate_at(3.3) == 2.0
+
+
+class TestGenerateArrivals:
+    def test_equal_seeds_identical_traces(self):
+        spec = ArrivalSpec(rate=4.0, duration=10.0, pattern="diurnal")
+        one = generate_arrivals(spec, RandomStreams(11))
+        two = generate_arrivals(spec, RandomStreams(11))
+        assert one == two
+        assert generate_arrivals(spec, RandomStreams(12)) != one
+
+    def test_trace_is_well_formed(self):
+        spec = ArrivalSpec(rate=5.0, duration=20.0, tenants=3)
+        arrivals = generate_arrivals(spec, RandomStreams(0))
+        assert arrivals, "a 20s horizon at 5/s should produce arrivals"
+        last = 0.0
+        for i, arr in enumerate(arrivals):
+            assert arr.job_id == i
+            assert last < arr.time < spec.duration
+            assert 0 <= arr.tenant < spec.tenants
+            assert 0 <= arr.template < len(spec.templates)
+            assert 0 <= arr.priority < spec.priority_levels
+            last = arr.time
+
+    def test_mean_rate_tracks_spec(self):
+        spec = ArrivalSpec(rate=6.0, duration=50.0)
+        n = len(generate_arrivals(spec, RandomStreams(3)))
+        assert 0.7 * 300 < n < 1.3 * 300
+
+    def test_bursty_clusters_arrivals(self):
+        spec = ArrivalSpec(rate=4.0, duration=16.0, pattern="bursty")
+        arrivals = generate_arrivals(spec, RandomStreams(1))
+        period = spec.duration / 8
+        on = sum(1 for a in arrivals if (a.time % period) / period < 0.25)
+        # the on-phase covers 25% of the horizon at 3x the off rate: its
+        # arrival share must clearly exceed its time share
+        assert on / len(arrivals) > 0.35

@@ -1,0 +1,150 @@
+"""Circuit-breaker state machine: closed -> open -> half-open -> ..."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.breakers import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.sim.random import RandomStreams
+
+
+def breaker(**kw):
+    kw.setdefault("failure_threshold", 3)
+    kw.setdefault("cooldown", 2.0)
+    kw.setdefault("jitter", 0.0)
+    return CircuitBreaker("dev", **kw)
+
+
+class TestTransitions:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            breaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            breaker(cooldown=0.0)
+        with pytest.raises(ConfigurationError):
+            breaker(jitter=1.0)
+
+    def test_closed_until_threshold(self):
+        b = breaker()
+        for _ in range(2):
+            b.record_failure(0.0)
+            assert b.state == CLOSED and b.allow(0.0)
+        b.record_failure(0.0)
+        assert b.state == OPEN
+        assert b.opens == 1
+        assert not b.allow(0.1)
+
+    def test_success_resets_the_failure_run(self):
+        b = breaker()
+        b.record_failure(0.0)
+        b.record_failure(0.0)
+        b.record_success(0.0)
+        b.record_failure(0.0)
+        b.record_failure(0.0)
+        assert b.state == CLOSED
+
+    def test_cooldown_elapses_into_half_open_single_probe(self):
+        b = breaker()
+        for _ in range(3):
+            b.record_failure(0.0)
+        assert not b.allow(1.9)
+        assert b.allow(2.0), "cooldown elapsed: one probe admitted"
+        assert b.state == HALF_OPEN
+        assert b.probes == 1
+        assert not b.allow(2.1), "only one probe may be in flight"
+
+    def test_probe_success_recloses_and_resets_cooldown(self):
+        b = breaker()
+        for _ in range(3):
+            b.record_failure(0.0)
+        assert b.allow(2.0)
+        b.record_success(2.5)
+        assert b.state == CLOSED
+        assert b.closes == 1
+        # cooldown is back to base: a fresh open waits 2s again
+        for _ in range(3):
+            b.record_failure(3.0)
+        assert not b.allow(4.9)
+        assert b.allow(5.0)
+
+    def test_probe_failure_reopens_with_doubled_cooldown(self):
+        b = breaker()
+        for _ in range(3):
+            b.record_failure(0.0)
+        assert b.allow(2.0)
+        b.record_failure(2.0)
+        assert b.state == OPEN
+        assert b.opens == 2
+        # second cooldown is 2x the base
+        assert not b.allow(2.0 + 3.9)
+        assert b.allow(2.0 + 4.0)
+
+    def test_cooldown_growth_is_capped(self):
+        b = breaker()
+        now = 0.0
+        for _ in range(3):
+            b.record_failure(now)
+        for _ in range(8):  # far past the 8x cap
+            now = b.reopen_at
+            assert b.allow(now)
+            b.record_failure(now)
+        start = b.reopen_at
+        assert b.allow(start)
+        b.record_failure(start)
+        assert b.reopen_at - start <= 8.0 * 2.0 + 1e-9
+
+    def test_on_device_recovered_probes_immediately(self):
+        b = breaker()
+        for _ in range(3):
+            b.record_failure(0.0)
+        assert not b.allow(0.1)
+        b.on_device_recovered(0.2)
+        assert b.state == HALF_OPEN
+        assert b.allow(0.2), "recovery signal admits a probe before cooldown"
+
+    def test_on_device_recovered_is_noop_unless_open(self):
+        b = breaker()
+        b.on_device_recovered(0.0)
+        assert b.state == CLOSED
+
+    def test_force_open(self):
+        b = breaker()
+        b.force_open(0.0)
+        assert b.state == OPEN and b.opens == 1
+        b.force_open(0.1)
+        assert b.opens == 1, "already open: force_open is idempotent"
+
+    def test_to_dict_counts(self):
+        b = breaker()
+        for _ in range(3):
+            b.record_failure(0.0)
+        assert b.allow(2.0)
+        b.record_success(2.1)
+        assert b.to_dict() == {
+            "state": CLOSED,
+            "opens": 1,
+            "probes": 1,
+            "closes": 1,
+        }
+
+
+class TestJitter:
+    def test_jittered_cooldown_is_seeded_and_bounded(self):
+        def reopen(seed):
+            b = CircuitBreaker(
+                "dev",
+                failure_threshold=1,
+                cooldown=2.0,
+                jitter=0.25,
+                streams=RandomStreams(seed),
+            )
+            b.record_failure(10.0)
+            return b.reopen_at
+
+        assert reopen(5) == reopen(5)
+        assert reopen(5) != reopen(6)
+        assert 10.0 + 2.0 * 0.75 <= reopen(5) <= 10.0 + 2.0 * 1.25
+
+    def test_zero_jitter_is_exact(self):
+        b = breaker(jitter=0.0)
+        b.force_open(1.0)
+        assert b.reopen_at == 3.0

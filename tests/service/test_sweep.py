@@ -1,0 +1,64 @@
+"""Service episodes flowing through the parallel sweep engine."""
+
+import json
+
+from repro.experiments.parallel import (
+    PointSpec,
+    ResultCache,
+    RunSpec,
+    SweepStats,
+    run_sweep,
+)
+from repro.service import ServiceConfig, validate_scorecard
+from repro.service.arrivals import ArrivalSpec
+
+
+def service_point(seed=0, policy="plb-hec"):
+    config = ServiceConfig(
+        arrivals=ArrivalSpec(rate=3.0, duration=6.0),
+        policy=policy,
+    )
+    return PointSpec(
+        app_name="serve",
+        size=0,
+        num_machines=2,
+        policies=(policy,),
+        replications=1,
+        seed=seed,
+        service_json=config.to_sweep_json(),
+    )
+
+
+class TestServiceSweep:
+    def test_payload_carries_the_scorecard(self):
+        stats = SweepStats()
+        run_sweep([service_point()], jobs=1, stats=stats)
+        (payload,) = stats.payloads
+        card = payload["serve"]
+        assert validate_scorecard(card) == []
+        assert payload["makespan"] == card["duration_s"]
+        assert payload["series"]["samples"] > 0
+        assert payload["series"]["store"]["series"]
+        assert payload["report"]["run_id"]
+
+    def test_cache_cold_then_warm_byte_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = SweepStats()
+        run_sweep([service_point()], jobs=1, cache=cache, stats=cold)
+        assert cold.executed == 1
+        warm = SweepStats()
+        run_sweep([service_point()], jobs=1, cache=cache, stats=warm)
+        assert warm.cache_hits == 1
+        assert (json.dumps(cold.payloads, sort_keys=True)
+                == json.dumps(warm.payloads, sort_keys=True))
+
+    def test_cache_key_sees_the_service_config(self):
+        base = RunSpec("serve", 0, 2, "plb-hec", 0, 0.0, None)
+        plb = service_point().expand()[0]
+        fair = service_point(policy="fair").expand()[0]
+        keys = {
+            ResultCache.key(base, "tag"),
+            ResultCache.key(plb, "tag"),
+            ResultCache.key(fair, "tag"),
+        }
+        assert len(keys) == 3

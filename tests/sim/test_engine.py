@@ -111,3 +111,85 @@ class TestEngine:
     def test_max_events_validation(self):
         with pytest.raises(SimulationError):
             Engine(max_events=0)
+
+
+class TestPeriodicTaskCancellation:
+    """The mid-fire cancellation contract of PeriodicTask.
+
+    A tick pops its own event before running the action, so a cancel
+    issued *during* the action (or by a same-instant event) used to
+    find no pending event, return False, and let the task re-arm —
+    leaving a stray tick in the queue after teardown.  The task now
+    latches cancellation and never reschedules past it.
+    """
+
+    def test_cancel_from_inside_action_stops_rearming(self):
+        e = Engine()
+        ticks = []
+        task = None
+
+        def action(now):
+            ticks.append(now)
+            task.cancel()
+
+        task = e.schedule_periodic(1.0, action)
+        e.run()
+        assert ticks == [1.0]
+        assert not task.active
+        assert len(e.queue) == 0
+
+    def test_cancel_from_same_instant_event_stops_rearming(self):
+        # an event at the tick's own timestamp, scheduled by the tick,
+        # cancels the task: the pending event is the *next* tick, which
+        # must be swept and never replaced
+        e = Engine()
+        ticks = []
+        task = None
+
+        def action(now):
+            ticks.append(now)
+            if len(ticks) == 2:
+                e.schedule_at(now, lambda: task.cancel())
+
+        task = e.schedule_periodic(1.0, action)
+        e.run()
+        assert ticks == [1.0, 2.0]
+        assert not task.active
+        assert len(e.queue) == 0
+
+    def test_cancelled_task_never_fires_again_even_if_continue_true(self):
+        e = Engine()
+        ticks = []
+        task = None
+
+        def action(now):
+            ticks.append(now)
+            if len(ticks) == 3:
+                task.cancel()
+
+        task = e.schedule_periodic(0.5, action, continue_while=lambda: True)
+        e.run()
+        assert ticks == [0.5, 1.0, 1.5]
+        assert len(e.queue) == 0
+
+    def test_mid_fire_cancel_reports_no_pending_event(self):
+        e = Engine()
+        results = []
+        task = None
+
+        def action(now):
+            # the tick's own event already popped: nothing pending
+            results.append(task.cancel())
+
+        task = e.schedule_periodic(1.0, action)
+        e.run()
+        assert results == [False]
+        assert len(e.queue) == 0
+
+    def test_idle_cancel_still_sweeps_pending_tick(self):
+        e = Engine()
+        task = e.schedule_periodic(1.0, lambda now: None)
+        assert task.cancel() is True
+        assert len(e.queue) == 0
+        e.run()
+        assert e.processed_events == 0

@@ -363,3 +363,64 @@ class TestTutorialCritpath:
         assert set(bounds["device_speedup"]) <= {
             d.device_id for d in small_cluster.devices()
         }
+
+
+class TestTutorialService:
+    """Section 13: the serving-loop snippets, verbatim in structure."""
+
+    def test_service_snippet_runs(self):
+        from repro.service import ArrivalSpec, ClusterService, ServiceConfig
+
+        config = ServiceConfig(
+            arrivals=ArrivalSpec(rate=4.0, duration=12.0, pattern="bursty"),
+            queue_limit=8,
+            shed_policy="drop-oldest",
+            deadline_factor=20.0,
+            retry_budget=2,
+            seed=7,
+        )
+        card = ClusterService(config).run()
+        assert card["invariant_errors"] == []
+        jobs = card["jobs"]
+        terminal = (jobs["completed"] + jobs["rejected"] + jobs["shed"]
+                    + jobs["timeout"] + jobs["failed"])
+        assert terminal == jobs["submitted"] > 0
+        assert card["latency_s"]["p99"] is not None
+        assert card["goodput"]["jobs_per_s"] > 0
+
+    def test_scorecard_validates_and_is_deterministic(self):
+        import json
+
+        from repro.service import (
+            ArrivalSpec,
+            ClusterService,
+            ServiceConfig,
+            validate_scorecard,
+        )
+
+        def episode():
+            config = ServiceConfig(
+                arrivals=ArrivalSpec(rate=3.0, duration=8.0),
+                seed=13,
+            )
+            return ClusterService(config).run()
+
+        one, two = episode(), episode()
+        assert validate_scorecard(one) == []
+        assert (json.dumps(one, sort_keys=True)
+                == json.dumps(two, sort_keys=True))
+
+    def test_serve_slo_gate_matches_the_committed_spec(self):
+        from repro.obs import evaluate_slo, load_slo_spec
+        from repro.service import ArrivalSpec, ClusterService, ServiceConfig
+
+        service = ClusterService(ServiceConfig(
+            arrivals=ArrivalSpec(rate=2.0, duration=10.0), seed=0,
+        ))
+        service.run()
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        spec = load_slo_spec(repo / "benchmarks" / "serve.slo.json")
+        report = evaluate_slo(spec, service.store, run_id="tutorial-serve")
+        assert report["ok"], report
